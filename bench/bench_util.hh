@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ */
+
+#ifndef PACT_BENCH_BENCH_UTIL_HH
+#define PACT_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/runner.hh"
+
+namespace pact
+{
+
+/** Standard bench preamble: quiet logs, banner, scale report. */
+inline double
+benchSetup(const std::string &title, double default_scale = 1.0)
+{
+    setLogQuiet(true);
+    const double scale = envScale(default_scale);
+    std::printf("==============================================\n");
+    std::printf("%s\n", title.c_str());
+    std::printf("(workload scale %.2f; set PACT_SCALE/PACT_QUICK to "
+                "adjust)\n",
+                scale);
+    std::printf("==============================================\n");
+    return scale;
+}
+
+/** Format a slowdown percentage. */
+inline std::string
+pct(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+    return buf;
+}
+
+} // namespace pact
+
+#endif // PACT_BENCH_BENCH_UTIL_HH

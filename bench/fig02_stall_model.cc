@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Figure 2: per-tier stall model validation. Runs the 96-workload
+ * masim grid (6 patterns x 4 footprints x 4 compute gaps) on each of
+ * the three memory configurations (DRAM 90ns, NUMA 140ns, CXL 190ns)
+ * and reports, per configuration, the Pearson correlation of measured
+ * LLC stalls against (a) raw LLC misses and (b) the MLP model
+ * LLC-misses/MLP, plus the fitted per-tier coefficient k.
+ *
+ * Expected shape: the model's correlation is ~0.98 and clearly above
+ * the raw-miss correlation (0.82-0.89 in the paper), and the fitted k
+ * grows with tier latency.
+ */
+
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "sim/engine.hh"
+#include "workloads/masim.hh"
+
+using namespace pact;
+
+namespace
+{
+
+struct GridPoint
+{
+    MasimPattern pattern;
+    double mixChase; // fraction of accesses to a chase region
+    std::uint64_t footprintMB;
+    std::uint16_t gap;
+};
+
+std::vector<GridPoint>
+buildGrid()
+{
+    // 6 pattern mixes x 4 footprints x 4 gaps = 96 workloads.
+    std::vector<GridPoint> grid;
+    const std::pair<MasimPattern, double> mixes[6] = {
+        {MasimPattern::Sequential, 0.0},
+        {MasimPattern::Random, 0.0},
+        {MasimPattern::PointerChase, 1.0},
+        {MasimPattern::Random, 0.25},
+        {MasimPattern::Random, 0.5},
+        {MasimPattern::Random, 0.75},
+    };
+    for (const auto &[pat, mix] : mixes) {
+        for (std::uint64_t mb : {8, 16, 32, 64}) {
+            for (std::uint16_t gap : {0, 4, 16, 64})
+                grid.push_back({pat, mix, mb, gap});
+        }
+    }
+    return grid;
+}
+
+WorkloadBundle
+makePoint(const GridPoint &gp, int id, double scale)
+{
+    WorkloadBundle b;
+    b.name = "grid-" + std::to_string(id);
+    Rng rng(1000 + id);
+    MasimParams p;
+    if (gp.mixChase > 0.0 && gp.mixChase < 1.0) {
+        MasimRegion main;
+        main.name = "main";
+        main.bytes = scaled(gp.footprintMB << 20, scale, 1 << 20) / 2;
+        main.pattern = gp.pattern;
+        main.weight = 1.0 - gp.mixChase;
+        main.gap = gp.gap;
+        MasimRegion chase;
+        chase.name = "chase";
+        chase.bytes = main.bytes;
+        chase.pattern = MasimPattern::PointerChase;
+        chase.weight = gp.mixChase;
+        chase.gap = gp.gap;
+        p.regions = {main, chase};
+    } else {
+        MasimRegion r;
+        r.name = "r";
+        r.bytes = scaled(gp.footprintMB << 20, scale, 1 << 20);
+        r.pattern = gp.mixChase >= 1.0 ? MasimPattern::PointerChase
+                                       : gp.pattern;
+        r.gap = gp.gap;
+        p.regions = {r};
+    }
+    p.ops = scaled(120000, scale, 20000);
+    b.traces.push_back(buildMasim(b.as, 0, p, rng));
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 2: stall model vs raw misses, 96 workloads x 3 "
+        "latency configs",
+        1.0);
+    const auto grid = buildGrid();
+
+    struct Config
+    {
+        const char *name;
+        TierParams params;
+    } configs[3] = {
+        {"Local DRAM (90ns)", dramTierParams()},
+        {"NUMA (140ns)", numaTierParams()},
+        {"CXL (190ns)", cxlTierParams()},
+    };
+
+    Table t({"configuration", "r(misses, stalls)", "r(model, stalls)",
+             "fitted k (cycles)", "tier latency"});
+    for (const Config &cfgRow : configs) {
+        std::vector<double> misses, model, stalls;
+        for (std::size_t i = 0; i < grid.size(); i++) {
+            WorkloadBundle b = makePoint(grid[i], static_cast<int>(i),
+                                         scale);
+            SimConfig cfg;
+            cfg.slow = cfgRow.params;
+            cfg.fastCapacityPages = 0; // whole footprint on the tier
+            auto &as = const_cast<AddrSpace &>(b.as);
+            Engine engine(cfg, as, &b.traces, nullptr);
+            const RunStats rs = engine.run();
+            const auto &p = rs.pmu;
+            const unsigned s = tierIndex(TierId::Slow);
+            const double m = static_cast<double>(p.llcLoadMisses[s]);
+            const double mlp = std::max(
+                1.0, Pmu::mlp(p.torOccupancy[s], p.torBusy[s]));
+            misses.push_back(m);
+            model.push_back(m / mlp);
+            stalls.push_back(static_cast<double>(p.stallCycles[s]));
+        }
+        const double k = stats::fitSlopeThroughOrigin(model, stalls);
+        t.row()
+            .cell(cfgRow.name)
+            .cell(stats::pearson(misses, stalls), 3)
+            .cell(stats::pearson(model, stalls), 3)
+            .cell(k, 1)
+            .cell(static_cast<std::uint64_t>(cfgRow.params.latencyCycles));
+    }
+    printHeading(std::cout, "Figure 2: Eq.1 validation");
+    t.print();
+    std::printf("\nPaper reference: model r = 0.98 across all three "
+                "configs vs 0.82-0.89 for raw misses; k tracks tier "
+                "latency.\n");
+    return 0;
+}

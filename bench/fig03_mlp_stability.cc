@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Figure 3: per-tier MLP measurement. Runs a phased masim workload
+ * and prints, per 20ms-equivalent window: (a) TOR-derived MLP
+ * (dT1/dT2), (b) the system-wide "L2MLP"-style aggregate across both
+ * tiers, and (c) the Little's-law estimate Latency x Bandwidth / 64B
+ * used on AMD platforms. Then it quantifies phase stability:
+ * within-phase vs across-phase MLP variation.
+ *
+ * Expected shape: TOR-MLP tracks the aggregate MLP; the Little's-law
+ * estimate follows the same temporal trend but overestimates; MLP is
+ * stable within phases (low CoV) and shifts across phases.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "sim/engine.hh"
+#include "workloads/masim.hh"
+
+using namespace pact;
+
+int
+main()
+{
+    const double scale =
+        benchSetup("Figure 3: TOR-MLP tracking and phase stability",
+                   1.0);
+
+    // Phased workload: random (high-MLP) <-> chase (MLP ~1) phases.
+    WorkloadBundle b;
+    b.name = "phased";
+    Rng rng(42);
+    MasimParams p;
+    MasimRegion rnd;
+    rnd.name = "stream";
+    rnd.bytes = scaled(24ull << 20, scale, 1 << 20);
+    // Sequential phases engage the prefetcher, whose non-demand lines
+    // are what makes the Little's-law estimate overshoot (paper Fig 3).
+    rnd.pattern = MasimPattern::Sequential;
+    // High-MLP phases retire far more ops per cycle, so weight them
+    // accordingly to balance *time* spent in each phase.
+    rnd.weight = 24.0;
+    MasimRegion chase;
+    chase.name = "chase";
+    chase.bytes = scaled(24ull << 20, scale, 1 << 20);
+    chase.pattern = MasimPattern::PointerChase;
+    chase.weight = 1.0;
+    p.regions = {rnd, chase};
+    p.ops = scaled(4000000, scale, 200000);
+    p.phased = true;
+    p.phaseOps = scaled(30000, scale, 5000);
+    b.traces.push_back(buildMasim(b.as, 0, p, rng));
+
+    SimConfig cfg;
+    cfg.fastCapacityPages = 0; // all on the slow tier
+    auto &as = const_cast<AddrSpace &>(b.as);
+    Engine engine(cfg, as, &b.traces, nullptr);
+
+    struct Window
+    {
+        double torMlp;
+        double sysMlp;
+        double littlesLaw;
+    };
+    std::vector<Window> windows;
+    PmuSnapshot snap;
+    snap.take(engine.pmu());
+    std::uint64_t prevReq = 0;
+    const Cycles windowCycles = cfg.daemonPeriod;
+
+    while (engine.runUntil(engine.now() + windowCycles)) {
+        const PmuWindow w = pmuDelta(snap, engine.pmu());
+        snap.take(engine.pmu());
+        const unsigned s = tierIndex(TierId::Slow);
+        if (w.llcLoadMisses[s] + w.llcMisses[s] < 100)
+            continue;
+        Window win;
+        win.torMlp = w.mlp(TierId::Slow);
+        std::uint64_t t1 = 0, t2 = 0;
+        for (unsigned t = 0; t < NumTiers; t++) {
+            t1 += w.torOccupancy[t];
+            t2 += w.torBusy[t];
+        }
+        win.sysMlp = std::max(1.0, Pmu::mlp(t1, t2));
+        // Little's law: avg outstanding = arrival rate x latency,
+        // over ALL lines served (demand + prefetch), which is why it
+        // overestimates demand MLP as the paper notes.
+        const Tier *slow = engine.context().tiers[s];
+        const std::uint64_t req = slow->linesServed();
+        const double lines = static_cast<double>(req - prevReq);
+        prevReq = req;
+        const double arrivalPerCycle =
+            lines / static_cast<double>(windowCycles);
+        win.littlesLaw =
+            arrivalPerCycle * static_cast<double>(slow->latency());
+        windows.push_back(win);
+    }
+
+    if (windows.empty()) {
+        std::printf("no miss-bearing windows recorded\n");
+        return 1;
+    }
+
+    printHeading(std::cout, "Figure 3a: per-window MLP series");
+    Table t({"window", "TOR-MLP", "system MLP", "Little's-law est."});
+    for (std::size_t i = 0; i < windows.size();
+         i += std::max<std::size_t>(1, windows.size() / 32)) {
+        t.row()
+            .cell(static_cast<std::uint64_t>(i))
+            .cell(windows[i].torMlp, 2)
+            .cell(windows[i].sysMlp, 2)
+            .cell(windows[i].littlesLaw, 2);
+    }
+    t.print();
+
+    // Tracking quality + stability metrics.
+    std::vector<double> tor, sys, lit;
+    for (const Window &w : windows) {
+        tor.push_back(w.torMlp);
+        sys.push_back(w.sysMlp);
+        lit.push_back(w.littlesLaw);
+    }
+    printHeading(std::cout, "Figure 3b: tracking and phase stability");
+    Table s({"metric", "value"});
+    s.row().cell("r(TOR-MLP, system MLP)").cell(
+        stats::pearson(tor, sys), 3);
+    s.row().cell("r(TOR-MLP, Little's-law)").cell(
+        stats::pearson(tor, lit), 3);
+
+    // Phase stability: split windows into high/low-MLP phases at the
+    // midpoint between the extremes; report within-phase variation.
+    double vmin = tor[0], vmax = tor[0];
+    for (double v : tor) {
+        vmin = std::min(vmin, v);
+        vmax = std::max(vmax, v);
+    }
+    const double split = (vmin + vmax) / 2.0;
+    std::vector<double> hi, lo;
+    for (double v : tor)
+        (v >= split ? hi : lo).push_back(v);
+    if (hi.empty() || lo.empty()) {
+        hi = tor;
+        lo = tor;
+    }
+    auto cov = [](const std::vector<double> &xs) {
+        const double m = stats::mean(xs);
+        return m > 0 ? stats::stddev(xs) / m : 0.0;
+    };
+    s.row().cell("within-phase CoV (high-MLP)").cell(cov(hi), 3);
+    s.row().cell("within-phase CoV (low-MLP)").cell(cov(lo), 3);
+    s.row().cell("across-phase MLP ratio").cell(
+        stats::mean(lo) > 0 ? stats::mean(hi) / stats::mean(lo) : 0.0,
+        2);
+    s.print();
+    std::printf("\nPaper reference: TOR-MLP closely matches the "
+                "aggregate metric; MLP is stable within phases and "
+                "shifts across them; the bandwidth-based estimate "
+                "tracks trends but overestimates.\n");
+    return 0;
+}

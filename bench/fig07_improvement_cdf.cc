@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 7: CDFs of PACT's performance improvement over the three
+ * strongest baselines (Colloid, NBT, Memtis) across all twelve
+ * workloads at the contrasting 1:2 and 2:1 ratios.
+ *
+ * Improvement is measured as the paper does: the difference in
+ * slowdown (baseline - PACT) normalized by the baseline runtime
+ * ratio, reported in percent (positive = PACT faster).
+ *
+ * Expected shape: distributions concentrated above zero with ~10%
+ * averages and long positive tails (paper: avg 9.95% / 10.66%, peaks
+ * 57% / 61%).
+ */
+
+#include <algorithm>
+#include <map>
+
+#include "bench_util.hh"
+#include "common/stats.hh"
+#include "harness/sweep.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 7: CDF of PACT improvement at 1:2 and 2:1", 0.7);
+
+    const std::vector<std::string> baselines = {"Colloid", "NBT",
+                                                "Memtis"};
+
+    for (const RatioSpec &ratio : contrastRatios()) {
+        std::vector<double> all;
+        std::map<std::string, std::vector<double>> per;
+
+        for (const std::string &w : figureSixWorkloads()) {
+            WorkloadOptions opt;
+            opt.scale = scale;
+            const WorkloadBundle bundle = makeWorkload(w, opt);
+            Runner runner;
+            const RunResult pact =
+                runner.run(bundle, "PACT", ratio.share());
+            for (const std::string &b : baselines) {
+                const RunResult base =
+                    runner.run(bundle, b, ratio.share());
+                // Runtime improvement of PACT over the baseline.
+                const double imp =
+                    100.0 *
+                    (static_cast<double>(base.runtime) -
+                     static_cast<double>(pact.runtime)) /
+                    static_cast<double>(base.runtime);
+                all.push_back(imp);
+                per[b].push_back(imp);
+            }
+        }
+
+        printHeading(std::cout,
+                     std::string("Figure 7 @ ") + ratio.label +
+                         ": improvement CDF over "
+                         "{Colloid, NBT, Memtis} (%)");
+        Table t({"quantile", "all", "vs Colloid", "vs NBT",
+                 "vs Memtis"});
+        for (double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+            t.row().cell(q, 2).cell(stats::quantile(all, q), 1);
+            for (const std::string &b : baselines)
+                t.cell(stats::quantile(per[b], q), 1);
+        }
+        t.row().cell("mean").cell(stats::mean(all), 1);
+        for (const std::string &b : baselines)
+            t.cell(stats::mean(per[b]), 1);
+        t.print();
+    }
+    std::printf("\nPaper reference: average improvement 9.95%% (1:2) "
+                "and 10.66%% (2:1), peaks 57%% / 61%%; similar "
+                "distributions at both ratios.\n");
+    return 0;
+}

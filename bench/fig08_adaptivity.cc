@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Figure 8: PACT's adaptive page selection on sssp-kron at 1:1 —
+ * (a) promotions over time and (b) the adaptive bin width over time,
+ * plus the headline comparison against Colloid's migration volume.
+ *
+ * Expected shape: promotions spike early while PAC variance is high,
+ * then stabilize with intermittent bursts; the bin width moves as the
+ * PAC distribution spreads; PACT needs an order of magnitude fewer
+ * migrations than Colloid at comparable or better slowdown.
+ */
+
+#include "bench_util.hh"
+#include "pact/pact_policy.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 8: adaptive page selection on sssp-kron (1:1)", 0.7);
+
+    WorkloadOptions opt;
+    opt.scale = scale;
+    const WorkloadBundle bundle = makeWorkload("sssp-kron", opt);
+    Runner runner;
+
+    PactPolicy pact;
+    const RunResult rp = runner.runWith(bundle, pact, 0.5, "PACT");
+    const RunResult rc = runner.run(bundle, "Colloid", 0.5);
+
+    printHeading(std::cout, "Headline: PACT vs Colloid on sssp-kron");
+    Table h({"system", "slowdown", "promotions"});
+    h.row().cell("PACT").cell(rp.slowdownPct, 1).cellCount(
+        rp.stats.promotions());
+    h.row().cell("Colloid").cell(rc.slowdownPct, 1).cellCount(
+        rc.stats.promotions());
+    h.print();
+
+    const auto &promos = pact.promotionSeries();
+    const auto &widths = pact.binWidthSeries();
+
+    printHeading(std::cout,
+                 "Figure 8a/8b: promotions and bin width over time");
+    Table t({"tick", "time (ms)", "promotions", "bin width"});
+    const std::size_t stride =
+        std::max<std::size_t>(1, promos.size() / 40);
+    for (std::size_t i = 0; i < promos.size(); i += stride) {
+        const double ms = static_cast<double>(promos[i].now) /
+                          (ClockHz / 1e3);
+        t.row()
+            .cell(static_cast<std::uint64_t>(i))
+            .cell(ms, 2)
+            .cell(promos[i].value, 0)
+            .cell(i < widths.size() ? widths[i].value : 0.0, 2);
+    }
+    t.print();
+
+    // Quantify front-loading: share of promotions in the first third.
+    double first = 0.0, total = 0.0;
+    for (std::size_t i = 0; i < promos.size(); i++) {
+        total += promos[i].value;
+        if (i < promos.size() / 3)
+            first += promos[i].value;
+    }
+    std::printf("\nFront-loading: %.0f%% of promotions occur in the "
+                "first third of the run.\n",
+                total > 0 ? 100.0 * first / total : 0.0);
+    std::printf("Paper reference: Colloid needs >8M migrations vs "
+                "PACT's 180K while PACT achieves lower slowdown "
+                "(18%% vs 25%%); promotions spike early then "
+                "stabilize; bin width adapts to the PAC spread.\n");
+    return 0;
+}

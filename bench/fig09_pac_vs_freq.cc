@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 9 / §5.6: PAC-driven vs frequency-driven promotion inside
+ * the same PACT framework, at comparable migration volume. Prints the
+ * promotion timelines (PACT front-loads; frequency oscillates) and
+ * the per-workload performance gap, including the motivating
+ * inversion microbenchmark where frequency ranks the wrong region.
+ *
+ * Expected shape: PACT beats the frequency variant (paper: 18% on
+ * bc-kron, 12-22% across bc-urand/sssp-kron/silo) with the largest
+ * gaps where MLP variance is high.
+ */
+
+#include "bench_util.hh"
+#include "pact/pact_policy.hh"
+#include "policies/freq_policy.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 9: criticality-based vs frequency-based promotion",
+        0.7);
+
+    printHeading(std::cout,
+                 "Per-workload comparison at matched framework");
+    Table t({"workload", "PACT slow", "freq slow", "gain (pp)",
+             "PACT promos", "freq promos"});
+    double series_done = false;
+    (void)series_done;
+
+    for (const std::string &w :
+         {std::string("pac-inversion"), std::string("bc-kron"),
+          std::string("bc-urand"), std::string("sssp-kron"),
+          std::string("silo")}) {
+        WorkloadOptions opt;
+        opt.scale = scale;
+        const WorkloadBundle bundle = makeWorkload(w, opt);
+        Runner runner;
+
+        PactPolicy pact;
+        const double share = w == "pac-inversion" ? 0.4 : 0.5;
+        const RunResult rp = runner.runWith(bundle, pact, share, "PACT");
+        FreqPolicy freq;
+        const RunResult rf =
+            runner.runWith(bundle, freq, share, "PACT-freq");
+
+        t.row()
+            .cell(w)
+            .cell(rp.slowdownPct, 1)
+            .cell(rf.slowdownPct, 1)
+            .cell(rf.slowdownPct - rp.slowdownPct, 1)
+            .cellCount(rp.stats.promotions())
+            .cellCount(rf.stats.promotions());
+
+        if (w == "bc-kron") {
+            printHeading(std::cout,
+                         "Promotion timeline on bc-kron (per tick)");
+            Table tl({"tick", "PACT", "frequency"});
+            const auto &ps = pact.promotionSeries();
+            const auto &fs = freq.promotionSeries();
+            const std::size_t n = std::min(ps.size(), fs.size());
+            const std::size_t stride =
+                std::max<std::size_t>(1, n / 24);
+            for (std::size_t i = 0; i < n; i += stride) {
+                tl.row()
+                    .cell(static_cast<std::uint64_t>(i))
+                    .cell(ps[i].value, 0)
+                    .cell(fs[i].value, 0);
+            }
+            tl.print();
+        }
+    }
+    t.print();
+    std::printf("\nPaper reference: PACT front-loads promotions and "
+                "tapers; the frequency policy oscillates; PAC-based "
+                "selection wins by 12-22%% at matched migration "
+                "counts, most where MLP variance is high.\n");
+    return 0;
+}

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Figure 10: sensitivity of PACT to (a) the PEBS sampling rate,
+ * (b) the PAC sampling period, and (c) cooling, on bc-kron at 1:1,
+ * plus the eager-demotion aggressiveness m ablation DESIGN.md calls
+ * out and a cross-workload robustness check.
+ *
+ * Expected shape: denser PEBS sampling helps monotonically-ish;
+ * longer sampling periods increase both promotions and slowdown;
+ * cooling (alpha 0.5 / 0) does not beat pure accumulation
+ * (alpha = 1); defaults sit within a few percent of the best setting
+ * on every workload.
+ */
+
+#include "bench_util.hh"
+#include "pact/pact_policy.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 10: PACT sensitivity (PEBS rate, period, cooling, m)",
+        0.7);
+
+    WorkloadOptions opt;
+    opt.scale = scale;
+    const WorkloadBundle bundle = makeWorkload("bc-kron", opt);
+
+    // (a) PEBS sampling rate. The paper sweeps 800..4000 on runs of
+    // minutes; scaled runs sweep the same 5x span around the default.
+    printHeading(std::cout, "Figure 10a: PEBS sampling rate");
+    {
+        Table t({"rate (1-in-N)", "slowdown", "promotions",
+                 "PEBS samples"});
+        for (std::uint64_t rate : {16, 32, 64, 128, 256, 512}) {
+            Runner runner;
+            runner.config().pebs.rate = rate;
+            const RunResult r = runner.run(bundle, "PACT", 0.5);
+            t.row()
+                .cell(rate)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions())
+                .cellCount(r.stats.pebsEvents / rate);
+        }
+        t.print();
+    }
+
+    // (b) PAC sampling period (daemon window).
+    printHeading(std::cout, "Figure 10b: PAC sampling period");
+    {
+        Table t({"period (ms)", "slowdown", "promotions", "windows"});
+        for (Cycles period : {250000ull, 500000ull, 1000000ull,
+                              2000000ull, 5000000ull, 20000000ull}) {
+            Runner runner;
+            runner.config().daemonPeriod = period;
+            const RunResult r = runner.run(bundle, "PACT", 0.5);
+            t.row()
+                .cell(static_cast<double>(period) / (ClockHz / 1e3), 2)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions())
+                .cell(r.stats.daemonTicks);
+        }
+        t.print();
+    }
+
+    // (c) Cooling across three workloads.
+    printHeading(std::cout, "Figure 10c: cooling sensitivity");
+    {
+        Table t({"workload", "alpha=1.0 (none)", "alpha=0.5 (halve)",
+                 "alpha=0 (reset)"});
+        for (const std::string &w :
+             {std::string("bc-kron"), std::string("sssp-kron"),
+              std::string("silo")}) {
+            const WorkloadBundle b = makeWorkload(w, opt);
+            Runner runner;
+            t.row().cell(w);
+            for (const char *variant :
+                 {"PACT", "PACT-cool-halve", "PACT-cool-reset"}) {
+                const RunResult r = runner.run(b, variant, 0.5);
+                t.cell(r.slowdownPct, 1);
+            }
+        }
+        t.print();
+    }
+
+    // Extra ablation: eager-demotion aggressiveness m (Algorithm 2).
+    printHeading(std::cout,
+                 "Ablation: demotion aggressiveness m (Algorithm 2)");
+    {
+        Table t({"m", "slowdown", "promotions", "demotions"});
+        for (std::uint64_t m : {0, 8, 64, 512}) {
+            Runner runner;
+            PactConfig cfg;
+            cfg.m = m;
+            PactPolicy pol(cfg);
+            const RunResult r =
+                runner.runWith(bundle, pol, 0.5, "PACT");
+            t.row()
+                .cell(m)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions())
+                .cellCount(r.stats.demotions());
+        }
+        t.print();
+    }
+
+    // Ablation: MLP source (paper §4.2 portability: Intel TOR vs
+    // AMD Little's-law counters).
+    printHeading(std::cout, "Ablation: per-tier MLP source");
+    {
+        Table t({"source", "slowdown", "promotions"});
+        for (const char *mode : {"PACT", "PACT-littleslaw"}) {
+            Runner runner;
+            const RunResult r = runner.run(bundle, mode, 0.5);
+            t.row()
+                .cell(mode)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions());
+        }
+        t.print();
+    }
+
+    // Ablation: sampling backend (paper §4.3.5: PEBS vs a CXL 3.2
+    // CHMU device-side hotness unit).
+    printHeading(std::cout, "Ablation: sampling backend");
+    {
+        Table t({"backend", "slowdown", "promotions"});
+        {
+            Runner runner;
+            const RunResult r = runner.run(bundle, "PACT", 0.5);
+            t.row()
+                .cell("PEBS (1-in-64)")
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions());
+        }
+        {
+            Runner runner;
+            runner.config().chmu.enabled = true;
+            PactConfig cfg;
+            cfg.sampler = SamplerSource::Chmu;
+            PactPolicy pol(cfg);
+            const RunResult r =
+                runner.runWith(bundle, pol, 0.5, "PACT-chmu");
+            t.row()
+                .cell("CHMU hot-list")
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions());
+        }
+        t.print();
+    }
+
+    // Ablation: binning modes (also the Figure 13 breakdown's core).
+    printHeading(std::cout, "Ablation: binning mode");
+    {
+        Table t({"mode", "slowdown", "promotions"});
+        for (const char *mode :
+             {"PACT-static", "PACT-adaptive", "PACT"}) {
+            Runner runner;
+            const RunResult r = runner.run(bundle, mode, 0.5);
+            t.row()
+                .cell(mode)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions());
+        }
+        t.print();
+    }
+
+    std::printf("\nPaper reference: slowdown rises from ~23%% to "
+                "~30%% as PEBS sampling thins (800->4000); longer "
+                "periods raise promotions (800K->1.7M) and slowdown "
+                "(20%%->27%%); cooling rarely helps; defaults are "
+                "within 5%% of per-workload optima.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 11: bandwidth contention. bc-kron co-located with an
+ * MLC-style streaming hog on the fast tier, sweeping 1..8 hog
+ * threads; PACT vs Colloid (4KB) and vs Memtis (THP). Slowdowns are
+ * normalized to a DRAM-only baseline under identical contention.
+ *
+ * Expected shape: PACT stays comparable or better while issuing
+ * substantially fewer promotions (paper: 3.5-4.7x fewer than
+ * Colloid, 2.2x fewer than Memtis); contention inflates everyone.
+ */
+
+#include "bench_util.hh"
+#include "workloads/mlc.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+/** bc-kron bundle with an MLC hog of the given thread count. */
+WorkloadBundle
+contendedBundle(double scale, unsigned threads, bool thp)
+{
+    WorkloadBundle b = makeWorkload("bc-kron", {scale, thp, 42});
+    b.name = "bc-kron+mlc" + std::to_string(threads) +
+             (thp ? "-thp" : "");
+    MlcParams mp;
+    mp.bufferBytes = scaled(8ull << 20, scale, 1 << 20);
+    mp.ops = 400000;
+    mp.threads = threads;
+    b.traces.push_back(buildMlc(b.as, 1, mp));
+    return b;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double scale = benchSetup(
+        "Figure 11: bandwidth contention (bc-kron + MLC hog)", 0.5);
+
+    printHeading(std::cout,
+                 "4KB pages: PACT vs Colloid under contention");
+    Table t4({"MLC threads", "PACT slow", "Colloid slow",
+              "PACT promos", "Colloid promos", "promo ratio"});
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const WorkloadBundle b = contendedBundle(scale, threads, false);
+        Runner runner;
+        const RunResult rp = runner.run(b, "PACT", 0.5);
+        const RunResult rc = runner.run(b, "Colloid", 0.5);
+        t4.row()
+            .cell(static_cast<std::uint64_t>(threads))
+            .cell(rp.slowdownPct, 1)
+            .cell(rc.slowdownPct, 1)
+            .cellCount(rp.stats.promotions())
+            .cellCount(rc.stats.promotions())
+            .cell(static_cast<double>(rc.stats.promotions()) /
+                      std::max<std::uint64_t>(1,
+                                              rp.stats.promotions()),
+                  1);
+    }
+    t4.print();
+
+    printHeading(std::cout, "THP: PACT vs Memtis under contention");
+    Table tt({"MLC threads", "PACT slow", "Memtis slow",
+              "PACT promos", "Memtis promos", "promo ratio"});
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        const WorkloadBundle b = contendedBundle(scale, threads, true);
+        Runner runner;
+        const RunResult rp = runner.run(b, "PACT", 0.5);
+        const RunResult rm = runner.run(b, "Memtis", 0.5);
+        tt.row()
+            .cell(static_cast<std::uint64_t>(threads))
+            .cell(rp.slowdownPct, 1)
+            .cell(rm.slowdownPct, 1)
+            .cellCount(rp.stats.promotions())
+            .cellCount(rm.stats.promotions())
+            .cell(static_cast<double>(rm.stats.promotions()) /
+                      std::max<std::uint64_t>(1,
+                                              rp.stats.promotions()),
+                  1);
+    }
+    tt.print();
+    std::printf("\nPaper reference: PACT sustains comparable or "
+                "better performance with 3.5-4.7x fewer promotions "
+                "than Colloid and 2.2x fewer than Memtis, even at "
+                "full bandwidth saturation.\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for PACT's runtime data
+ * structures: PAC table upsert/lookup, reservoir updates, adaptive
+ * rebinning, and the LRU scan — the per-window costs the paper's
+ * daemon pays.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "mem/lru.hh"
+#include "mem/tier_manager.hh"
+#include "pact/binning.hh"
+#include "pact/pac_table.hh"
+#include "pact/reservoir.hh"
+
+using namespace pact;
+
+static void
+BM_PacTableTouch(benchmark::State &state)
+{
+    const std::uint64_t pages = state.range(0);
+    PacTable table;
+    Rng rng(1);
+    for (auto _ : state) {
+        const PageId p = rng.below(pages);
+        PacEntry &e = table.touch(p);
+        e.pac += 1.0f;
+        benchmark::DoNotOptimize(e);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacTableTouch)->Arg(1 << 10)->Arg(1 << 16)->Arg(1 << 20);
+
+static void
+BM_PacTableFind(benchmark::State &state)
+{
+    const std::uint64_t pages = state.range(0);
+    PacTable table;
+    for (PageId p = 0; p < pages; p++)
+        table.touch(p);
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.find(rng.below(2 * pages)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacTableFind)->Arg(1 << 16);
+
+static void
+BM_ReservoirAdd(benchmark::State &state)
+{
+    Reservoir res(100);
+    Rng rng(3);
+    double v = 0.0;
+    for (auto _ : state) {
+        res.add(v += 1.0, rng);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReservoirAdd);
+
+static void
+BM_ReservoirQuartiles(benchmark::State &state)
+{
+    Reservoir res(100);
+    Rng rng(4);
+    for (int i = 0; i < 10000; i++)
+        res.add(rng.uniform() * 1000.0, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(res.quartiles());
+    }
+}
+BENCHMARK(BM_ReservoirQuartiles);
+
+static void
+BM_AdaptiveRebin(benchmark::State &state)
+{
+    AdaptiveBinning binning;
+    Reservoir res(100);
+    Rng rng(5);
+    for (int i = 0; i < 10000; i++)
+        res.add(rng.uniform() * 1000.0, rng);
+    std::uint64_t cands = 50;
+    for (auto _ : state) {
+        binning.update(res, 100000, cands);
+        benchmark::DoNotOptimize(binning.width());
+    }
+}
+BENCHMARK(BM_AdaptiveRebin);
+
+static void
+BM_BinOf(benchmark::State &state)
+{
+    AdaptiveBinning binning;
+    Reservoir res(100);
+    Rng rng(6);
+    for (int i = 0; i < 200; i++)
+        res.add(rng.uniform() * 1000.0, rng);
+    binning.update(res, 100000, 50);
+    double v = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(binning.binOf(v += 0.7));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BinOf);
+
+static void
+BM_LruScan(benchmark::State &state)
+{
+    const std::uint64_t pages = state.range(0);
+    TierManager tm(pages, pages);
+    LruLists lru(pages);
+    for (PageId p = 0; p < pages; p++) {
+        tm.touch(p, 0, false);
+        lru.insert(p, TierId::Fast);
+    }
+    Rng rng(7);
+    for (auto _ : state) {
+        // Touch a random subset, then age.
+        for (int i = 0; i < 64; i++) {
+            tm.meta(rng.below(pages)).flags |= PageFlags::Referenced;
+        }
+        lru.scan(TierId::Fast, 256, tm);
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_LruScan)->Arg(1 << 14)->Arg(1 << 18);
+
+static void
+BM_LruVictims(benchmark::State &state)
+{
+    const std::uint64_t pages = 1 << 16;
+    TierManager tm(pages, pages);
+    LruLists lru(pages);
+    for (PageId p = 0; p < pages; p++) {
+        tm.touch(p, 0, false);
+        lru.insert(p, TierId::Fast);
+    }
+    lru.scan(TierId::Fast, pages, tm);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lru.victims(TierId::Fast, 32, tm));
+    }
+    state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LruVictims);
+
+BENCHMARK_MAIN();

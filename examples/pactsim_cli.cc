@@ -1,0 +1,167 @@
+/**
+ * @file
+ * pactsim: command-line driver over the full library — run any
+ * workload under any policy at any tier ratio and print a one-screen
+ * report, or sweep all policies. The "sixth example", closest to how
+ * the paper's artifact is driven.
+ *
+ *   pactsim_cli --workload bc-kron --policy PACT --ratio 1:2
+ *   pactsim_cli --workload silo --sweep --scale 0.5
+ *   pactsim_cli --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "harness/sweep.hh"
+#include "policies/registry.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+void
+usage()
+{
+    std::printf(
+        "pactsim: tiered-memory simulation driver\n"
+        "  --workload <name>   workload (default bc-kron)\n"
+        "  --policy <name>     tiering policy (default PACT)\n"
+        "  --ratio <f:s>       fast:slow tier ratio (default 1:1)\n"
+        "  --scale <x>         footprint scale factor (default 1.0)\n"
+        "  --thp               allocate with transparent huge pages\n"
+        "  --pebs-rate <n>     sample 1-in-n slow misses (default 64)\n"
+        "  --period <cycles>   daemon period (default 1000000)\n"
+        "  --seed <n>          RNG seed (default 42)\n"
+        "  --sweep             run every policy at the given ratio\n"
+        "  --list              list workloads and policies\n");
+}
+
+void
+list()
+{
+    std::printf("workloads:");
+    for (const auto &w : allWorkloadNames())
+        std::printf(" %s", w.c_str());
+    std::printf("\npolicies:");
+    for (const auto &p : allPolicyNames())
+        std::printf(" %s", p.c_str());
+    std::printf(
+        "\nvariants: PACT-freq PACT-static PACT-adaptive "
+        "PACT-cool-halve PACT-cool-reset PACT-littleslaw\n");
+}
+
+std::string
+pct(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f%%", v);
+    return buf;
+}
+
+void
+report(const RunResult &r)
+{
+    Table t({"metric", "value"});
+    t.row().cell("slowdown vs DRAM-only").cell(pct(r.slowdownPct));
+    t.row().cell("runtime (Mcycles)").cell(
+        static_cast<double>(r.runtime) / 1e6, 1);
+    t.row().cell("promotions").cellCount(r.stats.promotions());
+    t.row().cell("demotions").cellCount(r.stats.demotions());
+    t.row().cell("hint faults").cellCount(r.stats.pmu.hintFaults);
+    t.row().cell("PEBS events").cellCount(r.stats.pebsEvents);
+    t.row().cell("LLC misses fast/slow").cell(
+        Table::humanCount(r.stats.pmu.llcMisses[0]) + " / " +
+        Table::humanCount(r.stats.pmu.llcMisses[1]));
+    t.row().cell("slow-tier MLP").cell(
+        Pmu::mlp(r.stats.pmu.torOccupancy[1], r.stats.pmu.torBusy[1]),
+        2);
+    t.row().cell("migration penalty (Mcycles)").cell(
+        static_cast<double>(r.stats.migration.appPenaltyCycles) / 1e6,
+        2);
+    t.print();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setLogQuiet(true);
+    std::string workload = "bc-kron";
+    std::string policy = "PACT";
+    int fast = 1, slow = 1;
+    WorkloadOptions opt;
+    SimConfig cfg;
+    bool sweep = false;
+
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            workload = next();
+        } else if (arg == "--policy") {
+            policy = next();
+        } else if (arg == "--ratio") {
+            fatal_if(std::sscanf(next(), "%d:%d", &fast, &slow) != 2,
+                     "--ratio expects f:s");
+        } else if (arg == "--scale") {
+            opt.scale = std::atof(next());
+        } else if (arg == "--thp") {
+            opt.thp = true;
+        } else if (arg == "--pebs-rate") {
+            cfg.pebs.rate = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--period") {
+            cfg.daemonPeriod = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+            cfg.seed = opt.seed;
+        } else if (arg == "--sweep") {
+            sweep = true;
+        } else if (arg == "--list") {
+            list();
+            return 0;
+        } else {
+            usage();
+            return arg == "--help" || arg == "-h" ? 0 : 1;
+        }
+    }
+
+    const WorkloadBundle bundle = makeWorkload(workload, opt);
+    Runner runner(cfg);
+    const double share = Runner::ratioShare(fast, slow);
+
+    std::printf("%s: %llu MB resident, %zu trace ops, fast:slow "
+                "%d:%d\n\n",
+                workload.c_str(),
+                static_cast<unsigned long long>(
+                    bundle.rssPages() * PageBytes >> 20),
+                bundle.traces[0].size(), fast, slow);
+
+    if (sweep) {
+        Table t({"policy", "slowdown", "promotions", "demotions",
+                 "hint faults"});
+        for (const auto &p : allPolicyNames()) {
+            const RunResult r = runner.run(bundle, p, share);
+            t.row()
+                .cell(p)
+                .cell(r.slowdownPct, 1)
+                .cellCount(r.stats.promotions())
+                .cellCount(r.stats.demotions())
+                .cellCount(r.stats.pmu.hintFaults);
+        }
+        t.print();
+        return 0;
+    }
+
+    report(runner.run(bundle, policy, share));
+    return 0;
+}

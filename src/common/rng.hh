@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * All randomness in the repository flows through Rng so that every run
+ * is reproducible from its seed. The generator is xoshiro256**, which
+ * is fast enough to sit on the access-generation fast path.
+ */
+
+#ifndef PACT_COMMON_RNG_HH
+#define PACT_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace pact
+{
+
+/**
+ * Seedable xoshiro256** pseudo-random generator with convenience
+ * distributions (uniform ranges, doubles, zipfian).
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 expansion.
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection method.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        std::uint64_t lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian distribution over [0, n) with skew theta, using the
+ * Gray et al. computation popularized by YCSB. Draws are O(1).
+ */
+class Zipf
+{
+  public:
+    /**
+     * @param n Number of items.
+     * @param theta Skew parameter in (0, 1); YCSB default is 0.99.
+     */
+    Zipf(std::uint64_t n, double theta) : items_(n), theta_(theta)
+    {
+        zetan_ = zeta(n, theta);
+        zeta2_ = zeta(2, theta);
+        alpha_ = 1.0 / (1.0 - theta);
+        eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+               (1.0 - zeta2_ / zetan_);
+    }
+
+    /** Draw one item index in [0, n). */
+    std::uint64_t
+    draw(Rng &rng) const
+    {
+        double u = rng.uniform();
+        double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + std::pow(0.5, theta_))
+            return 1;
+        auto idx = static_cast<std::uint64_t>(
+            static_cast<double>(items_) *
+            std::pow(eta_ * u - eta_ + 1.0, alpha_));
+        return idx >= items_ ? items_ - 1 : idx;
+    }
+
+    /** Number of items covered by the distribution. */
+    std::uint64_t items() const { return items_; }
+
+  private:
+    static double
+    zeta(std::uint64_t n, double theta)
+    {
+        double sum = 0.0;
+        // Exact up to a bound, then integral approximation: for large n
+        // the tail contributes sum_{i=m..n} i^-theta ~ integral.
+        const std::uint64_t exact = n < 10000 ? n : 10000;
+        for (std::uint64_t i = 1; i <= exact; i++)
+            sum += std::pow(static_cast<double>(i), -theta);
+        if (exact < n) {
+            double a = static_cast<double>(exact);
+            double b = static_cast<double>(n);
+            sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+                   (1.0 - theta);
+        }
+        return sum;
+    }
+
+    std::uint64_t items_;
+    double theta_;
+    double zetan_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace pact
+
+#endif // PACT_COMMON_RNG_HH

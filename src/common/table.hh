@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fixed-width ASCII table printing for the benchmark harnesses, so each
+ * bench binary can regenerate a paper table/figure as aligned rows.
+ */
+
+#ifndef PACT_COMMON_TABLE_HH
+#define PACT_COMMON_TABLE_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pact
+{
+
+/**
+ * Builder for a column-aligned text table. Cells are strings; numeric
+ * convenience setters format with fixed precision. Columns auto-size.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls append to it. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &cell(const std::string &value);
+
+    /** Append a formatted double cell (fixed, given decimals). */
+    Table &cell(double value, int decimals = 2);
+
+    /** Append an integer cell. */
+    Table &cell(std::uint64_t value);
+    Table &cell(int value);
+
+    /** Append a count formatted with K/M suffixes (e.g. "743K"). */
+    Table &cellCount(std::uint64_t value);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    std::size_t rows() const { return rows_.size(); }
+
+    /** Format a count with K/M/B suffixes, as the paper's Table 2. */
+    static std::string humanCount(std::uint64_t value);
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section heading used by the bench binaries. */
+void printHeading(std::ostream &os, const std::string &title);
+
+} // namespace pact
+
+#endif // PACT_COMMON_TABLE_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the PACT simulator.
+ */
+
+#ifndef PACT_COMMON_TYPES_HH
+#define PACT_COMMON_TYPES_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pact
+{
+
+/** Virtual byte address inside a simulated address space. */
+using Addr = std::uint64_t;
+
+/** Simulated CPU clock cycles. */
+using Cycles = std::uint64_t;
+
+/** Index of a 4KB virtual page (vaddr >> PageShift). */
+using PageId = std::uint64_t;
+
+/** Identifier of a simulated process sharing the memory system. */
+using ProcId = std::uint32_t;
+
+/** Identifier of a registered heap object (for object-level policies). */
+using ObjectId = std::uint32_t;
+
+/** Log2 of the base (small) page size: 4KB pages. */
+constexpr unsigned PageShift = 12;
+
+/** Small page size in bytes. */
+constexpr std::uint64_t PageBytes = 1ull << PageShift;
+
+/** Log2 of the transparent huge page size: 2MB. */
+constexpr unsigned HugePageShift = 21;
+
+/** Huge page size in bytes. */
+constexpr std::uint64_t HugePageBytes = 1ull << HugePageShift;
+
+/** Number of small pages per huge page. */
+constexpr std::uint64_t PagesPerHugePage = HugePageBytes / PageBytes;
+
+/** Cache line size in bytes. */
+constexpr std::uint64_t LineBytes = 64;
+
+/** Log2 of the cache line size. */
+constexpr unsigned LineShift = 6;
+
+/**
+ * Memory tier identifiers. The simulator models a two-tier system: a
+ * fast local-DRAM tier and a slow (NUMA or CXL-emulated) tier, matching
+ * the paper's testbed.
+ */
+enum class TierId : std::uint8_t { Fast = 0, Slow = 1 };
+
+/** Number of modelled memory tiers. */
+constexpr unsigned NumTiers = 2;
+
+/** Convert a TierId to an array index. */
+constexpr unsigned
+tierIndex(TierId t)
+{
+    return static_cast<unsigned>(t);
+}
+
+/** The other tier of a two-tier system. */
+constexpr TierId
+otherTier(TierId t)
+{
+    return t == TierId::Fast ? TierId::Slow : TierId::Fast;
+}
+
+/** Page id of the huge-page region containing a small page. */
+constexpr PageId
+hugeBase(PageId page)
+{
+    return page & ~(PagesPerHugePage - 1);
+}
+
+/** Page id for a virtual address. */
+constexpr PageId
+pageOf(Addr a)
+{
+    return a >> PageShift;
+}
+
+} // namespace pact
+
+#endif // PACT_COMMON_TYPES_HH

@@ -1,0 +1,109 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "policies/registry.hh"
+#include "policies/soar.hh"
+
+namespace pact
+{
+
+Runner::Runner(SimConfig base) : cfg_(base)
+{
+}
+
+std::uint64_t
+Runner::capacityPages(const WorkloadBundle &bundle,
+                      double fast_share) const
+{
+    const auto rss = static_cast<double>(bundle.rssPages());
+    return static_cast<std::uint64_t>(rss * fast_share + 0.5);
+}
+
+const std::vector<Cycles> &
+Runner::baseline(const WorkloadBundle &bundle)
+{
+    auto it = baselines_.find(bundle.name);
+    if (it != baselines_.end())
+        return it->second;
+
+    SimConfig cfg = cfg_;
+    cfg.fastCapacityPages = bundle.rssPages() + 1024;
+    auto policy = makePolicy("NoTier");
+    // A mutable AddrSpace reference is required by Engine, but runs
+    // never mutate it; cast away the const for the shared bundle.
+    auto &as = const_cast<AddrSpace &>(bundle.as);
+    Engine engine(cfg, as, &bundle.traces, policy.get());
+    const RunStats stats = engine.run();
+    return baselines_.emplace(bundle.name, stats.procCycles)
+        .first->second;
+}
+
+RunResult
+Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
+                double fast_share, const std::string &label)
+{
+    const std::vector<Cycles> base = baseline(bundle);
+
+    SimConfig cfg = cfg_;
+    cfg.fastCapacityPages = capacityPages(bundle, fast_share);
+    auto &as = const_cast<AddrSpace &>(bundle.as);
+    Engine engine(cfg, as, &bundle.traces, &policy);
+    const RunStats stats = engine.run();
+
+    RunResult res;
+    res.workload = bundle.name;
+    res.policy = label;
+    res.stats = stats;
+    for (std::size_t p = 0; p < stats.procCycles.size(); p++) {
+        if (bundle.traces[p].loop) {
+            res.procSlowdownPct.push_back(0.0);
+            continue;
+        }
+        const double b = static_cast<double>(base[p]);
+        const double c = static_cast<double>(stats.procCycles[p]);
+        res.procSlowdownPct.push_back(b > 0 ? 100.0 * (c / b - 1.0)
+                                            : 0.0);
+    }
+    res.runtime = stats.procCycles.empty() ? 0 : stats.procCycles[0];
+    res.slowdownPct =
+        res.procSlowdownPct.empty() ? 0.0 : res.procSlowdownPct[0];
+    return res;
+}
+
+RunResult
+Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
+            double fast_share)
+{
+    auto policy = makePolicy(policy_name);
+
+    if (auto *soar = dynamic_cast<SoarPolicy *>(policy.get());
+        soar && !soar->hasPlan()) {
+        // Offline profiling pass, then static placement sized to this
+        // run's fast-tier capacity.
+        auto &as = const_cast<AddrSpace &>(bundle.as);
+        const auto prof = soarProfile(cfg_, as, bundle.traces);
+        soar->setPlan(
+            soarPlan(prof, capacityPages(bundle, fast_share)));
+    }
+
+    return runWith(bundle, *policy, fast_share, policy_name);
+}
+
+double
+envScale(double deflt)
+{
+    if (const char *s = std::getenv("PACT_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0.0)
+            return v;
+    }
+    if (const char *q = std::getenv("PACT_QUICK")) {
+        if (q[0] != '\0' && q[0] != '0')
+            return 0.25;
+    }
+    return deflt;
+}
+
+} // namespace pact

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Evaluation runner: executes a workload bundle under a named policy
+ * at a given fast-tier ratio, normalizing runtime against a cached
+ * DRAM-only baseline — the paper's slowdown metric (§5.1).
+ */
+
+#ifndef PACT_HARNESS_RUNNER_HH
+#define PACT_HARNESS_RUNNER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "sim/engine.hh"
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** One run's headline numbers. */
+struct RunResult
+{
+    std::string workload;
+    std::string policy;
+    /** Percent slowdown of the primary process vs DRAM-only. */
+    double slowdownPct = 0.0;
+    /** Per-process percent slowdowns (colocation runs). */
+    std::vector<double> procSlowdownPct;
+    /** Primary-process runtime in cycles. */
+    Cycles runtime = 0;
+    RunStats stats;
+};
+
+/** Executes runs and caches DRAM-only baselines per bundle. */
+class Runner
+{
+  public:
+    explicit Runner(SimConfig base = {});
+
+    /** Mutable base configuration applied to every run. */
+    SimConfig &config() { return cfg_; }
+
+    /**
+     * DRAM-only baseline runtimes (one per process). Computed once
+     * per bundle name and cached.
+     */
+    const std::vector<Cycles> &baseline(const WorkloadBundle &bundle);
+
+    /**
+     * Run under a registry policy name ("Soar" triggers the offline
+     * profiling pass first).
+     *
+     * @param fast_share Fast-tier capacity as a fraction of RSS
+     *                   (1.0 = everything fits; 0.0 = all slow).
+     */
+    RunResult run(const WorkloadBundle &bundle,
+                  const std::string &policy_name, double fast_share);
+
+    /** Run under a caller-constructed policy instance. */
+    RunResult runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
+                      double fast_share, const std::string &label);
+
+    /** Fast-share for a paper-style fast:slow ratio. */
+    static double
+    ratioShare(int fast, int slow)
+    {
+        return static_cast<double>(fast) /
+               static_cast<double>(fast + slow);
+    }
+
+  private:
+    std::uint64_t capacityPages(const WorkloadBundle &bundle,
+                                double fast_share) const;
+
+    SimConfig cfg_;
+    std::map<std::string, std::vector<Cycles>> baselines_;
+};
+
+/**
+ * Benchmark scale factor from the environment: PACT_SCALE=<float>
+ * overrides; PACT_QUICK=1 selects 0.25. Defaults to @p deflt.
+ */
+double envScale(double deflt = 1.0);
+
+} // namespace pact
+
+#endif // PACT_HARNESS_RUNNER_HH

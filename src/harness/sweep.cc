@@ -1,0 +1,72 @@
+#include "harness/sweep.hh"
+
+#include <cmath>
+
+#include "common/stats.hh"
+#include "workloads/registry.hh"
+
+namespace pact
+{
+
+const std::vector<RatioSpec> &
+paperRatios()
+{
+    static const std::vector<RatioSpec> ratios = {
+        {8, 1, "8:1"}, {4, 1, "4:1"}, {2, 1, "2:1"}, {1, 1, "1:1"},
+        {1, 2, "1:2"}, {1, 4, "1:4"}, {1, 8, "1:8"},
+    };
+    return ratios;
+}
+
+const std::vector<RatioSpec> &
+contrastRatios()
+{
+    static const std::vector<RatioSpec> ratios = {
+        {2, 1, "2:1"},
+        {1, 2, "1:2"},
+    };
+    return ratios;
+}
+
+std::vector<std::vector<RunResult>>
+ratioSweep(Runner &runner, const WorkloadBundle &bundle,
+           const std::vector<std::string> &policies,
+           const std::vector<RatioSpec> &ratios)
+{
+    std::vector<std::vector<RunResult>> out;
+    out.reserve(policies.size());
+    for (const std::string &p : policies) {
+        std::vector<RunResult> row;
+        row.reserve(ratios.size());
+        for (const RatioSpec &r : ratios)
+            row.push_back(runner.run(bundle, p, r.share()));
+        out.push_back(std::move(row));
+    }
+    return out;
+}
+
+SeedStats
+seedSweep(const SimConfig &cfg, const std::string &workload,
+          const WorkloadOptions &base_opt, const std::string &policy,
+          double fast_share, std::size_t seeds)
+{
+    SeedStats out;
+    std::vector<double> slowdowns;
+    std::uint64_t promoSum = 0;
+    for (std::size_t s = 0; s < seeds; s++) {
+        WorkloadOptions opt = base_opt;
+        opt.seed = base_opt.seed + 7919 * (s + 1);
+        const WorkloadBundle bundle = makeWorkload(workload, opt);
+        Runner runner(cfg);
+        const RunResult r = runner.run(bundle, policy, fast_share);
+        slowdowns.push_back(r.slowdownPct);
+        promoSum += r.stats.promotions();
+    }
+    out.meanSlowdownPct = stats::mean(slowdowns);
+    out.stddevPct = stats::stddev(slowdowns);
+    out.meanPromotions = seeds == 0 ? 0 : promoSum / seeds;
+    out.seeds = seeds;
+    return out;
+}
+
+} // namespace pact

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Sweep helpers shared by the per-figure bench binaries: the paper's
+ * fast:slow ratio grid and common result-table formatting.
+ */
+
+#ifndef PACT_HARNESS_SWEEP_HH
+#define PACT_HARNESS_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace pact
+{
+
+/** One fast:slow tier ratio. */
+struct RatioSpec
+{
+    int fast;
+    int slow;
+    const char *label;
+
+    double share() const { return Runner::ratioShare(fast, slow); }
+};
+
+/** The paper's seven ratios: 8:1 ... 1:8. */
+const std::vector<RatioSpec> &paperRatios();
+
+/** The Figure 7 subset: 2:1 and 1:2. */
+const std::vector<RatioSpec> &contrastRatios();
+
+/**
+ * Run one workload under several policies across several ratios.
+ * Results are indexed [policy][ratio].
+ */
+std::vector<std::vector<RunResult>>
+ratioSweep(Runner &runner, const WorkloadBundle &bundle,
+           const std::vector<std::string> &policies,
+           const std::vector<RatioSpec> &ratios);
+
+/** Mean/stddev of slowdown over independent workload seeds. */
+struct SeedStats
+{
+    double meanSlowdownPct = 0.0;
+    double stddevPct = 0.0;
+    std::uint64_t meanPromotions = 0;
+    std::size_t seeds = 0;
+};
+
+/**
+ * Re-instantiate @p workload with @p seeds different seeds and run
+ * each under @p policy, reporting slowdown statistics — the
+ * run-to-run variation story a single deterministic run cannot tell.
+ */
+SeedStats seedSweep(const SimConfig &cfg, const std::string &workload,
+                    const WorkloadOptions &base_opt,
+                    const std::string &policy, double fast_share,
+                    std::size_t seeds);
+
+} // namespace pact
+
+#endif // PACT_HARNESS_SWEEP_HH

@@ -1,0 +1,52 @@
+#include "mem/addr_space.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+AddrSpace::AddrSpace()
+{
+    // Start above the zero page so that address 0 stays invalid.
+    base_ = PageBytes;
+    brk_ = base_;
+}
+
+Addr
+AddrSpace::alloc(ProcId proc, const std::string &name, std::uint64_t bytes,
+                 bool thp)
+{
+    fatal_if(bytes == 0, "AddrSpace::alloc: zero-size allocation '", name,
+             "'");
+    const std::uint64_t align = thp ? HugePageBytes : PageBytes;
+    brk_ = (brk_ + align - 1) & ~(align - 1);
+
+    ObjectInfo obj;
+    obj.id = static_cast<ObjectId>(objects_.size());
+    obj.proc = proc;
+    obj.name = name;
+    obj.base = brk_;
+    obj.bytes = (bytes + align - 1) & ~(align - 1);
+    obj.thp = thp;
+    objects_.push_back(obj);
+
+    brk_ += obj.bytes;
+    return obj.base;
+}
+
+const ObjectInfo *
+AddrSpace::objectAt(Addr addr) const
+{
+    // Objects are allocated in increasing address order: binary search.
+    auto it = std::upper_bound(
+        objects_.begin(), objects_.end(), addr,
+        [](Addr a, const ObjectInfo &o) { return a < o.base; });
+    if (it == objects_.begin())
+        return nullptr;
+    --it;
+    return addr < it->end() ? &*it : nullptr;
+}
+
+} // namespace pact

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Simulated virtual address space with a registry of named heap
+ * objects. Workloads allocate their large data structures here so that
+ * (a) every access can be resolved to a page and (b) object-level
+ * policies (Soar) can reason about allocation-site granularity.
+ */
+
+#ifndef PACT_MEM_ADDR_SPACE_HH
+#define PACT_MEM_ADDR_SPACE_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** A named allocation made by a workload. */
+struct ObjectInfo
+{
+    ObjectId id = 0;
+    ProcId proc = 0;
+    std::string name;
+    Addr base = 0;
+    std::uint64_t bytes = 0;
+    /** Allocation requested transparent huge pages (madvise). */
+    bool thp = false;
+
+    Addr end() const { return base + bytes; }
+    PageId firstPage() const { return pageOf(base); }
+    std::uint64_t pages() const { return (bytes + PageBytes - 1) / PageBytes; }
+};
+
+/**
+ * Bump allocator over a flat simulated virtual address space shared by
+ * all simulated processes (allocations are disjoint, so a single page
+ * table suffices).
+ */
+class AddrSpace
+{
+  public:
+    AddrSpace();
+
+    /**
+     * Allocate a new object.
+     *
+     * @param proc Owning simulated process.
+     * @param name Allocation-site name (used by object-level policies).
+     * @param bytes Size in bytes (rounded up to page granularity).
+     * @param thp Request huge-page backing (2MB-aligned extent).
+     * @return The object's base address.
+     */
+    Addr alloc(ProcId proc, const std::string &name, std::uint64_t bytes,
+               bool thp = false);
+
+    /** Object descriptor for an address, or nullptr when unmapped. */
+    const ObjectInfo *objectAt(Addr addr) const;
+
+    /** All registered objects, in allocation order. */
+    const std::vector<ObjectInfo> &objects() const { return objects_; }
+
+    /** Total pages spanned by allocations so far. */
+    std::uint64_t totalPages() const { return pageOf(brk_ + PageBytes - 1); }
+
+    /** Total allocated bytes. */
+    std::uint64_t totalBytes() const { return brk_ - base_; }
+
+    /** First valid address of the space. */
+    Addr base() const { return base_; }
+
+    /** True when addr falls inside some allocation. */
+    bool mapped(Addr addr) const { return objectAt(addr) != nullptr; }
+
+  private:
+    Addr base_;
+    Addr brk_;
+    std::vector<ObjectInfo> objects_;
+};
+
+} // namespace pact
+
+#endif // PACT_MEM_ADDR_SPACE_HH

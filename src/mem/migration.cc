@@ -1,0 +1,95 @@
+#include "mem/migration.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+MigrationEngine::MigrationEngine(TierManager &tm, LruLists &lru,
+                                 MigrationBackend &bk,
+                                 const MigrationConfig &cfg,
+                                 unsigned num_procs)
+    : tm_(tm), lru_(lru), backend_(bk), cfg_(cfg),
+      pendingPenalty_(num_procs, 0)
+{
+}
+
+void
+MigrationEngine::chargeCosts(PageId page, std::uint64_t bytes, TierId src,
+                             TierId dst)
+{
+    const Cycles copy = backend_.chargeCopy(src, dst, bytes);
+    stats_.copyCycles += copy;
+    const bool huge = tm_.meta(page).flags & PageFlags::Huge;
+    const Cycles fixed = huge ? cfg_.fixedCyclesHuge : cfg_.fixedCycles4k;
+    const auto penalty =
+        static_cast<Cycles>(cfg_.appPenaltyFraction *
+                            static_cast<double>(fixed + copy));
+    stats_.appPenaltyCycles += penalty;
+    const ProcId owner = tm_.meta(page).owner;
+    if (owner < pendingPenalty_.size())
+        pendingPenalty_[owner] += penalty;
+}
+
+bool
+MigrationEngine::migrateRegion(PageId page, TierId dst)
+{
+    if (!tm_.touched(page))
+        return false;
+    if (tm_.tierOf(page) == dst)
+        return false;
+
+    const bool huge = tm_.meta(page).flags & PageFlags::Huge;
+    const PageId base = huge ? hugeBase(page) : page;
+    const std::uint64_t count = huge ? PagesPerHugePage : 1;
+
+    if (dst == TierId::Fast && tm_.freeFast() < count) {
+        stats_.failed++;
+        return false;
+    }
+
+    const TierId src = tm_.tierOf(page);
+    for (PageId p = base; p < base + count; p++) {
+        if (!tm_.touched(p) || tm_.tierOf(p) != src)
+            continue;
+        tm_.place(p, dst);
+        if (lru_.tracked(p))
+            lru_.moveTier(p, dst);
+    }
+    chargeCosts(page, count * PageBytes, src, dst);
+
+    if (dst == TierId::Fast) {
+        stats_.promotedOps++;
+        stats_.promotedPages += count;
+    } else {
+        stats_.demotedOps++;
+        stats_.demotedPages += count;
+    }
+    return true;
+}
+
+bool
+MigrationEngine::promote(PageId page)
+{
+    return migrateRegion(page, TierId::Fast);
+}
+
+bool
+MigrationEngine::demote(PageId page)
+{
+    return migrateRegion(page, TierId::Slow);
+}
+
+void
+MigrationEngine::chargeAbortedCopy(PageId page)
+{
+    if (!tm_.touched(page))
+        return;
+    const bool huge = tm_.meta(page).flags & PageFlags::Huge;
+    const std::uint64_t count = huge ? PagesPerHugePage : 1;
+    const TierId src = tm_.tierOf(page);
+    chargeCosts(page, count * PageBytes, src, otherTier(src));
+    stats_.failed++;
+}
+
+} // namespace pact

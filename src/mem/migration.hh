@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Page migration engine: the simulated equivalent of move_pages().
+ * Migration is not free — each operation consumes bandwidth on both
+ * tiers (via a backend owned by the simulator) and charges a fixed
+ * kernel overhead (page locking, TLB shootdown) to the owning process.
+ * This is what makes over-migrating policies (TPP) pay the costs the
+ * paper observes.
+ */
+
+#ifndef PACT_MEM_MIGRATION_HH
+#define PACT_MEM_MIGRATION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/lru.hh"
+#include "mem/tier_manager.hh"
+
+namespace pact
+{
+
+/**
+ * Charges the data-copy cost of a migration against the memory system.
+ * Implemented by the simulation engine, which advances both tiers'
+ * bandwidth cursors at the current simulated time.
+ */
+class MigrationBackend
+{
+  public:
+    virtual ~MigrationBackend() = default;
+
+    /**
+     * Account a copy of @p bytes from @p src to @p dst.
+     * @return The cycles the copy occupied (queueing included).
+     */
+    virtual Cycles chargeCopy(TierId src, TierId dst,
+                              std::uint64_t bytes) = 0;
+};
+
+/** Cost-model knobs for migrations. */
+struct MigrationConfig
+{
+    /** Fixed kernel cycles per 4KB migration op (syscall+TLB). */
+    Cycles fixedCycles4k = 1500;
+    /** Fixed kernel cycles per 2MB migration op. */
+    Cycles fixedCyclesHuge = 8000;
+    /**
+     * Fraction of the per-migration cost charged to the owning
+     * process as direct stall; the rest runs on the migration daemon
+     * thread and the other worker threads keep executing.
+     */
+    double appPenaltyFraction = 0.25;
+};
+
+/** Aggregate migration statistics. */
+struct MigrationStats
+{
+    std::uint64_t promotedOps = 0;
+    std::uint64_t promotedPages = 0;
+    std::uint64_t demotedOps = 0;
+    std::uint64_t demotedPages = 0;
+    std::uint64_t failed = 0;
+    Cycles copyCycles = 0;
+    Cycles appPenaltyCycles = 0;
+};
+
+/**
+ * Moves pages between tiers, keeping TierManager capacity accounting
+ * and LRU list membership consistent, and accumulating per-process
+ * stall penalties that the CPU model drains.
+ */
+class MigrationEngine
+{
+  public:
+    MigrationEngine(TierManager &tm, LruLists &lru, MigrationBackend &bk,
+                    const MigrationConfig &cfg, unsigned num_procs);
+
+    /**
+     * Promote a page (or its whole huge region) to the fast tier.
+     * Fails when the fast tier lacks free space.
+     * @return true when the page moved.
+     */
+    bool promote(PageId page);
+
+    /**
+     * Demote a page (or its whole huge region) to the slow tier.
+     * @return true when the page moved.
+     */
+    bool demote(PageId page);
+
+    /**
+     * Account the cost of a migration attempt that aborted mid-copy
+     * (Nomad's transactional migration retries). Consumes bandwidth
+     * and penalty but moves nothing.
+     */
+    void chargeAbortedCopy(PageId page);
+
+    /** Migration statistics so far. */
+    const MigrationStats &stats() const { return stats_; }
+
+    /**
+     * Charge extra policy-machinery stall cycles to a process (e.g.
+     * Nomad's transactional bookkeeping on the fault path).
+     */
+    void
+    chargeExternal(ProcId proc, Cycles cycles)
+    {
+        if (proc < pendingPenalty_.size()) {
+            pendingPenalty_[proc] += cycles;
+            stats_.appPenaltyCycles += cycles;
+        }
+    }
+
+    /** Drain the pending stall penalty for one process. */
+    Cycles
+    drainPenalty(ProcId proc)
+    {
+        Cycles c = pendingPenalty_[proc];
+        pendingPenalty_[proc] = 0;
+        return c;
+    }
+
+  private:
+    bool migrateRegion(PageId page, TierId dst);
+    void chargeCosts(PageId page, std::uint64_t bytes, TierId src,
+                     TierId dst);
+
+    TierManager &tm_;
+    LruLists &lru_;
+    MigrationBackend &backend_;
+    MigrationConfig cfg_;
+    MigrationStats stats_;
+    std::vector<Cycles> pendingPenalty_;
+};
+
+} // namespace pact
+
+#endif // PACT_MEM_MIGRATION_HH

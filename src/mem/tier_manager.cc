@@ -1,0 +1,104 @@
+#include "mem/tier_manager.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+TierManager::TierManager(std::uint64_t total_pages,
+                         std::uint64_t fast_capacity_pages)
+    : meta_(total_pages),
+      firstTouchOverride_(total_pages, 0xff),
+      fastCapacity_(fast_capacity_pages)
+{
+}
+
+void
+TierManager::resize(std::uint64_t total_pages)
+{
+    if (total_pages > meta_.size()) {
+        meta_.resize(total_pages);
+        firstTouchOverride_.resize(total_pages, 0xff);
+    }
+}
+
+void
+TierManager::materialize(PageId page, ProcId proc, bool huge, TierId tier)
+{
+    PageMeta &m = meta_[page];
+    m.flags |= PageFlags::Touched;
+    if (huge) {
+        m.flags |= PageFlags::Huge;
+        hugeCount_++;
+    }
+    m.tier = static_cast<std::uint8_t>(tier);
+    m.owner = static_cast<std::uint8_t>(proc);
+    used_[tierIndex(tier)]++;
+    touchedCount_++;
+}
+
+TierId
+TierManager::touch(PageId page, ProcId proc, bool huge)
+{
+    panic_if(page >= meta_.size(), "touch: page ", page, " out of range");
+    PageMeta &m = meta_[page];
+    if (m.flags & PageFlags::Touched)
+        return static_cast<TierId>(m.tier);
+
+    TierId tier;
+    if (firstTouchOverride_[page] != 0xff) {
+        tier = static_cast<TierId>(firstTouchOverride_[page]);
+        if (tier == TierId::Fast && freeFast() == 0)
+            tier = TierId::Slow;
+    } else {
+        tier = freeFast() > 0 ? TierId::Fast : TierId::Slow;
+    }
+
+    if (huge) {
+        // A THP fault materializes the whole 2MB region in one tier.
+        const PageId base = hugeBase(page);
+        const PageId end = base + PagesPerHugePage;
+        if (tier == TierId::Fast &&
+            freeFast() < PagesPerHugePage) {
+            tier = TierId::Slow;
+        }
+        for (PageId p = base; p < end && p < meta_.size(); p++) {
+            if (!(meta_[p].flags & PageFlags::Touched))
+                materialize(p, proc, true, tier);
+        }
+        return static_cast<TierId>(meta_[page].tier);
+    }
+
+    materialize(page, proc, false, tier);
+    return tier;
+}
+
+void
+TierManager::place(PageId page, TierId tier)
+{
+    PageMeta &m = meta_[page];
+    panic_if(!(m.flags & PageFlags::Touched), "place: untouched page ",
+             page);
+    const TierId cur = static_cast<TierId>(m.tier);
+    if (cur == tier)
+        return;
+    used_[tierIndex(cur)]--;
+    used_[tierIndex(tier)]++;
+    m.tier = static_cast<std::uint8_t>(tier);
+}
+
+void
+TierManager::setFirstTouchOverride(PageId page, TierId tier)
+{
+    panic_if(page >= firstTouchOverride_.size(),
+             "override: page out of range");
+    firstTouchOverride_[page] = static_cast<std::uint8_t>(tier);
+}
+
+void
+TierManager::clearFirstTouchOverrides()
+{
+    std::fill(firstTouchOverride_.begin(), firstTouchOverride_.end(), 0xff);
+}
+
+} // namespace pact

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Per-page placement state: which tier each 4KB page lives in, first-
+ * touch allocation, capacity accounting, and the metadata bits tiering
+ * policies hang off a page (hint-fault arming, referenced bit, huge-
+ * page membership).
+ */
+
+#ifndef PACT_MEM_TIER_MANAGER_HH
+#define PACT_MEM_TIER_MANAGER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** Packed per-page metadata (8 bytes/page). */
+struct PageMeta
+{
+    /** Compressed last-access timestamp (cycle >> 10). */
+    std::uint32_t lastAccess = 0;
+    /** Tier the page currently resides in (valid when touched). */
+    std::uint8_t tier = 0;
+    /** Owning simulated process. */
+    std::uint8_t owner = 0;
+    /** Flag bits, see PageFlags. */
+    std::uint8_t flags = 0;
+    /** Saturating small access counter available to policies. */
+    std::uint8_t shortFreq = 0;
+};
+
+/** Bit assignments for PageMeta::flags. */
+namespace PageFlags
+{
+constexpr std::uint8_t Touched = 1 << 0;
+/** Page belongs to a huge (2MB) mapping. */
+constexpr std::uint8_t Huge = 1 << 1;
+/** NUMA-hint fault armed: next access traps to the policy. */
+constexpr std::uint8_t HintArmed = 1 << 2;
+/** Referenced since the last LRU scan. */
+constexpr std::uint8_t Referenced = 1 << 3;
+/** A non-exclusive (Nomad-style) shadow copy exists on the slow tier. */
+constexpr std::uint8_t Shadowed = 1 << 4;
+} // namespace PageFlags
+
+/**
+ * Tracks page placement across the two tiers. Pages materialize on
+ * first touch; the fast tier has a hard page capacity, the slow tier is
+ * effectively unbounded (as in the paper's testbed, where slow capacity
+ * always exceeds the workload footprint).
+ */
+class TierManager
+{
+  public:
+    /**
+     * @param total_pages Number of 4KB pages in the address space.
+     * @param fast_capacity_pages Fast-tier capacity in pages.
+     */
+    TierManager(std::uint64_t total_pages,
+                std::uint64_t fast_capacity_pages);
+
+    /** Grow the page array (after late allocations). */
+    void resize(std::uint64_t total_pages);
+
+    /**
+     * Resolve the tier of a page, materializing it on first touch.
+     * First-touch placement fills the fast tier, then spills to slow
+     * (Linux default / NoTier behaviour).
+     *
+     * @param page Page being accessed.
+     * @param proc Accessing process.
+     * @param huge Whether the page belongs to a THP mapping; first
+     *             touch then materializes the whole 2MB region.
+     * @return The page's tier after materialization.
+     */
+    TierId touch(PageId page, ProcId proc, bool huge);
+
+    /** Tier of an already-touched page. */
+    TierId
+    tierOf(PageId page) const
+    {
+        return static_cast<TierId>(meta_[page].tier);
+    }
+
+    /** Whether the page has been materialized. */
+    bool
+    touched(PageId page) const
+    {
+        return page < meta_.size() &&
+               (meta_[page].flags & PageFlags::Touched);
+    }
+
+    /** Mutable metadata for a page. */
+    PageMeta &meta(PageId page) { return meta_[page]; }
+    const PageMeta &meta(PageId page) const { return meta_[page]; }
+
+    /**
+     * Re-home a touched page (migration). Capacity accounting is
+     * updated; the caller handles cost modelling and LRU bookkeeping.
+     */
+    void place(PageId page, TierId tier);
+
+    /** Force the first-touch preference (Soar static placement). */
+    void setFirstTouchOverride(PageId page, TierId tier);
+    void clearFirstTouchOverrides();
+
+    /** Pages currently resident in a tier. */
+    std::uint64_t used(TierId t) const { return used_[tierIndex(t)]; }
+
+    /** Free pages remaining in the fast tier. */
+    std::uint64_t
+    freeFast() const
+    {
+        const std::uint64_t u = used_[tierIndex(TierId::Fast)];
+        return u >= fastCapacity_ ? 0 : fastCapacity_ - u;
+    }
+
+    /** Fast-tier capacity in pages. */
+    std::uint64_t fastCapacity() const { return fastCapacity_; }
+
+    /** Total pages in the page array. */
+    std::uint64_t totalPages() const { return meta_.size(); }
+
+    /** Count of pages materialized so far. */
+    std::uint64_t touchedPages() const { return touchedCount_; }
+
+    /** Number of materialized pages backed by huge mappings. */
+    std::uint64_t hugePages() const { return hugeCount_; }
+
+    /** True when any 2MB mappings exist (THP-aware policies). */
+    bool hugeInUse() const { return hugeCount_ > 0; }
+
+  private:
+    void materialize(PageId page, ProcId proc, bool huge, TierId tier);
+
+    std::vector<PageMeta> meta_;
+    /** Optional per-page first-touch override tier (0xff = none). */
+    std::vector<std::uint8_t> firstTouchOverride_;
+    std::uint64_t fastCapacity_;
+    std::array<std::uint64_t, NumTiers> used_ = {0, 0};
+    std::uint64_t touchedCount_ = 0;
+    std::uint64_t hugeCount_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_MEM_TIER_MANAGER_HH

@@ -1,0 +1,67 @@
+#include "pact/binning.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pact
+{
+
+AdaptiveBinning::AdaptiveBinning(const BinningConfig &cfg)
+    : cfg_(cfg), width_(cfg.minWidth)
+{
+}
+
+double
+AdaptiveBinning::freedmanDiaconis(const Reservoir &res,
+                                  std::uint64_t n_pages) const
+{
+    const Quartiles q = res.quartiles();
+    const double iqr = q.q3 - q.q1;
+    const double n = std::max<double>(1.0, static_cast<double>(n_pages));
+    double w = 2.0 * iqr / std::cbrt(n);
+    if (w <= cfg_.minWidth) {
+        // Degenerate (near-constant) distribution: fall back to an
+        // even split of the observed range into the static bin count.
+        const double span = std::max(q.q3, q.median) /
+                            static_cast<double>(cfg_.staticBins);
+        w = std::max(span, cfg_.minWidth);
+    }
+    return w;
+}
+
+void
+AdaptiveBinning::update(const Reservoir &res, std::uint64_t n_pages,
+                        std::uint64_t n_candidates)
+{
+    if (res.size() < 4)
+        return; // not enough signal yet
+
+    if (cfg_.mode == BinningMode::Static) {
+        if (!frozen_) {
+            width_ = freedmanDiaconis(res, n_pages);
+            frozen_ = true;
+        }
+        return;
+    }
+
+    double w = freedmanDiaconis(res, n_pages);
+
+    if (cfg_.mode == BinningMode::AdaptiveScaled && n_pages > 0) {
+        // Scaling controller: too few candidates (large ratio) means
+        // the top bin is starving -> widen bins to merge neighbours;
+        // too many means bin collapse -> narrow bins to split them.
+        const double ratio =
+            static_cast<double>(n_pages) /
+            static_cast<double>(std::max<std::uint64_t>(1, n_candidates));
+        if (ratio > cfg_.tScale)
+            scale_ *= 2.0;
+        else if (ratio < cfg_.tScale / 4.0)
+            scale_ *= 0.5;
+        scale_ = std::clamp(scale_, 1.0 / 1048576.0, 1048576.0);
+        w *= scale_;
+    }
+
+    width_ = std::max(w, cfg_.minWidth);
+}
+
+} // namespace pact

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Adaptive priority binning (Algorithm 3). Pages are assigned to bins
+ * of width W by their PAC value; promotion candidates come from the
+ * highest non-empty bin. W is recomputed each window from reservoir-
+ * estimated quartiles via the Freedman–Diaconis rule, and a symmetric
+ * scaling controller doubles/halves an overlay factor to keep the top
+ * bin holding roughly the top 1–5% of pages even under extreme skew.
+ */
+
+#ifndef PACT_PACT_BINNING_HH
+#define PACT_PACT_BINNING_HH
+
+#include <cstdint>
+
+#include "pact/reservoir.hh"
+
+namespace pact
+{
+
+/** Binning strategies, matching the paper's Figure 13 breakdown. */
+enum class BinningMode
+{
+    /** Fixed bin width frozen at the first estimate ("+Static"). */
+    Static,
+    /** Freedman–Diaconis width each window ("+Adaptive"). */
+    Adaptive,
+    /** Adaptive plus the scaling optimization ("+Both", default). */
+    AdaptiveScaled,
+};
+
+/** Tuning knobs for AdaptiveBinning. */
+struct BinningConfig
+{
+    BinningMode mode = BinningMode::AdaptiveScaled;
+    /** Bin count used by the static scheme's initial width estimate. */
+    unsigned staticBins = 20;
+    /**
+     * Scaling threshold on N_page / N_candidates: above it the bin
+     * width doubles (merging bins, admitting more candidates); below
+     * a quarter of it the width halves. The paper uses a single
+     * threshold with unconditional doubling/halving; the dead band
+     * here damps the resulting oscillation without changing behaviour
+     * in the regimes the paper describes.
+     */
+    double tScale = 100.0;
+    /** Floor for the bin width. */
+    double minWidth = 1e-3;
+};
+
+/** Adaptive bin-width controller. */
+class AdaptiveBinning
+{
+  public:
+    explicit AdaptiveBinning(const BinningConfig &cfg = {});
+
+    /**
+     * Recompute the bin width for the next window.
+     *
+     * @param res Reservoir of recent PAC values.
+     * @param n_pages Tracked page count (n in Freedman–Diaconis).
+     * @param n_candidates Promotion candidates selected last window
+     *                     (N_c in Algorithm 3's scaling step).
+     */
+    void update(const Reservoir &res, std::uint64_t n_pages,
+                std::uint64_t n_candidates);
+
+    /** Bin index of a PAC value (unclamped; higher = more critical). */
+    std::uint32_t
+    binOf(double pac) const
+    {
+        if (pac <= 0.0)
+            return 0;
+        const double b = pac / width_;
+        return b >= 4.0e9 ? 4000000000u : static_cast<std::uint32_t>(b);
+    }
+
+    /** Current effective bin width W. */
+    double width() const { return width_; }
+
+    /** Current scaling overlay factor (power of two). */
+    double scaleFactor() const { return scale_; }
+
+    const BinningConfig &config() const { return cfg_; }
+
+  private:
+    double freedmanDiaconis(const Reservoir &res,
+                            std::uint64_t n_pages) const;
+
+    BinningConfig cfg_;
+    double width_;
+    double scale_ = 1.0;
+    bool frozen_ = false;
+};
+
+} // namespace pact
+
+#endif // PACT_PACT_BINNING_HH

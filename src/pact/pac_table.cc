@@ -1,0 +1,107 @@
+#include "pact/pac_table.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+std::uint64_t
+hashPage(PageId page)
+{
+    std::uint64_t x = page;
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdull;
+    x ^= x >> 33;
+    return x;
+}
+
+std::size_t
+roundPow2(std::size_t n)
+{
+    std::size_t p = 16;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+PacTable::PacTable(std::size_t initial_capacity)
+{
+    const std::size_t cap = roundPow2(initial_capacity);
+    slots_.assign(cap, PacEntry{});
+    mask_ = cap - 1;
+}
+
+std::size_t
+PacTable::slot(PageId page) const
+{
+    return static_cast<std::size_t>(hashPage(page)) & mask_;
+}
+
+void
+PacTable::grow()
+{
+    std::vector<PacEntry> old;
+    old.swap(slots_);
+    slots_.assign(old.size() * 2, PacEntry{});
+    mask_ = slots_.size() - 1;
+    size_ = 0;
+    for (const PacEntry &e : old) {
+        if (!e.empty())
+            touch(e.page) = e;
+    }
+}
+
+PacEntry &
+PacTable::touch(PageId page)
+{
+    panic_if(page == PacEntry::EmptyKey, "PacTable: reserved key");
+    if (size_ * 10 >= slots_.size() * 7)
+        grow();
+    std::size_t i = slot(page);
+    while (true) {
+        PacEntry &e = slots_[i];
+        if (e.empty()) {
+            e.page = page;
+            size_++;
+            return e;
+        }
+        if (e.page == page)
+            return e;
+        i = (i + 1) & mask_;
+    }
+}
+
+PacEntry *
+PacTable::find(PageId page)
+{
+    std::size_t i = slot(page);
+    while (true) {
+        PacEntry &e = slots_[i];
+        if (e.empty())
+            return nullptr;
+        if (e.page == page)
+            return &e;
+        i = (i + 1) & mask_;
+    }
+}
+
+const PacEntry *
+PacTable::find(PageId page) const
+{
+    return const_cast<PacTable *>(this)->find(page);
+}
+
+void
+PacTable::clear()
+{
+    for (PacEntry &e : slots_)
+        e = PacEntry{};
+    size_ = 0;
+}
+
+} // namespace pact

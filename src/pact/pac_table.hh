@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The PAC table: a compact open-addressing hash map from page id to
+ * accumulated Per-page Access Criticality state. Matches the paper's
+ * in-memory hash table with ~25 bytes of metadata per tracked 4KB page
+ * and O(1) insert/lookup (§4.3.6).
+ */
+
+#ifndef PACT_PACT_PAC_TABLE_HH
+#define PACT_PACT_PAC_TABLE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** Per-page criticality record. */
+struct PacEntry
+{
+    PageId page = EmptyKey;
+    /** Accumulated PAC in stall cycles. */
+    float pac = 0.0f;
+    /** Accumulated sampled access count. */
+    std::uint32_t freq = 0;
+    /** Global sample counter at the page's last sample (cooling). */
+    std::uint64_t lastSample = 0;
+    /** Daemon tick of the page's last promotion (anti-ping-pong). */
+    std::uint32_t lastPromote = 0;
+
+    static constexpr PageId EmptyKey = ~0ull;
+    bool empty() const { return page == EmptyKey; }
+};
+
+/**
+ * Linear-probing hash table keyed by page id. Entries are never
+ * individually erased (pages stay tracked once seen), matching PACT's
+ * accumulate-by-default design.
+ */
+class PacTable
+{
+  public:
+    explicit PacTable(std::size_t initial_capacity = 1024);
+
+    /** Find or insert the entry for a page. */
+    PacEntry &touch(PageId page);
+
+    /** Find an entry; nullptr when the page is untracked. */
+    PacEntry *find(PageId page);
+    const PacEntry *find(PageId page) const;
+
+    /** Visit every live entry. */
+    template <typename F>
+    void
+    forEach(F &&fn) const
+    {
+        for (const PacEntry &e : slots_) {
+            if (!e.empty())
+                fn(e);
+        }
+    }
+
+    /** Visit every live entry, allowing mutation of value fields. */
+    template <typename F>
+    void
+    forEachMut(F &&fn)
+    {
+        for (PacEntry &e : slots_) {
+            if (!e.empty())
+                fn(e);
+        }
+    }
+
+    /** Tracked page count. */
+    std::size_t size() const { return size_; }
+
+    /** Remove all entries. */
+    void clear();
+
+    /** Approximate bytes per tracked page (the paper claims ~25B). */
+    static constexpr std::size_t entryBytes = sizeof(PacEntry);
+
+  private:
+    std::size_t slot(PageId page) const;
+    void grow();
+
+    std::vector<PacEntry> slots_;
+    std::size_t size_ = 0;
+    std::size_t mask_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_PACT_PAC_TABLE_HH

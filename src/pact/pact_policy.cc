@@ -1,0 +1,301 @@
+#include "pact/pact_policy.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "mem/addr_space.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/tier_manager.hh"
+#include "sim/chmu.hh"
+#include "sim/tier.hh"
+
+namespace pact
+{
+
+PactPolicy::PactPolicy(const PactConfig &cfg)
+    : cfg_(cfg), reservoir_(100), binning_(cfg.binning)
+{
+}
+
+const char *
+PactPolicy::name() const
+{
+    if (cfg_.rank == RankMode::Frequency)
+        return "PACT-freq";
+    return cfg_.profileOnly ? "PACT-profile" : "PACT";
+}
+
+void
+PactPolicy::start(SimContext &ctx)
+{
+    // k captures the slow tier's latency and architectural constants;
+    // the paper shows it is workload-independent per configuration.
+    kEff_ = cfg_.k > 0.0
+                ? cfg_.k
+                : static_cast<double>(
+                      ctx.tiers[tierIndex(TierId::Slow)]->latency());
+    snap_.take(ctx.pmu);
+}
+
+double
+PactPolicy::rankValue(const PacEntry &e) const
+{
+    return cfg_.rank == RankMode::Criticality
+               ? static_cast<double>(e.pac)
+               : static_cast<double>(e.freq);
+}
+
+void
+PactPolicy::attribute(SimContext &ctx)
+{
+    // --- Algorithm 1: per-window stall estimation + attribution ---
+    const PmuWindow w = pmuDelta(snap_, ctx.pmu);
+    snap_.take(ctx.pmu);
+
+    double mlp;
+    if (cfg_.mlpSource == MlpSource::LittlesLaw) {
+        // AMD path: no TOR queues; estimate average outstanding
+        // requests as arrival rate x latency over the window.
+        const Tier *slow = ctx.tiers[tierIndex(TierId::Slow)];
+        const std::uint64_t lines = slow->linesServed();
+        const Cycles elapsed =
+            ctx.now > lastTickNow_ ? ctx.now - lastTickNow_ : 1;
+        const double rate =
+            static_cast<double>(lines - lastSlowLines_) /
+            static_cast<double>(elapsed);
+        lastSlowLines_ = lines;
+        lastTickNow_ = ctx.now;
+        mlp = std::max(1.0,
+                       rate * static_cast<double>(slow->latency()));
+    } else {
+        mlp = w.mlp(TierId::Slow);
+    }
+    const double misses = static_cast<double>(
+        w.llcLoadMisses[tierIndex(TierId::Slow)]);
+    const double S = kEff_ * misses / mlp;
+    stallSeries_.push_back({ctx.now, S});
+
+    // Aggregate sampled accesses per page: A_p, and optionally the
+    // latency-weighted mass A_p * l_p.
+    struct Agg
+    {
+        std::uint32_t count = 0;
+        double latMass = 0.0;
+    };
+    std::unordered_map<PageId, Agg> byPage;
+    double totalMass = 0.0;
+    std::uint64_t sampleCount = 0;
+
+    if (cfg_.sampler == SamplerSource::Chmu) {
+        fatal_if(!ctx.chmu,
+                 "PACT configured for CHMU sampling but "
+                 "SimConfig::chmu.enabled is false");
+        const auto hot = ctx.chmu->readHotList();
+        byPage.reserve(hot.size());
+        for (const ChmuEntry &e : hot) {
+            Agg &a = byPage[e.page];
+            a.count += e.count;
+            a.latMass += static_cast<double>(e.count);
+            totalMass += static_cast<double>(e.count);
+            sampleCount += e.count;
+        }
+    } else {
+        const std::vector<PebsRecord> records = ctx.pebs.drain();
+        byPage.reserve(records.size());
+        for (const PebsRecord &r : records) {
+            Agg &a = byPage[pageOf(r.vaddr)];
+            a.count++;
+            const double mass = cfg_.latencyWeighted
+                                    ? static_cast<double>(r.latency)
+                                    : 1.0;
+            a.latMass += mass;
+            totalMass += mass;
+        }
+        sampleCount = records.size();
+    }
+    if (byPage.empty())
+        return;
+    globalSamples_ += sampleCount;
+
+    touched_.clear();
+    for (const auto &[page, agg] : byPage) {
+        PacEntry &e = table_.touch(page);
+
+        // In-place cooling: decay pages that went unsampled for a
+        // long sample distance (paper §4.3.4 / Figure 10c).
+        if (cfg_.cooling != CoolingMode::None && e.freq > 0 &&
+            globalSamples_ - e.lastSample > cfg_.coolingDistance) {
+            e.pac = cfg_.cooling == CoolingMode::Halve ? e.pac * 0.5f
+                                                       : 0.0f;
+        }
+
+        const double share = agg.latMass / totalMass;
+        e.pac += static_cast<float>(S * share);
+        e.freq += agg.count;
+        e.lastSample = globalSamples_;
+        touched_.push_back(page);
+
+        reservoir_.add(rankValue(e), ctx.rng);
+    }
+
+    // --- Algorithm 3: adapt bin boundaries to the new distribution ---
+    binning_.update(reservoir_, table_.size(), lastCandidates_);
+    widthSeries_.push_back({ctx.now, binning_.width()});
+}
+
+void
+PactPolicy::migrate(SimContext &ctx)
+{
+    // Bin every tracked slow-tier page; the priority bin is the
+    // highest non-empty one. The bin index and rank value per page
+    // are gathered in one table pass.
+    std::vector<std::pair<double, PageId>> ranked;
+    std::vector<std::uint32_t> bins;
+    std::uint32_t topBin = 0;
+    table_.forEach([&](const PacEntry &e) {
+        if (!ctx.tm.touched(e.page) ||
+            ctx.tm.tierOf(e.page) != TierId::Slow) {
+            return;
+        }
+        const double rv = rankValue(e);
+        const std::uint32_t b = binning_.binOf(rv);
+        ranked.emplace_back(rv, e.page);
+        bins.push_back(b);
+        topBin = std::max(topBin, b);
+    });
+    if (ranked.empty()) {
+        promoSeries_.push_back({ctx.now, 0.0});
+        return;
+    }
+
+    // The top bin supplies the candidates. When extreme skew leaves it
+    // nearly empty (a lone outlier), lower bins top the pool up to a
+    // small floor so promotion never starves while the scaling
+    // controller (Algorithm 3) hunts for a better width.
+    const std::uint64_t floor = 32;
+    std::uint64_t inTop = 0;
+    for (std::size_t i = 0; i < bins.size(); i++)
+        inTop += bins[i] == topBin;
+
+    // cutBin = the bin of the floor'th most critical page, so the
+    // candidate pool is at least `floor` deep.
+    std::vector<std::uint32_t> order = bins;
+    const std::size_t nth = std::min<std::size_t>(
+        floor, order.size()) - 1;
+    std::nth_element(order.begin(), order.begin() + nth, order.end(),
+                     std::greater<>());
+    const std::uint32_t cutBin = order[nth];
+
+    std::vector<std::pair<double, PageId>> cands;
+    for (std::size_t i = 0; i < bins.size(); i++) {
+        if (bins[i] >= cutBin)
+            cands.push_back(ranked[i]);
+    }
+    std::sort(cands.begin(), cands.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    if (cands.size() > 4096)
+        cands.resize(4096);
+
+    // Feed the controller the true top-bin population so it keeps
+    // hunting: a starved top bin drives the width up; a degenerate
+    // single-bin distribution (topBin == 0 after overshoot) reports
+    // full collapse, driving the width back down.
+    lastCandidates_ = topBin == 0 ? ranked.size()
+                                  : std::max<std::uint64_t>(1, inTop);
+
+    // --- Algorithm 2: eager demotion + promotion ---
+    std::uint64_t promoted = 0;
+    // Eager demotion reclaims only genuinely inactive pages (the
+    // kernel's LRU semantics); an empty inactive list is the natural
+    // brake that keeps PACT from thrashing when the hot set exceeds
+    // the fast tier. Recently promoted pages (at huge-region
+    // granularity under THP) are quarantined, and a region most of
+    // whose subpages are still referenced is not a demotion victim.
+    auto quarantined = [&](PageId page) {
+        const bool huge = ctx.tm.meta(page).flags & PageFlags::Huge;
+        const PacEntry *e = table_.find(huge ? hugeBase(page) : page);
+        return e && e->lastPromote != 0 &&
+               tickNo_ - e->lastPromote < cfg_.quarantineTicks;
+    };
+    auto regionHot = [&](PageId page) {
+        if (!(ctx.tm.meta(page).flags & PageFlags::Huge))
+            return false;
+        const PageId base = hugeBase(page);
+        std::uint64_t referenced = 0;
+        for (PageId p = base; p < base + PagesPerHugePage; p++) {
+            if (ctx.tm.touched(p) &&
+                (ctx.tm.meta(p).flags & PageFlags::Referenced)) {
+                referenced++;
+            }
+        }
+        return referenced > PagesPerHugePage / 8;
+    };
+    auto demoteOne = [&]() -> bool {
+        const auto v = ctx.lru.victims(TierId::Fast, 4, ctx.tm, false);
+        for (const PageId victim : v) {
+            if (quarantined(victim) || regionHot(victim))
+                continue;
+            return ctx.mig.demote(victim);
+        }
+        return false;
+    };
+
+    const std::uint64_t batchCap = std::min<std::uint64_t>(
+        cfg_.promoteBatchCap,
+        std::max<std::uint64_t>(64, ctx.tm.fastCapacity() / 8));
+    for (const auto &[rank, page] : cands) {
+        (void)rank;
+        if (promoted >= batchCap)
+            break;
+        if (quarantined(page))
+            continue; // region still quarantined from last promotion
+        const bool huge = ctx.tm.meta(page).flags & PageFlags::Huge;
+        const std::uint64_t needed = huge ? PagesPerHugePage : 1;
+
+        // Balance rule: keep demotions at least m ahead of promotions
+        // (proactive headroom, Algorithm 2 line 5).
+        std::uint64_t balanceGuard = cfg_.m + 4;
+        while (ctx.mig.stats().demotedOps <
+                   ctx.mig.stats().promotedOps + cfg_.m &&
+               balanceGuard-- > 0) {
+            if (!demoteOne())
+                break;
+        }
+        // Space gating: free exactly as much as the promotion needs.
+        std::uint64_t guard = 4 * needed + 8;
+        while (ctx.tm.freeFast() < needed && guard-- > 0) {
+            if (!demoteOne())
+                break;
+        }
+        if (ctx.tm.freeFast() < needed)
+            break;
+        if (ctx.mig.promote(page)) {
+            promoted += needed; // cap is denominated in 4KB pages
+            const bool wasHuge =
+                ctx.tm.meta(page).flags & PageFlags::Huge;
+            PacEntry &e =
+                table_.touch(wasHuge ? hugeBase(page) : page);
+            e.lastPromote = tickNo_;
+        }
+    }
+    promoSeries_.push_back({ctx.now, static_cast<double>(promoted)});
+}
+
+void
+PactPolicy::tick(SimContext &ctx)
+{
+    tickNo_++;
+    attribute(ctx);
+
+    // Keep the kernel LRU aged so eager demotion has fresh victims.
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+
+    if (!cfg_.profileOnly)
+        migrate(ctx);
+}
+
+} // namespace pact

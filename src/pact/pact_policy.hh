@@ -1,0 +1,186 @@
+/**
+ * @file
+ * PACT: the paper's criticality-first tiering policy. Every daemon
+ * period it (1) estimates slow-tier stalls from LLC misses and TOR-
+ * derived per-tier MLP (Equation 1), (2) attributes them to PEBS-
+ * sampled pages proportionally to access frequency (Algorithm 1),
+ * (3) rebins pages with reservoir-fed Freedman–Diaconis adaptive
+ * binning (Algorithm 3), and (4) promotes top-bin pages under the
+ * eager-demotion balance rule (Algorithm 2).
+ */
+
+#ifndef PACT_PACT_PACT_POLICY_HH
+#define PACT_PACT_PACT_POLICY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "pact/binning.hh"
+#include "pact/pac_table.hh"
+#include "pact/reservoir.hh"
+#include "sim/policy_iface.hh"
+
+namespace pact
+{
+
+/** How candidate pages are ranked for promotion. */
+enum class RankMode
+{
+    /** By accumulated PAC (the paper's design). */
+    Criticality,
+    /** By accumulated access frequency (the Figure 9 ablation). */
+    Frequency,
+};
+
+/**
+ * Where the per-tier MLP estimate comes from (paper §4.2,
+ * "portability across hardware").
+ */
+enum class MlpSource
+{
+    /** Intel CHA/TOR occupancy counters: MLP = dT1/dT2 (default). */
+    Tor,
+    /**
+     * AMD-style Little's-law estimate: MLP ~ bandwidth x latency,
+     * from lines served per cycle. Overestimates (it includes
+     * non-demand traffic) but tracks the temporal trend, which is
+     * what attribution needs.
+     */
+    LittlesLaw,
+};
+
+/** Access-sampling backend (paper §4.3.5). */
+enum class SamplerSource
+{
+    /** Host-side PEBS event sampling (default). */
+    Pebs,
+    /**
+     * CXL 3.2 CHMU: device-side per-page access counts. Sees every
+     * device access with no host overhead, but provides no latency
+     * and requires SimConfig::chmu.enabled.
+     */
+    Chmu,
+};
+
+/** Cooling variants (paper §4.3.4 and Figure 10c). */
+enum class CoolingMode
+{
+    /** alpha = 1.0: pure accumulation (default, most robust). */
+    None,
+    /** alpha = 0.5: halve PAC when the page goes stale. */
+    Halve,
+    /** alpha = 0: reset PAC when the page goes stale. */
+    Reset,
+};
+
+/** PACT configuration. */
+struct PactConfig
+{
+    /**
+     * Per-tier stall coefficient k in Equation 1. Zero selects the
+     * built-in estimate (the slow tier's unloaded latency), which the
+     * paper shows is stable per hardware configuration.
+     */
+    double k = 0.0;
+
+    RankMode rank = RankMode::Criticality;
+    MlpSource mlpSource = MlpSource::Tor;
+    SamplerSource sampler = SamplerSource::Pebs;
+    CoolingMode cooling = CoolingMode::None;
+    /** Sample-count distance after which a page's PAC is cooled. */
+    std::uint64_t coolingDistance = 200000;
+
+    BinningConfig binning;
+
+    /** Demotion aggressiveness m in Algorithm 2. */
+    std::uint64_t m = 0;
+
+    /** Upper bound on promotion ops per daemon tick. */
+    std::uint64_t promoteBatchCap = 2048;
+
+    /**
+     * Latency-weighted attribution (paper §4.3.7 future work):
+     * S_p = S * A_p*l_p / sum(A_i*l_i) using PEBS-sampled latency.
+     */
+    bool latencyWeighted = false;
+
+    /**
+     * Migration quarantine in daemon ticks: a page promoted this
+     * recently is neither demoted nor re-promoted, damping
+     * promote/demote ping-pong under fast-tier pressure.
+     */
+    std::uint32_t quarantineTicks = 12;
+
+    /** Profile only: maintain PAC but never migrate (Figure 1). */
+    bool profileOnly = false;
+};
+
+/** A (time, value) sample for the adaptivity time series (Fig. 8). */
+struct TimeSeriesPoint
+{
+    Cycles now = 0;
+    double value = 0.0;
+};
+
+/** The PACT tiering policy. */
+class PactPolicy : public TieringPolicy
+{
+  public:
+    explicit PactPolicy(const PactConfig &cfg = {});
+
+    const char *name() const override;
+    void start(SimContext &ctx) override;
+    void tick(SimContext &ctx) override;
+
+    /** The PAC table (post-run inspection by benches/tests). */
+    const PacTable &table() const { return table_; }
+
+    /** Current bin width (Fig. 8b). */
+    double binWidth() const { return binning_.width(); }
+
+    /** Promotions performed per tick (Fig. 8a / Fig. 9). */
+    const std::vector<TimeSeriesPoint> &promotionSeries() const
+    {
+        return promoSeries_;
+    }
+
+    /** Bin width per tick (Fig. 8b). */
+    const std::vector<TimeSeriesPoint> &binWidthSeries() const
+    {
+        return widthSeries_;
+    }
+
+    /** Estimated slow-tier stalls per tick (diagnostics). */
+    const std::vector<TimeSeriesPoint> &stallSeries() const
+    {
+        return stallSeries_;
+    }
+
+    const PactConfig &config() const { return cfg_; }
+
+  private:
+    void attribute(SimContext &ctx);
+    void migrate(SimContext &ctx);
+    double rankValue(const PacEntry &e) const;
+
+    PactConfig cfg_;
+    PacTable table_;
+    Reservoir reservoir_;
+    AdaptiveBinning binning_;
+    PmuSnapshot snap_;
+    double kEff_ = 0.0;
+    Cycles lastTickNow_ = 0;
+    std::uint64_t lastSlowLines_ = 0;
+    std::uint64_t globalSamples_ = 0;
+    std::uint32_t tickNo_ = 0;
+    std::uint64_t lastCandidates_ = 1;
+    /** Pages whose rank value changed this window. */
+    std::vector<PageId> touched_;
+    std::vector<TimeSeriesPoint> promoSeries_;
+    std::vector<TimeSeriesPoint> widthSeries_;
+    std::vector<TimeSeriesPoint> stallSeries_;
+};
+
+} // namespace pact
+
+#endif // PACT_PACT_PACT_POLICY_HH

@@ -1,0 +1,51 @@
+#include "pact/reservoir.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace pact
+{
+
+Reservoir::Reservoir(std::size_t capacity) : cap_(capacity)
+{
+    fatal_if(capacity == 0, "Reservoir: zero capacity");
+    buf_.reserve(capacity);
+}
+
+void
+Reservoir::add(double value, Rng &rng)
+{
+    seen_++;
+    if (buf_.size() < cap_) {
+        buf_.push_back(value);
+        return;
+    }
+    const std::uint64_t rnd = rng.below(seen_);
+    if (rnd < cap_)
+        buf_[rnd] = value;
+}
+
+Quartiles
+Reservoir::quartiles() const
+{
+    Quartiles q;
+    if (buf_.empty())
+        return q;
+    std::vector<double> sorted = buf_;
+    std::sort(sorted.begin(), sorted.end());
+    q.q1 = stats::quantileSorted(sorted, 0.25);
+    q.median = stats::quantileSorted(sorted, 0.50);
+    q.q3 = stats::quantileSorted(sorted, 0.75);
+    return q;
+}
+
+void
+Reservoir::reset()
+{
+    buf_.clear();
+    seen_ = 0;
+}
+
+} // namespace pact

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reservoir sampler over the stream of PAC values (Algorithm 3, lines
+ * 1–8): a fixed-size uniform sample of the evolving PAC distribution
+ * from which quartiles are estimated without tracking or sorting every
+ * tracked page.
+ */
+
+#ifndef PACT_PACT_RESERVOIR_HH
+#define PACT_PACT_RESERVOIR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace pact
+{
+
+/** Quartile estimates from the reservoir. */
+struct Quartiles
+{
+    double q1 = 0.0;
+    double median = 0.0;
+    double q3 = 0.0;
+};
+
+/**
+ * Fixed-capacity uniform reservoir. The first k values fill the
+ * buffer; each later value replaces a uniformly random slot with
+ * probability k/n, so the buffer is always a uniform sample of the
+ * first n stream elements.
+ */
+class Reservoir
+{
+  public:
+    explicit Reservoir(std::size_t capacity = 100);
+
+    /** Offer one PAC value to the reservoir. */
+    void add(double value, Rng &rng);
+
+    /** Estimate Q1/median/Q3 from the current sample. */
+    Quartiles quartiles() const;
+
+    /** Values observed so far (N_page in Algorithm 3). */
+    std::uint64_t seen() const { return seen_; }
+
+    /** Current sample size (<= capacity). */
+    std::size_t size() const { return buf_.size(); }
+
+    std::size_t capacity() const { return cap_; }
+
+    /** The raw sample (tests). */
+    const std::vector<double> &values() const { return buf_; }
+
+    /** Forget everything. */
+    void reset();
+
+  private:
+    std::size_t cap_;
+    std::vector<double> buf_;
+    std::uint64_t seen_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_PACT_RESERVOIR_HH

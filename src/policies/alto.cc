@@ -1,0 +1,40 @@
+#include "policies/alto.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+AltoPolicy::AltoPolicy(const AltoConfig &cfg)
+    : ColloidPolicy(cfg.colloid), acfg_(cfg)
+{
+}
+
+std::uint64_t
+AltoPolicy::budget(SimContext &ctx, double imbalance)
+{
+    const std::uint64_t base = ColloidPolicy::budget(ctx, imbalance);
+
+    if (!snapped_) {
+        snap_.take(ctx.pmu);
+        snapped_ = true;
+        return base;
+    }
+    const PmuWindow w = pmuDelta(snap_, ctx.pmu);
+    snap_.take(ctx.pmu);
+
+    // System-wide MLP: all tiers' TOR activity combined (the offcore
+    // aggregate Alto's AOL uses, as opposed to PACT's per-tier MLP).
+    std::uint64_t t1 = 0, t2 = 0;
+    for (unsigned t = 0; t < NumTiers; t++) {
+        t1 += w.torOccupancy[t];
+        t2 += w.torBusy[t];
+    }
+    const double mlp = std::max(1.0, Pmu::mlp(t1, t2));
+
+    // High MLP amortizes slow-tier latency: scale promotions down.
+    const double factor = acfg_.mlpKnee / (acfg_.mlpKnee + mlp - 1.0);
+    return static_cast<std::uint64_t>(static_cast<double>(base) * factor);
+}
+
+} // namespace pact

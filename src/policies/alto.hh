@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Alto (OSDI'25, "Tiered Memory Management Beyond Hotness")
+ * behavioural model: Colloid's latency-balancing promotion pipeline
+ * gated by *system-wide* MLP — when outstanding parallelism is high,
+ * slow-tier latency is amortized and promotion pressure is reduced.
+ * Unlike PACT, the MLP signal is global (not per-tier, not per-page)
+ * and there is no per-page criticality state.
+ */
+
+#ifndef PACT_POLICIES_ALTO_HH
+#define PACT_POLICIES_ALTO_HH
+
+#include "policies/colloid.hh"
+
+namespace pact
+{
+
+/** Alto tuning knobs. */
+struct AltoConfig
+{
+    ColloidConfig colloid;
+    /** MLP at which promotion pressure halves. */
+    double mlpKnee = 4.0;
+};
+
+/** MLP-regulated Colloid. */
+class AltoPolicy : public ColloidPolicy
+{
+  public:
+    explicit AltoPolicy(const AltoConfig &cfg = {});
+
+    const char *name() const override { return "Alto"; }
+
+  protected:
+    std::uint64_t budget(SimContext &ctx, double imbalance) override;
+
+  private:
+    AltoConfig acfg_;
+    PmuSnapshot snap_;
+    bool snapped_ = false;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_ALTO_HH

@@ -1,0 +1,115 @@
+#include "policies/colloid.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pact
+{
+
+ColloidPolicy::ColloidPolicy(const ColloidConfig &cfg)
+    : cfg_(cfg), filter_(cfg.touchWindow)
+{
+}
+
+double
+ColloidPolicy::measureImbalance(SimContext &ctx)
+{
+    // Latency-weighted load per tier over the last tick:
+    // share_t = requests_t * avg_loaded_latency_t.
+    double load[NumTiers];
+    for (unsigned t = 0; t < NumTiers; t++) {
+        const Tier *tier = ctx.tiers[t];
+        const std::uint64_t dReq = tier->requests() - prevReq_[t];
+        const std::uint64_t dLat =
+            tier->loadedLatencySum() - prevLatSum_[t];
+        prevReq_[t] = tier->requests();
+        prevLatSum_[t] = tier->loadedLatencySum();
+        load[t] = static_cast<double>(dLat) +
+                  0.001 * static_cast<double>(dReq);
+    }
+    const double fast = load[tierIndex(TierId::Fast)];
+    const double slow = load[tierIndex(TierId::Slow)];
+    if (fast <= 0.0)
+        return cfg_.maxBoost;
+    return slow / fast;
+}
+
+std::uint64_t
+ColloidPolicy::budget(SimContext &ctx, double imbalance)
+{
+    (void)ctx;
+    if (imbalance <= 1.0) {
+        // Fast tier latency already dominates: throttle hard.
+        return cfg_.baseBudget / 16;
+    }
+    const double boost = std::min(imbalance, cfg_.maxBoost);
+    return static_cast<std::uint64_t>(
+        static_cast<double>(cfg_.baseBudget) * boost);
+}
+
+void
+ColloidPolicy::tick(SimContext &ctx)
+{
+    ctx_ = &ctx;
+    tickNo_++;
+
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+    const auto watermark = static_cast<std::uint64_t>(
+        cfg_.watermarkFraction *
+        static_cast<double>(ctx.tm.fastCapacity()));
+    demoteToWatermark(ctx, std::max<std::uint64_t>(watermark, 64));
+
+    const double imbalance = measureImbalance(ctx);
+
+    // Colloid's control loop: if the previous tick's promotions did
+    // not move the latency balance, the workload is either converged
+    // or unbalanceable (e.g. uniform access) -> decay the budget.
+    const std::uint64_t promotedNow = ctx.mig.stats().promotedOps;
+    const bool migrated = promotedNow != promotedPrev_;
+    promotedPrev_ = promotedNow;
+    const bool moved =
+        prevImbalance_ == 0.0 ||
+        std::abs(imbalance - prevImbalance_) > 0.2 * prevImbalance_;
+    prevImbalance_ = imbalance;
+    if (migrated && !moved)
+        throttle_ = std::max(throttle_ * 0.5, 1.0 / 256.0);
+    else
+        throttle_ = std::min(throttle_ * 1.5, 1.0);
+
+    std::uint64_t b = static_cast<std::uint64_t>(
+        static_cast<double>(budget(ctx, imbalance)) * throttle_);
+
+    while (b > 0 && !candidates_.empty()) {
+        const PageId page = candidates_.front();
+        candidates_.pop_front();
+        if (!ctx.tm.touched(page) ||
+            ctx.tm.tierOf(page) != TierId::Slow) {
+            continue;
+        }
+        if (ctx.tm.freeFast() == 0) {
+            if (demoteToWatermark(ctx, 16) == 0)
+                break;
+        }
+        if (ctx.mig.promote(page))
+            b--;
+    }
+
+    const std::uint64_t slowPages = ctx.tm.used(TierId::Slow);
+    const auto batch = static_cast<std::uint64_t>(
+        cfg_.scanFraction * static_cast<double>(slowPages));
+    scanner_.arm(ctx, std::max<std::uint64_t>(batch, 64), 4096);
+}
+
+void
+ColloidPolicy::onHintFault(PageId page, ProcId proc)
+{
+    (void)proc;
+    if (!ctx_)
+        return;
+    if (filter_.touch(page, tickNo_) && candidates_.size() < 1u << 20)
+        candidates_.push_back(page);
+}
+
+} // namespace pact

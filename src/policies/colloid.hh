@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Colloid (SOSP'24) behavioural model: "access latency is the key" —
+ * balance per-tier loaded latencies by modulating promotion pressure.
+ * Hotness candidates come from hint faults (two-touch); the promotion
+ * budget grows when the slow tier's latency-weighted load dominates
+ * and shrinks when the fast tier is itself congested. Aggressive by
+ * design: in the paper it is often second-best on 4KB pages but at
+ * the cost of an order of magnitude more migrations than PACT.
+ */
+
+#ifndef PACT_POLICIES_COLLOID_HH
+#define PACT_POLICIES_COLLOID_HH
+
+#include <deque>
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** Colloid tuning knobs. */
+struct ColloidConfig
+{
+    /** Fraction of slow-tier pages armed per tick. */
+    double scanFraction = 0.8;
+    /** Two-touch window in ticks. */
+    std::uint64_t touchWindow = 6;
+    /** Base promotion budget per tick. */
+    std::uint64_t baseBudget = 1024;
+    /** Budget multiplier cap under extreme imbalance. */
+    double maxBoost = 8.0;
+    /** Watermark fraction of fast capacity. */
+    double watermarkFraction = 0.02;
+};
+
+/** Latency-balancing tiering. */
+class ColloidPolicy : public TieringPolicy
+{
+  public:
+    explicit ColloidPolicy(const ColloidConfig &cfg = {});
+
+    const char *name() const override { return "Colloid"; }
+    void tick(SimContext &ctx) override;
+    void onHintFault(PageId page, ProcId proc) override;
+
+  protected:
+    /** Promotion budget for this tick; Alto overrides to gate on MLP. */
+    virtual std::uint64_t budget(SimContext &ctx, double imbalance);
+
+    ColloidConfig cfg_;
+
+  private:
+    double measureImbalance(SimContext &ctx);
+
+    /** Control-loop state: back off when promotions stop moving the
+     *  measured imbalance (converged or unbalanceable workload). */
+    double throttle_ = 1.0;
+    double prevImbalance_ = 0.0;
+    std::uint64_t promotedPrev_ = 0;
+
+    HintScanner scanner_;
+    TwoTouchFilter filter_;
+    std::deque<PageId> candidates_;
+    SimContext *ctx_ = nullptr;
+    std::uint64_t tickNo_ = 0;
+
+    /** Tier counter baselines for per-tick latency deltas. */
+    std::uint64_t prevReq_[NumTiers] = {0, 0};
+    std::uint64_t prevLatSum_[NumTiers] = {0, 0};
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_COLLOID_HH

@@ -1,0 +1,1 @@
+#include "policies/freq_policy.hh"

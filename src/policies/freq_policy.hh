@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Frequency-only ablation of PACT (paper §5.6 / Figure 9): identical
+ * sampling, binning, and migration machinery, but pages are ranked by
+ * sampled access frequency instead of PAC.
+ */
+
+#ifndef PACT_POLICIES_FREQ_POLICY_HH
+#define PACT_POLICIES_FREQ_POLICY_HH
+
+#include "pact/pact_policy.hh"
+
+namespace pact
+{
+
+/** PACT framework with frequency ranking. */
+class FreqPolicy : public PactPolicy
+{
+  public:
+    explicit FreqPolicy(PactConfig cfg = {}) : PactPolicy(freqify(cfg)) {}
+
+  private:
+    static PactConfig
+    freqify(PactConfig cfg)
+    {
+        cfg.rank = RankMode::Frequency;
+        return cfg;
+    }
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_FREQ_POLICY_HH

@@ -1,0 +1,115 @@
+#include "policies/memtis.hh"
+
+#include <algorithm>
+#include <array>
+
+namespace pact
+{
+
+MemtisPolicy::MemtisPolicy(const MemtisConfig &cfg) : cfg_(cfg)
+{
+}
+
+PageId
+MemtisPolicy::unitOf(SimContext &ctx, PageId page) const
+{
+    if (ctx.tm.touched(page) &&
+        (ctx.tm.meta(page).flags & PageFlags::Huge)) {
+        return hugeBase(page);
+    }
+    return page;
+}
+
+void
+MemtisPolicy::recomputeThreshold(SimContext &ctx)
+{
+    // Histogram of log2(count) buckets; pick the smallest count such
+    // that the pages at or above it fit in the fast tier.
+    std::array<std::uint64_t, 20> pagesAt{};
+    for (const auto &[unit, count] : counts_) {
+        unsigned b = 0;
+        std::uint32_t c = count;
+        while (c >>= 1)
+            b++;
+        b = std::min<unsigned>(b, pagesAt.size() - 1);
+        const auto it = unitPages_.find(unit);
+        pagesAt[b] += it == unitPages_.end() ? 1 : it->second;
+    }
+
+    const std::uint64_t cap = ctx.tm.fastCapacity();
+    std::uint64_t cum = 0;
+    std::uint32_t thr = 1;
+    for (int b = static_cast<int>(pagesAt.size()) - 1; b >= 0; b--) {
+        cum += pagesAt[b];
+        thr = 1u << b;
+        if (cum >= cap)
+            break;
+    }
+    hotThreshold_ = std::max<std::uint32_t>(1, thr);
+}
+
+void
+MemtisPolicy::cool()
+{
+    for (auto &[unit, count] : counts_)
+        count /= 2;
+}
+
+void
+MemtisPolicy::tick(SimContext &ctx)
+{
+    tickNo_++;
+
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+    const auto watermark = static_cast<std::uint64_t>(
+        cfg_.watermarkFraction *
+        static_cast<double>(ctx.tm.fastCapacity()));
+    demoteToWatermark(ctx, std::max<std::uint64_t>(watermark, 32));
+
+    // Lazy migration: only units sampled this period are considered,
+    // under a per-tick page budget that bounds migration overhead.
+    std::uint64_t budget = std::max<std::uint64_t>(
+        ctx.tm.hugeInUse() ? PagesPerHugePage : 64,
+        static_cast<std::uint64_t>(
+            cfg_.migrateBudgetFraction *
+            static_cast<double>(ctx.tm.fastCapacity())));
+    const std::vector<PebsRecord> records = ctx.pebs.drain();
+    for (const PebsRecord &r : records) {
+        if (budget == 0)
+            break;
+        const PageId unit = unitOf(ctx, pageOf(r.vaddr));
+        auto [it, inserted] = counts_.try_emplace(unit, 0u);
+        it->second++;
+        if (inserted) {
+            const bool huge =
+                ctx.tm.touched(unit) &&
+                (ctx.tm.meta(unit).flags & PageFlags::Huge);
+            unitPages_[unit] =
+                huge ? static_cast<std::uint32_t>(PagesPerHugePage) : 1;
+        }
+        if (it->second >= hotThreshold_ &&
+            ctx.tm.touched(unit) &&
+            ctx.tm.tierOf(unit) == TierId::Slow) {
+            const std::uint32_t need = unitPages_[unit];
+            if (need > budget)
+                continue;
+            if (ctx.tm.freeFast() < need)
+                demoteToWatermark(ctx, need);
+            if (ctx.mig.promote(unit))
+                budget -= need;
+        }
+    }
+
+    // Memtis re-derives its hot threshold only at cooling boundaries
+    // (seconds apart in the real system), so the classification lags
+    // workload dynamics between adjustments.
+    if (tickNo_ % cfg_.thresholdPeriod == 0 || hotThreshold_ == 1)
+        recomputeThreshold(ctx);
+
+    if (tickNo_ % cfg_.coolingPeriod == 0)
+        cool();
+}
+
+} // namespace pact

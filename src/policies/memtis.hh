@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Memtis (SOSP'23) behavioural model: PEBS-driven hotness histogram
+ * with an adaptive hot threshold sized to fast-tier capacity, periodic
+ * count cooling, and huge-page-aware tracking (the THP awareness that
+ * makes it the strongest hotness baseline under THP in the paper).
+ */
+
+#ifndef PACT_POLICIES_MEMTIS_HH
+#define PACT_POLICIES_MEMTIS_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** Memtis tuning knobs. */
+struct MemtisConfig
+{
+    /** Cooling period in daemon ticks (counts halve). */
+    std::uint64_t coolingPeriod = 32;
+    /** Hot-threshold recomputation period in ticks. */
+    std::uint64_t thresholdPeriod = 16;
+    /**
+     * Migration budget per tick as a fraction of fast capacity
+     * (Memtis bounds migration overhead; without it the lazy
+     * promotions churn whole huge pages under pressure).
+     */
+    double migrateBudgetFraction = 1.0 / 8.0;
+    /** Watermark fraction of fast capacity. */
+    double watermarkFraction = 0.01;
+};
+
+/** Hotness-histogram tiering with PEBS sampling. */
+class MemtisPolicy : public TieringPolicy
+{
+  public:
+    explicit MemtisPolicy(const MemtisConfig &cfg = {});
+
+    const char *name() const override { return "Memtis"; }
+    void tick(SimContext &ctx) override;
+
+    /** Current hot threshold (access count); for tests. */
+    std::uint32_t hotThreshold() const { return hotThreshold_; }
+
+  private:
+    /** Tracking unit for a page: 2MB base when huge, else the page. */
+    PageId unitOf(SimContext &ctx, PageId page) const;
+    void recomputeThreshold(SimContext &ctx);
+    void cool();
+
+    MemtisConfig cfg_;
+    /** Sampled access counts per tracking unit. */
+    std::unordered_map<PageId, std::uint32_t> counts_;
+    /** Pages each unit spans (1 or 512). */
+    std::unordered_map<PageId, std::uint32_t> unitPages_;
+    std::uint32_t hotThreshold_ = 1;
+    std::uint64_t tickNo_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_MEMTIS_HH

@@ -1,0 +1,43 @@
+#include "policies/nbt.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+NbtPolicy::NbtPolicy(const NbtConfig &cfg)
+    : cfg_(cfg), filter_(cfg.touchWindow)
+{
+}
+
+void
+NbtPolicy::tick(SimContext &ctx)
+{
+    ctx_ = &ctx;
+    tickNo_++;
+
+    const auto watermark = static_cast<std::uint64_t>(
+        cfg_.watermarkFraction *
+        static_cast<double>(ctx.tm.fastCapacity()));
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+    demoteToWatermark(ctx, std::max<std::uint64_t>(watermark, 64));
+
+    const std::uint64_t slowPages = ctx.tm.used(TierId::Slow);
+    const auto batch = static_cast<std::uint64_t>(
+        cfg_.scanFraction * static_cast<double>(slowPages));
+    scanner_.arm(ctx, std::max<std::uint64_t>(batch, 64), 2048);
+}
+
+void
+NbtPolicy::onHintFault(PageId page, ProcId proc)
+{
+    (void)proc;
+    if (!ctx_)
+        return;
+    if (filter_.touch(page, tickNo_))
+        ctx_->mig.promote(page);
+}
+
+} // namespace pact

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Linux NUMA Balancing Tiering (NBT) behavioural model: gradual hint-
+ * fault scanning with a two-touch promotion threshold and watermark
+ * demotion — less aggressive than TPP but still purely recency/
+ * frequency driven.
+ */
+
+#ifndef PACT_POLICIES_NBT_HH
+#define PACT_POLICIES_NBT_HH
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** NBT tuning knobs. */
+struct NbtConfig
+{
+    /** Fraction of slow-tier pages armed per tick. */
+    double scanFraction = 0.4;
+    /** Two-touch window in daemon ticks. */
+    std::uint64_t touchWindow = 4;
+    /** Free-page watermark as a fraction of fast capacity. */
+    double watermarkFraction = 0.02;
+};
+
+/** Linux tiered NUMA balancing. */
+class NbtPolicy : public TieringPolicy
+{
+  public:
+    explicit NbtPolicy(const NbtConfig &cfg = {});
+
+    const char *name() const override { return "NBT"; }
+    void tick(SimContext &ctx) override;
+    void onHintFault(PageId page, ProcId proc) override;
+
+  private:
+    NbtConfig cfg_;
+    HintScanner scanner_;
+    TwoTouchFilter filter_;
+    SimContext *ctx_ = nullptr;
+    std::uint64_t tickNo_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_NBT_HH

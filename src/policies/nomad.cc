@@ -1,0 +1,84 @@
+#include "policies/nomad.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+NomadPolicy::NomadPolicy(const NomadConfig &cfg)
+    : cfg_(cfg), filter_(cfg.touchWindow)
+{
+}
+
+void
+NomadPolicy::tick(SimContext &ctx)
+{
+    ctx_ = &ctx;
+    tickNo_++;
+
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+    const auto watermark = static_cast<std::uint64_t>(
+        cfg_.watermarkFraction *
+        static_cast<double>(ctx.tm.fastCapacity()));
+    // Shadowed pages demote for free (the slow copy is still valid).
+    std::uint64_t freed = 0;
+    while (ctx.tm.freeFast() < std::max<std::uint64_t>(watermark, 32) &&
+           freed < 4096) {
+        const auto v = ctx.lru.victims(TierId::Fast, 1, ctx.tm);
+        if (v.empty())
+            break;
+        PageMeta &m = ctx.tm.meta(v[0]);
+        if (m.flags & PageFlags::Shadowed) {
+            // Clean drop: flip the mapping back to the shadow copy.
+            m.flags &= ~PageFlags::Shadowed;
+            ctx.tm.place(v[0], TierId::Slow);
+            ctx.lru.moveTier(v[0], TierId::Slow);
+        } else if (!ctx.mig.demote(v[0])) {
+            break;
+        }
+        freed++;
+    }
+
+    // Transactional promotion commits, strictly rate-limited.
+    std::uint64_t commits = 0;
+    while (commits < cfg_.commitBudget && !queue_.empty()) {
+        const PageId page = queue_.front();
+        queue_.pop_front();
+        if (!ctx.tm.touched(page) ||
+            ctx.tm.tierOf(page) != TierId::Slow) {
+            continue;
+        }
+        if (ctx.rng.chance(cfg_.abortProbability)) {
+            // A write raced the copy: pay for the copy, move nothing.
+            ctx.mig.chargeAbortedCopy(page);
+            continue;
+        }
+        if (ctx.tm.freeFast() == 0)
+            break;
+        if (ctx.mig.promote(page)) {
+            ctx.tm.meta(page).flags |= PageFlags::Shadowed;
+            commits++;
+        }
+    }
+
+    const std::uint64_t slowPages = ctx.tm.used(TierId::Slow);
+    const auto batch = static_cast<std::uint64_t>(
+        cfg_.scanFraction * static_cast<double>(slowPages));
+    scanner_.arm(ctx, std::max<std::uint64_t>(batch, 64), 4096);
+}
+
+void
+NomadPolicy::onHintFault(PageId page, ProcId proc)
+{
+    if (!ctx_)
+        return;
+    // Non-exclusive tiering checks/updates shadow state on every
+    // fault, taxing the fault path beyond the base hint cost.
+    ctx_->mig.chargeExternal(proc, cfg_.shadowOverheadCycles);
+    if (filter_.touch(page, tickNo_) && queue_.size() < 1u << 18)
+        queue_.push_back(page);
+}
+
+} // namespace pact

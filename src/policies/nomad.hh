@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Nomad (OSDI'24) behavioural model: non-exclusive tiering with
+ * transactional page migration. Promotions are copied while the page
+ * stays mapped; a concurrent write aborts and retries the copy, and
+ * promoted pages keep a shadow copy on the slow tier so clean
+ * demotions are free. The paper finds Nomad migrates very little yet
+ * performs worst on churning graph workloads: the transactional
+ * machinery taxes every fault while rarely committing promotions
+ * under pressure.
+ */
+
+#ifndef PACT_POLICIES_NOMAD_HH
+#define PACT_POLICIES_NOMAD_HH
+
+#include <deque>
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** Nomad tuning knobs. */
+struct NomadConfig
+{
+    /** Fraction of slow-tier pages armed per tick. */
+    double scanFraction = 0.8;
+    /** Two-touch window in ticks. */
+    std::uint64_t touchWindow = 2;
+    /** Hard promotion-commit limit per tick (transactional rate). */
+    std::uint64_t commitBudget = 24;
+    /** Probability a copy aborts due to a concurrent write. */
+    double abortProbability = 0.25;
+    /** Extra fault-path cycles from transactional bookkeeping. */
+    Cycles shadowOverheadCycles = 1800;
+    /** Watermark fraction of fast capacity. */
+    double watermarkFraction = 0.01;
+};
+
+/** Transactional non-exclusive tiering. */
+class NomadPolicy : public TieringPolicy
+{
+  public:
+    explicit NomadPolicy(const NomadConfig &cfg = {});
+
+    const char *name() const override { return "Nomad"; }
+    void tick(SimContext &ctx) override;
+    void onHintFault(PageId page, ProcId proc) override;
+
+  private:
+    NomadConfig cfg_;
+    HintScanner scanner_;
+    TwoTouchFilter filter_;
+    std::deque<PageId> queue_;
+    SimContext *ctx_ = nullptr;
+    std::uint64_t tickNo_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_NOMAD_HH

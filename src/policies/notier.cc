@@ -1,0 +1,1 @@
+#include "policies/notier.hh"

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * NoTier: first-touch placement with no migrations — the paper's
+ * static baseline showing the value (or harm) of tiering at all.
+ */
+
+#ifndef PACT_POLICIES_NOTIER_HH
+#define PACT_POLICIES_NOTIER_HH
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** First-touch, never migrates. */
+class NoTierPolicy : public TieringPolicy
+{
+  public:
+    const char *name() const override { return "NoTier"; }
+    void tick(SimContext &ctx) override { (void)ctx; }
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_NOTIER_HH

@@ -1,0 +1,3 @@
+// Intentionally empty: the shared policy helpers are header-only, and
+// this translation unit anchors the pact_policies library.
+#include "policies/policy.hh"

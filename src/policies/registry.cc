@@ -1,0 +1,79 @@
+#include "policies/registry.hh"
+
+#include "common/logging.hh"
+#include "pact/pact_policy.hh"
+#include "policies/alto.hh"
+#include "policies/colloid.hh"
+#include "policies/freq_policy.hh"
+#include "policies/memtis.hh"
+#include "policies/nbt.hh"
+#include "policies/nomad.hh"
+#include "policies/notier.hh"
+#include "policies/soar.hh"
+#include "policies/tpp.hh"
+
+namespace pact
+{
+
+std::unique_ptr<TieringPolicy>
+makePolicy(const std::string &name)
+{
+    if (name == "NoTier")
+        return std::make_unique<NoTierPolicy>();
+    if (name == "TPP")
+        return std::make_unique<TppPolicy>();
+    if (name == "NBT")
+        return std::make_unique<NbtPolicy>();
+    if (name == "Memtis")
+        return std::make_unique<MemtisPolicy>();
+    if (name == "Colloid")
+        return std::make_unique<ColloidPolicy>();
+    if (name == "Nomad")
+        return std::make_unique<NomadPolicy>();
+    if (name == "Alto")
+        return std::make_unique<AltoPolicy>();
+    if (name == "Soar")
+        return std::make_unique<SoarPolicy>();
+    if (name == "PACT")
+        return std::make_unique<PactPolicy>();
+    if (name == "PACT-freq")
+        return std::make_unique<FreqPolicy>();
+    if (name == "PACT-static") {
+        PactConfig cfg;
+        cfg.binning.mode = BinningMode::Static;
+        return std::make_unique<PactPolicy>(cfg);
+    }
+    if (name == "PACT-adaptive") {
+        PactConfig cfg;
+        cfg.binning.mode = BinningMode::Adaptive;
+        return std::make_unique<PactPolicy>(cfg);
+    }
+    if (name == "PACT-cool-halve") {
+        PactConfig cfg;
+        cfg.cooling = CoolingMode::Halve;
+        return std::make_unique<PactPolicy>(cfg);
+    }
+    if (name == "PACT-littleslaw") {
+        PactConfig cfg;
+        cfg.mlpSource = MlpSource::LittlesLaw;
+        return std::make_unique<PactPolicy>(cfg);
+    }
+    if (name == "PACT-cool-reset") {
+        PactConfig cfg;
+        cfg.cooling = CoolingMode::Reset;
+        return std::make_unique<PactPolicy>(cfg);
+    }
+    fatal("unknown policy '", name, "'");
+}
+
+const std::vector<std::string> &
+allPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "PACT",  "Colloid", "NBT",  "Alto",   "Nomad",
+        "TPP",   "Memtis",  "Soar", "NoTier",
+    };
+    return names;
+}
+
+} // namespace pact

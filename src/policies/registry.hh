@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Policy factory: construct any evaluated tiering system by name, as
+ * the benches and examples address them.
+ */
+
+#ifndef PACT_POLICIES_REGISTRY_HH
+#define PACT_POLICIES_REGISTRY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/policy_iface.hh"
+
+namespace pact
+{
+
+/**
+ * Create a policy by name. Known names: "NoTier", "TPP", "NBT",
+ * "Memtis", "Colloid", "Nomad", "Alto", "Soar", "PACT", "PACT-freq",
+ * "PACT-static", "PACT-adaptive", "PACT-cool-halve",
+ * "PACT-cool-reset", "PACT-littleslaw" (AMD counter path).
+ * Unknown names fatal().
+ */
+std::unique_ptr<TieringPolicy> makePolicy(const std::string &name);
+
+/** All policy names compared in the paper's headline figures. */
+const std::vector<std::string> &allPolicyNames();
+
+} // namespace pact
+
+#endif // PACT_POLICIES_REGISTRY_HH

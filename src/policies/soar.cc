@@ -1,0 +1,148 @@
+#include "policies/soar.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "policies/notier.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Profiling-run policy: drains PEBS and aggregates per-object AOL. */
+class SoarCollector : public TieringPolicy
+{
+  public:
+    SoarCollector(AddrSpace &as, std::vector<SoarObjectProfile> &out)
+        : as_(as), out_(out)
+    {
+    }
+
+    const char *name() const override { return "Soar-profiler"; }
+
+    void
+    start(SimContext &ctx) override
+    {
+        snap_.take(ctx.pmu);
+        out_.clear();
+        for (const ObjectInfo &obj : as_.objects()) {
+            SoarObjectProfile p;
+            p.object = obj.id;
+            p.name = obj.name;
+            p.bytes = obj.bytes;
+            out_.push_back(p);
+        }
+    }
+
+    void
+    tick(SimContext &ctx) override
+    {
+        const PmuWindow w = pmuDelta(snap_, ctx.pmu);
+        snap_.take(ctx.pmu);
+        // System-wide MLP over the window: Soar's offline profiler has
+        // no per-tier decomposition.
+        std::uint64_t t1 = 0, t2 = 0;
+        for (unsigned t = 0; t < NumTiers; t++) {
+            t1 += w.torOccupancy[t];
+            t2 += w.torBusy[t];
+        }
+        const double mlp = std::max(1.0, Pmu::mlp(t1, t2));
+
+        for (const PebsRecord &r : ctx.pebs.drain()) {
+            const ObjectInfo *obj = as_.objectAt(r.vaddr);
+            if (!obj)
+                continue;
+            SoarObjectProfile &p = out_[obj->id];
+            p.samples++;
+            p.aol += static_cast<double>(r.latency) / mlp;
+        }
+    }
+
+  private:
+    AddrSpace &as_;
+    std::vector<SoarObjectProfile> &out_;
+    PmuSnapshot snap_;
+};
+
+} // namespace
+
+std::vector<SoarObjectProfile>
+soarProfile(const SimConfig &cfg, AddrSpace &as,
+            const std::vector<Trace> &traces)
+{
+    // Profile with the whole footprint on the slow tier so every
+    // object's latency sensitivity is exposed.
+    SimConfig pcfg = cfg;
+    pcfg.fastCapacityPages = 0;
+    pcfg.pebs.sampleFastTier = false;
+
+    std::vector<SoarObjectProfile> prof;
+    SoarCollector collector(as, prof);
+    Engine engine(pcfg, as, &traces, &collector);
+    engine.run();
+    return prof;
+}
+
+std::vector<ObjectId>
+soarPlan(const std::vector<SoarObjectProfile> &prof,
+         std::uint64_t fast_capacity_pages)
+{
+    std::vector<const SoarObjectProfile *> order;
+    for (const auto &p : prof)
+        order.push_back(&p);
+    std::sort(order.begin(), order.end(),
+              [](const SoarObjectProfile *a, const SoarObjectProfile *b) {
+                  return a->density() > b->density();
+              });
+
+    std::vector<ObjectId> plan;
+    std::uint64_t budget = fast_capacity_pages;
+    for (const SoarObjectProfile *p : order) {
+        if (p->samples == 0)
+            continue;
+        const std::uint64_t pages =
+            (p->bytes + PageBytes - 1) / PageBytes;
+        // All-or-nothing object placement: skip objects that cannot
+        // fit entirely (the paper's bc-kron 16GB-object pathology).
+        if (pages > budget)
+            continue;
+        budget -= pages;
+        plan.push_back(p->object);
+    }
+    return plan;
+}
+
+SoarPolicy::SoarPolicy(std::vector<ObjectId> fast_objects)
+    : fastObjects_(std::move(fast_objects)),
+      planSet_(!fastObjects_.empty())
+{
+}
+
+void
+SoarPolicy::setPlan(std::vector<ObjectId> fast_objects)
+{
+    fastObjects_ = std::move(fast_objects);
+    planSet_ = true;
+}
+
+void
+SoarPolicy::start(SimContext &ctx)
+{
+    // Everything defaults to the slow tier; planned objects get the
+    // fast tier at first touch. No migrations afterwards.
+    const auto &objects = ctx.as.objects();
+    for (const ObjectInfo &obj : objects) {
+        const bool fast =
+            std::find(fastObjects_.begin(), fastObjects_.end(), obj.id) !=
+            fastObjects_.end();
+        const PageId first = obj.firstPage();
+        for (PageId p = first; p < first + obj.pages(); p++) {
+            ctx.tm.setFirstTouchOverride(
+                p, fast ? TierId::Fast : TierId::Slow);
+        }
+    }
+}
+
+} // namespace pact

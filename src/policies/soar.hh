@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Soar (OSDI'25) behavioural model: offline, object-granular
+ * criticality profiling (Amortized Offcore Latency = latency / MLP
+ * with *system-wide* MLP) followed by static placement of the most
+ * critical objects in the fast tier. No online migration — the
+ * paper's contrast case for offline insight vs PACT's online
+ * adaptation, including the bc-kron pathology where one huge object
+ * cannot fit and object granularity wastes the fast tier.
+ */
+
+#ifndef PACT_POLICIES_SOAR_HH
+#define PACT_POLICIES_SOAR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/addr_space.hh"
+#include "policies/policy.hh"
+#include "sim/engine.hh"
+
+namespace pact
+{
+
+/** One profiled object's criticality summary. */
+struct SoarObjectProfile
+{
+    ObjectId object = 0;
+    std::string name;
+    std::uint64_t bytes = 0;
+    std::uint64_t samples = 0;
+    /** Accumulated AOL mass: sum over samples of latency / MLP. */
+    double aol = 0.0;
+
+    /** Criticality density used for placement (AOL per byte). */
+    double
+    density() const
+    {
+        return bytes == 0 ? 0.0 : aol / static_cast<double>(bytes);
+    }
+};
+
+/**
+ * Offline profiling pass: runs the workload entirely on the slow tier
+ * with PEBS sampling and aggregates per-object AOL, exactly the
+ * information Soar's profiler extracts.
+ */
+std::vector<SoarObjectProfile> soarProfile(const SimConfig &cfg,
+                                           AddrSpace &as,
+                                           const std::vector<Trace> &traces);
+
+/**
+ * Greedy placement: fill the fast tier with whole objects in
+ * decreasing AOL density; objects that do not fit entirely are left
+ * on the slow tier (object placement is all-or-nothing).
+ */
+std::vector<ObjectId> soarPlan(const std::vector<SoarObjectProfile> &prof,
+                               std::uint64_t fast_capacity_pages);
+
+/** Static object-placement policy driven by an offline plan. */
+class SoarPolicy : public TieringPolicy
+{
+  public:
+    /** @param fast_objects Objects to pin in the fast tier. */
+    explicit SoarPolicy(std::vector<ObjectId> fast_objects = {});
+
+    const char *name() const override { return "Soar"; }
+    void start(SimContext &ctx) override;
+    void tick(SimContext &ctx) override { (void)ctx; }
+
+    /** Provide/replace the placement plan before the run starts. */
+    void setPlan(std::vector<ObjectId> fast_objects);
+
+    /** Whether a plan has been installed (the runner profiles if not). */
+    bool hasPlan() const { return planSet_; }
+
+  private:
+    std::vector<ObjectId> fastObjects_;
+    bool planSet_ = false;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_SOAR_HH

@@ -1,0 +1,46 @@
+#include "policies/tpp.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+TppPolicy::TppPolicy(const TppConfig &cfg) : cfg_(cfg)
+{
+    scanner_.setFaultTarget(cfg.faultTarget);
+}
+
+void
+TppPolicy::tick(SimContext &ctx)
+{
+    ctx_ = &ctx;
+
+    // Keep promotion headroom via watermark demotion from the LRU.
+    const auto watermark = static_cast<std::uint64_t>(
+        cfg_.watermarkFraction *
+        static_cast<double>(ctx.tm.fastCapacity()));
+    ctx.lru.scan(TierId::Fast,
+                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+                 ctx.tm);
+    demoteToWatermark(ctx, std::max<std::uint64_t>(watermark, 64));
+
+    // Aggressive scanning: arm a large slice of slow-tier pages.
+    const std::uint64_t slowPages = ctx.tm.used(TierId::Slow);
+    const auto batch = static_cast<std::uint64_t>(
+        cfg_.scanFraction * static_cast<double>(slowPages));
+    scanner_.arm(ctx, std::max<std::uint64_t>(batch, 64), cfg_.scanCap);
+}
+
+void
+TppPolicy::onHintFault(PageId page, ProcId proc)
+{
+    (void)proc;
+    if (!ctx_)
+        return;
+    // TPP promotes on the first fault: the page was just accessed, so
+    // it is "hot" by recency. If the fast tier is full the promotion
+    // fails and the page retries on its next fault.
+    ctx_->mig.promote(page);
+}
+
+} // namespace pact

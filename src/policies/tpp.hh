@@ -1,0 +1,54 @@
+/**
+ * @file
+ * TPP (Transparent Page Placement, ASPLOS'23) behavioural model:
+ * aggressive NUMA-hint-fault scanning with promote-on-first-fault and
+ * watermark-driven LRU demotion. Its hallmark in the paper's
+ * evaluation is a pathological migration volume (hundreds of millions
+ * of promotions for bc-kron) caused by promote/demote ping-pong.
+ */
+
+#ifndef PACT_POLICIES_TPP_HH
+#define PACT_POLICIES_TPP_HH
+
+#include "policies/policy.hh"
+
+namespace pact
+{
+
+/** TPP tuning knobs. */
+struct TppConfig
+{
+    /** Fraction of touched pages armed per tick (aggressive scan). */
+    double scanFraction = 1.0;
+    /** Free-page watermark as a fraction of fast capacity. */
+    double watermarkFraction = 0.03;
+    /**
+     * Per-period fault budget. TPP lacks the adaptive scan back-off
+     * of NUMA balancing: the kernel promotes on every hint fault at
+     * full scan rate, which is exactly the migration pathology the
+     * paper measures (hundreds of millions of promotions).
+     */
+    std::uint64_t faultTarget = 24000;
+    /** Scan cap per period (pages). */
+    std::uint64_t scanCap = 32768;
+};
+
+/** Promote-on-fault kernel tiering. */
+class TppPolicy : public TieringPolicy
+{
+  public:
+    explicit TppPolicy(const TppConfig &cfg = {});
+
+    const char *name() const override { return "TPP"; }
+    void tick(SimContext &ctx) override;
+    void onHintFault(PageId page, ProcId proc) override;
+
+  private:
+    TppConfig cfg_;
+    HintScanner scanner_;
+    SimContext *ctx_ = nullptr;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_TPP_HH

@@ -1,0 +1,137 @@
+#include "sim/cache.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Mix the set index bits so contiguous lines spread across sets. */
+std::uint64_t
+hashLine(std::uint64_t line)
+{
+    std::uint64_t x = line;
+    x ^= x >> 17;
+    x *= 0xed5ad4bbu;
+    x ^= x >> 11;
+    return x;
+}
+
+} // namespace
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    fatal_if(params.assoc == 0, "Cache: zero associativity");
+    const std::uint64_t lines = params.sizeBytes / LineBytes;
+    fatal_if(lines < params.assoc, "Cache: too small for associativity");
+    sets_ = lines / params.assoc;
+    // Round down to a power of two for cheap indexing.
+    while (sets_ & (sets_ - 1))
+        sets_ &= sets_ - 1;
+    assoc_ = params.assoc;
+    ways_.assign(sets_ * assoc_, Way{});
+    streams_.assign(params.prefetchStreams, Stream{});
+}
+
+bool
+Cache::lookupFill(std::uint64_t line, bool prefetch_fill,
+                  bool &was_prefetched)
+{
+    const std::size_t set = hashLine(line) & (sets_ - 1);
+    Way *base = &ways_[set * assoc_];
+    clock_++;
+
+    Way *victim = base;
+    for (unsigned w = 0; w < assoc_; w++) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line) {
+            was_prefetched = way.prefetched;
+            way.prefetched = false; // demand hit clears the mark
+            way.stamp = clock_;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.stamp < victim->stamp) {
+            victim = &way;
+        }
+    }
+
+    victim->valid = true;
+    victim->tag = line;
+    victim->stamp = clock_;
+    victim->prefetched = prefetch_fill;
+    was_prefetched = false;
+    return false;
+}
+
+void
+Cache::trainPrefetcher(std::uint64_t line, CacheResult &res)
+{
+    // Look for a stream expecting this line (or its successor window).
+    for (auto &s : streams_) {
+        if (!s.valid)
+            continue;
+        if (line == s.nextLine) {
+            s.confidence++;
+            s.nextLine = line + 1;
+            if (s.confidence >= 2) {
+                res.prefetchLines = params_.prefetchDegree;
+                res.prefetchStart = line + 1;
+                s.nextLine = line + 1 + params_.prefetchDegree;
+            }
+            return;
+        }
+    }
+    // Allocate a new stream (round-robin victim).
+    Stream &s = streams_[streamVictim_];
+    streamVictim_ = (streamVictim_ + 1) % streams_.size();
+    s.valid = true;
+    s.nextLine = line + 1;
+    s.confidence = 0;
+}
+
+CacheResult
+Cache::access(Addr vaddr)
+{
+    const std::uint64_t line = vaddr >> LineShift;
+    CacheResult res;
+    bool was_prefetched = false;
+    res.hit = lookupFill(line, false, was_prefetched);
+    res.prefetched = was_prefetched;
+
+    if (res.hit) {
+        hits_++;
+        if (was_prefetched)
+            prefetchHits_++;
+    } else {
+        misses_++;
+        if (params_.prefetch)
+            trainPrefetcher(line, res);
+    }
+    return res;
+}
+
+void
+Cache::installPrefetches(std::uint64_t line, std::uint32_t count)
+{
+    bool dummy = false;
+    for (std::uint32_t i = 0; i < count; i++) {
+        lookupFill(line + i, true, dummy);
+        prefetchIssued_++;
+    }
+}
+
+void
+Cache::reset()
+{
+    for (auto &w : ways_)
+        w = Way{};
+    for (auto &s : streams_)
+        s = Stream{};
+    clock_ = 0;
+}
+
+} // namespace pact

@@ -1,0 +1,33 @@
+#include "sim/chmu.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+Chmu::Chmu(const ChmuParams &params) : params_(params)
+{
+    counts_.reserve(params.counterCap);
+}
+
+std::vector<ChmuEntry>
+Chmu::readHotList()
+{
+    std::vector<ChmuEntry> entries;
+    entries.reserve(counts_.size());
+    for (const auto &[page, count] : counts_)
+        entries.push_back({page, count});
+
+    const std::size_t keep =
+        std::min(entries.size(), params_.hotListLen);
+    std::partial_sort(entries.begin(), entries.begin() + keep,
+                      entries.end(),
+                      [](const ChmuEntry &a, const ChmuEntry &b) {
+                          return a.count > b.count;
+                      });
+    entries.resize(keep);
+    counts_.clear();
+    return entries;
+}
+
+} // namespace pact

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * CHMU: a CXL 3.2 Hotness Monitoring Unit model (paper §4.3.5). The
+ * device counts accesses to its own (slow-tier) pages in a bounded
+ * counter table and reports the hottest units to the host on demand.
+ * Unlike PEBS sampling it observes *every* device access (loads and
+ * stores) without host overhead, but it reports no latency and only
+ * covers the device tier — exactly the trade-off the paper describes
+ * when positioning CHMU as a future sampling backend for PACT.
+ */
+
+#ifndef PACT_SIM_CHMU_HH
+#define PACT_SIM_CHMU_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** CHMU configuration. */
+struct ChmuParams
+{
+    /** Counter-table capacity in tracked units (device SRAM bound). */
+    std::size_t counterCap = 1u << 16;
+    /** Hot-list length returned per readout. */
+    std::size_t hotListLen = 2048;
+};
+
+/** One hot-list entry reported to the host. */
+struct ChmuEntry
+{
+    PageId page = 0;
+    std::uint32_t count = 0;
+};
+
+/**
+ * Device-side access counter table. When the table is full, new pages
+ * are dropped (counted as untracked) until the next readout clears
+ * the table — modelling the bounded tracking capacity CHMU hardware
+ * proposals have.
+ */
+class Chmu
+{
+  public:
+    explicit Chmu(const ChmuParams &params = {});
+
+    /** Record one device access to @p page. */
+    void
+    record(PageId page)
+    {
+        accesses_++;
+        auto it = counts_.find(page);
+        if (it != counts_.end()) {
+            it->second++;
+            return;
+        }
+        if (counts_.size() >= params_.counterCap) {
+            untracked_++;
+            return;
+        }
+        counts_.emplace(page, 1u);
+    }
+
+    /**
+     * Read out the hottest units (by count, descending) and clear the
+     * counter table for the next epoch.
+     */
+    std::vector<ChmuEntry> readHotList();
+
+    /** Total device accesses observed. */
+    std::uint64_t accesses() const { return accesses_; }
+
+    /** Accesses dropped because the counter table was full. */
+    std::uint64_t untracked() const { return untracked_; }
+
+    /** Currently tracked units. */
+    std::size_t tracked() const { return counts_.size(); }
+
+  private:
+    ChmuParams params_;
+    std::unordered_map<PageId, std::uint32_t> counts_;
+    std::uint64_t accesses_ = 0;
+    std::uint64_t untracked_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_CHMU_HH

@@ -1,0 +1,274 @@
+#include "sim/cpu.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+Cpu::Cpu(const SimConfig &cfg, const Trace &trace, Cache &cache,
+         std::array<Tier *, NumTiers> tiers, TierManager &tm, LruLists &lru,
+         Pmu &pmu, PebsSampler &pebs, const std::vector<std::uint8_t> &huge,
+         AccessListener *listener, Chmu *chmu)
+    : cfg_(cfg), trace_(trace), cache_(cache), tiers_(tiers), tm_(tm),
+      lru_(lru), pmu_(pmu), pebs_(pebs), huge_(huge), listener_(listener),
+      chmu_(chmu)
+{
+    inflight_.reserve(cfg.cpu.mshrs + 1);
+}
+
+void
+Cpu::accountTor(Cycles c0, Cycles c1)
+{
+    if (inflight_.empty() || c1 <= c0)
+        return;
+
+    for (unsigned t = 0; t < NumTiers; t++) {
+        // Clip each outstanding miss of this tier to [c0, c1).
+        Cycles lo[64], hi[64];
+        unsigned n = 0;
+        std::uint64_t occ = 0;
+        for (const Miss &m : inflight_) {
+            if (tierIndex(m.tier) != t)
+                continue;
+            const Cycles a = std::max(m.start, c0);
+            const Cycles b = std::min(m.completion, c1);
+            if (a >= b)
+                continue;
+            occ += b - a;
+            if (n < 64) {
+                lo[n] = a;
+                hi[n] = b;
+                n++;
+            }
+        }
+        if (n == 0)
+            continue;
+        pmu_.torOccupancy[t] += occ;
+
+        // Busy cycles = length of the union of the clipped intervals.
+        // Insertion sort by start (n is tiny: at most mshrs).
+        for (unsigned i = 1; i < n; i++) {
+            const Cycles l = lo[i], h = hi[i];
+            unsigned j = i;
+            while (j > 0 && lo[j - 1] > l) {
+                lo[j] = lo[j - 1];
+                hi[j] = hi[j - 1];
+                j--;
+            }
+            lo[j] = l;
+            hi[j] = h;
+        }
+        std::uint64_t busy = 0;
+        Cycles curLo = lo[0], curHi = hi[0];
+        for (unsigned i = 1; i < n; i++) {
+            if (lo[i] <= curHi) {
+                curHi = std::max(curHi, hi[i]);
+            } else {
+                busy += curHi - curLo;
+                curLo = lo[i];
+                curHi = hi[i];
+            }
+        }
+        busy += curHi - curLo;
+        pmu_.torBusy[t] += busy;
+    }
+}
+
+void
+Cpu::removeCompleted()
+{
+    std::erase_if(inflight_,
+                  [this](const Miss &m) { return m.completion <= cycle_; });
+}
+
+void
+Cpu::advanceTo(Cycles c1)
+{
+    if (c1 <= cycle_)
+        return;
+    accountTor(cycle_, c1);
+    cycle_ = c1;
+    if (!inflight_.empty())
+        removeCompleted();
+}
+
+void
+Cpu::waitFor(Cycles completion, TierId tier)
+{
+    if (completion > cycle_) {
+        pmu_.stallCycles[tierIndex(tier)] += completion - cycle_;
+        advanceTo(completion);
+    }
+}
+
+void
+Cpu::addPenalty(Cycles c)
+{
+    if (c == 0)
+        return;
+    penaltyCycles_ += c;
+    advanceTo(cycle_ + c);
+}
+
+void
+Cpu::drainInflight()
+{
+    Cycles maxc = cycle_;
+    for (const Miss &m : inflight_)
+        maxc = std::max(maxc, m.completion);
+    advanceTo(maxc);
+}
+
+void
+Cpu::doAccess(const TraceOp &op)
+{
+    const bool isLoad = op.kind() == OpKind::Load;
+    const PageId page = pageOf(op.vaddr());
+
+    // Resolve placement (materializing on first touch).
+    TierId tier;
+    if (tm_.touched(page)) {
+        tier = tm_.tierOf(page);
+    } else {
+        const bool huge = page < huge_.size() && huge_[page];
+        tier = tm_.touch(page, trace_.proc, huge);
+    }
+    if (!lru_.tracked(page))
+        lru_.insert(page, tier);
+
+    PageMeta &m = tm_.meta(page);
+    m.flags |= PageFlags::Referenced;
+    m.lastAccess = static_cast<std::uint32_t>(cycle_ >> 10);
+    if (m.shortFreq < 0xff)
+        m.shortFreq++;
+
+    // NUMA hint fault: the policy unmapped this page to observe the
+    // next access; the access traps, costing the process fault cycles.
+    if (m.flags & PageFlags::HintArmed) {
+        m.flags &= ~PageFlags::HintArmed;
+        pmu_.hintFaults++;
+        addPenalty(cfg_.cpu.hintFaultCycles);
+        if (listener_)
+            listener_->onHintFault(page, trace_.proc);
+        tier = tm_.tierOf(page); // the fault handler may have migrated
+    }
+
+    // A dependent access cannot compute its address before the
+    // producer load's data arrives, hit or miss downstream.
+    if (op.dep() && lastLoadValid_)
+        waitFor(lastLoadCompletion_, lastLoadTier_);
+
+    const CacheResult cr = cache_.access(op.vaddr());
+
+    if (cr.prefetchLines > 0) {
+        // Prefetches consume target-tier bandwidth but never fault
+        // pages in; drop bursts into unmapped space.
+        const PageId ppage = pageOf(cr.prefetchStart << LineShift);
+        if (tm_.touched(ppage)) {
+            Tier *pt = tiers_[tierIndex(tm_.tierOf(ppage))];
+            pt->chargeLines(cycle_, cr.prefetchLines);
+            cache_.installPrefetches(cr.prefetchStart, cr.prefetchLines);
+            pmu_.prefetches += cr.prefetchLines;
+        }
+    }
+
+    if (cr.hit) {
+        pmu_.llcHits++;
+        if (isLoad)
+            lastLoadValid_ = false; // data available immediately
+        return;
+    }
+
+    // Structural hazards: MSHRs, then ROB headroom.
+    while (inflight_.size() >= cfg_.cpu.mshrs) {
+        auto it = std::min_element(inflight_.begin(), inflight_.end(),
+                                   [](const Miss &a, const Miss &b) {
+                                       return a.completion < b.completion;
+                                   });
+        waitFor(it->completion, it->tier);
+    }
+    while (!inflight_.empty() &&
+           opIdx_ - inflight_.front().opIdx >=
+               static_cast<std::uint64_t>(cfg_.cpu.robOps)) {
+        waitFor(inflight_.front().completion, inflight_.front().tier);
+    }
+
+    const TierAccess acc = tiers_[tierIndex(tier)]->access(cycle_);
+    inflight_.push_back({acc.start, acc.completion, opIdx_, tier, isLoad});
+
+    pmu_.llcMisses[tierIndex(tier)]++;
+    if (chmu_ && tier == TierId::Slow)
+        chmu_->record(page); // the device observes all its accesses
+    if (isLoad) {
+        pmu_.llcLoadMisses[tierIndex(tier)]++;
+        pebs_.onLoadMiss(op.vaddr(), tier,
+                         static_cast<std::uint32_t>(acc.completion - cycle_),
+                         trace_.proc);
+        lastLoadValid_ = true;
+        lastLoadCompletion_ = acc.completion;
+        lastLoadTier_ = tier;
+    }
+}
+
+bool
+Cpu::run(Cycles until)
+{
+    if (done_)
+        return false;
+    const auto &ops = trace_.ops;
+
+    while (cycle_ < until) {
+        if (pos_ >= ops.size()) {
+            if (trace_.loop && !ops.empty()) {
+                pos_ = 0;
+            } else {
+                done_ = true;
+                drainInflight();
+                finishCycle_ = cycle_;
+                return false;
+            }
+        }
+        const TraceOp &op = ops[pos_++];
+        opIdx_++;
+        retired_++;
+        pmu_.instructions++;
+
+        if (const std::uint32_t gap = op.gap()) {
+            pmu_.computeCycles += gap;
+            advanceTo(cycle_ + gap);
+        }
+
+        switch (op.kind()) {
+          case OpKind::Load:
+          case OpKind::Store:
+            doAccess(op);
+            break;
+          case OpKind::MarkBegin:
+            spanStack_.emplace_back(
+                static_cast<std::uint32_t>(op.vaddr()), cycle_);
+            break;
+          case OpKind::MarkEnd:
+            if (!spanStack_.empty()) {
+                const auto [cls, beg] = spanStack_.back();
+                spanStack_.pop_back();
+                spans_.emplace_back(
+                    cls, static_cast<std::uint32_t>(
+                             std::min<Cycles>(cycle_ - beg, 0xffffffffu)));
+            }
+            break;
+          case OpKind::Nop:
+            break;
+        }
+
+        // Retire-width floor: at most 4 ops per cycle.
+        if (++retireCredit_ == 4) {
+            retireCredit_ = 0;
+            advanceTo(cycle_ + 1);
+        }
+    }
+    return true;
+}
+
+} // namespace pact

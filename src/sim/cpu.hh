@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Program-order CPU timing model with out-of-order miss overlap.
+ *
+ * The core retires trace ops at up to 4 per cycle, overlapping LLC
+ * misses subject to three hazards: (1) a dependent load cannot issue
+ * before its producer miss returns (pointer chasing), (2) at most
+ * `mshrs` misses may be outstanding, and (3) the core can run at most
+ * `robOps` ops past the oldest incomplete miss. Stall cycles emerge
+ * from these hazards and are attributed to the tier of the miss being
+ * waited on — giving the ground-truth per-tier stalls that PAC's
+ * Equation 1 models. TOR occupancy counters (T1/T2) are integrated
+ * cycle-exactly over the outstanding-miss set, per tier.
+ */
+
+#ifndef PACT_SIM_CPU_HH
+#define PACT_SIM_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/lru.hh"
+#include "mem/tier_manager.hh"
+#include "sim/cache.hh"
+#include "sim/chmu.hh"
+#include "sim/config.hh"
+#include "sim/pebs.hh"
+#include "sim/pmu.hh"
+#include "sim/policy_iface.hh"
+#include "sim/tier.hh"
+#include "sim/trace.hh"
+
+namespace pact
+{
+
+/** One simulated hardware context executing a trace. */
+class Cpu
+{
+  public:
+    Cpu(const SimConfig &cfg, const Trace &trace, Cache &cache,
+        std::array<Tier *, NumTiers> tiers, TierManager &tm, LruLists &lru,
+        Pmu &pmu, PebsSampler &pebs, const std::vector<std::uint8_t> &huge,
+        AccessListener *listener, Chmu *chmu = nullptr);
+
+    /**
+     * Execute ops until the local clock reaches @p until or the trace
+     * ends (looping traces restart). @return false once a non-looping
+     * trace has fully retired.
+     */
+    bool run(Cycles until);
+
+    /** Local clock. */
+    Cycles cycle() const { return cycle_; }
+
+    /** True when a non-looping trace has retired all ops. */
+    bool done() const { return done_; }
+
+    /** Cycle at which the trace finished (valid when done()). */
+    Cycles finishCycle() const { return finishCycle_; }
+
+    /** Charge externally imposed stall cycles (migration penalties). */
+    void addPenalty(Cycles c);
+
+    /** Wait out all outstanding misses (end-of-run drain). */
+    void drainInflight();
+
+    /** Completed latency-span measurements, by span class. */
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+    spans() const
+    {
+        return spans_;
+    }
+
+    /** Ops retired so far. */
+    std::uint64_t retired() const { return retired_; }
+
+    /** Cycles charged as migration/fault penalties. */
+    Cycles penaltyCycles() const { return penaltyCycles_; }
+
+  private:
+    struct Miss
+    {
+        Cycles start;
+        Cycles completion;
+        std::uint64_t opIdx;
+        TierId tier;
+        bool isLoad;
+    };
+
+    void doAccess(const TraceOp &op);
+    void waitFor(Cycles completion, TierId tier);
+    void advanceTo(Cycles c1);
+    void accountTor(Cycles c0, Cycles c1);
+    void removeCompleted();
+
+    const SimConfig &cfg_;
+    const Trace &trace_;
+    Cache &cache_;
+    std::array<Tier *, NumTiers> tiers_;
+    TierManager &tm_;
+    LruLists &lru_;
+    Pmu &pmu_;
+    PebsSampler &pebs_;
+    const std::vector<std::uint8_t> &huge_;
+    AccessListener *listener_;
+    Chmu *chmu_;
+
+    Cycles cycle_ = 0;
+    std::size_t pos_ = 0;
+    std::uint64_t opIdx_ = 0;
+    std::uint64_t retired_ = 0;
+    unsigned retireCredit_ = 0;
+    bool done_ = false;
+    Cycles finishCycle_ = 0;
+    Cycles penaltyCycles_ = 0;
+
+    std::vector<Miss> inflight_;
+    bool lastLoadValid_ = false;
+    Cycles lastLoadCompletion_ = 0;
+    TierId lastLoadTier_ = TierId::Fast;
+
+    std::vector<std::pair<std::uint32_t, Cycles>> spanStack_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans_;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_CPU_HH

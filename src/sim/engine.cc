@@ -1,0 +1,177 @@
+#include "sim/engine.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+Engine::Engine(const SimConfig &cfg, AddrSpace &as,
+               const std::vector<Trace> *traces, TieringPolicy *policy)
+    : cfg_(cfg), as_(as), traces_(traces), policy_(policy),
+      rng_(cfg.seed ^ 0x5bd1e995u),
+      fastTier_(TierId::Fast, cfg.fast),
+      slowTier_(TierId::Slow, cfg.slow),
+      cache_(cfg.cache),
+      pebs_(cfg.pebs),
+      tm_(as.totalPages(), cfg.fastCapacityPages),
+      lru_(as.totalPages()),
+      mig_(tm_, lru_, *this, cfg.migration,
+           static_cast<unsigned>(traces->size())),
+      ctx_{cfg_, 0,     pmu_, pebs_, tm_,
+           lru_, mig_,  as_,  {&fastTier_, &slowTier_}, rng_}
+{
+    fatal_if(traces_->empty(), "Engine: no traces");
+
+    if (cfg_.chmu.enabled) {
+        ChmuParams cp;
+        cp.counterCap = cfg_.chmu.counterCap;
+        cp.hotListLen = cfg_.chmu.hotListLen;
+        chmu_ = std::make_unique<Chmu>(cp);
+        ctx_.chmu = chmu_.get();
+    }
+
+    bool have_primary = false;
+    for (const Trace &t : *traces_)
+        have_primary |= !t.loop;
+    fatal_if(!have_primary, "Engine: all traces loop; run never ends");
+
+    // Per-page huge flag map from the allocation registry.
+    hugeMap_.assign(as.totalPages(), 0);
+    for (const ObjectInfo &obj : as.objects()) {
+        if (!obj.thp)
+            continue;
+        const PageId first = obj.firstPage();
+        for (PageId p = first; p < first + obj.pages() &&
+                               p < hugeMap_.size();
+             p++) {
+            hugeMap_[p] = 1;
+        }
+    }
+
+    for (const Trace &t : *traces_) {
+        cpus_.push_back(std::make_unique<Cpu>(
+            cfg_, t, cache_, ctx_.tiers, tm_, lru_, pmu_, pebs_, hugeMap_,
+            policy_, chmu_.get()));
+    }
+
+    nextTick_ = cfg_.daemonPeriod;
+}
+
+bool
+Engine::allPrimariesDone() const
+{
+    for (std::size_t i = 0; i < cpus_.size(); i++) {
+        if (!(*traces_)[i].loop && !cpus_[i]->done())
+            return false;
+    }
+    return true;
+}
+
+Cycles
+Engine::chargeCopy(TierId src, TierId dst, std::uint64_t bytes)
+{
+    const std::uint64_t lines = (bytes + LineBytes - 1) / LineBytes;
+    Tier *s = ctx_.tiers[tierIndex(src)];
+    Tier *d = ctx_.tiers[tierIndex(dst)];
+    // The copy occupies both buses (stealing bandwidth from demand
+    // traffic), but the returned cost is the queue-free transfer time:
+    // intra-batch queueing is absorbed by the migration daemon thread,
+    // not the application.
+    s->chargeLines(now_, lines);
+    d->chargeLines(now_, lines);
+    const double service =
+        std::max(s->serviceCycles(), d->serviceCycles()) *
+        static_cast<double>(lines);
+    return static_cast<Cycles>(service) + s->latency();
+}
+
+bool
+Engine::runUntil(Cycles until)
+{
+    if (!started_) {
+        started_ = true;
+        if (policy_) {
+            ctx_.now = 0;
+            policy_->start(ctx_);
+        }
+    }
+    if (finished_)
+        return false;
+
+    while (now_ < until) {
+        const Cycles sliceEnd = now_ + cfg_.slice;
+        for (auto &cpu : cpus_)
+            cpu->run(sliceEnd);
+        now_ = sliceEnd;
+
+        if (now_ >= nextTick_) {
+            if (policy_) {
+                ctx_.now = now_;
+                policy_->tick(ctx_);
+                daemonTicks_++;
+                // Application threads absorb migration penalties.
+                for (std::size_t i = 0; i < cpus_.size(); i++) {
+                    cpus_[i]->addPenalty(
+                        mig_.drainPenalty(static_cast<ProcId>(
+                            (*traces_)[i].proc)));
+                }
+            }
+            nextTick_ += cfg_.daemonPeriod;
+        }
+
+        if (now_ >= cfg_.maxWallCycles) {
+            warn("run exceeded maxWallCycles; cutting short");
+            finished_ = true;
+            for (auto &cpu : cpus_)
+                cpu->drainInflight();
+            if (policy_) {
+                ctx_.now = now_;
+                policy_->finish(ctx_);
+            }
+            return false;
+        }
+
+        if (allPrimariesDone()) {
+            finished_ = true;
+            if (policy_) {
+                ctx_.now = now_;
+                policy_->finish(ctx_);
+            }
+            return false;
+        }
+    }
+    return true;
+}
+
+RunStats
+Engine::run()
+{
+    while (runUntil(now_ + (1ull << 40))) {
+    }
+    return snapshot();
+}
+
+RunStats
+Engine::snapshot() const
+{
+    RunStats rs;
+    rs.wallCycles = now_;
+    for (std::size_t i = 0; i < cpus_.size(); i++) {
+        rs.procCycles.push_back(cpus_[i]->done() ? cpus_[i]->finishCycle()
+                                                 : cpus_[i]->cycle());
+        rs.procRetired.push_back(cpus_[i]->retired());
+        rs.spans.push_back(cpus_[i]->spans());
+    }
+    rs.pmu = pmu_;
+    rs.migration = mig_.stats();
+    rs.pebsEvents = pebs_.events();
+    rs.pebsDropped = pebs_.dropped();
+    rs.cacheHits = cache_.hits();
+    rs.cacheMisses = cache_.misses();
+    rs.daemonTicks = daemonTicks_;
+    return rs;
+}
+
+} // namespace pact

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Simulation engine: owns the memory system, one CPU per trace, and
+ * the policy daemon, interleaving their execution in bounded time
+ * slices so colocated processes contend for tier bandwidth while the
+ * daemon wakes every sampling period — the runtime structure of the
+ * paper's userspace PACT daemon.
+ */
+
+#ifndef PACT_SIM_ENGINE_HH
+#define PACT_SIM_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/addr_space.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/tier_manager.hh"
+#include "sim/cache.hh"
+#include "sim/chmu.hh"
+#include "sim/config.hh"
+#include "sim/cpu.hh"
+#include "sim/pebs.hh"
+#include "sim/pmu.hh"
+#include "sim/policy_iface.hh"
+#include "sim/tier.hh"
+#include "sim/trace.hh"
+
+namespace pact
+{
+
+/** Everything a finished run reports. */
+struct RunStats
+{
+    /** Global slice clock when the last non-looping trace retired. */
+    Cycles wallCycles = 0;
+    /** Per-process finish cycle (0 for looping co-runners). */
+    std::vector<Cycles> procCycles;
+    /** Per-process retired op counts. */
+    std::vector<std::uint64_t> procRetired;
+    /** Final PMU counter values. */
+    Pmu pmu;
+    MigrationStats migration;
+    std::uint64_t pebsEvents = 0;
+    std::uint64_t pebsDropped = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t daemonTicks = 0;
+    /** Per-process (spanClass, cycles) latency measurements. */
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+        spans;
+
+    /** Total promotion operations (the paper's Table 2 metric). */
+    std::uint64_t promotions() const { return migration.promotedOps; }
+    std::uint64_t demotions() const { return migration.demotedOps; }
+};
+
+/**
+ * Drives one simulation: traces are replayed on per-process CPUs that
+ * share the LLC, tiers, and page table; the policy daemon ticks every
+ * SimConfig::daemonPeriod cycles of global time.
+ */
+class Engine : public MigrationBackend
+{
+  public:
+    /**
+     * @param cfg Simulation configuration (fast capacity, tiers, ...).
+     * @param as Address space the traces were generated against.
+     * @param traces One trace per simulated process; at least one must
+     *               be non-looping (it defines run completion).
+     * @param policy Tiering policy, or nullptr for no daemon.
+     */
+    Engine(const SimConfig &cfg, AddrSpace &as,
+           const std::vector<Trace> *traces, TieringPolicy *policy);
+
+    /** Run to completion and return statistics. */
+    RunStats run();
+
+    /**
+     * Run until global time reaches @p until (incremental runs for
+     * time-series instrumentation). @return false when complete.
+     */
+    bool runUntil(Cycles until);
+
+    /** Statistics snapshot of the current state. */
+    RunStats snapshot() const;
+
+    /** MigrationBackend: account a migration copy on both tiers. */
+    Cycles chargeCopy(TierId src, TierId dst, std::uint64_t bytes) override;
+
+    /** Global slice clock. */
+    Cycles now() const { return now_; }
+
+    SimContext &context() { return ctx_; }
+    TierManager &tierManager() { return tm_; }
+    MigrationEngine &migration() { return mig_; }
+    Pmu &pmu() { return pmu_; }
+    Cache &cache() { return cache_; }
+
+  private:
+    bool allPrimariesDone() const;
+
+    const SimConfig cfg_;
+    AddrSpace &as_;
+    const std::vector<Trace> *traces_;
+    TieringPolicy *policy_;
+
+    Rng rng_;
+    Tier fastTier_;
+    Tier slowTier_;
+    Cache cache_;
+    Pmu pmu_;
+    PebsSampler pebs_;
+    std::unique_ptr<Chmu> chmu_;
+    TierManager tm_;
+    LruLists lru_;
+    MigrationEngine mig_;
+    std::vector<std::uint8_t> hugeMap_;
+    std::vector<std::unique_ptr<Cpu>> cpus_;
+    SimContext ctx_;
+
+    Cycles now_ = 0;
+    Cycles nextTick_ = 0;
+    std::uint64_t daemonTicks_ = 0;
+    bool started_ = false;
+    bool finished_ = false;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_ENGINE_HH

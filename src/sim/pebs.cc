@@ -1,0 +1,14 @@
+#include "sim/pebs.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+PebsSampler::PebsSampler(const PebsParams &params) : params_(params)
+{
+    fatal_if(params.rate == 0, "PEBS: rate must be >= 1");
+    buffer_.reserve(1024);
+}
+
+} // namespace pact

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * PEBS-style hardware event sampler: records one in N slow-tier
+ * demand-load LLC misses (virtual address + observed latency) into a
+ * bounded buffer that the policy daemon drains each period, mirroring
+ * MEM_LOAD_L3_MISS_RETIRE sampling in the paper.
+ */
+
+#ifndef PACT_SIM_PEBS_HH
+#define PACT_SIM_PEBS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace pact
+{
+
+/** One sampled memory access. */
+struct PebsRecord
+{
+    Addr vaddr = 0;
+    /** Observed load-to-use latency in cycles. */
+    std::uint32_t latency = 0;
+    TierId tier = TierId::Slow;
+    ProcId proc = 0;
+};
+
+/** Event-based sampler with a bounded record buffer. */
+class PebsSampler
+{
+  public:
+    explicit PebsSampler(const PebsParams &params);
+
+    /** Report a demand-load LLC miss; may record a sample. */
+    void
+    onLoadMiss(Addr vaddr, TierId tier, std::uint32_t latency, ProcId proc)
+    {
+        if (tier == TierId::Fast && !params_.sampleFastTier)
+            return;
+        events_++;
+        if (++sinceLast_ < params_.rate)
+            return;
+        sinceLast_ = 0;
+        if (buffer_.size() >= params_.bufferCap) {
+            dropped_++;
+            return;
+        }
+        buffer_.push_back({vaddr, latency, tier, proc});
+    }
+
+    /** Move all buffered records out (daemon drain). */
+    std::vector<PebsRecord>
+    drain()
+    {
+        std::vector<PebsRecord> out;
+        out.swap(buffer_);
+        return out;
+    }
+
+    /** Change the sampling rate at runtime (sensitivity studies). */
+    void setRate(std::uint64_t rate) { params_.rate = rate; }
+    std::uint64_t rate() const { return params_.rate; }
+
+    std::uint64_t events() const { return events_; }
+    std::uint64_t dropped() const { return dropped_; }
+    std::size_t pending() const { return buffer_.size(); }
+
+  private:
+    PebsParams params_;
+    std::uint64_t sinceLast_ = 0;
+    std::uint64_t events_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::vector<PebsRecord> buffer_;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_PEBS_HH

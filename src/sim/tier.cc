@@ -1,0 +1,39 @@
+#include "sim/tier.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+Tier::Tier(TierId id, const TierParams &params) : id_(id), params_(params)
+{
+}
+
+TierAccess
+Tier::access(Cycles ready)
+{
+    const double r = static_cast<double>(ready);
+    const double start = std::max(r, nextFree_);
+    nextFree_ = start + params_.serviceCycles;
+
+    TierAccess acc;
+    acc.start = static_cast<Cycles>(start);
+    acc.completion = acc.start + params_.latencyCycles;
+    requests_++;
+    linesServed_++;
+    loadedLatSum_ += acc.completion - ready;
+    return acc;
+}
+
+Cycles
+Tier::chargeLines(Cycles now, std::uint64_t lines)
+{
+    const double n = static_cast<double>(now);
+    const double start = std::max(n, nextFree_);
+    const double busy = params_.serviceCycles * static_cast<double>(lines);
+    nextFree_ = start + busy;
+    linesServed_ += lines;
+    return static_cast<Cycles>(start + busy - n);
+}
+
+} // namespace pact

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Memory tier timing model: fixed unloaded latency plus a bandwidth
+ * token bucket. Requests that arrive faster than one line per service
+ * interval queue behind the bucket cursor, inflating observed (loaded)
+ * latency exactly as bandwidth contention does on hardware — this is
+ * how the paper's "k grows under contention" behaviour emerges.
+ */
+
+#ifndef PACT_SIM_TIER_HH
+#define PACT_SIM_TIER_HH
+
+#include <cstdint>
+
+#include "common/types.hh"
+#include "sim/config.hh"
+
+namespace pact
+{
+
+/** Result of issuing a request to a tier. */
+struct TierAccess
+{
+    /** Cycle the line transfer began (>= ready under contention). */
+    Cycles start = 0;
+    /** Cycle the data returned to the core. */
+    Cycles completion = 0;
+};
+
+/**
+ * One memory tier. Not thread-safe; the engine serializes access.
+ */
+class Tier
+{
+  public:
+    Tier(TierId id, const TierParams &params);
+
+    /**
+     * Issue a demand line fetch that becomes ready at @p ready.
+     * Advances the bandwidth cursor and returns the timing.
+     */
+    TierAccess access(Cycles ready);
+
+    /**
+     * Consume bandwidth for @p lines back-to-back line transfers at
+     * time @p now without a waiting consumer (prefetches, migration
+     * copies). @return cycles of bus occupancy charged.
+     */
+    Cycles chargeLines(Cycles now, std::uint64_t lines);
+
+    TierId id() const { return id_; }
+    Cycles latency() const { return params_.latencyCycles; }
+    double serviceCycles() const { return params_.serviceCycles; }
+
+    /** Demand requests issued so far. */
+    std::uint64_t requests() const { return requests_; }
+
+    /** Total lines served including prefetch and migration traffic. */
+    std::uint64_t linesServed() const { return linesServed_; }
+
+    /** Sum of loaded latency (completion - ready) over all requests. */
+    std::uint64_t loadedLatencySum() const { return loadedLatSum_; }
+
+    /** Average loaded latency since construction. */
+    double
+    avgLoadedLatency() const
+    {
+        return requests_ == 0 ? static_cast<double>(params_.latencyCycles)
+                              : static_cast<double>(loadedLatSum_) /
+                                    static_cast<double>(requests_);
+    }
+
+    /** Current bandwidth cursor (for tests). */
+    double cursor() const { return nextFree_; }
+
+  private:
+    TierId id_;
+    TierParams params_;
+    /** Next cycle at which the tier can begin a new line transfer. */
+    double nextFree_ = 0.0;
+    std::uint64_t requests_ = 0;
+    std::uint64_t loadedLatSum_ = 0;
+    std::uint64_t linesServed_ = 0;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_TIER_HH

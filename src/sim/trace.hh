@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Memory access trace format. Workloads run their real algorithms once
+ * to record the virtual-address access stream (with dependence and
+ * inter-access compute information); the simulator then replays a trace
+ * under any policy/placement, which keeps the access stream identical
+ * across compared systems.
+ *
+ * Ops are packed into 8 bytes:
+ *   [0:47]  virtual address (or marker class)
+ *   [48:59] compute-gap cycles preceding the op (0..4095)
+ *   [60:62] op kind
+ *   [63]    depends-on-previous-load flag
+ */
+
+#ifndef PACT_SIM_TRACE_HH
+#define PACT_SIM_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** Kind of a trace operation. */
+enum class OpKind : std::uint8_t
+{
+    /** Demand data load from vaddr. */
+    Load = 0,
+    /** Store to vaddr (does not stall the core on completion). */
+    Store = 1,
+    /** Begin a latency-measured span; vaddr carries the span class. */
+    MarkBegin = 2,
+    /** End the innermost open span. */
+    MarkEnd = 3,
+    /** No memory access; only consumes its gap (pure compute). */
+    Nop = 4,
+};
+
+/** One recorded operation (packed, 8 bytes). */
+struct TraceOp
+{
+    std::uint64_t bits = 0;
+
+    static constexpr unsigned GapShift = 48;
+    static constexpr unsigned KindShift = 60;
+    static constexpr unsigned DepShift = 63;
+    static constexpr std::uint64_t AddrMask = (1ull << GapShift) - 1;
+    static constexpr std::uint64_t MaxGap = 4095;
+
+    static TraceOp
+    make(Addr vaddr, OpKind kind, bool dep, std::uint32_t gap)
+    {
+        TraceOp op;
+        op.bits = (vaddr & AddrMask) |
+                  (static_cast<std::uint64_t>(gap & MaxGap) << GapShift) |
+                  (static_cast<std::uint64_t>(kind) << KindShift) |
+                  (static_cast<std::uint64_t>(dep ? 1 : 0) << DepShift);
+        return op;
+    }
+
+    Addr vaddr() const { return bits & AddrMask; }
+    std::uint32_t
+    gap() const
+    {
+        return static_cast<std::uint32_t>((bits >> GapShift) & MaxGap);
+    }
+    OpKind
+    kind() const
+    {
+        return static_cast<OpKind>((bits >> KindShift) & 0x7);
+    }
+    bool dep() const { return (bits >> DepShift) & 1; }
+};
+
+static_assert(sizeof(TraceOp) == 8, "TraceOp must stay compact");
+
+/** A process's recorded access stream. */
+struct Trace
+{
+    std::string name;
+    ProcId proc = 0;
+    std::vector<TraceOp> ops;
+    /** Restart from the beginning when exhausted (co-runners). */
+    bool loop = false;
+
+    void
+    load(Addr a, bool dep = false, std::uint32_t gap = 0)
+    {
+        emitGap(gap);
+        ops.push_back(TraceOp::make(a, OpKind::Load, dep,
+                                    gap > TraceOp::MaxGap ? 0 : gap));
+    }
+
+    void
+    store(Addr a, std::uint32_t gap = 0)
+    {
+        emitGap(gap);
+        ops.push_back(TraceOp::make(a, OpKind::Store, false,
+                                    gap > TraceOp::MaxGap ? 0 : gap));
+    }
+
+    /** Pure compute between accesses. */
+    void
+    compute(std::uint32_t cycles)
+    {
+        while (cycles > 0) {
+            const std::uint32_t g =
+                cycles > TraceOp::MaxGap
+                    ? static_cast<std::uint32_t>(TraceOp::MaxGap)
+                    : cycles;
+            ops.push_back(TraceOp::make(0, OpKind::Nop, false, g));
+            cycles -= g;
+        }
+    }
+
+    void
+    markBegin(std::uint32_t cls)
+    {
+        ops.push_back(TraceOp::make(cls, OpKind::MarkBegin, false, 0));
+    }
+
+    void
+    markEnd()
+    {
+        ops.push_back(TraceOp::make(0, OpKind::MarkEnd, false, 0));
+    }
+
+    std::size_t size() const { return ops.size(); }
+
+  private:
+    /** Oversized gaps spill into explicit Nop ops. */
+    void
+    emitGap(std::uint32_t gap)
+    {
+        if (gap > TraceOp::MaxGap)
+            compute(gap);
+    }
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_TRACE_HH

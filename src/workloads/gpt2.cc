@@ -1,0 +1,93 @@
+#include "workloads/gpt2.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+Trace
+buildGpt2(AddrSpace &as, ProcId proc, const Gpt2Params &params, Rng &rng,
+          bool thp)
+{
+    Trace t;
+    t.name = "gpt2";
+    t.proc = proc;
+
+    const std::uint64_t rowBytes = 4ull * params.dModel;
+    const Addr embed = as.alloc(proc, "gpt2.embedding",
+                                rowBytes * params.vocab, thp);
+    // One fused weight blob per layer (attention + MLP matrices).
+    const std::uint64_t layerBytes = 12ull * params.dModel * params.dModel;
+    std::vector<Addr> weights;
+    for (std::uint32_t l = 0; l < params.layers; l++) {
+        weights.push_back(as.alloc(
+            proc, "gpt2.layer" + std::to_string(l), layerBytes, thp));
+    }
+    const std::uint64_t kvBytes =
+        2ull * rowBytes * params.seqLen * params.layers;
+    const Addr kv = as.alloc(proc, "gpt2.kvcache", kvBytes, thp);
+    const Addr acts = as.alloc(proc, "gpt2.activations", 8 * rowBytes,
+                               thp);
+
+    // To bound trace size, the GEMM pass touches one line per weight
+    // page per token, with the gap modelling the compute of the whole
+    // page (documented scaling): every weight page stays hot and
+    // latency-tolerant, at 1/64 the trace volume.
+    const std::uint64_t panelPages = layerBytes / PageBytes;
+
+    for (std::uint32_t tok = 0; tok < params.tokens; tok++) {
+        const std::uint32_t pos = tok % params.seqLen;
+
+        // Embedding gather: a dependent random row (table lookup).
+        const std::uint64_t row = rng.below(params.vocab);
+        for (std::uint64_t b = 0; b < rowBytes; b += LineBytes)
+            t.load(embed + row * rowBytes + b, b == 0, 2);
+
+        for (std::uint32_t l = 0; l < params.layers; l++) {
+            // Weight streaming: page-strided panel pass, compute-dense.
+            for (std::uint64_t pg = 0; pg < panelPages; pg++) {
+                t.load(weights[l] + pg * PageBytes +
+                           ((tok + pg) % (PageBytes / LineBytes)) *
+                               LineBytes,
+                       false, params.gemmGap);
+            }
+            // Attention: append K/V for this position, then scan the
+            // cache up to the current length (strided reads).
+            const Addr layerKv =
+                kv + 2ull * rowBytes * params.seqLen * l;
+            t.store(layerKv + 2ull * rowBytes * pos);
+            for (std::uint32_t p = 0; p <= pos; p += 2)
+                t.load(layerKv + 2ull * rowBytes * p, false, 3);
+            // Activations: small hot buffer.
+            t.load(acts + (l % 8) * rowBytes);
+            t.store(acts + (l % 8) * rowBytes);
+        }
+
+        // Logits: one more gather against the embedding table.
+        const std::uint64_t lrow = rng.below(params.vocab);
+        for (std::uint64_t b = 0; b < rowBytes; b += 2 * LineBytes)
+            t.load(embed + lrow * rowBytes + b, b == 0, 2);
+    }
+    return t;
+}
+
+WorkloadBundle
+makeGpt2(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "gpt2";
+    Rng rng(opt.seed);
+    Gpt2Params p;
+    if (opt.scale < 1.0) {
+        p.vocab = std::max<std::uint32_t>(
+            1024, static_cast<std::uint32_t>(p.vocab * opt.scale));
+        p.tokens = std::max<std::uint32_t>(
+            32, static_cast<std::uint32_t>(p.tokens * opt.scale));
+        p.layers = std::max<std::uint32_t>(
+            2, static_cast<std::uint32_t>(p.layers * opt.scale));
+    }
+    b.traces.push_back(buildGpt2(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+} // namespace pact

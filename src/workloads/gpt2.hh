@@ -1,0 +1,40 @@
+/**
+ * @file
+ * GPT-2 inference stand-in: token embedding gathers (random rows of a
+ * large table), per-layer weight-matrix streaming (GEMM panels with
+ * heavy compute overlap), and attention KV-cache growth/scans. The
+ * mix — latency-critical sparse gathers against bandwidth-heavy but
+ * latency-tolerant weight streams — is what makes hotness-based
+ * tiering lose to NoTier on gpt-2 in the paper (Figure 6).
+ */
+
+#ifndef PACT_WORKLOADS_GPT2_HH
+#define PACT_WORKLOADS_GPT2_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** GPT-2-like model geometry (scaled). */
+struct Gpt2Params
+{
+    std::uint32_t vocab = 16384;
+    std::uint32_t dModel = 640;
+    std::uint32_t layers = 12;
+    std::uint32_t seqLen = 192;
+    std::uint32_t tokens = 384;
+    /** Compute cycles modeled per streamed weight line (GEMM work). */
+    std::uint16_t gemmGap = 10;
+};
+
+/** Build the inference trace. */
+Trace buildGpt2(AddrSpace &as, ProcId proc, const Gpt2Params &params,
+                Rng &rng, bool thp = false);
+
+/** Standard bundle. */
+WorkloadBundle makeGpt2(const WorkloadOptions &opt);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_GPT2_HH

@@ -1,0 +1,125 @@
+#include "workloads/graph.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Build CSR from an edge list (deduplicated, self-loops dropped). */
+CsrGraph
+toCsr(std::uint32_t n,
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> &edges,
+      Rng &rng)
+{
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    CsrGraph g;
+    g.numVertices = n;
+    g.offsets.assign(n + 1, 0);
+    for (const auto &[u, v] : edges) {
+        if (u != v)
+            g.offsets[u + 1]++;
+    }
+    for (std::uint32_t v = 0; v < n; v++)
+        g.offsets[v + 1] += g.offsets[v];
+    g.numEdges = g.offsets[n];
+    g.neighbors.resize(g.numEdges);
+    g.weights.resize(g.numEdges);
+
+    std::vector<std::uint64_t> cursor(g.offsets.begin(),
+                                      g.offsets.end() - 1);
+    for (const auto &[u, v] : edges) {
+        if (u == v)
+            continue;
+        const std::uint64_t k = cursor[u]++;
+        g.neighbors[k] = v;
+        g.weights[k] = static_cast<std::uint8_t>(1 + rng.below(255));
+    }
+    return g;
+}
+
+} // namespace
+
+CsrGraph
+buildRmat(std::uint32_t scale, std::uint32_t edge_factor,
+          const RmatParams &p, Rng &rng)
+{
+    const std::uint32_t n = 1u << scale;
+    const std::uint64_t m = static_cast<std::uint64_t>(n) * edge_factor;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(2 * m);
+    for (std::uint64_t e = 0; e < m; e++) {
+        std::uint32_t u = 0, v = 0;
+        for (std::uint32_t bit = 0; bit < scale; bit++) {
+            const double r = rng.uniform();
+            std::uint32_t ub = 0, vb = 0;
+            if (r < p.a) {
+                // top-left
+            } else if (r < p.a + p.b) {
+                vb = 1;
+            } else if (r < p.a + p.b + p.c) {
+                ub = 1;
+            } else {
+                ub = 1;
+                vb = 1;
+            }
+            u = (u << 1) | ub;
+            v = (v << 1) | vb;
+        }
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u); // undirected
+    }
+    return toCsr(n, edges, rng);
+}
+
+CsrGraph
+buildUniform(std::uint32_t scale, std::uint32_t edge_factor, Rng &rng)
+{
+    const std::uint32_t n = 1u << scale;
+    const std::uint64_t m = static_cast<std::uint64_t>(n) * edge_factor;
+
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    edges.reserve(2 * m);
+    for (std::uint64_t e = 0; e < m; e++) {
+        const auto u = static_cast<std::uint32_t>(rng.below(n));
+        const auto v = static_cast<std::uint32_t>(rng.below(n));
+        edges.emplace_back(u, v);
+        edges.emplace_back(v, u);
+    }
+    return toCsr(n, edges, rng);
+}
+
+CsrGraph
+buildTwitterLike(std::uint32_t scale, std::uint32_t edge_factor, Rng &rng)
+{
+    // Heavier top-left concentration -> steeper power law, like the
+    // follower distribution of the Twitter graph.
+    RmatParams p;
+    p.a = 0.65;
+    p.b = 0.15;
+    p.c = 0.15;
+    return buildRmat(scale, edge_factor, p, rng);
+}
+
+void
+allocGraph(AddrSpace &as, ProcId proc, const std::string &prefix,
+           CsrGraph &g, bool thp, bool with_weights)
+{
+    fatal_if(g.numVertices == 0, "allocGraph: empty graph");
+    g.offsetsAddr = as.alloc(proc, prefix + ".offsets",
+                             8ull * (g.numVertices + 1), thp);
+    g.neighborsAddr =
+        as.alloc(proc, prefix + ".neighbors", 4ull * g.numEdges, thp);
+    if (with_weights)
+        g.weightsAddr = as.alloc(proc, prefix + ".weights", g.numEdges,
+                                 thp);
+}
+
+} // namespace pact

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * GAPBS-equivalent graph kernels that run the real algorithms on a
+ * CsrGraph while emitting the memory accesses a CSR implementation
+ * performs: offset lookups (dependent, random), neighbor-list scans
+ * (sequential bursts), and per-neighbor state-array accesses
+ * (dependent, random — the criticality hot spots).
+ */
+
+#ifndef PACT_WORKLOADS_GRAPH_KERNELS_HH
+#define PACT_WORKLOADS_GRAPH_KERNELS_HH
+
+#include "workloads/graph.hh"
+
+namespace pact
+{
+
+/** Common limits for kernel trace emission. */
+struct KernelLimits
+{
+    /** Stop emitting past this many ops (time-bounded run). */
+    std::uint64_t maxOps = 12000000;
+    /** Compute gap per processed neighbor. */
+    std::uint16_t gap = 2;
+};
+
+/** Breadth-first search from @p source. */
+Trace bfsTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+               std::uint32_t source, const KernelLimits &lim, bool thp);
+
+/**
+ * Brandes-style betweenness centrality approximation from
+ * @p num_sources roots (forward BFS + backward dependency pass).
+ */
+Trace bcTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+              std::uint32_t num_sources, const KernelLimits &lim,
+              bool thp);
+
+/** Queue-based Bellman-Ford single-source shortest paths. */
+Trace ssspTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+                std::uint32_t source, const KernelLimits &lim, bool thp);
+
+/**
+ * Triangle counting via sorted adjacency intersection.
+ * @param triangles_out Receives the triangle count when non-null
+ *                      (exact if the trace budget was not hit).
+ */
+Trace tcTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+              const KernelLimits &lim, bool thp,
+              std::uint64_t *triangles_out = nullptr);
+
+/**
+ * PageRank: @p iterations of synchronous power iteration — the
+ * bandwidth-heavy, high-MLP member of the GAPBS suite.
+ */
+Trace prTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+              std::uint32_t iterations, const KernelLimits &lim,
+              bool thp);
+
+/**
+ * Connected components by label propagation (Shiloach-Vishkin style
+ * hooking omitted): iterate until no label changes.
+ */
+Trace ccTrace(AddrSpace &as, ProcId proc, CsrGraph &g,
+              const KernelLimits &lim, bool thp,
+              std::vector<std::uint32_t> *labels_out = nullptr);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_GRAPH_KERNELS_HH

@@ -1,0 +1,55 @@
+#include "workloads/gups.hh"
+
+namespace pact
+{
+
+Trace
+buildGups(AddrSpace &as, ProcId proc, const GupsParams &params, Rng &rng,
+          bool thp)
+{
+    Trace trace;
+    trace.name = "gups";
+    trace.proc = proc;
+    trace.ops.reserve(params.updates * 3 / 2);
+
+    const Addr base = as.alloc(proc, "gups.table", params.tableBytes, thp);
+    const std::uint64_t slots = params.tableBytes / 8;
+
+    bool seqPhase = true;
+    std::uint64_t cursor = 0;
+    std::uint64_t inPhase = 0;
+    for (std::uint64_t i = 0; i < params.updates; i++) {
+        Addr a;
+        if (seqPhase) {
+            a = base + (cursor % slots) * 8;
+            cursor++;
+        } else {
+            a = base + rng.below(slots) * 8;
+        }
+        // Read-modify-write: the store reuses the loaded address.
+        trace.load(a, false, params.gap);
+        if (rng.chance(params.storeRatio))
+            trace.store(a);
+
+        if (++inPhase >= params.phaseLen) {
+            inPhase = 0;
+            seqPhase = !seqPhase;
+        }
+    }
+    return trace;
+}
+
+WorkloadBundle
+makeGups(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "gups";
+    Rng rng(opt.seed);
+    GupsParams p;
+    p.tableBytes = scaled(48ull << 20, opt.scale, 1 << 20);
+    p.updates = scaled(4000000, opt.scale, 100000);
+    b.traces.push_back(buildGups(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+} // namespace pact

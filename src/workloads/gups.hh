@@ -1,0 +1,38 @@
+/**
+ * @file
+ * GUPS (giga-updates per second), modified as in the paper's §3 to
+ * alternate between sequential and random phases with a 50% mix and a
+ * 1:1 read/write ratio.
+ */
+
+#ifndef PACT_WORKLOADS_GUPS_HH
+#define PACT_WORKLOADS_GUPS_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** GUPS parameters. */
+struct GupsParams
+{
+    std::uint64_t tableBytes = 48ull << 20;
+    std::uint64_t updates = 4000000;
+    /** Accesses per phase before switching sequential<->random. */
+    std::uint64_t phaseLen = 250000;
+    /** Fraction of updates that write back (1:1 read/write = 0.5). */
+    double storeRatio = 0.5;
+    /** Compute cycles per update (GUPS does real work per element). */
+    std::uint16_t gap = 6;
+};
+
+/** Build the GUPS trace. */
+Trace buildGups(AddrSpace &as, ProcId proc, const GupsParams &params,
+                Rng &rng, bool thp = false);
+
+/** Standard GUPS bundle. */
+WorkloadBundle makeGups(const WorkloadOptions &opt);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_GUPS_HH

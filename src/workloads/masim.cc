@@ -1,0 +1,196 @@
+#include "workloads/masim.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Per-region generation state. */
+struct RegionState
+{
+    Addr base = 0;
+    std::uint64_t lines = 0;
+    std::uint64_t seqCursor = 0;
+    /** Pointer-chase cycle over 64B slots (lazy; chase only). */
+    std::vector<std::uint32_t> chase;
+    std::uint32_t chaseCursor = 0;
+};
+
+void
+emitOne(Trace &trace, const MasimRegion &region, RegionState &st,
+        Rng &rng)
+{
+    Addr a = 0;
+    bool dep = false;
+    switch (region.pattern) {
+      case MasimPattern::Sequential:
+        a = st.base + (st.seqCursor % st.lines) * LineBytes;
+        st.seqCursor++;
+        break;
+      case MasimPattern::Random:
+        a = st.base + rng.below(st.lines) * LineBytes;
+        break;
+      case MasimPattern::PointerChase:
+        a = st.base + static_cast<Addr>(st.chaseCursor) * LineBytes;
+        st.chaseCursor = st.chase[st.chaseCursor];
+        dep = true;
+        break;
+    }
+    const bool store =
+        region.storeRatio > 0.0 && rng.chance(region.storeRatio);
+    if (store)
+        trace.store(a, region.gap);
+    else
+        trace.load(a, dep, region.gap);
+}
+
+} // namespace
+
+Trace
+buildMasim(AddrSpace &as, ProcId proc, const MasimParams &params, Rng &rng,
+           bool thp)
+{
+    fatal_if(params.regions.empty(), "masim: no regions");
+
+    Trace trace;
+    trace.name = "masim";
+    trace.proc = proc;
+    trace.ops.reserve(params.ops);
+
+    std::vector<RegionState> states(params.regions.size());
+    double totalWeight = 0.0;
+    for (std::size_t i = 0; i < params.regions.size(); i++) {
+        const MasimRegion &r = params.regions[i];
+        RegionState &st = states[i];
+        st.base = as.alloc(proc, r.name, r.bytes, thp);
+        st.lines = r.bytes / LineBytes;
+        if (r.pattern == MasimPattern::PointerChase)
+            st.chase = chaseCycle(st.lines, rng);
+        totalWeight += r.weight;
+    }
+
+    if (params.phased) {
+        // Regions take turns; a region's phase length scales with its
+        // weight so weights still control relative access frequency.
+        std::size_t active = 0;
+        std::uint64_t emitted = 0;
+        while (emitted < params.ops) {
+            const auto len = static_cast<std::uint64_t>(
+                static_cast<double>(params.phaseOps) *
+                params.regions[active].weight);
+            for (std::uint64_t i = 0; i < len && emitted < params.ops;
+                 i++) {
+                emitOne(trace, params.regions[active], states[active],
+                        rng);
+                emitted++;
+            }
+            active = (active + 1) % params.regions.size();
+        }
+        return trace;
+    }
+
+    for (std::uint64_t i = 0; i < params.ops; i++) {
+        // Pick a region by weight.
+        double pick = rng.uniform() * totalWeight;
+        std::size_t idx = 0;
+        for (; idx + 1 < params.regions.size(); idx++) {
+            pick -= params.regions[idx].weight;
+            if (pick < 0.0)
+                break;
+        }
+        emitOne(trace, params.regions[idx], states[idx], rng);
+    }
+    return trace;
+}
+
+WorkloadBundle
+makeMasimDefault(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "masim";
+    Rng rng(opt.seed);
+
+    MasimParams p;
+    MasimRegion seq;
+    seq.name = "masim.stream";
+    seq.bytes = scaled(32ull << 20, opt.scale, 1 << 20);
+    seq.pattern = MasimPattern::Sequential;
+    seq.weight = 1.0;
+    MasimRegion chase;
+    chase.name = "masim.chase";
+    chase.bytes = scaled(32ull << 20, opt.scale, 1 << 20);
+    chase.pattern = MasimPattern::PointerChase;
+    chase.weight = 1.0;
+    p.regions = {seq, chase};
+    p.ops = scaled(4000000, opt.scale, 100000);
+
+    b.traces.push_back(buildMasim(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+WorkloadBundle
+makePacInversion(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "pac-inversion";
+    Rng rng(opt.seed);
+
+    MasimParams p;
+    MasimRegion hot;
+    hot.name = "inv.hot-random";
+    hot.bytes = scaled(8ull << 20, opt.scale, 1 << 20);
+    hot.pattern = MasimPattern::Random;
+    hot.weight = 3.0; // frequently accessed, but latency-tolerant
+    MasimRegion chase;
+    chase.name = "inv.cold-chase";
+    chase.bytes = scaled(24ull << 20, opt.scale, 1 << 20);
+    chase.pattern = MasimPattern::PointerChase;
+    chase.weight = 1.0; // rarely accessed, but latency-critical
+    p.regions = {hot, chase};
+    p.ops = scaled(4000000, opt.scale, 100000);
+    // Time-separated phases keep per-window MLP meaningful.
+    p.phased = true;
+    p.phaseOps = scaled(250000, opt.scale, 20000);
+
+    b.traces.push_back(buildMasim(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+WorkloadBundle
+makeMasimColocation(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "masim-coloc";
+    Rng rng(opt.seed);
+
+    // Process 0: streaming over its own 6GB-scaled working set.
+    MasimParams seqp;
+    MasimRegion seq;
+    seq.name = "coloc.stream";
+    seq.bytes = scaled(48ull << 20, opt.scale, 1 << 20);
+    seq.pattern = MasimPattern::Sequential;
+    seqp.regions = {seq};
+    seqp.ops = scaled(3000000, opt.scale, 100000);
+    Trace t0 = buildMasim(b.as, 0, seqp, rng, opt.thp);
+    t0.name = "masim-seq";
+
+    // Process 1: pointer-chase random access, same footprint.
+    MasimParams rndp;
+    MasimRegion rnd;
+    rnd.name = "coloc.random";
+    rnd.bytes = scaled(48ull << 20, opt.scale, 1 << 20);
+    rnd.pattern = MasimPattern::PointerChase;
+    rndp.regions = {rnd};
+    rndp.ops = scaled(3000000, opt.scale, 100000);
+    Trace t1 = buildMasim(b.as, 1, rndp, rng, opt.thp);
+    t1.name = "masim-rnd";
+
+    b.traces.push_back(std::move(t0));
+    b.traces.push_back(std::move(t1));
+    return b;
+}
+
+} // namespace pact

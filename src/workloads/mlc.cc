@@ -1,0 +1,30 @@
+#include "workloads/mlc.hh"
+
+namespace pact
+{
+
+Trace
+buildMlc(AddrSpace &as, ProcId proc, const MlcParams &params)
+{
+    Trace trace;
+    trace.name = "mlc";
+    trace.proc = proc;
+    trace.loop = true;
+    trace.ops.reserve(params.ops);
+
+    const Addr base = as.alloc(proc, "mlc.buffer", params.bufferBytes);
+    const std::uint64_t lines = params.bufferBytes / LineBytes;
+    const std::uint64_t perThread = lines / params.threads;
+
+    std::vector<std::uint64_t> cursors(params.threads, 0);
+    for (std::uint64_t i = 0; i < params.ops; i++) {
+        const unsigned t = static_cast<unsigned>(i % params.threads);
+        const std::uint64_t line =
+            static_cast<std::uint64_t>(t) * perThread +
+            (cursors[t]++ % perThread);
+        trace.load(base + line * LineBytes);
+    }
+    return trace;
+}
+
+} // namespace pact

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Intel MLC stand-in: a looping streaming co-runner that saturates
+ * fast-tier bandwidth (the paper's Figure 11 contention generator).
+ * Its buffer is first-touch pinned to the fast tier by allocating it
+ * before the primary workload's pages spill over.
+ */
+
+#ifndef PACT_WORKLOADS_MLC_HH
+#define PACT_WORKLOADS_MLC_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** MLC stream parameters. */
+struct MlcParams
+{
+    /** Buffer size (should exceed the LLC so accesses hit memory). */
+    std::uint64_t bufferBytes = 16ull << 20;
+    /** Ops recorded before the trace loops. */
+    std::uint64_t ops = 500000;
+    /** Emulated thread count: parallel interleaved streams. */
+    unsigned threads = 1;
+};
+
+/**
+ * Build a looping streaming trace over a dedicated buffer. Multiple
+ * emulated threads interleave disjoint streams, multiplying the
+ * bandwidth demand as MLC's -t option does.
+ */
+Trace buildMlc(AddrSpace &as, ProcId proc, const MlcParams &params);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_MLC_HH

@@ -1,0 +1,84 @@
+#include "workloads/redis.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+namespace
+{
+
+std::uint64_t
+mixKey(std::uint64_t key)
+{
+    std::uint64_t x = key * 0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return x;
+}
+
+} // namespace
+
+Trace
+buildRedis(AddrSpace &as, ProcId proc, const RedisParams &params, Rng &rng,
+           bool thp)
+{
+    Trace t;
+    t.name = "redis";
+    t.proc = proc;
+    t.ops.reserve(params.operations * 6);
+
+    const auto buckets = static_cast<std::uint64_t>(
+        static_cast<double>(params.keys) * params.bucketFactor);
+    const Addr table = as.alloc(proc, "redis.buckets", buckets * 8, thp);
+    // Entry: key, next pointer, metadata (two lines incl. small value
+    // header); values live in a separate arena.
+    const std::uint64_t entryBytes = 64;
+    const Addr entries =
+        as.alloc(proc, "redis.entries", params.keys * entryBytes, thp);
+    const Addr values = as.alloc(proc, "redis.values",
+                                 params.keys * params.valueBytes, thp);
+
+    const Zipf zipf(params.keys, params.zipfTheta);
+
+    for (std::uint64_t op = 0; op < params.operations; op++) {
+        const std::uint64_t key = zipf.draw(rng);
+        const std::uint64_t h = mixKey(key);
+        const std::uint64_t bucket = h % buckets;
+        // Chain length ~ Poisson(1): derive deterministically from the
+        // key so repeated gets of one key walk the same chain.
+        const unsigned chain = 1 + (h >> 32) % 3;
+
+        t.markBegin(params.spanClass);
+        t.load(table + bucket * 8, false, 2); // bucket head
+        // Chain walk: each entry pointer-chases to the next.
+        for (unsigned c = 0; c < chain; c++) {
+            const std::uint64_t ei = mixKey(key + c) % params.keys;
+            t.load(entries + ei * entryBytes, true, 2);
+        }
+        const bool read = rng.chance(params.readRatio);
+        const Addr val = values + key * params.valueBytes;
+        for (std::uint64_t b = 0; b < params.valueBytes; b += LineBytes)
+            t.load(val + b, b == 0, 1);
+        if (!read)
+            t.store(val);
+        t.markEnd();
+    }
+    return t;
+}
+
+WorkloadBundle
+makeRedis(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "redis";
+    Rng rng(opt.seed);
+    RedisParams p;
+    p.keys = scaled(400000, opt.scale, 20000);
+    p.operations = scaled(400000, opt.scale, 20000);
+    b.traces.push_back(buildRedis(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+} // namespace pact

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Redis + YCSB-C stand-in: a chained hash table serving zipfian
+ * point reads (YCSB-C is 100% reads). Every operation is wrapped in a
+ * latency span so the Figure 13 bench can report throughput and
+ * p50/p99/p999 latency exactly as the paper does.
+ */
+
+#ifndef PACT_WORKLOADS_REDIS_HH
+#define PACT_WORKLOADS_REDIS_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** Redis/YCSB parameters. */
+struct RedisParams
+{
+    std::uint64_t keys = 400000;
+    std::uint64_t valueBytes = 128;
+    std::uint64_t operations = 400000;
+    /** YCSB-C: all reads. Lower for update-heavy mixes. */
+    double readRatio = 1.0;
+    double zipfTheta = 0.99;
+    /** Buckets per key (load factor 1/x). */
+    double bucketFactor = 1.0;
+    /** Span class recorded for op latency measurements. */
+    std::uint32_t spanClass = 1;
+};
+
+/** Build the serving trace. */
+Trace buildRedis(AddrSpace &as, ProcId proc, const RedisParams &params,
+                 Rng &rng, bool thp = false);
+
+/** Standard YCSB-C bundle. */
+WorkloadBundle makeRedis(const WorkloadOptions &opt);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_REDIS_HH

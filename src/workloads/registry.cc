@@ -1,0 +1,170 @@
+#include "workloads/registry.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "workloads/gpt2.hh"
+#include "workloads/graph.hh"
+#include "workloads/graph_kernels.hh"
+#include "workloads/gups.hh"
+#include "workloads/masim.hh"
+#include "workloads/redis.hh"
+#include "workloads/silo.hh"
+#include "workloads/spec.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Map the continuous scale option onto a graph log2 scale. */
+std::uint32_t
+graphScale(std::uint32_t base, double scale)
+{
+    int adj = 0;
+    double s = scale;
+    while (s < 0.75 && base + adj > 10) {
+        s *= 2.0;
+        adj--;
+    }
+    while (s > 1.5) {
+        s *= 0.5;
+        adj++;
+    }
+    return static_cast<std::uint32_t>(static_cast<int>(base) + adj);
+}
+
+WorkloadBundle
+makeGraphBundle(const std::string &name, const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = name;
+    Rng rng(opt.seed);
+    KernelLimits lim;
+    lim.maxOps = scaled(14000000, opt.scale, 200000);
+
+    if (name == "bc-kron") {
+        // GAPBS bc iterates several sources; hub pages are reused
+        // across iterations, which is the structure PAC exploits.
+        CsrGraph g = buildRmat(graphScale(18, opt.scale), 12, {}, rng);
+        allocGraph(b.as, 0, "bckron", g, opt.thp);
+        b.traces.push_back(bcTrace(b.as, 0, g, 3, lim, opt.thp));
+    } else if (name == "bc-urand") {
+        CsrGraph g = buildUniform(graphScale(18, opt.scale), 12, rng);
+        allocGraph(b.as, 0, "bcurand", g, opt.thp);
+        b.traces.push_back(bcTrace(b.as, 0, g, 3, lim, opt.thp));
+    } else if (name == "bc-twitter") {
+        CsrGraph g = buildTwitterLike(graphScale(17, opt.scale), 16, rng);
+        allocGraph(b.as, 0, "bctw", g, opt.thp);
+        b.traces.push_back(bcTrace(b.as, 0, g, 3, lim, opt.thp));
+    } else if (name == "sssp-kron") {
+        CsrGraph g = buildRmat(graphScale(17, opt.scale), 12, {}, rng);
+        allocGraph(b.as, 0, "ssspkron", g, opt.thp, true);
+        b.traces.push_back(ssspTrace(b.as, 0, g, 0, lim, opt.thp));
+    } else if (name == "tc-twitter") {
+        CsrGraph g = buildTwitterLike(graphScale(16, opt.scale), 14, rng);
+        allocGraph(b.as, 0, "tctw", g, opt.thp);
+        b.traces.push_back(tcTrace(b.as, 0, g, lim, opt.thp));
+    } else if (name == "pr-kron") {
+        CsrGraph g = buildRmat(graphScale(18, opt.scale), 12, {}, rng);
+        allocGraph(b.as, 0, "prkron", g, opt.thp);
+        b.traces.push_back(prTrace(b.as, 0, g, 4, lim, opt.thp));
+    } else if (name == "cc-kron") {
+        CsrGraph g = buildRmat(graphScale(18, opt.scale), 12, {}, rng);
+        allocGraph(b.as, 0, "cckron", g, opt.thp);
+        b.traces.push_back(ccTrace(b.as, 0, g, lim, opt.thp));
+    } else if (name == "bfs-kron") {
+        CsrGraph g = buildRmat(graphScale(18, opt.scale), 12, {}, rng);
+        allocGraph(b.as, 0, "bfskron", g, opt.thp);
+        b.traces.push_back(bfsTrace(b.as, 0, g, 0, lim, opt.thp));
+    } else {
+        fatal("unknown graph workload '", name, "'");
+    }
+    b.traces.back().name = name;
+    return b;
+}
+
+} // namespace
+
+namespace
+{
+
+WorkloadBundle
+buildByName(const std::string &name, const WorkloadOptions &opt)
+{
+    if (name == "masim")
+        return makeMasimDefault(opt);
+    if (name == "masim-coloc")
+        return makeMasimColocation(opt);
+    if (name == "pac-inversion")
+        return makePacInversion(opt);
+    if (name == "gups")
+        return makeGups(opt);
+    if (name == "gpt2")
+        return makeGpt2(opt);
+    if (name == "silo")
+        return makeSilo(opt);
+    if (name == "redis")
+        return makeRedis(opt);
+    if (name == "bwaves")
+        return makeBwaves(opt);
+    if (name == "xz")
+        return makeXz(opt);
+    if (name == "deepsjeng")
+        return makeDeepsjeng(opt);
+    if (name == "redis-a" || name == "redis-b") {
+        // YCSB-A (50% updates) and YCSB-B (5% updates) mixes.
+        WorkloadBundle b;
+        b.name = name;
+        Rng rng(opt.seed);
+        RedisParams p;
+        p.keys = scaled(400000, opt.scale, 20000);
+        p.operations = scaled(400000, opt.scale, 20000);
+        p.readRatio = name == "redis-a" ? 0.5 : 0.95;
+        b.traces.push_back(buildRedis(b.as, 0, p, rng, opt.thp));
+        return b;
+    }
+    if (name.rfind("bc-", 0) == 0 || name.rfind("sssp-", 0) == 0 ||
+        name.rfind("tc-", 0) == 0 || name.rfind("bfs-", 0) == 0 ||
+        name.rfind("pr-", 0) == 0 || name.rfind("cc-", 0) == 0) {
+        return makeGraphBundle(name, opt);
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace
+
+WorkloadBundle
+makeWorkload(const std::string &name, const WorkloadOptions &opt)
+{
+    WorkloadBundle b = buildByName(name, opt);
+    prependInitPass(b);
+    return b;
+}
+
+const std::vector<std::string> &
+figureSixWorkloads()
+{
+    static const std::vector<std::string> names = {
+        "bc-kron",    "bc-urand", "bc-twitter", "sssp-kron",
+        "tc-twitter", "gups",     "gpt2",       "silo",
+        "bwaves",     "xz",       "deepsjeng",  "masim",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+allWorkloadNames()
+{
+    static const std::vector<std::string> names = {
+        "bc-kron",    "bc-urand", "bc-twitter", "sssp-kron",
+        "tc-twitter", "gups",     "gpt2",       "silo",
+        "bwaves",     "xz",       "deepsjeng",  "masim",
+        "redis",      "bfs-kron", "pr-kron", "cc-kron",
+        "redis-a",    "redis-b",
+    };
+    return names;
+}
+
+} // namespace pact

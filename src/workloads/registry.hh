@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Workload factory: instantiate any of the paper's 13 evaluated
+ * workloads (plus the twelve-workload Figure 6 set) by name.
+ */
+
+#ifndef PACT_WORKLOADS_REGISTRY_HH
+#define PACT_WORKLOADS_REGISTRY_HH
+
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/**
+ * Build a workload by name. Known names: masim, gups, bc-kron,
+ * bc-urand, bc-twitter, sssp-kron, tc-twitter, bfs-kron, gpt2, silo,
+ * redis, bwaves, xz, deepsjeng. Unknown names fatal().
+ */
+WorkloadBundle makeWorkload(const std::string &name,
+                            const WorkloadOptions &opt = {});
+
+/** The 12 workloads of the paper's Figure 6. */
+const std::vector<std::string> &figureSixWorkloads();
+
+/** All workload names. */
+const std::vector<std::string> &allWorkloadNames();
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_REGISTRY_HH

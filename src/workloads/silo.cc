@@ -1,0 +1,108 @@
+#include "workloads/silo.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pact
+{
+
+Trace
+buildSilo(AddrSpace &as, ProcId proc, const SiloParams &params, Rng &rng,
+          bool thp)
+{
+    Trace t;
+    t.name = "silo";
+    t.proc = proc;
+    t.ops.reserve(params.transactions * params.keysPerTxn * 8);
+
+    // B+-tree geometry: levels of index nodes above a leaf layer that
+    // points at records. Node = fanout keys + child pointers.
+    const std::uint64_t nodeBytes = params.fanout * 16ull;
+    std::uint32_t levels = 1;
+    std::uint64_t leaves =
+        (params.records + params.fanout - 1) / params.fanout;
+    std::uint64_t span = leaves;
+    while (span > 1) {
+        span = (span + params.fanout - 1) / params.fanout;
+        levels++;
+    }
+    std::uint64_t totalNodes = 0;
+    {
+        std::uint64_t width = leaves;
+        for (std::uint32_t l = 0; l < levels; l++) {
+            totalNodes += width;
+            width = (width + params.fanout - 1) / params.fanout;
+        }
+    }
+
+    const Addr tree =
+        as.alloc(proc, "silo.btree", totalNodes * nodeBytes, thp);
+    const Addr heap = as.alloc(proc, "silo.records",
+                               params.records * params.recordBytes, thp);
+    const Addr log = as.alloc(proc, "silo.log",
+                              std::max<std::uint64_t>(
+                                  1 << 20, params.transactions * 16),
+                              thp);
+
+    const Zipf zipf(params.records, params.zipfTheta);
+
+    // Deterministic node index for (level, position): levels are laid
+    // out leaf-layer first.
+    std::vector<std::uint64_t> levelBase(levels, 0);
+    {
+        std::uint64_t width = leaves, base = 0;
+        for (std::uint32_t l = 0; l < levels; l++) {
+            levelBase[l] = base;
+            base += width;
+            width = (width + params.fanout - 1) / params.fanout;
+        }
+    }
+
+    std::uint64_t logCursor = 0;
+    for (std::uint64_t txn = 0; txn < params.transactions; txn++) {
+        for (std::uint32_t kq = 0; kq < params.keysPerTxn; kq++) {
+            const std::uint64_t key = zipf.draw(rng);
+
+            // Root-to-leaf walk: each node read depends on the parent.
+            std::uint64_t pos = key / params.fanout;
+            for (std::uint32_t l = levels; l-- > 0;) {
+                std::uint64_t levelPos = pos;
+                for (std::uint32_t d = 0; d < l; d++)
+                    levelPos /= params.fanout;
+                const Addr node =
+                    tree + (levelBase[l] + levelPos) * nodeBytes;
+                // Binary search inside the node: a couple of lines.
+                t.load(node, true, params.cmpGap);
+                t.load(node + nodeBytes / 2, true, params.cmpGap);
+            }
+
+            // Record access (dependent on the leaf pointer).
+            const Addr rec = heap + key * params.recordBytes;
+            for (std::uint64_t b = 0; b < params.recordBytes;
+                 b += LineBytes) {
+                t.load(rec + b, b == 0, 1);
+            }
+            if (rng.chance(params.updateRatio)) {
+                t.store(rec);
+                t.store(log + (logCursor % (1 << 20)) * 16);
+                logCursor++;
+            }
+        }
+    }
+    return t;
+}
+
+WorkloadBundle
+makeSilo(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "silo";
+    Rng rng(opt.seed);
+    SiloParams p;
+    p.records = scaled(300000, opt.scale, 10000);
+    p.transactions = scaled(300000, opt.scale, 5000);
+    b.traces.push_back(buildSilo(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+} // namespace pact

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Silo stand-in: an in-memory OLTP engine with a B+-tree index.
+ * Transactions walk the tree root-to-leaf (a dependent pointer chase
+ * per level) and then read/update records — the index walk is the
+ * latency-critical part, the record heap the capacity consumer.
+ */
+
+#ifndef PACT_WORKLOADS_SILO_HH
+#define PACT_WORKLOADS_SILO_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** Silo-like OLTP parameters. */
+struct SiloParams
+{
+    std::uint64_t records = 300000;
+    std::uint64_t recordBytes = 128;
+    std::uint64_t transactions = 300000;
+    /** Keys touched per transaction. */
+    std::uint32_t keysPerTxn = 4;
+    /** Fraction of touched records updated. */
+    double updateRatio = 0.2;
+    /** Zipf skew of key popularity. */
+    double zipfTheta = 0.8;
+    /** B+-tree fanout. */
+    std::uint32_t fanout = 16;
+    /** Compute cycles per key comparison. */
+    std::uint16_t cmpGap = 3;
+};
+
+/** Build the OLTP trace. */
+Trace buildSilo(AddrSpace &as, ProcId proc, const SiloParams &params,
+                Rng &rng, bool thp = false);
+
+/** Standard bundle. */
+WorkloadBundle makeSilo(const WorkloadOptions &opt);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_SILO_HH

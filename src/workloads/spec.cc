@@ -1,0 +1,150 @@
+#include "workloads/spec.hh"
+
+#include <algorithm>
+
+namespace pact
+{
+
+Trace
+buildBwaves(AddrSpace &as, ProcId proc, const BwavesParams &params,
+            bool thp)
+{
+    Trace t;
+    t.name = "bwaves";
+    t.proc = proc;
+
+    // Five state arrays swept with neighbour offsets, as a block
+    // tridiagonal solver does.
+    const std::uint64_t bytes = params.cells * 8;
+    Addr arr[5];
+    for (int i = 0; i < 5; i++) {
+        arr[i] = as.alloc(proc, "bwaves.q" + std::to_string(i), bytes,
+                          thp);
+    }
+    const std::uint64_t lines = bytes / LineBytes;
+    // Plane stride for the k-neighbour (cube-root-ish geometry).
+    std::uint64_t plane = 1;
+    while (plane * plane * plane < lines)
+        plane++;
+
+    t.ops.reserve(params.sweeps * lines * 4);
+    for (std::uint32_t s = 0; s < params.sweeps; s++) {
+        for (std::uint64_t l = 0; l < lines; l++) {
+            // Central line from each array plus the +/-plane halo.
+            t.load(arr[0] + l * LineBytes, false, params.fpGap);
+            t.load(arr[1] + l * LineBytes);
+            t.load(arr[2] + ((l + plane) % lines) * LineBytes);
+            t.load(arr[3] + ((l + plane * plane) % lines) * LineBytes);
+            t.store(arr[4] + l * LineBytes);
+        }
+    }
+    return t;
+}
+
+Trace
+buildXz(AddrSpace &as, ProcId proc, const XzParams &params, Rng &rng,
+        bool thp)
+{
+    Trace t;
+    t.name = "xz";
+    t.proc = proc;
+    t.ops.reserve(params.positions * (params.chainDepth + 3));
+
+    const Addr window =
+        as.alloc(proc, "xz.window", params.windowBytes, thp);
+    const Addr hashHeads =
+        as.alloc(proc, "xz.hash", params.hashEntries * 4, thp);
+    const Addr chains = as.alloc(proc, "xz.chains",
+                                 (params.windowBytes / 16) * 4, thp);
+    const std::uint64_t chainSlots = params.windowBytes / 16;
+
+    std::uint64_t pos = 0;
+    for (std::uint64_t i = 0; i < params.positions; i++) {
+        // Advance through the input window (sequential).
+        pos = (pos + 8 + rng.below(24)) % params.windowBytes;
+        t.load(window + (pos & ~(LineBytes - 1)), false, params.gap);
+
+        // Hash-head lookup, then walk the chain of earlier positions:
+        // each hop is a dependent random read into the window.
+        const std::uint64_t h = rng.below(params.hashEntries);
+        t.load(hashHeads + h * 4, false, params.gap);
+        std::uint64_t slot = rng.below(chainSlots);
+        for (std::uint32_t c = 0; c < params.chainDepth; c++) {
+            t.load(chains + slot * 4, true, params.gap);
+            const std::uint64_t cand = (slot * 16) % params.windowBytes;
+            t.load(window + (cand & ~(LineBytes - 1)), true, params.gap);
+            slot = (slot * 2654435761u + 1) % chainSlots;
+        }
+        // Update the chain head for this position.
+        t.store(hashHeads + h * 4);
+        t.store(chains + (pos / 16) * 4);
+    }
+    return t;
+}
+
+Trace
+buildDeepsjeng(AddrSpace &as, ProcId proc, const DeepsjengParams &params,
+               Rng &rng, bool thp)
+{
+    Trace t;
+    t.name = "deepsjeng";
+    t.proc = proc;
+    t.ops.reserve(params.nodes * 4);
+
+    const Addr tt =
+        as.alloc(proc, "deepsjeng.tt", params.ttEntries * 16, thp);
+    const Addr eval = as.alloc(proc, "deepsjeng.eval", 2u << 20, thp);
+    const std::uint64_t evalLines = (2u << 20) / LineBytes;
+
+    for (std::uint64_t n = 0; n < params.nodes; n++) {
+        // Transposition-table probe: independent random 16B entry.
+        const std::uint64_t e = rng.below(params.ttEntries);
+        t.load(tt + e * 16, false, 2);
+        // Evaluation tables: hot, mostly cache-resident.
+        t.load(eval + rng.below(evalLines) * LineBytes, false,
+               params.evalGap);
+        // Store back the searched node ~half the time.
+        if (rng.chance(0.5))
+            t.store(tt + e * 16);
+    }
+    return t;
+}
+
+WorkloadBundle
+makeBwaves(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "bwaves";
+    BwavesParams p;
+    p.cells = scaled(1200000, opt.scale, 50000);
+    b.traces.push_back(buildBwaves(b.as, 0, p, opt.thp));
+    return b;
+}
+
+WorkloadBundle
+makeXz(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "xz";
+    Rng rng(opt.seed);
+    XzParams p;
+    p.windowBytes = scaled(48ull << 20, opt.scale, 1 << 20);
+    p.positions = scaled(1200000, opt.scale, 50000);
+    b.traces.push_back(buildXz(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+WorkloadBundle
+makeDeepsjeng(const WorkloadOptions &opt)
+{
+    WorkloadBundle b;
+    b.name = "deepsjeng";
+    Rng rng(opt.seed);
+    DeepsjengParams p;
+    p.ttEntries = scaled(3u << 20, opt.scale, 1 << 16);
+    p.nodes = scaled(1500000, opt.scale, 50000);
+    b.traces.push_back(buildDeepsjeng(b.as, 0, p, rng, opt.thp));
+    return b;
+}
+
+} // namespace pact

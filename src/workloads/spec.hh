@@ -1,0 +1,61 @@
+/**
+ * @file
+ * SPEC CPU 2017 stand-ins for the three HPC/compression/search
+ * workloads the paper evaluates:
+ *  - 603.bwaves: multi-array 3D stencil sweeps (streaming, high MLP);
+ *  - 657.xz: LZMA-style match finding (hash-chain pointer chases over
+ *    a large window plus sequential window copies);
+ *  - 631.deepsjeng: game-tree search hammering a transposition table
+ *    (independent random probes) with a hot evaluation core.
+ */
+
+#ifndef PACT_WORKLOADS_SPEC_HH
+#define PACT_WORKLOADS_SPEC_HH
+
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+/** 603.bwaves-like stencil parameters. */
+struct BwavesParams
+{
+    /** Grid points per array (5 arrays of 8B cells). */
+    std::uint64_t cells = 1200000;
+    std::uint32_t sweeps = 6;
+    std::uint16_t fpGap = 8;
+};
+
+/** 657.xz-like compression parameters. */
+struct XzParams
+{
+    std::uint64_t windowBytes = 48ull << 20;
+    std::uint64_t hashEntries = 1u << 20;
+    std::uint64_t positions = 1200000;
+    std::uint32_t chainDepth = 4;
+    std::uint16_t gap = 3;
+};
+
+/** 631.deepsjeng-like search parameters. */
+struct DeepsjengParams
+{
+    std::uint64_t ttEntries = 3u << 20;
+    std::uint64_t nodes = 1500000;
+    std::uint16_t evalGap = 20;
+};
+
+Trace buildBwaves(AddrSpace &as, ProcId proc, const BwavesParams &params,
+                  bool thp = false);
+Trace buildXz(AddrSpace &as, ProcId proc, const XzParams &params, Rng &rng,
+              bool thp = false);
+Trace buildDeepsjeng(AddrSpace &as, ProcId proc,
+                     const DeepsjengParams &params, Rng &rng,
+                     bool thp = false);
+
+WorkloadBundle makeBwaves(const WorkloadOptions &opt);
+WorkloadBundle makeXz(const WorkloadOptions &opt);
+WorkloadBundle makeDeepsjeng(const WorkloadOptions &opt);
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_SPEC_HH

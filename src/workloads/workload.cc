@@ -1,0 +1,45 @@
+#include "workloads/workload.hh"
+
+namespace pact
+{
+
+std::vector<std::uint32_t>
+chaseCycle(std::size_t slots, Rng &rng)
+{
+    std::vector<std::uint32_t> next(slots);
+    std::vector<std::uint32_t> order(slots);
+    for (std::size_t i = 0; i < slots; i++)
+        order[i] = static_cast<std::uint32_t>(i);
+    // Sattolo's algorithm: uniform random single-cycle permutation.
+    for (std::size_t i = slots - 1; i > 0; i--) {
+        const std::size_t j = rng.below(i);
+        std::swap(order[i], order[j]);
+    }
+    for (std::size_t i = 0; i + 1 < slots; i++)
+        next[order[i]] = order[i + 1];
+    next[order[slots - 1]] = order[0];
+    return next;
+}
+
+void
+prependInitPass(WorkloadBundle &bundle)
+{
+    for (Trace &trace : bundle.traces) {
+        if (trace.loop)
+            continue;
+        std::vector<TraceOp> init;
+        for (const ObjectInfo &obj : bundle.as.objects()) {
+            if (obj.proc != trace.proc)
+                continue;
+            const PageId first = obj.firstPage();
+            for (PageId p = first; p < first + obj.pages(); p++) {
+                init.push_back(TraceOp::make(
+                    static_cast<Addr>(p) << PageShift, OpKind::Store,
+                    false, 0));
+            }
+        }
+        trace.ops.insert(trace.ops.begin(), init.begin(), init.end());
+    }
+}
+
+} // namespace pact

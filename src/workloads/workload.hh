@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Workload framework: each workload runs its real algorithm over data
+ * laid out in a simulated AddrSpace, recording the resulting memory
+ * access stream (loads/stores with dependence flags and compute gaps)
+ * into a Trace the simulator replays under any tiering policy.
+ */
+
+#ifndef PACT_WORKLOADS_WORKLOAD_HH
+#define PACT_WORKLOADS_WORKLOAD_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "mem/addr_space.hh"
+#include "sim/trace.hh"
+
+namespace pact
+{
+
+/** A complete, self-contained workload instance. */
+struct WorkloadBundle
+{
+    std::string name;
+    AddrSpace as;
+    std::vector<Trace> traces;
+
+    /** Resident set size in 4KB pages (all allocations are touched). */
+    std::uint64_t rssPages() const { return as.totalPages(); }
+};
+
+/** Global options applied when instantiating a named workload. */
+struct WorkloadOptions
+{
+    /** Footprint/op-count scale factor (1.0 = defaults). */
+    double scale = 1.0;
+    /** Allocate large objects with transparent huge pages. */
+    bool thp = false;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Build a random-cycle pointer-chase permutation over @p slots
+ * (Sattolo's algorithm: one cycle covering every slot).
+ */
+std::vector<std::uint32_t> chaseCycle(std::size_t slots, Rng &rng);
+
+/**
+ * Prepend an initialization pass to each non-looping trace: one store
+ * per page of every object the process allocated. Real programs write
+ * their data structures before using them (model loading, graph
+ * construction), which is what makes the whole allocation resident —
+ * the paper's RSS — and gives first-touch its placement.
+ */
+void prependInitPass(WorkloadBundle &bundle);
+
+/** Scale a count by the options' scale factor (at least @p floor). */
+inline std::uint64_t
+scaled(std::uint64_t base, double scale, std::uint64_t floor = 1)
+{
+    const auto v =
+        static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+    return v < floor ? floor : v;
+}
+
+} // namespace pact
+
+#endif // PACT_WORKLOADS_WORKLOAD_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * AddrSpace tests: allocation, alignment, object lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr_space.hh"
+
+using namespace pact;
+
+TEST(AddrSpace, AllocationsAreDisjointAndOrdered)
+{
+    AddrSpace as;
+    const Addr a = as.alloc(0, "a", 1000);
+    const Addr b = as.alloc(0, "b", 5000);
+    EXPECT_LT(a, b);
+    EXPECT_GE(b, a + 1000);
+}
+
+TEST(AddrSpace, PageAligned)
+{
+    AddrSpace as;
+    const Addr a = as.alloc(0, "a", 100);
+    EXPECT_EQ(a % PageBytes, 0u);
+    const Addr b = as.alloc(0, "b", 100);
+    EXPECT_EQ(b % PageBytes, 0u);
+    EXPECT_GE(b - a, PageBytes);
+}
+
+TEST(AddrSpace, ThpAlignedToHugePages)
+{
+    AddrSpace as;
+    as.alloc(0, "pad", 100);
+    const Addr h = as.alloc(0, "huge", 3 << 20, true);
+    EXPECT_EQ(h % HugePageBytes, 0u);
+    // Size rounded up to a huge-page multiple.
+    EXPECT_EQ(as.objects().back().bytes % HugePageBytes, 0u);
+    EXPECT_EQ(as.objects().back().bytes, 4ull << 20);
+}
+
+TEST(AddrSpace, ObjectAtFindsOwner)
+{
+    AddrSpace as;
+    const Addr a = as.alloc(1, "first", 2 * PageBytes);
+    const Addr b = as.alloc(2, "second", PageBytes);
+
+    const ObjectInfo *oa = as.objectAt(a + 100);
+    ASSERT_NE(oa, nullptr);
+    EXPECT_EQ(oa->name, "first");
+    EXPECT_EQ(oa->proc, 1u);
+
+    const ObjectInfo *ob = as.objectAt(b);
+    ASSERT_NE(ob, nullptr);
+    EXPECT_EQ(ob->name, "second");
+
+    // Last byte belongs; one past the end does not (next alloc owns it
+    // only if mapped).
+    EXPECT_EQ(as.objectAt(a + 2 * PageBytes - 1), oa);
+}
+
+TEST(AddrSpace, UnmappedAddressesReturnNull)
+{
+    AddrSpace as;
+    EXPECT_EQ(as.objectAt(0), nullptr);
+    as.alloc(0, "x", PageBytes);
+    EXPECT_EQ(as.objectAt(1ull << 40), nullptr);
+}
+
+TEST(AddrSpace, TotalPagesCoversAllocations)
+{
+    AddrSpace as;
+    as.alloc(0, "a", 10 * PageBytes);
+    const std::uint64_t pages = as.totalPages();
+    EXPECT_GE(pages, 11u); // base offset page + 10 pages
+    const ObjectInfo &o = as.objects().back();
+    EXPECT_LT(pageOf(o.end() - 1), pages);
+}
+
+TEST(AddrSpace, ZeroPageUnmapped)
+{
+    AddrSpace as;
+    as.alloc(0, "a", PageBytes);
+    EXPECT_FALSE(as.mapped(0));
+}
+
+TEST(AddrSpace, ObjectIdsSequential)
+{
+    AddrSpace as;
+    as.alloc(0, "a", 1);
+    as.alloc(0, "b", 1);
+    as.alloc(0, "c", 1);
+    for (std::size_t i = 0; i < as.objects().size(); i++)
+        EXPECT_EQ(as.objects()[i].id, i);
+}
+
+TEST(AddrSpaceDeath, ZeroSizeAllocationIsFatal)
+{
+    AddrSpace as;
+    EXPECT_EXIT({ as.alloc(0, "bad", 0); },
+                ::testing::ExitedWithCode(1), "zero-size");
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Adaptive binning tests: Freedman–Diaconis widths, static freeze,
+ * the scaling controller's hunt behaviour, and bin assignment.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pact/binning.hh"
+
+using namespace pact;
+
+namespace
+{
+
+Reservoir
+uniformReservoir(double lo, double hi, std::size_t n = 100)
+{
+    Reservoir r(n);
+    Rng rng(5);
+    for (std::size_t i = 0; i < n; i++) {
+        r.add(lo + (hi - lo) * static_cast<double>(i) /
+                       static_cast<double>(n - 1),
+              rng);
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(Binning, FreedmanDiaconisWidth)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::Adaptive;
+    AdaptiveBinning b(cfg);
+    const Reservoir r = uniformReservoir(0.0, 100.0);
+    // IQR of uniform [0,100] is 50; W = 2*50/cbrt(n).
+    b.update(r, 1000, 10);
+    EXPECT_NEAR(b.width(), 100.0 / std::cbrt(1000.0), 1.5);
+}
+
+TEST(Binning, BinOfScalesInverselyWithWidth)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::Adaptive;
+    AdaptiveBinning b(cfg);
+    b.update(uniformReservoir(0.0, 100.0), 1000, 10);
+    const double w = b.width();
+    EXPECT_EQ(b.binOf(0.0), 0u);
+    EXPECT_EQ(b.binOf(w * 3.5), 3u);
+    EXPECT_GT(b.binOf(w * 100.0), b.binOf(w * 10.0));
+}
+
+TEST(Binning, BinOfHandlesExtremes)
+{
+    AdaptiveBinning b;
+    EXPECT_EQ(b.binOf(-5.0), 0u);
+    EXPECT_EQ(b.binOf(1e30), 4000000000u);
+}
+
+TEST(Binning, StaticModeFreezesWidth)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::Static;
+    AdaptiveBinning b(cfg);
+    b.update(uniformReservoir(0.0, 100.0), 1000, 10);
+    const double w0 = b.width();
+    b.update(uniformReservoir(0.0, 10000.0), 1000, 10);
+    EXPECT_DOUBLE_EQ(b.width(), w0);
+}
+
+TEST(Binning, AdaptiveModeTracksDistribution)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::Adaptive;
+    AdaptiveBinning b(cfg);
+    b.update(uniformReservoir(0.0, 100.0), 1000, 10);
+    const double w0 = b.width();
+    b.update(uniformReservoir(0.0, 10000.0), 1000, 10);
+    EXPECT_GT(b.width(), 10.0 * w0);
+}
+
+TEST(Binning, ScalingWidensWhenCandidatesStarve)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::AdaptiveScaled;
+    cfg.tScale = 100.0;
+    AdaptiveBinning b(cfg);
+    const Reservoir r = uniformReservoir(0.0, 100.0);
+    b.update(r, 10000, 10); // ratio 1000 > 100 -> widen
+    const double s1 = b.scaleFactor();
+    EXPECT_GT(s1, 1.0);
+    b.update(r, 10000, 10);
+    EXPECT_GT(b.scaleFactor(), s1);
+}
+
+TEST(Binning, ScalingNarrowsOnBinCollapse)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::AdaptiveScaled;
+    cfg.tScale = 100.0;
+    AdaptiveBinning b(cfg);
+    const Reservoir r = uniformReservoir(0.0, 100.0);
+    b.update(r, 1000, 900); // ratio ~1.1 < 25 -> narrow
+    EXPECT_LT(b.scaleFactor(), 1.0);
+}
+
+TEST(Binning, ScalingDeadBandHolds)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::AdaptiveScaled;
+    cfg.tScale = 100.0;
+    AdaptiveBinning b(cfg);
+    const Reservoir r = uniformReservoir(0.0, 100.0);
+    b.update(r, 1000, 20); // ratio 50: inside [25, 100]
+    EXPECT_DOUBLE_EQ(b.scaleFactor(), 1.0);
+}
+
+TEST(Binning, DegenerateDistributionFallsBack)
+{
+    BinningConfig cfg;
+    cfg.mode = BinningMode::Adaptive;
+    AdaptiveBinning b(cfg);
+    Reservoir r(100);
+    Rng rng(1);
+    for (int i = 0; i < 100; i++)
+        r.add(42.0, rng); // zero IQR
+    b.update(r, 1000, 10);
+    EXPECT_GT(b.width(), 0.0);
+    EXPECT_GE(b.binOf(42.0), 1u);
+}
+
+TEST(Binning, TooFewSamplesNoUpdate)
+{
+    AdaptiveBinning b;
+    Reservoir r(100);
+    Rng rng(1);
+    r.add(1.0, rng);
+    const double w0 = b.width();
+    b.update(r, 1000, 10);
+    EXPECT_DOUBLE_EQ(b.width(), w0);
+}

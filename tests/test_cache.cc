@@ -1,0 +1,141 @@
+/**
+ * @file
+ * LLC model tests: hit/miss behaviour, LRU replacement, stream
+ * prefetcher training and prefetch-hit accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+using namespace pact;
+
+namespace
+{
+
+CacheParams
+smallCache(bool prefetch = false)
+{
+    CacheParams p;
+    p.sizeBytes = 64 * LineBytes * 8; // 64 sets x 8 ways
+    p.assoc = 8;
+    p.prefetch = prefetch;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.access(0x1000).hit);
+    EXPECT_TRUE(c.access(0x1000).hit);
+    EXPECT_TRUE(c.access(0x1020).hit); // same 64B line
+    EXPECT_FALSE(c.access(0x1040).hit); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, GeometryRounded)
+{
+    Cache c(smallCache());
+    EXPECT_EQ(c.sets(), 64u);
+    EXPECT_EQ(c.assoc(), 8u);
+    // Non-power-of-two set counts round down.
+    CacheParams p;
+    p.sizeBytes = 100 * LineBytes * 4;
+    p.assoc = 4;
+    Cache c2(p);
+    EXPECT_EQ(c2.sets(), 64u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    CacheParams p;
+    p.sizeBytes = LineBytes * 2; // 1 set x 2 ways
+    p.assoc = 2;
+    p.prefetch = false;
+    Cache c(p);
+    ASSERT_EQ(c.sets(), 1u);
+    c.access(0 * LineBytes);
+    c.access(1 * LineBytes);
+    c.access(0 * LineBytes);      // refresh line 0
+    c.access(2 * LineBytes);      // evicts line 1 (LRU)
+    EXPECT_TRUE(c.access(0 * LineBytes).hit);
+    EXPECT_FALSE(c.access(1 * LineBytes).hit);
+}
+
+TEST(Cache, WorkingSetLargerThanCacheMisses)
+{
+    Cache c(smallCache());
+    const std::uint64_t lines = 64 * 8 * 4; // 4x capacity
+    for (int pass = 0; pass < 2; pass++) {
+        for (std::uint64_t l = 0; l < lines; l++)
+            c.access(l * LineBytes);
+    }
+    // Streaming over 4x capacity cannot hit (with LRU and no reuse).
+    EXPECT_GT(c.misses(), c.hits());
+}
+
+TEST(Cache, PrefetcherTrainsOnSequentialStream)
+{
+    Cache c(smallCache(true));
+    CacheResult r;
+    std::uint32_t bursts = 0;
+    for (std::uint64_t l = 0; l < 64; l++) {
+        r = c.access(l * LineBytes);
+        if (r.prefetchLines > 0) {
+            bursts++;
+            c.installPrefetches(r.prefetchStart, r.prefetchLines);
+        }
+    }
+    EXPECT_GT(bursts, 0u);
+    EXPECT_GT(c.prefetchHits(), 0u);
+    // Steady state: most stream accesses hit.
+    EXPECT_GT(c.hits(), c.misses());
+}
+
+TEST(Cache, NoPrefetchOnRandomAccesses)
+{
+    Cache c(smallCache(true));
+    std::uint64_t x = 88172645463325252ull;
+    std::uint32_t bursts = 0;
+    for (int i = 0; i < 2000; i++) {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        const CacheResult r = c.access((x % 100000) * LineBytes);
+        bursts += r.prefetchLines > 0;
+    }
+    // Random misses rarely line up into trained streams.
+    EXPECT_LT(bursts, 20u);
+}
+
+TEST(Cache, PrefetchedFlagClearsOnDemandHit)
+{
+    Cache c(smallCache(true));
+    c.installPrefetches(100, 1);
+    const CacheResult first = c.access(100 * LineBytes);
+    EXPECT_TRUE(first.hit);
+    EXPECT_TRUE(first.prefetched);
+    const CacheResult second = c.access(100 * LineBytes);
+    EXPECT_TRUE(second.hit);
+    EXPECT_FALSE(second.prefetched);
+    EXPECT_EQ(c.prefetchHits(), 1u);
+}
+
+TEST(Cache, ResetClearsEverything)
+{
+    Cache c(smallCache());
+    c.access(0x1000);
+    c.reset();
+    EXPECT_FALSE(c.access(0x1000).hit);
+}
+
+TEST(CacheDeath, ZeroAssocIsFatal)
+{
+    CacheParams p;
+    p.assoc = 0;
+    EXPECT_EXIT({ Cache c(p); }, ::testing::ExitedWithCode(1),
+                "associativity");
+}

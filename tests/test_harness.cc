@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Runner/sweep harness tests: baseline caching, slowdown math, ratio
+ * helpers, environment scaling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "harness/sweep.hh"
+#include "workloads/masim.hh"
+
+using namespace pact;
+
+namespace
+{
+
+WorkloadBundle
+tinyBundle(MasimPattern pat = MasimPattern::PointerChase)
+{
+    WorkloadBundle b;
+    b.name = pat == MasimPattern::PointerChase ? "tiny-chase"
+                                               : "tiny-rand";
+    Rng rng(31);
+    MasimParams p;
+    MasimRegion r;
+    r.name = "r";
+    r.bytes = 8ull << 20;
+    r.pattern = pat;
+    p.regions = {r};
+    p.ops = 200000;
+    b.traces.push_back(buildMasim(b.as, 0, p, rng));
+    return b;
+}
+
+} // namespace
+
+TEST(Runner, RatioShareMath)
+{
+    EXPECT_DOUBLE_EQ(Runner::ratioShare(1, 1), 0.5);
+    EXPECT_DOUBLE_EQ(Runner::ratioShare(8, 1), 8.0 / 9.0);
+    EXPECT_DOUBLE_EQ(Runner::ratioShare(1, 8), 1.0 / 9.0);
+}
+
+TEST(Runner, BaselineIsCachedPerBundle)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const auto &b1 = run.baseline(b);
+    const auto &b2 = run.baseline(b);
+    EXPECT_EQ(&b1, &b2); // same cached vector
+    ASSERT_EQ(b1.size(), 1u);
+    EXPECT_GT(b1[0], 0u);
+}
+
+TEST(Runner, AllFastShareIsNearBaseline)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const RunResult r = run.run(b, "NoTier", 1.0);
+    EXPECT_NEAR(r.slowdownPct, 0.0, 2.0);
+}
+
+TEST(Runner, AllSlowShareIsSlower)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const RunResult r = run.run(b, "NoTier", 0.0);
+    EXPECT_GT(r.slowdownPct, 20.0);
+}
+
+TEST(Runner, SlowdownMonotoneInPressure)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const double s1 = run.run(b, "NoTier", 0.8).slowdownPct;
+    const double s2 = run.run(b, "NoTier", 0.4).slowdownPct;
+    const double s3 = run.run(b, "NoTier", 0.1).slowdownPct;
+    EXPECT_LE(s1, s2 + 1.0);
+    EXPECT_LE(s2, s3 + 1.0);
+}
+
+TEST(Runner, ResultCarriesIdentity)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const RunResult r = run.run(b, "PACT", 0.5);
+    EXPECT_EQ(r.workload, "tiny-chase");
+    EXPECT_EQ(r.policy, "PACT");
+    EXPECT_GT(r.runtime, 0u);
+}
+
+TEST(Sweep, PaperRatiosCoverEightToOneEighth)
+{
+    const auto &ratios = paperRatios();
+    ASSERT_EQ(ratios.size(), 7u);
+    EXPECT_DOUBLE_EQ(ratios.front().share(), 8.0 / 9.0);
+    EXPECT_DOUBLE_EQ(ratios.back().share(), 1.0 / 9.0);
+    EXPECT_STREQ(ratios[3].label, "1:1");
+}
+
+TEST(Sweep, RatioSweepShapesOutput)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const auto grid =
+        ratioSweep(run, b, {"NoTier", "PACT"}, contrastRatios());
+    ASSERT_EQ(grid.size(), 2u);
+    ASSERT_EQ(grid[0].size(), 2u);
+    EXPECT_EQ(grid[1][0].policy, "PACT");
+}
+
+TEST(Harness, EnvScaleParsesOverrides)
+{
+    unsetenv("PACT_SCALE");
+    unsetenv("PACT_QUICK");
+    EXPECT_DOUBLE_EQ(envScale(1.0), 1.0);
+    setenv("PACT_QUICK", "1", 1);
+    EXPECT_DOUBLE_EQ(envScale(1.0), 0.25);
+    setenv("PACT_SCALE", "0.5", 1);
+    EXPECT_DOUBLE_EQ(envScale(1.0), 0.5);
+    unsetenv("PACT_SCALE");
+    unsetenv("PACT_QUICK");
+}
+
+TEST(Runner, SoarGetsProfiledAutomatically)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner run;
+    const RunResult r = run.run(b, "Soar", 0.5);
+    EXPECT_EQ(r.stats.promotions(), 0u);
+    // Soar's static placement of profiled-hot pages must beat
+    // placing nothing in the fast tier.
+    const RunResult slow = run.run(b, "NoTier", 0.0);
+    EXPECT_LT(r.slowdownPct, slow.slowdownPct + 1.0);
+}
+
+TEST(Harness, SeedSweepReportsVariation)
+{
+    setLogQuiet(true);
+    SimConfig cfg;
+    WorkloadOptions opt;
+    opt.scale = 0.1;
+    const SeedStats s =
+        seedSweep(cfg, "silo", opt, "PACT", 0.5, 3);
+    EXPECT_EQ(s.seeds, 3u);
+    EXPECT_GT(s.meanSlowdownPct, 0.0);
+    EXPECT_GE(s.stddevPct, 0.0);
+    // Different seeds produce different workloads, so variation is
+    // finite but bounded.
+    EXPECT_LT(s.stddevPct, s.meanSlowdownPct + 20.0);
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Logging tests: message formatting, quiet mode, and the gem5-style
+ * panic/fatal semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+using namespace pact;
+
+TEST(Logging, BuildMessageConcatenates)
+{
+    EXPECT_EQ(detail::buildMessage("a", 1, "b", 2.5), "a1b2.5");
+    EXPECT_EQ(detail::buildMessage(), "");
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    const bool was = logQuiet();
+    setLogQuiet(true);
+    EXPECT_TRUE(logQuiet());
+    setLogQuiet(false);
+    EXPECT_FALSE(logQuiet());
+    setLogQuiet(was);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH({ panic("boom ", 42); }, "boom 42");
+}
+
+TEST(LoggingDeath, FatalExits)
+{
+    EXPECT_EXIT({ fatal("bad config"); },
+                ::testing::ExitedWithCode(1), "bad config");
+}
+
+TEST(LoggingDeath, PanicIfOnlyOnCondition)
+{
+    panic_if(false, "must not fire");
+    EXPECT_DEATH({ panic_if(true, "fires"); }, "fires");
+}
+
+TEST(LoggingDeath, FatalIfOnlyOnCondition)
+{
+    fatal_if(false, "must not fire");
+    EXPECT_EXIT({ fatal_if(true, "fires"); },
+                ::testing::ExitedWithCode(1), "fires");
+}

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * LRU list tests: list maintenance, clock-style aging, victim
+ * selection with second chance, and the inactive-only brake.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lru.hh"
+#include "mem/tier_manager.hh"
+
+using namespace pact;
+
+namespace
+{
+
+/** Touch pages 0..n-1 into the fast tier and list them. */
+void
+populate(TierManager &tm, LruLists &lru, PageId n)
+{
+    for (PageId p = 0; p < n; p++) {
+        tm.touch(p, 0, false);
+        lru.insert(p, TierId::Fast);
+    }
+}
+
+} // namespace
+
+TEST(Lru, InsertTracksPages)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 5);
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 5u);
+    EXPECT_EQ(lru.inactiveSize(TierId::Fast), 0u);
+    EXPECT_TRUE(lru.tracked(3));
+    EXPECT_FALSE(lru.tracked(9));
+}
+
+TEST(Lru, RemoveUntracks)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 3);
+    lru.remove(1);
+    EXPECT_FALSE(lru.tracked(1));
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 2u);
+    lru.remove(1); // double remove is a no-op
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 2u);
+}
+
+TEST(Lru, MoveTierRelists)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 2);
+    lru.moveTier(0, TierId::Slow);
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 1u);
+    EXPECT_EQ(lru.activeSize(TierId::Slow), 1u);
+}
+
+TEST(Lru, ScanMovesUnreferencedToInactive)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 4);
+    // No Referenced bits set: everything ages out.
+    lru.scan(TierId::Fast, 10, tm);
+    EXPECT_EQ(lru.inactiveSize(TierId::Fast), 4u);
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 0u);
+}
+
+TEST(Lru, ScanKeepsReferencedActive)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 4);
+    for (PageId p = 0; p < 4; p++)
+        tm.meta(p).flags |= PageFlags::Referenced;
+    lru.scan(TierId::Fast, 4, tm);
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 4u);
+    // But the referenced bit was consumed: a second scan ages them.
+    lru.scan(TierId::Fast, 4, tm);
+    EXPECT_EQ(lru.inactiveSize(TierId::Fast), 4u);
+}
+
+TEST(Lru, VictimsComeFromInactiveTailOldestFirst)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 4); // insertion order 0,1,2,3 -> tail is 0
+    lru.scan(TierId::Fast, 10, tm);
+    const auto v = lru.victims(TierId::Fast, 2, tm);
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_EQ(v[0], 0u); // least recently inserted
+    EXPECT_EQ(v[1], 1u);
+}
+
+TEST(Lru, VictimsSecondChanceRescuesReferenced)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 3);
+    lru.scan(TierId::Fast, 10, tm); // all inactive
+    tm.meta(0).flags |= PageFlags::Referenced;
+    const auto v = lru.victims(TierId::Fast, 1, tm);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 1u); // page 0 rescued to active instead
+    EXPECT_EQ(lru.activeSize(TierId::Fast), 1u);
+}
+
+TEST(Lru, InactiveOnlyBrake)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 3);
+    // Everything still active: with allow_active=false there are no
+    // victims; with the fallback there are.
+    EXPECT_TRUE(lru.victims(TierId::Fast, 2, tm, false).empty());
+    EXPECT_EQ(lru.victims(TierId::Fast, 2, tm, true).size(), 2u);
+}
+
+TEST(Lru, VictimsStayListedUntilMigrated)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 3);
+    lru.scan(TierId::Fast, 10, tm);
+    const auto v = lru.victims(TierId::Fast, 2, tm);
+    ASSERT_EQ(v.size(), 2u);
+    for (PageId p : v)
+        EXPECT_TRUE(lru.tracked(p));
+}
+
+TEST(Lru, ActiveFallbackSkipsReferencedFirst)
+{
+    TierManager tm(10, 10);
+    LruLists lru(10);
+    populate(tm, lru, 3); // tail = 0
+    tm.meta(0).flags |= PageFlags::Referenced;
+    const auto v = lru.victims(TierId::Fast, 1, tm, true);
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], 1u);
+}
+
+TEST(Lru, ResizeGrows)
+{
+    TierManager tm(4, 4);
+    LruLists lru(4);
+    lru.resize(100);
+    tm.resize(100);
+    tm.touch(50, 0, false);
+    lru.insert(50, TierId::Fast);
+    EXPECT_TRUE(lru.tracked(50));
+}
+
+TEST(LruDeath, DoubleInsertPanics)
+{
+    TierManager tm(4, 4);
+    LruLists lru(4);
+    tm.touch(0, 0, false);
+    lru.insert(0, TierId::Fast);
+    EXPECT_DEATH({ lru.insert(0, TierId::Fast); }, "already listed");
+}

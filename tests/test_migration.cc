@@ -1,0 +1,192 @@
+/**
+ * @file
+ * MigrationEngine tests with a mock cost backend: placement effects,
+ * capacity limits, huge-region moves, penalty accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/tier_manager.hh"
+
+using namespace pact;
+
+namespace
+{
+
+class MockBackend : public MigrationBackend
+{
+  public:
+    Cycles
+    chargeCopy(TierId src, TierId dst, std::uint64_t bytes) override
+    {
+        calls++;
+        lastBytes = bytes;
+        lastSrc = src;
+        lastDst = dst;
+        return costPerCopy;
+    }
+
+    int calls = 0;
+    std::uint64_t lastBytes = 0;
+    TierId lastSrc = TierId::Fast;
+    TierId lastDst = TierId::Fast;
+    Cycles costPerCopy = 1000;
+};
+
+struct Fixture
+{
+    Fixture(std::uint64_t pages, std::uint64_t fast_cap)
+        : tm(pages, fast_cap), lru(pages),
+          mig(tm, lru, backend, MigrationConfig{}, 2)
+    {
+    }
+
+    TierManager tm;
+    LruLists lru;
+    MockBackend backend;
+    MigrationEngine mig;
+};
+
+} // namespace
+
+TEST(Migration, PromoteMovesPage)
+{
+    Fixture f(10, 5);
+    f.tm.setFirstTouchOverride(0, TierId::Slow);
+    f.tm.touch(0, 0, false);
+    f.lru.insert(0, TierId::Slow);
+    EXPECT_TRUE(f.mig.promote(0));
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Fast);
+    EXPECT_EQ(f.mig.stats().promotedOps, 1u);
+    EXPECT_EQ(f.mig.stats().promotedPages, 1u);
+    EXPECT_EQ(f.backend.lastBytes, PageBytes);
+}
+
+TEST(Migration, PromoteFailsWhenFastFull)
+{
+    Fixture f(10, 1);
+    f.tm.touch(0, 0, false); // fills fast
+    f.tm.touch(1, 0, false); // spills slow
+    EXPECT_FALSE(f.mig.promote(1));
+    EXPECT_EQ(f.mig.stats().failed, 1u);
+    EXPECT_EQ(f.tm.tierOf(1), TierId::Slow);
+}
+
+TEST(Migration, DemoteFreesFastSpace)
+{
+    Fixture f(10, 1);
+    f.tm.touch(0, 0, false);
+    f.lru.insert(0, TierId::Fast);
+    EXPECT_TRUE(f.mig.demote(0));
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+    EXPECT_EQ(f.tm.freeFast(), 1u);
+    EXPECT_EQ(f.mig.stats().demotedOps, 1u);
+}
+
+TEST(Migration, SameTierIsNoop)
+{
+    Fixture f(10, 5);
+    f.tm.touch(0, 0, false); // fast
+    EXPECT_FALSE(f.mig.promote(0));
+    EXPECT_EQ(f.mig.stats().promotedOps, 0u);
+    EXPECT_EQ(f.backend.calls, 0);
+}
+
+TEST(Migration, UntouchedPageIgnored)
+{
+    Fixture f(10, 5);
+    EXPECT_FALSE(f.mig.promote(7));
+    EXPECT_FALSE(f.mig.demote(7));
+}
+
+TEST(Migration, HugeRegionMovesTogether)
+{
+    const std::uint64_t pages = 2 * PagesPerHugePage;
+    Fixture f(pages, pages);
+    // Materialize a huge region on the slow tier.
+    for (PageId p = 0; p < PagesPerHugePage; p++)
+        f.tm.setFirstTouchOverride(p, TierId::Slow);
+    f.tm.touch(0, 0, true);
+    EXPECT_EQ(f.tm.used(TierId::Slow), PagesPerHugePage);
+
+    // Promoting any subpage moves the whole 2MB region.
+    EXPECT_TRUE(f.mig.promote(PagesPerHugePage / 3));
+    EXPECT_EQ(f.tm.used(TierId::Fast), PagesPerHugePage);
+    EXPECT_EQ(f.mig.stats().promotedOps, 1u);
+    EXPECT_EQ(f.mig.stats().promotedPages, PagesPerHugePage);
+    EXPECT_EQ(f.backend.lastBytes, HugePageBytes);
+}
+
+TEST(Migration, HugePromotionNeedsRoomForWholeRegion)
+{
+    Fixture f(2 * PagesPerHugePage, PagesPerHugePage / 2);
+    f.tm.touch(0, 0, true); // spills slow (fast too small)
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+    EXPECT_FALSE(f.mig.promote(0));
+    EXPECT_EQ(f.mig.stats().failed, 1u);
+}
+
+TEST(Migration, PenaltyChargedToOwner)
+{
+    Fixture f(10, 5);
+    f.tm.setFirstTouchOverride(0, TierId::Slow);
+    f.tm.touch(0, 1, false); // owned by proc 1
+    EXPECT_TRUE(f.mig.promote(0));
+    EXPECT_EQ(f.mig.drainPenalty(0), 0u);
+    const Cycles p1 = f.mig.drainPenalty(1);
+    EXPECT_GT(p1, 0u);
+    // Draining resets.
+    EXPECT_EQ(f.mig.drainPenalty(1), 0u);
+    EXPECT_EQ(f.mig.stats().appPenaltyCycles, p1);
+}
+
+TEST(Migration, PenaltyScalesWithConfig)
+{
+    TierManager tm(10, 5);
+    LruLists lru(10);
+    MockBackend bk;
+    MigrationConfig cfg;
+    cfg.fixedCycles4k = 2000;
+    cfg.appPenaltyFraction = 1.0;
+    MigrationEngine mig(tm, lru, bk, cfg, 1);
+    tm.setFirstTouchOverride(0, TierId::Slow);
+    tm.touch(0, 0, false);
+    EXPECT_TRUE(mig.promote(0));
+    EXPECT_EQ(mig.drainPenalty(0), 2000u + bk.costPerCopy);
+}
+
+TEST(Migration, AbortedCopyCostsWithoutMoving)
+{
+    Fixture f(10, 5);
+    f.tm.setFirstTouchOverride(0, TierId::Slow);
+    f.tm.touch(0, 0, false);
+    f.mig.chargeAbortedCopy(0);
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+    EXPECT_EQ(f.mig.stats().failed, 1u);
+    EXPECT_EQ(f.backend.calls, 1);
+    EXPECT_GT(f.mig.drainPenalty(0), 0u);
+}
+
+TEST(Migration, ChargeExternalAccumulates)
+{
+    Fixture f(10, 5);
+    f.mig.chargeExternal(1, 500);
+    f.mig.chargeExternal(1, 250);
+    EXPECT_EQ(f.mig.drainPenalty(1), 750u);
+    // Out-of-range proc is ignored.
+    f.mig.chargeExternal(99, 500);
+    EXPECT_EQ(f.mig.stats().appPenaltyCycles, 750u);
+}
+
+TEST(Migration, LruFollowsMigration)
+{
+    Fixture f(10, 5);
+    f.tm.setFirstTouchOverride(0, TierId::Slow);
+    f.tm.touch(0, 0, false);
+    f.lru.insert(0, TierId::Slow);
+    EXPECT_TRUE(f.mig.promote(0));
+    EXPECT_EQ(f.lru.activeSize(TierId::Fast), 1u);
+    EXPECT_EQ(f.lru.activeSize(TierId::Slow), 0u);
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * PEBS sampler tests: rate, tier filtering, buffer overflow, drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/pebs.hh"
+
+using namespace pact;
+
+TEST(Pebs, SamplesOneInRate)
+{
+    PebsParams p;
+    p.rate = 10;
+    PebsSampler s(p);
+    for (int i = 0; i < 100; i++)
+        s.onLoadMiss(0x1000, TierId::Slow, 400, 0);
+    EXPECT_EQ(s.drain().size(), 10u);
+    EXPECT_EQ(s.events(), 100u);
+}
+
+TEST(Pebs, RateOneSamplesEverything)
+{
+    PebsParams p;
+    p.rate = 1;
+    PebsSampler s(p);
+    for (int i = 0; i < 17; i++)
+        s.onLoadMiss(i * PageBytes, TierId::Slow, 400, 2);
+    const auto recs = s.drain();
+    ASSERT_EQ(recs.size(), 17u);
+    EXPECT_EQ(recs[3].vaddr, 3 * PageBytes);
+    EXPECT_EQ(recs[3].proc, 2u);
+}
+
+TEST(Pebs, FastTierFilteredByDefault)
+{
+    PebsParams p;
+    p.rate = 1;
+    PebsSampler s(p);
+    s.onLoadMiss(0, TierId::Fast, 200, 0);
+    EXPECT_EQ(s.events(), 0u);
+    EXPECT_TRUE(s.drain().empty());
+}
+
+TEST(Pebs, FastTierSampledWhenEnabled)
+{
+    PebsParams p;
+    p.rate = 1;
+    p.sampleFastTier = true;
+    PebsSampler s(p);
+    s.onLoadMiss(0, TierId::Fast, 200, 0);
+    EXPECT_EQ(s.drain().size(), 1u);
+}
+
+TEST(Pebs, OverflowDropsNotBlocks)
+{
+    PebsParams p;
+    p.rate = 1;
+    p.bufferCap = 8;
+    PebsSampler s(p);
+    for (int i = 0; i < 20; i++)
+        s.onLoadMiss(0, TierId::Slow, 400, 0);
+    EXPECT_EQ(s.pending(), 8u);
+    EXPECT_EQ(s.dropped(), 12u);
+}
+
+TEST(Pebs, DrainEmptiesBuffer)
+{
+    PebsParams p;
+    p.rate = 1;
+    PebsSampler s(p);
+    s.onLoadMiss(0, TierId::Slow, 400, 0);
+    EXPECT_EQ(s.drain().size(), 1u);
+    EXPECT_TRUE(s.drain().empty());
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Pebs, RateChangeTakesEffect)
+{
+    PebsParams p;
+    p.rate = 100;
+    PebsSampler s(p);
+    s.setRate(2);
+    EXPECT_EQ(s.rate(), 2u);
+    for (int i = 0; i < 10; i++)
+        s.onLoadMiss(0, TierId::Slow, 400, 0);
+    EXPECT_EQ(s.drain().size(), 5u);
+}
+
+TEST(PebsDeath, ZeroRateIsFatal)
+{
+    PebsParams p;
+    p.rate = 0;
+    EXPECT_EXIT({ PebsSampler s(p); }, ::testing::ExitedWithCode(1),
+                "rate");
+}

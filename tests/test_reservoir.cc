@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Reservoir sampler tests: fill semantics, uniformity, quartiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pact/reservoir.hh"
+
+using namespace pact;
+
+TEST(Reservoir, FillsToCapacityFirst)
+{
+    Reservoir r(10);
+    Rng rng(1);
+    for (int i = 0; i < 10; i++)
+        r.add(i, rng);
+    EXPECT_EQ(r.size(), 10u);
+    EXPECT_EQ(r.seen(), 10u);
+    // The first k values are stored verbatim.
+    for (int i = 0; i < 10; i++)
+        EXPECT_EQ(r.values()[i], i);
+}
+
+TEST(Reservoir, StaysAtCapacity)
+{
+    Reservoir r(10);
+    Rng rng(1);
+    for (int i = 0; i < 10000; i++)
+        r.add(i, rng);
+    EXPECT_EQ(r.size(), 10u);
+    EXPECT_EQ(r.seen(), 10000u);
+}
+
+TEST(Reservoir, UniformSampleOfStream)
+{
+    // Feed 0..N-1; the mean of the kept sample should approximate the
+    // stream mean (uniform inclusion probability).
+    Reservoir r(100);
+    Rng rng(7);
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        r.add(i, rng);
+    double sum = 0.0;
+    for (double v : r.values())
+        sum += v;
+    const double mean = sum / static_cast<double>(r.size());
+    EXPECT_NEAR(mean, n / 2.0, n * 0.12);
+}
+
+TEST(Reservoir, QuartilesOfKnownDistribution)
+{
+    Reservoir r(100);
+    Rng rng(3);
+    for (int i = 1; i <= 100; i++)
+        r.add(i, rng);
+    const Quartiles q = r.quartiles();
+    EXPECT_NEAR(q.q1, 25.0, 1.5);
+    EXPECT_NEAR(q.median, 50.0, 1.5);
+    EXPECT_NEAR(q.q3, 75.0, 1.5);
+}
+
+TEST(Reservoir, QuartilesEmptyIsZero)
+{
+    Reservoir r(10);
+    const Quartiles q = r.quartiles();
+    EXPECT_EQ(q.q1, 0.0);
+    EXPECT_EQ(q.median, 0.0);
+    EXPECT_EQ(q.q3, 0.0);
+}
+
+TEST(Reservoir, ResetForgets)
+{
+    Reservoir r(10);
+    Rng rng(1);
+    r.add(5.0, rng);
+    r.reset();
+    EXPECT_EQ(r.size(), 0u);
+    EXPECT_EQ(r.seen(), 0u);
+}
+
+TEST(Reservoir, SkewedStreamQuartilesReflectSkew)
+{
+    // 99% small values, 1% huge: Q3 stays small (robust to outliers,
+    // the property Freedman-Diaconis relies on).
+    Reservoir r(100);
+    Rng rng(11);
+    for (int i = 0; i < 50000; i++)
+        r.add(i % 100 == 0 ? 1e6 : 1.0, rng);
+    const Quartiles q = r.quartiles();
+    EXPECT_LT(q.q3, 100.0);
+}
+
+TEST(ReservoirDeath, ZeroCapacityIsFatal)
+{
+    EXPECT_EXIT({ Reservoir r(0); }, ::testing::ExitedWithCode(1),
+                "capacity");
+}

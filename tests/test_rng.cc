@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Rng and Zipf distribution tests: determinism, bounds, uniformity,
+ * and skew properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hh"
+
+using namespace pact;
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; i++)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; i++)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; i++)
+        EXPECT_EQ(a.next(), first[i]);
+}
+
+TEST(Rng, BelowStaysInBounds)
+{
+    Rng rng(42);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 20}) {
+        for (int i = 0; i < 200; i++)
+            EXPECT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(42);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; i++) {
+        const std::uint64_t v = rng.range(10, 13);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 13u);
+        sawLo |= v == 10;
+        sawHi |= v == 13;
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(5);
+    const int buckets = 16;
+    std::vector<int> counts(buckets, 0);
+    const int draws = 160000;
+    for (int i = 0; i < draws; i++)
+        counts[rng.below(buckets)]++;
+    const double expect = static_cast<double>(draws) / buckets;
+    for (int c : counts) {
+        EXPECT_GT(c, expect * 0.9);
+        EXPECT_LT(c, expect * 1.1);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Zipf, DrawsInBounds)
+{
+    Rng rng(3);
+    Zipf z(1000, 0.99);
+    for (int i = 0; i < 5000; i++)
+        EXPECT_LT(z.draw(rng), 1000u);
+}
+
+TEST(Zipf, SkewConcentratesOnHead)
+{
+    Rng rng(3);
+    Zipf z(100000, 0.99);
+    int head = 0;
+    const int draws = 50000;
+    for (int i = 0; i < draws; i++)
+        head += z.draw(rng) < 1000; // top 1% of keys
+    // YCSB-style zipf(0.99) sends a large share to the head.
+    EXPECT_GT(head, draws / 4);
+}
+
+TEST(Zipf, LowThetaIsFlatter)
+{
+    Rng rng(3);
+    Zipf skewed(100000, 0.99), flat(100000, 0.2);
+    int headSkewed = 0, headFlat = 0;
+    for (int i = 0; i < 20000; i++) {
+        headSkewed += skewed.draw(rng) < 1000;
+        headFlat += flat.draw(rng) < 1000;
+    }
+    EXPECT_GT(headSkewed, 2 * headFlat);
+}

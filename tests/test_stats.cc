@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Statistics helper tests against hand-computed values.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hh"
+
+using namespace pact;
+using namespace pact::stats;
+
+TEST(Stats, MeanAndStddev)
+{
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+    EXPECT_DOUBLE_EQ(stddev({5.0}), 0.0);
+    EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0,
+                1e-12);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 1.75);
+}
+
+TEST(Stats, QuantileUnsortedInput)
+{
+    EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+    std::vector<double> inv = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, inv), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantIsZero)
+{
+    EXPECT_DOUBLE_EQ(pearson({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(Stats, PearsonKnownValue)
+{
+    // r of {1,2,3} vs {1,3,2} = 0.5
+    EXPECT_NEAR(pearson({1, 2, 3}, {1, 3, 2}), 0.5, 1e-12);
+}
+
+TEST(Stats, FitThroughOrigin)
+{
+    EXPECT_NEAR(fitSlopeThroughOrigin({1, 2, 3}, {3, 6, 9}), 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(fitSlopeThroughOrigin({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(Stats, LinearFitRecoversLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 50; i++) {
+        xs.push_back(i);
+        ys.push_back(3.0 + 2.5 * i);
+    }
+    const LinearFit f = linearFit(xs, ys);
+    EXPECT_NEAR(f.slope, 2.5, 1e-9);
+    EXPECT_NEAR(f.intercept, 3.0, 1e-9);
+    EXPECT_NEAR(f.r2, 1.0, 1e-9);
+}
+
+TEST(Stats, FiveNumberSummary)
+{
+    const FiveNum f = fiveNumber({5, 1, 3, 2, 4});
+    EXPECT_DOUBLE_EQ(f.min, 1.0);
+    EXPECT_DOUBLE_EQ(f.median, 3.0);
+    EXPECT_DOUBLE_EQ(f.max, 5.0);
+    EXPECT_DOUBLE_EQ(f.q1, 2.0);
+    EXPECT_DOUBLE_EQ(f.q3, 4.0);
+    EXPECT_EQ(f.count, 5u);
+}
+
+TEST(Stats, HistogramBinsAndClamps)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(9.9);   // bin 4
+    h.add(-3.0);  // clamps to 0
+    h.add(100.0); // clamps to 4
+    h.add(4.0);   // bin 2
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.count(4), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.edge(1), 2.0);
+}
+
+TEST(Stats, EcdfMonotone)
+{
+    const auto cdf = ecdf({3.0, 1.0, 2.0});
+    ASSERT_EQ(cdf.size(), 3u);
+    EXPECT_DOUBLE_EQ(cdf[0].first, 1.0);
+    EXPECT_NEAR(cdf[0].second, 1.0 / 3.0, 1e-12);
+    EXPECT_DOUBLE_EQ(cdf[2].second, 1.0);
+}
+
+TEST(Stats, EwmaConvergence)
+{
+    Ewma e(0.5);
+    EXPECT_FALSE(e.seeded());
+    e.add(10.0);
+    EXPECT_DOUBLE_EQ(e.value(), 10.0);
+    e.add(0.0);
+    EXPECT_DOUBLE_EQ(e.value(), 5.0);
+    e.add(0.0);
+    EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Stats, StreamQuantilesExactWhenSmall)
+{
+    StreamQuantiles q(100);
+    std::uint64_t rs = 12345;
+    for (int i = 1; i <= 99; i++)
+        q.add(i, rs);
+    EXPECT_NEAR(q.quantile(0.5), 50.0, 1.0);
+    EXPECT_EQ(q.seen(), 99u);
+}
+
+TEST(Stats, StreamQuantilesApproximateWhenLarge)
+{
+    StreamQuantiles q(256);
+    std::uint64_t rs = 777;
+    for (int i = 0; i < 100000; i++)
+        q.add(static_cast<double>(i % 1000), rs);
+    EXPECT_EQ(q.size(), 256u);
+    EXPECT_NEAR(q.quantile(0.5), 500.0, 120.0);
+}

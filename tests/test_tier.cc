@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Tier timing tests: unloaded latency, bandwidth queueing, loaded
+ * latency accounting, bulk line charges.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/tier.hh"
+
+using namespace pact;
+
+TEST(Tier, UnloadedLatency)
+{
+    Tier t(TierId::Slow, cxlTierParams());
+    const TierAccess a = t.access(1000);
+    EXPECT_EQ(a.start, 1000u);
+    EXPECT_EQ(a.completion, 1000u + nsToCycles(190));
+}
+
+TEST(Tier, PresetsMatchPaperLatencies)
+{
+    EXPECT_EQ(dramTierParams().latencyCycles, nsToCycles(90));
+    EXPECT_EQ(numaTierParams().latencyCycles, nsToCycles(140));
+    EXPECT_EQ(cxlTierParams().latencyCycles, nsToCycles(190));
+    // 2.2GHz: 90ns = 198 cycles, 190ns = 418 cycles.
+    EXPECT_EQ(nsToCycles(90), 198u);
+    EXPECT_EQ(nsToCycles(190), 418u);
+}
+
+TEST(Tier, BackToBackRequestsQueue)
+{
+    Tier t(TierId::Fast, dramTierParams());
+    const TierAccess a = t.access(0);
+    const TierAccess b = t.access(0);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_GT(b.start, a.start);
+    EXPECT_GT(b.completion, a.completion);
+}
+
+TEST(Tier, SpacedRequestsDoNotQueue)
+{
+    Tier t(TierId::Fast, dramTierParams());
+    t.access(0);
+    const TierAccess b = t.access(1000);
+    EXPECT_EQ(b.start, 1000u);
+}
+
+TEST(Tier, LoadedLatencyGrowsUnderContention)
+{
+    Tier idle(TierId::Slow, cxlTierParams());
+    Tier busy(TierId::Slow, cxlTierParams());
+    for (int i = 0; i < 100; i++)
+        idle.access(i * 1000);
+    for (int i = 0; i < 100; i++)
+        busy.access(0);
+    EXPECT_GT(busy.avgLoadedLatency(), idle.avgLoadedLatency());
+    EXPECT_NEAR(idle.avgLoadedLatency(),
+                static_cast<double>(cxlTierParams().latencyCycles), 1.0);
+}
+
+TEST(Tier, ChargeLinesAdvancesCursor)
+{
+    Tier t(TierId::Fast, dramTierParams());
+    const double before = t.cursor();
+    const Cycles busy = t.chargeLines(0, 64);
+    EXPECT_GT(t.cursor(), before);
+    EXPECT_GE(busy, static_cast<Cycles>(64 * t.serviceCycles()) - 1);
+    // A demand access right after the bulk charge queues behind it.
+    const TierAccess a = t.access(0);
+    EXPECT_GE(a.start, static_cast<Cycles>(64 * t.serviceCycles()) - 1);
+}
+
+TEST(Tier, RequestCountsAccumulate)
+{
+    Tier t(TierId::Fast, dramTierParams());
+    for (int i = 0; i < 7; i++)
+        t.access(i);
+    EXPECT_EQ(t.requests(), 7u);
+    EXPECT_GT(t.loadedLatencySum(), 0u);
+}
+
+TEST(Tier, BandwidthConversion)
+{
+    // 52 GB/s at 2.2 GHz: 64B takes ~2.7 cycles.
+    EXPECT_NEAR(bwToServiceCycles(52), 2.708, 0.01);
+    EXPECT_NEAR(bwToServiceCycles(32), 4.4, 0.01);
+}

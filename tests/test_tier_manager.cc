@@ -1,0 +1,108 @@
+/**
+ * @file
+ * TierManager tests: first-touch placement, capacity accounting, huge
+ * page materialization, placement overrides.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/tier_manager.hh"
+
+using namespace pact;
+
+TEST(TierManager, FirstTouchFillsFastThenSlow)
+{
+    TierManager tm(100, 10);
+    for (PageId p = 0; p < 10; p++)
+        EXPECT_EQ(tm.touch(p, 0, false), TierId::Fast);
+    EXPECT_EQ(tm.freeFast(), 0u);
+    for (PageId p = 10; p < 20; p++)
+        EXPECT_EQ(tm.touch(p, 0, false), TierId::Slow);
+    EXPECT_EQ(tm.used(TierId::Fast), 10u);
+    EXPECT_EQ(tm.used(TierId::Slow), 10u);
+}
+
+TEST(TierManager, TouchIsIdempotent)
+{
+    TierManager tm(10, 1);
+    EXPECT_EQ(tm.touch(3, 0, false), TierId::Fast);
+    EXPECT_EQ(tm.touch(3, 0, false), TierId::Fast);
+    EXPECT_EQ(tm.used(TierId::Fast), 1u);
+    EXPECT_EQ(tm.touchedPages(), 1u);
+}
+
+TEST(TierManager, OwnerRecorded)
+{
+    TierManager tm(10, 10);
+    tm.touch(2, 3, false);
+    EXPECT_EQ(tm.meta(2).owner, 3u);
+}
+
+TEST(TierManager, PlaceMovesAccounting)
+{
+    TierManager tm(10, 10);
+    tm.touch(1, 0, false);
+    EXPECT_EQ(tm.used(TierId::Fast), 1u);
+    tm.place(1, TierId::Slow);
+    EXPECT_EQ(tm.used(TierId::Fast), 0u);
+    EXPECT_EQ(tm.used(TierId::Slow), 1u);
+    EXPECT_EQ(tm.tierOf(1), TierId::Slow);
+    // Placing on the same tier is a no-op.
+    tm.place(1, TierId::Slow);
+    EXPECT_EQ(tm.used(TierId::Slow), 1u);
+}
+
+TEST(TierManager, HugeFaultMaterializesWholeRegion)
+{
+    TierManager tm(2 * PagesPerHugePage, 4 * PagesPerHugePage);
+    const PageId inRegion = PagesPerHugePage / 2;
+    tm.touch(inRegion, 0, true);
+    EXPECT_EQ(tm.used(TierId::Fast), PagesPerHugePage);
+    EXPECT_TRUE(tm.touched(0));
+    EXPECT_TRUE(tm.touched(PagesPerHugePage - 1));
+    EXPECT_FALSE(tm.touched(PagesPerHugePage));
+    EXPECT_TRUE(tm.meta(0).flags & PageFlags::Huge);
+}
+
+TEST(TierManager, HugeFaultSpillsWhenFastTooSmall)
+{
+    TierManager tm(2 * PagesPerHugePage, PagesPerHugePage / 2);
+    tm.touch(0, 0, true);
+    EXPECT_EQ(tm.tierOf(0), TierId::Slow);
+    EXPECT_EQ(tm.used(TierId::Slow), PagesPerHugePage);
+}
+
+TEST(TierManager, FirstTouchOverride)
+{
+    TierManager tm(10, 10);
+    tm.setFirstTouchOverride(5, TierId::Slow);
+    EXPECT_EQ(tm.touch(5, 0, false), TierId::Slow);
+    // Override to fast respects capacity.
+    TierManager tm2(10, 0);
+    tm2.setFirstTouchOverride(1, TierId::Fast);
+    EXPECT_EQ(tm2.touch(1, 0, false), TierId::Slow);
+}
+
+TEST(TierManager, ClearOverrides)
+{
+    TierManager tm(10, 10);
+    tm.setFirstTouchOverride(5, TierId::Slow);
+    tm.clearFirstTouchOverrides();
+    EXPECT_EQ(tm.touch(5, 0, false), TierId::Fast);
+}
+
+TEST(TierManager, ResizeGrows)
+{
+    TierManager tm(4, 4);
+    tm.resize(100);
+    EXPECT_EQ(tm.totalPages(), 100u);
+    EXPECT_EQ(tm.touch(99, 0, false), TierId::Fast);
+}
+
+TEST(TierManager, ZeroFastCapacityAllSlow)
+{
+    TierManager tm(10, 0);
+    for (PageId p = 0; p < 10; p++)
+        EXPECT_EQ(tm.touch(p, 0, false), TierId::Slow);
+    EXPECT_EQ(tm.freeFast(), 0u);
+}

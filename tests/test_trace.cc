@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Trace format tests: the 8-byte packed op encoding round-trips, gap
+ * overflow spills into Nop ops, and the builder helpers emit what the
+ * CPU model expects.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace.hh"
+
+using namespace pact;
+
+TEST(TraceOp, RoundTripsAllFields)
+{
+    const Addr addr = 0x0000123456789abcull & TraceOp::AddrMask;
+    const TraceOp op = TraceOp::make(addr, OpKind::Store, true, 1234);
+    EXPECT_EQ(op.vaddr(), addr);
+    EXPECT_EQ(op.kind(), OpKind::Store);
+    EXPECT_TRUE(op.dep());
+    EXPECT_EQ(op.gap(), 1234u);
+}
+
+TEST(TraceOp, EveryKindRoundTrips)
+{
+    for (OpKind k : {OpKind::Load, OpKind::Store, OpKind::MarkBegin,
+                     OpKind::MarkEnd, OpKind::Nop}) {
+        const TraceOp op = TraceOp::make(0x1000, k, false, 0);
+        EXPECT_EQ(op.kind(), k);
+        EXPECT_FALSE(op.dep());
+    }
+}
+
+TEST(TraceOp, MaxValuesFit)
+{
+    const TraceOp op = TraceOp::make(TraceOp::AddrMask, OpKind::Nop,
+                                     true,
+                                     static_cast<std::uint32_t>(
+                                         TraceOp::MaxGap));
+    EXPECT_EQ(op.vaddr(), TraceOp::AddrMask);
+    EXPECT_EQ(op.gap(), TraceOp::MaxGap);
+    EXPECT_TRUE(op.dep());
+    EXPECT_EQ(op.kind(), OpKind::Nop);
+}
+
+TEST(TraceOp, FieldsDoNotAlias)
+{
+    // A dep-flagged op with gap zero must not perturb the address.
+    const TraceOp a = TraceOp::make(0xfff, OpKind::Load, true, 0);
+    const TraceOp b = TraceOp::make(0xfff, OpKind::Load, false, 0);
+    EXPECT_EQ(a.vaddr(), b.vaddr());
+    EXPECT_NE(a.bits, b.bits);
+}
+
+TEST(Trace, LoadStoreHelpers)
+{
+    Trace t;
+    t.load(0x1000, true, 7);
+    t.store(0x2000, 3);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.ops[0].kind(), OpKind::Load);
+    EXPECT_TRUE(t.ops[0].dep());
+    EXPECT_EQ(t.ops[0].gap(), 7u);
+    EXPECT_EQ(t.ops[1].kind(), OpKind::Store);
+    EXPECT_FALSE(t.ops[1].dep());
+}
+
+TEST(Trace, ComputeSplitsLargeGaps)
+{
+    Trace t;
+    t.compute(10000); // > MaxGap: must split into several Nops
+    std::uint64_t total = 0;
+    for (const TraceOp &op : t.ops) {
+        EXPECT_EQ(op.kind(), OpKind::Nop);
+        EXPECT_LE(op.gap(), TraceOp::MaxGap);
+        total += op.gap();
+    }
+    EXPECT_EQ(total, 10000u);
+    EXPECT_GE(t.size(), 3u);
+}
+
+TEST(Trace, OversizedLoadGapSpills)
+{
+    Trace t;
+    t.load(0x1000, false, 100000);
+    // The gap spills into Nop ops before the load itself.
+    EXPECT_EQ(t.ops.back().kind(), OpKind::Load);
+    EXPECT_EQ(t.ops.back().gap(), 0u);
+    std::uint64_t total = 0;
+    for (const TraceOp &op : t.ops)
+        total += op.gap();
+    EXPECT_EQ(total, 100000u);
+}
+
+TEST(Trace, MarkersCarryClass)
+{
+    Trace t;
+    t.markBegin(42);
+    t.markEnd();
+    EXPECT_EQ(t.ops[0].kind(), OpKind::MarkBegin);
+    EXPECT_EQ(t.ops[0].vaddr(), 42u);
+    EXPECT_EQ(t.ops[1].kind(), OpKind::MarkEnd);
+}
