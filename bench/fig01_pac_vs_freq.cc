@@ -16,6 +16,7 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "harness/pool.hh"
 #include "pact/pact_policy.hh"
 #include "workloads/masim.hh"
 #include "workloads/registry.hh"
@@ -57,10 +58,10 @@ fig1Masim(double scale)
     return b;
 }
 
-void
-profileBundle(const WorkloadBundle &bundle, const std::string &name)
+/** One workload's profile: sorted (freq, pac-per-access) pairs. */
+std::vector<std::pair<double, double>>
+profileBundle(const WorkloadBundle &bundle)
 {
-
     Runner runner;
     // The paper profiles with PEBS at a 1-in-100 rate.
     const std::uint64_t rate = 100;
@@ -82,11 +83,18 @@ profileBundle(const WorkloadBundle &bundle, const std::string &name)
                                (static_cast<double>(e.freq) *
                                 static_cast<double>(rate)));
     });
+    std::sort(pages.begin(), pages.end());
+    return pages;
+}
+
+void
+printProfile(const std::vector<std::pair<double, double>> &pages,
+             const std::string &name)
+{
     if (pages.empty()) {
         std::printf("%s: no sampled pages\n", name.c_str());
         return;
     }
-    std::sort(pages.begin(), pages.end());
 
     printHeading(std::cout, "Figure 1 (" + name +
                                 "): per-access PAC by frequency "
@@ -126,10 +134,21 @@ main()
 {
     const double scale =
         benchSetup("Figure 1: PAC vs frequency (violin summaries)", 1.0);
-    profileBundle(fig1Masim(scale), "masim");
     WorkloadOptions opt;
     opt.scale = scale;
-    profileBundle(makeWorkload("gups", opt), "gups");
-    profileBundle(makeWorkload("tc-twitter", opt), "tc-twitter");
+
+    // Profile the three workloads concurrently, print in order.
+    std::vector<std::pair<std::string, WorkloadBundle>> bundles;
+    bundles.emplace_back("masim", fig1Masim(scale));
+    bundles.emplace_back("gups", makeWorkload("gups", opt));
+    bundles.emplace_back("tc-twitter", makeWorkload("tc-twitter", opt));
+
+    std::vector<std::vector<std::pair<double, double>>> profiles(
+        bundles.size());
+    parallelFor(bundles.size(), [&](std::size_t i) {
+        profiles[i] = profileBundle(bundles[i].second);
+    });
+    for (std::size_t i = 0; i < bundles.size(); i++)
+        printProfile(profiles[i], bundles[i].first);
     return 0;
 }

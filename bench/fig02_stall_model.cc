@@ -16,6 +16,7 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "harness/pool.hh"
 #include "sim/engine.hh"
 #include "workloads/masim.hh"
 
@@ -113,25 +114,28 @@ main()
     Table t({"configuration", "r(misses, stalls)", "r(model, stalls)",
              "fitted k (cycles)", "tier latency"});
     for (const Config &cfgRow : configs) {
-        std::vector<double> misses, model, stalls;
-        for (std::size_t i = 0; i < grid.size(); i++) {
+        // Every grid point is an independent engine run: fan them out
+        // across PACT_JOBS workers, filling index-addressed slots so
+        // the fitted statistics are identical at any job count.
+        std::vector<double> misses(grid.size()), model(grid.size()),
+            stalls(grid.size());
+        parallelFor(grid.size(), [&](std::size_t i) {
             WorkloadBundle b = makePoint(grid[i], static_cast<int>(i),
                                          scale);
             SimConfig cfg;
             cfg.slow = cfgRow.params;
             cfg.fastCapacityPages = 0; // whole footprint on the tier
-            auto &as = const_cast<AddrSpace &>(b.as);
-            Engine engine(cfg, as, &b.traces, nullptr);
+            Engine engine(cfg, b.as, &b.traces, nullptr);
             const RunStats rs = engine.run();
             const auto &p = rs.pmu;
             const unsigned s = tierIndex(TierId::Slow);
             const double m = static_cast<double>(p.llcLoadMisses[s]);
             const double mlp = std::max(
                 1.0, Pmu::mlp(p.torOccupancy[s], p.torBusy[s]));
-            misses.push_back(m);
-            model.push_back(m / mlp);
-            stalls.push_back(static_cast<double>(p.stallCycles[s]));
-        }
+            misses[i] = m;
+            model[i] = m / mlp;
+            stalls[i] = static_cast<double>(p.stallCycles[s]);
+        });
         const double k = stats::fitSlopeThroughOrigin(model, stalls);
         t.row()
             .cell(cfgRow.name)

@@ -56,8 +56,7 @@ main()
 
     SimConfig cfg;
     cfg.fastCapacityPages = 0; // all on the slow tier
-    auto &as = const_cast<AddrSpace &>(b.as);
-    Engine engine(cfg, as, &b.traces, nullptr);
+    Engine engine(cfg, b.as, &b.traces, nullptr);
 
     struct Window
     {

@@ -11,6 +11,7 @@
  */
 
 #include "bench_util.hh"
+#include "harness/pool.hh"
 #include "harness/sweep.hh"
 #include "workloads/registry.hh"
 
@@ -35,33 +36,43 @@ main()
     Table promos({"workload", "PACT", "Colloid", "NBT", "TPP",
                   "Memtis"});
 
-    for (const std::string &w : figureSixWorkloads()) {
+    // Build every bundle, then fan the full workload x policy grid
+    // out across PACT_JOBS workers in one batch.
+    const std::vector<std::string> workloads = figureSixWorkloads();
+    std::vector<WorkloadBundle> bundles(workloads.size());
+    parallelFor(workloads.size(), [&](std::size_t i) {
         WorkloadOptions opt;
         opt.scale = scale;
-        const WorkloadBundle bundle = makeWorkload(w, opt);
-        Runner runner;
+        bundles[i] = makeWorkload(workloads[i], opt);
+    });
 
-        t.row().cell(w);
-        double pactSlow = 0.0, bestOther = 1e18;
-        std::vector<RunResult> results;
-        for (const std::string &p : policies) {
-            const RunResult r = runner.run(bundle, p, 0.5);
-            results.push_back(r);
-            t.cell(r.slowdownPct, 1);
-            if (p == "PACT")
-                pactSlow = r.slowdownPct;
-            else
-                bestOther = std::min(bestOther, r.slowdownPct);
+    Runner runner;
+    std::vector<RunSpec> specs;
+    for (const WorkloadBundle &b : bundles) {
+        for (const std::string &p : policies)
+            specs.push_back({&b, p, 0.5});
+    }
+    const std::vector<RunResult> flat = runMany(runner, specs);
+
+    for (std::size_t wi = 0; wi < workloads.size(); wi++) {
+        const RunResult *results = &flat[wi * policies.size()];
+
+        t.row().cell(workloads[wi]);
+        double bestOther = 1e18;
+        for (std::size_t pi = 0; pi < policies.size(); pi++) {
+            t.cell(results[pi].slowdownPct, 1);
+            if (policies[pi] != "PACT")
+                bestOther = std::min(bestOther,
+                                     results[pi].slowdownPct);
         }
         t.cell(bestOther, 1);
-        (void)pactSlow;
 
-        promos.row().cell(w);
-        for (const std::string &p :
+        promos.row().cell(workloads[wi]);
+        for (const char *p :
              {"PACT", "Colloid", "NBT", "TPP", "Memtis"}) {
-            for (const RunResult &r : results) {
-                if (r.policy == p) {
-                    promos.cellCount(r.stats.promotions());
+            for (std::size_t pi = 0; pi < policies.size(); pi++) {
+                if (results[pi].policy == p) {
+                    promos.cellCount(results[pi].stats.promotions());
                     break;
                 }
             }

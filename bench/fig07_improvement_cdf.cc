@@ -18,6 +18,7 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "harness/pool.hh"
 #include "harness/sweep.hh"
 #include "workloads/registry.hh"
 
@@ -32,20 +33,33 @@ main()
     const std::vector<std::string> baselines = {"Colloid", "NBT",
                                                 "Memtis"};
 
+    const std::vector<std::string> workloads = figureSixWorkloads();
+    std::vector<WorkloadBundle> bundles(workloads.size());
+    parallelFor(workloads.size(), [&](std::size_t i) {
+        WorkloadOptions opt;
+        opt.scale = scale;
+        bundles[i] = makeWorkload(workloads[i], opt);
+    });
+
+    Runner runner; // baselines are ratio-independent: cache once
     for (const RatioSpec &ratio : contrastRatios()) {
+        // One batch per ratio: PACT plus the three baselines for
+        // every workload, fanned out across PACT_JOBS workers.
+        std::vector<RunSpec> specs;
+        for (const WorkloadBundle &b : bundles) {
+            specs.push_back({&b, "PACT", ratio.share()});
+            for (const std::string &base : baselines)
+                specs.push_back({&b, base, ratio.share()});
+        }
+        const std::vector<RunResult> flat = runMany(runner, specs);
+
         std::vector<double> all;
         std::map<std::string, std::vector<double>> per;
-
-        for (const std::string &w : figureSixWorkloads()) {
-            WorkloadOptions opt;
-            opt.scale = scale;
-            const WorkloadBundle bundle = makeWorkload(w, opt);
-            Runner runner;
-            const RunResult pact =
-                runner.run(bundle, "PACT", ratio.share());
-            for (const std::string &b : baselines) {
-                const RunResult base =
-                    runner.run(bundle, b, ratio.share());
+        const std::size_t stride = 1 + baselines.size();
+        for (std::size_t wi = 0; wi < bundles.size(); wi++) {
+            const RunResult &pact = flat[wi * stride];
+            for (std::size_t bi = 0; bi < baselines.size(); bi++) {
+                const RunResult &base = flat[wi * stride + 1 + bi];
                 // Runtime improvement of PACT over the baseline.
                 const double imp =
                     100.0 *
@@ -53,7 +67,7 @@ main()
                      static_cast<double>(pact.runtime)) /
                     static_cast<double>(base.runtime);
                 all.push_back(imp);
-                per[b].push_back(imp);
+                per[baselines[bi]].push_back(imp);
             }
         }
 

@@ -12,6 +12,7 @@
  */
 
 #include "bench_util.hh"
+#include "harness/pool.hh"
 #include "pact/pact_policy.hh"
 #include "policies/freq_policy.hh"
 #include "workloads/registry.hh"
@@ -29,47 +30,58 @@ main()
                  "Per-workload comparison at matched framework");
     Table t({"workload", "PACT slow", "freq slow", "gain (pp)",
              "PACT promos", "freq promos"});
-    double series_done = false;
-    (void)series_done;
 
-    for (const std::string &w :
-         {std::string("pac-inversion"), std::string("bc-kron"),
-          std::string("bc-urand"), std::string("sssp-kron"),
-          std::string("silo")}) {
+    const std::vector<std::string> workloads = {
+        "pac-inversion", "bc-kron", "bc-urand", "sssp-kron", "silo"};
+    std::vector<WorkloadBundle> bundles(workloads.size());
+    parallelFor(workloads.size(), [&](std::size_t i) {
         WorkloadOptions opt;
         opt.scale = scale;
-        const WorkloadBundle bundle = makeWorkload(w, opt);
-        Runner runner;
+        bundles[i] = makeWorkload(workloads[i], opt);
+    });
 
-        PactPolicy pact;
-        const double share = w == "pac-inversion" ? 0.4 : 0.5;
-        const RunResult rp = runner.runWith(bundle, pact, share, "PACT");
-        FreqPolicy freq;
-        const RunResult rf =
-            runner.runWith(bundle, freq, share, "PACT-freq");
+    // Both variants of every workload run concurrently; the policy
+    // objects are kept so the bc-kron timelines can be printed after.
+    std::vector<PactPolicy> pacts(workloads.size());
+    std::vector<FreqPolicy> freqs(workloads.size());
+    std::vector<RunResult> rps(workloads.size()), rfs(workloads.size());
+    Runner runner;
+    parallelFor(2 * workloads.size(), [&](std::size_t j) {
+        const std::size_t i = j / 2;
+        const double share =
+            workloads[i] == "pac-inversion" ? 0.4 : 0.5;
+        if (j % 2 == 0)
+            rps[i] = runner.runWith(bundles[i], pacts[i], share, "PACT");
+        else
+            rfs[i] = runner.runWith(bundles[i], freqs[i], share,
+                                    "PACT-freq");
+    });
 
+    for (std::size_t i = 0; i < workloads.size(); i++) {
+        const RunResult &rp = rps[i];
+        const RunResult &rf = rfs[i];
         t.row()
-            .cell(w)
+            .cell(workloads[i])
             .cell(rp.slowdownPct, 1)
             .cell(rf.slowdownPct, 1)
             .cell(rf.slowdownPct - rp.slowdownPct, 1)
             .cellCount(rp.stats.promotions())
             .cellCount(rf.stats.promotions());
 
-        if (w == "bc-kron") {
+        if (workloads[i] == "bc-kron") {
             printHeading(std::cout,
                          "Promotion timeline on bc-kron (per tick)");
             Table tl({"tick", "PACT", "frequency"});
-            const auto &ps = pact.promotionSeries();
-            const auto &fs = freq.promotionSeries();
+            const auto &ps = pacts[i].promotionSeries();
+            const auto &fs = freqs[i].promotionSeries();
             const std::size_t n = std::min(ps.size(), fs.size());
             const std::size_t stride =
                 std::max<std::size_t>(1, n / 24);
-            for (std::size_t i = 0; i < n; i += stride) {
+            for (std::size_t k = 0; k < n; k += stride) {
                 tl.row()
-                    .cell(static_cast<std::uint64_t>(i))
-                    .cell(ps[i].value, 0)
-                    .cell(fs[i].value, 0);
+                    .cell(static_cast<std::uint64_t>(k))
+                    .cell(ps[k].value, 0)
+                    .cell(fs[k].value, 0);
             }
             tl.print();
         }

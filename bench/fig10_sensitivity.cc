@@ -12,7 +12,10 @@
  * on every workload.
  */
 
+#include <deque>
+
 #include "bench_util.hh"
+#include "harness/pool.hh"
 #include "pact/pact_policy.hh"
 #include "workloads/registry.hh"
 
@@ -31,19 +34,29 @@ main()
 
     // (a) PEBS sampling rate. The paper sweeps 800..4000 on runs of
     // minutes; scaled runs sweep the same 5x span around the default.
+    // Each rate needs its own Runner config, so the rows are fanned
+    // out with one Runner per row (Runner is non-movable: deque).
     printHeading(std::cout, "Figure 10a: PEBS sampling rate");
     {
+        const std::vector<std::uint64_t> rates = {16,  32,  64,
+                                                  128, 256, 512};
+        std::deque<Runner> runners;
+        for (std::uint64_t rate : rates) {
+            runners.emplace_back();
+            runners.back().config().pebs.rate = rate;
+        }
+        std::vector<RunResult> results(rates.size());
+        parallelFor(rates.size(), [&](std::size_t i) {
+            results[i] = runners[i].run(bundle, "PACT", 0.5);
+        });
         Table t({"rate (1-in-N)", "slowdown", "promotions",
                  "PEBS samples"});
-        for (std::uint64_t rate : {16, 32, 64, 128, 256, 512}) {
-            Runner runner;
-            runner.config().pebs.rate = rate;
-            const RunResult r = runner.run(bundle, "PACT", 0.5);
+        for (std::size_t i = 0; i < rates.size(); i++) {
             t.row()
-                .cell(rate)
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions())
-                .cellCount(r.stats.pebsEvents / rate);
+                .cell(rates[i])
+                .cell(results[i].slowdownPct, 1)
+                .cellCount(results[i].stats.promotions())
+                .cellCount(results[i].stats.pebsEvents / rates[i]);
         }
         t.print();
     }
@@ -51,37 +64,61 @@ main()
     // (b) PAC sampling period (daemon window).
     printHeading(std::cout, "Figure 10b: PAC sampling period");
     {
+        const std::vector<Cycles> periods = {
+            250000ull,  500000ull,  1000000ull,
+            2000000ull, 5000000ull, 20000000ull};
+        std::deque<Runner> runners;
+        for (Cycles period : periods) {
+            runners.emplace_back();
+            runners.back().config().daemonPeriod = period;
+        }
+        std::vector<RunResult> results(periods.size());
+        parallelFor(periods.size(), [&](std::size_t i) {
+            results[i] = runners[i].run(bundle, "PACT", 0.5);
+        });
         Table t({"period (ms)", "slowdown", "promotions", "windows"});
-        for (Cycles period : {250000ull, 500000ull, 1000000ull,
-                              2000000ull, 5000000ull, 20000000ull}) {
-            Runner runner;
-            runner.config().daemonPeriod = period;
-            const RunResult r = runner.run(bundle, "PACT", 0.5);
+        for (std::size_t i = 0; i < periods.size(); i++) {
             t.row()
-                .cell(static_cast<double>(period) / (ClockHz / 1e3), 2)
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions())
-                .cell(r.stats.daemonTicks);
+                .cell(static_cast<double>(periods[i]) /
+                          (ClockHz / 1e3),
+                      2)
+                .cell(results[i].slowdownPct, 1)
+                .cellCount(results[i].stats.promotions())
+                .cell(results[i].stats.daemonTicks);
         }
         t.print();
     }
 
-    // (c) Cooling across three workloads.
+    // (c) Cooling across three workloads: the full workload x variant
+    // grid runs as one batch (one Runner per workload, shared by its
+    // three variants so the baseline is computed once).
     printHeading(std::cout, "Figure 10c: cooling sensitivity");
     {
+        const std::vector<std::string> ws = {"bc-kron", "sssp-kron",
+                                             "silo"};
+        const std::vector<std::string> variants = {
+            "PACT", "PACT-cool-halve", "PACT-cool-reset"};
+        std::vector<WorkloadBundle> bs(ws.size());
+        parallelFor(ws.size(), [&](std::size_t i) {
+            bs[i] = makeWorkload(ws[i], opt);
+        });
+        std::deque<Runner> runners;
+        for (std::size_t i = 0; i < ws.size(); i++)
+            runners.emplace_back();
+        std::vector<RunResult> results(ws.size() * variants.size());
+        parallelFor(results.size(), [&](std::size_t j) {
+            const std::size_t wi = j / variants.size();
+            results[j] = runners[wi].run(bs[wi],
+                                         variants[j % variants.size()],
+                                         0.5);
+        });
         Table t({"workload", "alpha=1.0 (none)", "alpha=0.5 (halve)",
                  "alpha=0 (reset)"});
-        for (const std::string &w :
-             {std::string("bc-kron"), std::string("sssp-kron"),
-              std::string("silo")}) {
-            const WorkloadBundle b = makeWorkload(w, opt);
-            Runner runner;
-            t.row().cell(w);
-            for (const char *variant :
-                 {"PACT", "PACT-cool-halve", "PACT-cool-reset"}) {
-                const RunResult r = runner.run(b, variant, 0.5);
-                t.cell(r.slowdownPct, 1);
-            }
+        for (std::size_t wi = 0; wi < ws.size(); wi++) {
+            t.row().cell(ws[wi]);
+            for (std::size_t vi = 0; vi < variants.size(); vi++)
+                t.cell(results[wi * variants.size() + vi].slowdownPct,
+                       1);
         }
         t.print();
     }
@@ -90,19 +127,27 @@ main()
     printHeading(std::cout,
                  "Ablation: demotion aggressiveness m (Algorithm 2)");
     {
-        Table t({"m", "slowdown", "promotions", "demotions"});
-        for (std::uint64_t m : {0, 8, 64, 512}) {
-            Runner runner;
+        const std::vector<std::uint64_t> ms = {0, 8, 64, 512};
+        std::deque<Runner> runners;
+        std::deque<PactPolicy> policies;
+        for (std::uint64_t m : ms) {
+            runners.emplace_back();
             PactConfig cfg;
             cfg.m = m;
-            PactPolicy pol(cfg);
-            const RunResult r =
-                runner.runWith(bundle, pol, 0.5, "PACT");
+            policies.emplace_back(cfg);
+        }
+        std::vector<RunResult> results(ms.size());
+        parallelFor(ms.size(), [&](std::size_t i) {
+            results[i] =
+                runners[i].runWith(bundle, policies[i], 0.5, "PACT");
+        });
+        Table t({"m", "slowdown", "promotions", "demotions"});
+        for (std::size_t i = 0; i < ms.size(); i++) {
             t.row()
-                .cell(m)
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions())
-                .cellCount(r.stats.demotions());
+                .cell(ms[i])
+                .cell(results[i].slowdownPct, 1)
+                .cellCount(results[i].stats.promotions())
+                .cellCount(results[i].stats.demotions());
         }
         t.print();
     }
@@ -111,12 +156,14 @@ main()
     // AMD Little's-law counters).
     printHeading(std::cout, "Ablation: per-tier MLP source");
     {
+        Runner runner;
+        const std::vector<RunResult> results = runMany(
+            runner,
+            {{&bundle, "PACT", 0.5}, {&bundle, "PACT-littleslaw", 0.5}});
         Table t({"source", "slowdown", "promotions"});
-        for (const char *mode : {"PACT", "PACT-littleslaw"}) {
-            Runner runner;
-            const RunResult r = runner.run(bundle, mode, 0.5);
+        for (const RunResult &r : results) {
             t.row()
-                .cell(mode)
+                .cell(r.policy)
                 .cell(r.slowdownPct, 1)
                 .cellCount(r.stats.promotions());
         }
@@ -124,44 +171,48 @@ main()
     }
 
     // Ablation: sampling backend (paper §4.3.5: PEBS vs a CXL 3.2
-    // CHMU device-side hotness unit).
+    // CHMU device-side hotness unit). The two backends need distinct
+    // Runner configs, so they fan out over a bare parallelFor.
     printHeading(std::cout, "Ablation: sampling backend");
     {
+        Runner pebsRunner;
+        Runner chmuRunner;
+        chmuRunner.config().chmu.enabled = true;
+        PactConfig cfg;
+        cfg.sampler = SamplerSource::Chmu;
+        PactPolicy chmuPol(cfg);
+        RunResult rPebs, rChmu;
+        parallelFor(2, [&](std::size_t i) {
+            if (i == 0)
+                rPebs = pebsRunner.run(bundle, "PACT", 0.5);
+            else
+                rChmu = chmuRunner.runWith(bundle, chmuPol, 0.5,
+                                           "PACT-chmu");
+        });
         Table t({"backend", "slowdown", "promotions"});
-        {
-            Runner runner;
-            const RunResult r = runner.run(bundle, "PACT", 0.5);
-            t.row()
-                .cell("PEBS (1-in-64)")
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions());
-        }
-        {
-            Runner runner;
-            runner.config().chmu.enabled = true;
-            PactConfig cfg;
-            cfg.sampler = SamplerSource::Chmu;
-            PactPolicy pol(cfg);
-            const RunResult r =
-                runner.runWith(bundle, pol, 0.5, "PACT-chmu");
-            t.row()
-                .cell("CHMU hot-list")
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions());
-        }
+        t.row()
+            .cell("PEBS (1-in-64)")
+            .cell(rPebs.slowdownPct, 1)
+            .cellCount(rPebs.stats.promotions());
+        t.row()
+            .cell("CHMU hot-list")
+            .cell(rChmu.slowdownPct, 1)
+            .cellCount(rChmu.stats.promotions());
         t.print();
     }
 
     // Ablation: binning modes (also the Figure 13 breakdown's core).
     printHeading(std::cout, "Ablation: binning mode");
     {
+        Runner runner;
+        const std::vector<RunResult> results =
+            runMany(runner, {{&bundle, "PACT-static", 0.5},
+                             {&bundle, "PACT-adaptive", 0.5},
+                             {&bundle, "PACT", 0.5}});
         Table t({"mode", "slowdown", "promotions"});
-        for (const char *mode :
-             {"PACT-static", "PACT-adaptive", "PACT"}) {
-            Runner runner;
-            const RunResult r = runner.run(bundle, mode, 0.5);
+        for (const RunResult &r : results) {
             t.row()
-                .cell(mode)
+                .cell(r.policy)
                 .cell(r.slowdownPct, 1)
                 .cellCount(r.stats.promotions());
         }

@@ -11,6 +11,7 @@
  */
 
 #include "bench_util.hh"
+#include "harness/pool.hh"
 #include "workloads/mlc.hh"
 #include "workloads/registry.hh"
 
@@ -42,48 +43,59 @@ main()
     const double scale = benchSetup(
         "Figure 11: bandwidth contention (bc-kron + MLC hog)", 0.5);
 
-    printHeading(std::cout,
-                 "4KB pages: PACT vs Colloid under contention");
-    Table t4({"MLC threads", "PACT slow", "Colloid slow",
-              "PACT promos", "Colloid promos", "promo ratio"});
-    for (unsigned threads : {1u, 2u, 4u, 8u}) {
-        const WorkloadBundle b = contendedBundle(scale, threads, false);
-        Runner runner;
-        const RunResult rp = runner.run(b, "PACT", 0.5);
-        const RunResult rc = runner.run(b, "Colloid", 0.5);
-        t4.row()
-            .cell(static_cast<std::uint64_t>(threads))
-            .cell(rp.slowdownPct, 1)
-            .cell(rc.slowdownPct, 1)
-            .cellCount(rp.stats.promotions())
-            .cellCount(rc.stats.promotions())
-            .cell(static_cast<double>(rc.stats.promotions()) /
-                      std::max<std::uint64_t>(1,
-                                              rp.stats.promotions()),
-                  1);
-    }
-    t4.print();
+    const std::vector<unsigned> threadCounts = {1u, 2u, 4u, 8u};
 
-    printHeading(std::cout, "THP: PACT vs Memtis under contention");
-    Table tt({"MLC threads", "PACT slow", "Memtis slow",
-              "PACT promos", "Memtis promos", "promo ratio"});
-    for (unsigned threads : {1u, 2u, 4u, 8u}) {
-        const WorkloadBundle b = contendedBundle(scale, threads, true);
-        Runner runner;
-        const RunResult rp = runner.run(b, "PACT", 0.5);
-        const RunResult rm = runner.run(b, "Memtis", 0.5);
-        tt.row()
-            .cell(static_cast<std::uint64_t>(threads))
-            .cell(rp.slowdownPct, 1)
-            .cell(rm.slowdownPct, 1)
-            .cellCount(rp.stats.promotions())
-            .cellCount(rm.stats.promotions())
-            .cell(static_cast<double>(rm.stats.promotions()) /
-                      std::max<std::uint64_t>(1,
-                                              rp.stats.promotions()),
-                  1);
+    // One bundle per (threads, thp) point; both page granularities
+    // then run as a single PACT-vs-rival batch on a shared Runner.
+    std::vector<WorkloadBundle> b4(threadCounts.size());
+    std::vector<WorkloadBundle> bt(threadCounts.size());
+    parallelFor(2 * threadCounts.size(), [&](std::size_t j) {
+        const std::size_t i = j / 2;
+        if (j % 2 == 0)
+            b4[i] = contendedBundle(scale, threadCounts[i], false);
+        else
+            bt[i] = contendedBundle(scale, threadCounts[i], true);
+    });
+
+    Runner runner;
+    std::vector<RunSpec> specs;
+    for (const WorkloadBundle &b : b4) {
+        specs.push_back({&b, "PACT", 0.5});
+        specs.push_back({&b, "Colloid", 0.5});
     }
-    tt.print();
+    for (const WorkloadBundle &b : bt) {
+        specs.push_back({&b, "PACT", 0.5});
+        specs.push_back({&b, "Memtis", 0.5});
+    }
+    const std::vector<RunResult> flat = runMany(runner, specs);
+
+    const auto printSection = [&](const char *title,
+                                  const char *rival,
+                                  std::size_t offset) {
+        printHeading(std::cout, title);
+        Table t({"MLC threads", "PACT slow",
+                 std::string(rival) + " slow", "PACT promos",
+                 std::string(rival) + " promos", "promo ratio"});
+        for (std::size_t i = 0; i < threadCounts.size(); i++) {
+            const RunResult &rp = flat[offset + 2 * i];
+            const RunResult &rr = flat[offset + 2 * i + 1];
+            t.row()
+                .cell(static_cast<std::uint64_t>(threadCounts[i]))
+                .cell(rp.slowdownPct, 1)
+                .cell(rr.slowdownPct, 1)
+                .cellCount(rp.stats.promotions())
+                .cellCount(rr.stats.promotions())
+                .cell(static_cast<double>(rr.stats.promotions()) /
+                          std::max<std::uint64_t>(
+                              1, rp.stats.promotions()),
+                      1);
+        }
+        t.print();
+    };
+    printSection("4KB pages: PACT vs Colloid under contention",
+                 "Colloid", 0);
+    printSection("THP: PACT vs Memtis under contention", "Memtis",
+                 2 * threadCounts.size());
     std::printf("\nPaper reference: PACT sustains comparable or "
                 "better performance with 3.5-4.7x fewer promotions "
                 "than Colloid and 2.2x fewer than Memtis, even at "

@@ -13,6 +13,7 @@
 
 #include "bench_util.hh"
 #include "common/stats.hh"
+#include "harness/pool.hh"
 #include "workloads/registry.hh"
 
 using namespace pact;
@@ -74,11 +75,16 @@ main()
         {"+Adaptive", "PACT-adaptive"},
         {"+Both (PACT)", "PACT"},
     };
-    for (const auto &[label, policy] : systems) {
-        const RunResult r = runner.run(bundle, policy, 0.5);
+    const std::vector<RunResult> results =
+        runMany(runner, {{&bundle, "Colloid", 0.5},
+                         {&bundle, "PACT-static", 0.5},
+                         {&bundle, "PACT-adaptive", 0.5},
+                         {&bundle, "PACT", 0.5}});
+    for (std::size_t i = 0; i < results.size(); i++) {
+        const RunResult &r = results[i];
         const ServiceStats s = serviceStats(r);
         t.row()
-            .cell(label)
+            .cell(systems[i].first)
             .cell(s.throughputMops, 3)
             .cell(s.p50us, 2)
             .cell(s.p99us, 2)

@@ -16,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "harness/pool.hh"
 #include "harness/sweep.hh"
 #include "policies/registry.hh"
 #include "workloads/registry.hh"
@@ -39,7 +40,11 @@ usage()
         "  --period <cycles>   daemon period (default 1000000)\n"
         "  --seed <n>          RNG seed (default 42)\n"
         "  --sweep             run every policy at the given ratio\n"
-        "  --list              list workloads and policies\n");
+        "  --list              list workloads and policies\n"
+        "env:\n"
+        "  PACT_JOBS           worker threads for --sweep (default:\n"
+        "                      all cores; 1 = serial). Results are\n"
+        "                      identical regardless of job count.\n");
 }
 
 void
@@ -147,12 +152,17 @@ main(int argc, char **argv)
                 bundle.traces[0].size(), fast, slow);
 
     if (sweep) {
+        // All policies run concurrently (PACT_JOBS workers); the
+        // report keeps the registry order.
+        std::vector<RunSpec> specs;
+        for (const auto &p : allPolicyNames())
+            specs.push_back({&bundle, p, share});
+        const std::vector<RunResult> results = runMany(runner, specs);
         Table t({"policy", "slowdown", "promotions", "demotions",
                  "hint faults"});
-        for (const auto &p : allPolicyNames()) {
-            const RunResult r = runner.run(bundle, p, share);
+        for (const RunResult &r : results) {
             t.row()
-                .cell(p)
+                .cell(r.policy)
                 .cell(r.slowdownPct, 1)
                 .cellCount(r.stats.promotions())
                 .cellCount(r.stats.demotions())

@@ -1,0 +1,34 @@
+#!/bin/sh
+# Build with -DPACT_SANITIZE=thread and run the harness tests that
+# exercise the parallel sweep API, so data races in the thread pool /
+# Runner baseline cache are caught before they land. Skips (exit 0)
+# when the toolchain has no usable TSan runtime, so it is safe to call
+# unconditionally from CI.
+#
+# Usage: scripts/check_tsan.sh [build-dir]   (default: build-tsan)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-tsan"}
+
+# Probe for a working TSan runtime: some minimal images ship the
+# compiler flag but not libtsan, which only surfaces at link time.
+probe=$(mktemp -d)
+trap 'rm -rf "$probe"' EXIT
+cat >"$probe/t.cc" <<'EOF'
+int main() { return 0; }
+EOF
+if ! ${CXX:-c++} -fsanitize=thread "$probe/t.cc" -o "$probe/t" \
+    >/dev/null 2>&1; then
+    echo "check_tsan: no usable TSan runtime; skipping" >&2
+    exit 0
+fi
+
+cmake -B "$build" -S "$repo" -DPACT_SANITIZE=thread
+cmake --build "$build" -j --target test_pool test_harness
+
+# The pool tests force multi-threaded schedules themselves; PACT_JOBS=4
+# additionally routes every default-jobs code path through the pool.
+PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
+PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_harness"
+echo "check_tsan: clean"

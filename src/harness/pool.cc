@@ -1,0 +1,121 @@
+#include "harness/pool.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+unsigned
+envJobs(unsigned deflt)
+{
+    if (const char *s = std::getenv("PACT_JOBS")) {
+        const long v = std::atol(s);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    if (deflt == 0)
+        deflt = std::thread::hardware_concurrency();
+    return deflt == 0 ? 1 : deflt;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = envJobs();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; i++)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        panic_if(stopping_, "ThreadPool: submit after shutdown");
+        queue_.push_back(std::move(task));
+        inFlight_++;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(
+                lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping, queue drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            inFlight_--;
+            if (inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+            unsigned jobs)
+{
+    if (n == 0)
+        return;
+    jobs = jobs == 0 ? envJobs() : jobs;
+    if (jobs > n)
+        jobs = static_cast<unsigned>(n);
+    if (jobs <= 1) {
+        for (std::size_t i = 0; i < n; i++)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(jobs);
+    for (std::size_t i = 0; i < n; i++)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+std::vector<RunResult>
+runMany(Runner &runner, const std::vector<RunSpec> &specs, unsigned jobs)
+{
+    std::vector<RunResult> out(specs.size());
+    parallelFor(
+        specs.size(),
+        [&](std::size_t i) {
+            const RunSpec &s = specs[i];
+            panic_if(!s.bundle, "runMany: spec without bundle");
+            out[i] = runner.run(*s.bundle, s.policy, s.share);
+        },
+        jobs);
+    return out;
+}
+
+} // namespace pact

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Parallel experiment harness: a small thread pool plus helpers that
+ * fan independent (bundle, policy, share) runs out across cores. Every
+ * run owns its Engine and RNG, so results are bit-identical regardless
+ * of worker count; PACT_JOBS controls the default fan-out
+ * (hardware_concurrency when unset, 1 preserving fully serial
+ * execution).
+ */
+
+#ifndef PACT_HARNESS_POOL_HH
+#define PACT_HARNESS_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/runner.hh"
+
+namespace pact
+{
+
+/**
+ * Worker count from the environment: PACT_JOBS=<n> overrides; unset
+ * (or invalid) selects @p deflt, and deflt == 0 selects
+ * hardware_concurrency. Always at least 1.
+ */
+unsigned envJobs(unsigned deflt = 0);
+
+/**
+ * A fixed-size worker pool over a shared task queue. Tasks are
+ * drained in submission order by whichever worker frees up first
+ * (dynamic scheduling); wait() blocks until the queue is empty and
+ * all workers are idle.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers Worker count; 0 selects envJobs(). */
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Enqueue a task. Never blocks. */
+    void submit(std::function<void()> task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+    unsigned workers() const { return static_cast<unsigned>(threads_.size()); }
+
+  private:
+    void workerLoop();
+
+    std::vector<std::thread> threads_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable workReady_;
+    std::condition_variable allDone_;
+    std::size_t inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(0..n-1) across @p jobs workers (0 selects envJobs()). With
+ * one job the calls happen inline on the calling thread, in order —
+ * exactly the pre-parallel behavior. Iterations must be independent;
+ * exceptions escaping @p fn terminate (the harness reports errors via
+ * fatal(), which exits).
+ */
+void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
+                 unsigned jobs = 0);
+
+/** One unit of harness work: a policy on a bundle at a fast share. */
+struct RunSpec
+{
+    /** Bundle to run; must outlive the runMany() call. */
+    const WorkloadBundle *bundle = nullptr;
+    /** Registry policy name (each run constructs its own instance). */
+    std::string policy;
+    /** Fast-tier capacity as a fraction of RSS. */
+    double share = 0.5;
+};
+
+/**
+ * Execute every spec through @p runner, @p jobs at a time (0 selects
+ * envJobs()). Results are returned in spec order and are bit-identical
+ * for any job count: each run owns its Engine/policy/RNG and the
+ * runner's baseline cache is computed exactly once per bundle.
+ */
+std::vector<RunResult> runMany(Runner &runner,
+                               const std::vector<RunSpec> &specs,
+                               unsigned jobs = 0);
+
+} // namespace pact
+
+#endif // PACT_HARNESS_POOL_HH

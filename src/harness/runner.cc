@@ -24,20 +24,31 @@ Runner::capacityPages(const WorkloadBundle &bundle,
 const std::vector<Cycles> &
 Runner::baseline(const WorkloadBundle &bundle)
 {
-    auto it = baselines_.find(bundle.name);
-    if (it != baselines_.end())
-        return it->second;
-
-    SimConfig cfg = cfg_;
-    cfg.fastCapacityPages = bundle.rssPages() + 1024;
-    auto policy = makePolicy("NoTier");
-    // A mutable AddrSpace reference is required by Engine, but runs
-    // never mutate it; cast away the const for the shared bundle.
-    auto &as = const_cast<AddrSpace &>(bundle.as);
-    Engine engine(cfg, as, &bundle.traces, policy.get());
-    const RunStats stats = engine.run();
-    return baselines_.emplace(bundle.name, stats.procCycles)
-        .first->second;
+    // First caller for a bundle installs the future and computes the
+    // baseline outside the lock; concurrent callers wait on the same
+    // future, so the baseline runs exactly once per bundle name.
+    std::promise<std::vector<Cycles>> promise;
+    std::shared_future<std::vector<Cycles>> future;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(baselineMutex_);
+        auto it = baselines_.find(bundle.name);
+        if (it == baselines_.end()) {
+            future = promise.get_future().share();
+            baselines_.emplace(bundle.name, future);
+            compute = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (compute) {
+        SimConfig cfg = cfg_;
+        cfg.fastCapacityPages = bundle.rssPages() + 1024;
+        auto policy = makePolicy("NoTier");
+        Engine engine(cfg, bundle.as, &bundle.traces, policy.get());
+        promise.set_value(engine.run().procCycles);
+    }
+    return future.get();
 }
 
 RunResult
@@ -48,8 +59,7 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
 
     SimConfig cfg = cfg_;
     cfg.fastCapacityPages = capacityPages(bundle, fast_share);
-    auto &as = const_cast<AddrSpace &>(bundle.as);
-    Engine engine(cfg, as, &bundle.traces, &policy);
+    Engine engine(cfg, bundle.as, &bundle.traces, &policy);
     const RunStats stats = engine.run();
 
     RunResult res;
@@ -82,8 +92,7 @@ Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
         soar && !soar->hasPlan()) {
         // Offline profiling pass, then static placement sized to this
         // run's fast-tier capacity.
-        auto &as = const_cast<AddrSpace &>(bundle.as);
-        const auto prof = soarProfile(cfg_, as, bundle.traces);
+        const auto prof = soarProfile(cfg_, bundle.as, bundle.traces);
         soar->setPlan(
             soarPlan(prof, capacityPages(bundle, fast_share)));
     }

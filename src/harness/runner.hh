@@ -8,8 +8,10 @@
 #ifndef PACT_HARNESS_RUNNER_HH
 #define PACT_HARNESS_RUNNER_HH
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -34,7 +36,15 @@ struct RunResult
     RunStats stats;
 };
 
-/** Executes runs and caches DRAM-only baselines per bundle. */
+/**
+ * Executes runs and caches DRAM-only baselines per bundle.
+ *
+ * Thread safety: run()/runWith()/baseline() may be called from many
+ * threads at once (the parallel sweep API in pool.hh does exactly
+ * that); each run owns its Engine and RNG, and the baseline cache is
+ * computed exactly once per bundle name. config() must only be
+ * mutated while no runs are in flight.
+ */
 class Runner
 {
   public:
@@ -45,7 +55,8 @@ class Runner
 
     /**
      * DRAM-only baseline runtimes (one per process). Computed once
-     * per bundle name and cached.
+     * per bundle name and cached; concurrent callers for the same
+     * bundle block until the single computation finishes.
      */
     const std::vector<Cycles> &baseline(const WorkloadBundle &bundle);
 
@@ -76,7 +87,14 @@ class Runner
                                 double fast_share) const;
 
     SimConfig cfg_;
-    std::map<std::string, std::vector<Cycles>> baselines_;
+    /**
+     * Per-bundle baseline, held as a shared_future so that the first
+     * caller computes while concurrent callers wait on the same
+     * result instead of racing a duplicate run.
+     */
+    std::map<std::string, std::shared_future<std::vector<Cycles>>>
+        baselines_;
+    std::mutex baselineMutex_;
 };
 
 /**

@@ -31,16 +31,21 @@ contrastRatios()
 std::vector<std::vector<RunResult>>
 ratioSweep(Runner &runner, const WorkloadBundle &bundle,
            const std::vector<std::string> &policies,
-           const std::vector<RatioSpec> &ratios)
+           const std::vector<RatioSpec> &ratios, unsigned jobs)
 {
+    std::vector<RunSpec> specs;
+    specs.reserve(policies.size() * ratios.size());
+    for (const std::string &p : policies) {
+        for (const RatioSpec &r : ratios)
+            specs.push_back({&bundle, p, r.share()});
+    }
+    const std::vector<RunResult> flat = runMany(runner, specs, jobs);
+
     std::vector<std::vector<RunResult>> out;
     out.reserve(policies.size());
-    for (const std::string &p : policies) {
-        std::vector<RunResult> row;
-        row.reserve(ratios.size());
-        for (const RatioSpec &r : ratios)
-            row.push_back(runner.run(bundle, p, r.share()));
-        out.push_back(std::move(row));
+    for (std::size_t p = 0; p < policies.size(); p++) {
+        out.emplace_back(flat.begin() + p * ratios.size(),
+                         flat.begin() + (p + 1) * ratios.size());
     }
     return out;
 }
@@ -48,23 +53,30 @@ ratioSweep(Runner &runner, const WorkloadBundle &bundle,
 SeedStats
 seedSweep(const SimConfig &cfg, const std::string &workload,
           const WorkloadOptions &base_opt, const std::string &policy,
-          double fast_share, std::size_t seeds)
+          double fast_share, std::size_t seeds, unsigned jobs)
 {
+    // Each seed is fully independent (own bundle, own Runner); the
+    // serial reduction below keeps the statistics bit-identical for
+    // any job count.
+    std::vector<double> slowdowns(seeds, 0.0);
+    std::vector<double> promotions(seeds, 0.0);
+    parallelFor(
+        seeds,
+        [&](std::size_t s) {
+            WorkloadOptions opt = base_opt;
+            opt.seed = base_opt.seed + 7919 * (s + 1);
+            const WorkloadBundle bundle = makeWorkload(workload, opt);
+            Runner runner(cfg);
+            const RunResult r = runner.run(bundle, policy, fast_share);
+            slowdowns[s] = r.slowdownPct;
+            promotions[s] = static_cast<double>(r.stats.promotions());
+        },
+        jobs);
+
     SeedStats out;
-    std::vector<double> slowdowns;
-    std::uint64_t promoSum = 0;
-    for (std::size_t s = 0; s < seeds; s++) {
-        WorkloadOptions opt = base_opt;
-        opt.seed = base_opt.seed + 7919 * (s + 1);
-        const WorkloadBundle bundle = makeWorkload(workload, opt);
-        Runner runner(cfg);
-        const RunResult r = runner.run(bundle, policy, fast_share);
-        slowdowns.push_back(r.slowdownPct);
-        promoSum += r.stats.promotions();
-    }
     out.meanSlowdownPct = stats::mean(slowdowns);
     out.stddevPct = stats::stddev(slowdowns);
-    out.meanPromotions = seeds == 0 ? 0 : promoSum / seeds;
+    out.meanPromotions = stats::mean(promotions);
     out.seeds = seeds;
     return out;
 }

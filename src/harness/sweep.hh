@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/pool.hh"
 #include "harness/runner.hh"
 
 namespace pact
@@ -33,19 +34,21 @@ const std::vector<RatioSpec> &contrastRatios();
 
 /**
  * Run one workload under several policies across several ratios.
- * Results are indexed [policy][ratio].
+ * Results are indexed [policy][ratio]. The grid's runs execute
+ * concurrently, @p jobs at a time (0 selects envJobs(), i.e.
+ * PACT_JOBS); results are bit-identical for any job count.
  */
 std::vector<std::vector<RunResult>>
 ratioSweep(Runner &runner, const WorkloadBundle &bundle,
            const std::vector<std::string> &policies,
-           const std::vector<RatioSpec> &ratios);
+           const std::vector<RatioSpec> &ratios, unsigned jobs = 0);
 
 /** Mean/stddev of slowdown over independent workload seeds. */
 struct SeedStats
 {
     double meanSlowdownPct = 0.0;
     double stddevPct = 0.0;
-    std::uint64_t meanPromotions = 0;
+    double meanPromotions = 0.0;
     std::size_t seeds = 0;
 };
 
@@ -53,11 +56,14 @@ struct SeedStats
  * Re-instantiate @p workload with @p seeds different seeds and run
  * each under @p policy, reporting slowdown statistics — the
  * run-to-run variation story a single deterministic run cannot tell.
+ * Seeds run concurrently (@p jobs, 0 selects envJobs()); each seed
+ * owns its bundle and Runner, and the reduction order is fixed, so
+ * the statistics are bit-identical for any job count.
  */
 SeedStats seedSweep(const SimConfig &cfg, const std::string &workload,
                     const WorkloadOptions &base_opt,
                     const std::string &policy, double fast_share,
-                    std::size_t seeds);
+                    std::size_t seeds, unsigned jobs = 0);
 
 } // namespace pact
 

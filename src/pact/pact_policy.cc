@@ -17,6 +17,11 @@ namespace pact
 PactPolicy::PactPolicy(const PactConfig &cfg)
     : cfg_(cfg), reservoir_(100), binning_(cfg.binning)
 {
+    // CHMU hot-lists carry access counts only — there is no per-sample
+    // latency to weight by (paper §4.3.5 vs §4.3.7).
+    fatal_if(cfg_.sampler == SamplerSource::Chmu && cfg_.latencyWeighted,
+             "PACT: latencyWeighted attribution requires PEBS "
+             "sampling; the CHMU provides no per-access latency");
 }
 
 const char *
@@ -124,11 +129,14 @@ PactPolicy::attribute(SimContext &ctx)
         PacEntry &e = table_.touch(page);
 
         // In-place cooling: decay pages that went unsampled for a
-        // long sample distance (paper §4.3.4 / Figure 10c).
+        // long sample distance (paper §4.3.4 / Figure 10c). Both rank
+        // signals cool together, so RankMode::Frequency forgets stale
+        // pages exactly as RankMode::Criticality does.
         if (cfg_.cooling != CoolingMode::None && e.freq > 0 &&
             globalSamples_ - e.lastSample > cfg_.coolingDistance) {
-            e.pac = cfg_.cooling == CoolingMode::Halve ? e.pac * 0.5f
-                                                       : 0.0f;
+            const bool halve = cfg_.cooling == CoolingMode::Halve;
+            e.pac = halve ? e.pac * 0.5f : 0.0f;
+            e.freq = halve ? e.freq / 2 : 0;
         }
 
         const double share = agg.latMass / totalMass;

@@ -101,6 +101,9 @@ struct PactConfig
     /**
      * Latency-weighted attribution (paper §4.3.7 future work):
      * S_p = S * A_p*l_p / sum(A_i*l_i) using PEBS-sampled latency.
+     * Requires sampler == SamplerSource::Pebs: the CHMU reports
+     * counts without latency, so combining the two is a fatal
+     * configuration error.
      */
     bool latencyWeighted = false;
 

@@ -15,7 +15,7 @@ namespace
 class SoarCollector : public TieringPolicy
 {
   public:
-    SoarCollector(AddrSpace &as, std::vector<SoarObjectProfile> &out)
+    SoarCollector(const AddrSpace &as, std::vector<SoarObjectProfile> &out)
         : as_(as), out_(out)
     {
     }
@@ -61,7 +61,7 @@ class SoarCollector : public TieringPolicy
     }
 
   private:
-    AddrSpace &as_;
+    const AddrSpace &as_;
     std::vector<SoarObjectProfile> &out_;
     PmuSnapshot snap_;
 };
@@ -69,7 +69,7 @@ class SoarCollector : public TieringPolicy
 } // namespace
 
 std::vector<SoarObjectProfile>
-soarProfile(const SimConfig &cfg, AddrSpace &as,
+soarProfile(const SimConfig &cfg, const AddrSpace &as,
             const std::vector<Trace> &traces)
 {
     // Profile with the whole footprint on the slow tier so every

@@ -47,7 +47,7 @@ struct SoarObjectProfile
  * information Soar's profiler extracts.
  */
 std::vector<SoarObjectProfile> soarProfile(const SimConfig &cfg,
-                                           AddrSpace &as,
+                                           const AddrSpace &as,
                                            const std::vector<Trace> &traces);
 
 /**

@@ -7,7 +7,7 @@
 namespace pact
 {
 
-Engine::Engine(const SimConfig &cfg, AddrSpace &as,
+Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
                const std::vector<Trace> *traces, TieringPolicy *policy)
     : cfg_(cfg), as_(as), traces_(traces), policy_(policy),
       rng_(cfg.seed ^ 0x5bd1e995u),

@@ -69,11 +69,13 @@ class Engine : public MigrationBackend
     /**
      * @param cfg Simulation configuration (fast capacity, tiers, ...).
      * @param as Address space the traces were generated against.
+     *           Never mutated: many engines may share one bundle's
+     *           address space, including concurrently.
      * @param traces One trace per simulated process; at least one must
      *               be non-looping (it defines run completion).
      * @param policy Tiering policy, or nullptr for no daemon.
      */
-    Engine(const SimConfig &cfg, AddrSpace &as,
+    Engine(const SimConfig &cfg, const AddrSpace &as,
            const std::vector<Trace> *traces, TieringPolicy *policy);
 
     /** Run to completion and return statistics. */
@@ -104,7 +106,7 @@ class Engine : public MigrationBackend
     bool allPrimariesDone() const;
 
     const SimConfig cfg_;
-    AddrSpace &as_;
+    const AddrSpace &as_;
     const std::vector<Trace> *traces_;
     TieringPolicy *policy_;
 

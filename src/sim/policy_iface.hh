@@ -36,7 +36,7 @@ struct SimContext
     TierManager &tm;
     LruLists &lru;
     MigrationEngine &mig;
-    AddrSpace &as;
+    const AddrSpace &as;
     std::array<Tier *, NumTiers> tiers;
     Rng &rng;
     /** Device-side hotness unit, when SimConfig::chmu.enabled. */

@@ -197,6 +197,56 @@ TEST_F(PactPolicyTest, CoolingResetShrinksPac)
     EXPECT_LT(sumReset, sumNone);
 }
 
+TEST_F(PactPolicyTest, CoolingDecaysFreqAlongsidePac)
+{
+    // Regression: cooling used to decay e.pac but leave e.freq
+    // untouched, so RankMode::Frequency never forgot stale pages.
+    const WorkloadBundle b = mixedBundle();
+    Runner run;
+
+    const auto sumFreq = [](const PactPolicy &pol) {
+        double sum = 0.0;
+        pol.table().forEach(
+            [&](const PacEntry &e) { sum += e.freq; });
+        return sum;
+    };
+
+    PactConfig none;
+    none.profileOnly = true;
+    PactPolicy polNone(none);
+    run.runWith(b, polNone, 0.0, "none");
+
+    PactConfig halve = none;
+    halve.cooling = CoolingMode::Halve;
+    halve.coolingDistance = 500;
+    PactPolicy polHalve(halve);
+    run.runWith(b, polHalve, 0.0, "halve");
+
+    PactConfig reset = none;
+    reset.cooling = CoolingMode::Reset;
+    reset.coolingDistance = 500;
+    PactPolicy polReset(reset);
+    run.runWith(b, polReset, 0.0, "reset");
+
+    ASSERT_GT(sumFreq(polNone), 0.0);
+    EXPECT_LT(sumFreq(polHalve), sumFreq(polNone));
+    EXPECT_LT(sumFreq(polReset), sumFreq(polNone));
+}
+
+TEST_F(PactPolicyTest, ChmuRejectsLatencyWeightedAttribution)
+{
+    // The CHMU hot-list carries access counts only — no per-access
+    // latency — so latency-weighted attribution is a config error.
+    PactConfig ok;
+    ok.sampler = SamplerSource::Chmu;
+    PactPolicy chmuOnly(ok); // counts-only CHMU remains valid
+
+    PactConfig bad = ok;
+    bad.latencyWeighted = true;
+    EXPECT_EXIT({ PactPolicy pol(bad); },
+                ::testing::ExitedWithCode(1), "latencyWeighted");
+}
+
 TEST_F(PactPolicyTest, QuarantineLimitsChurn)
 {
     const WorkloadBundle b = makeWorkload("pac-inversion",

@@ -162,8 +162,7 @@ TEST_F(PolicyBehaviour, SoarPlacesCriticalObjectsStatically)
     const WorkloadBundle b =
         makeWorkload("pac-inversion", {0.25, false, 7});
     SimConfig cfg;
-    auto &as = const_cast<AddrSpace &>(b.as);
-    const auto prof = soarProfile(cfg, as, b.traces);
+    const auto prof = soarProfile(cfg, b.as, b.traces);
     ASSERT_EQ(prof.size(), b.as.objects().size());
 
     // The chase region must profile as more critical per byte.
@@ -175,6 +174,7 @@ TEST_F(PolicyBehaviour, SoarPlacesCriticalObjectsStatically)
             hotDensity = p.density();
     }
     EXPECT_GT(chaseDensity, 0.0);
+    EXPECT_GT(chaseDensity, hotDensity);
 
     // Plan with room for only the smaller region.
     const auto plan = soarPlan(

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Parallel harness tests: envJobs parsing, ThreadPool draining,
+ * parallelFor coverage and serial ordering, parallel-vs-serial
+ * determinism of runMany/ratioSweep/seedSweep, and the thread safety
+ * of the Runner's shared baseline cache. The determinism tests pass
+ * explicit job counts so they exercise real concurrency even on a
+ * single-core host (where envJobs() would pick 1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/pool.hh"
+#include "harness/sweep.hh"
+#include "workloads/masim.hh"
+
+using namespace pact;
+
+namespace
+{
+
+WorkloadBundle
+tinyBundle(MasimPattern pat = MasimPattern::PointerChase)
+{
+    WorkloadBundle b;
+    b.name = pat == MasimPattern::PointerChase ? "tiny-chase"
+                                               : "tiny-rand";
+    Rng rng(31);
+    MasimParams p;
+    MasimRegion r;
+    r.name = "r";
+    r.bytes = 8ull << 20;
+    r.pattern = pat;
+    p.regions = {r};
+    p.ops = 200000;
+    b.traces.push_back(buildMasim(b.as, 0, p, rng));
+    return b;
+}
+
+/** Every observable field of two RunResults must match exactly. */
+void
+expectIdentical(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.policy, b.policy);
+    EXPECT_EQ(a.slowdownPct, b.slowdownPct); // bitwise, not NEAR
+    EXPECT_EQ(a.procSlowdownPct, b.procSlowdownPct);
+    EXPECT_EQ(a.runtime, b.runtime);
+    EXPECT_EQ(a.stats.wallCycles, b.stats.wallCycles);
+    EXPECT_EQ(a.stats.procCycles, b.stats.procCycles);
+    EXPECT_EQ(a.stats.procRetired, b.stats.procRetired);
+    EXPECT_EQ(a.stats.pmu.instructions, b.stats.pmu.instructions);
+    EXPECT_EQ(a.stats.pmu.llcMisses, b.stats.pmu.llcMisses);
+    EXPECT_EQ(a.stats.pmu.llcLoadMisses, b.stats.pmu.llcLoadMisses);
+    EXPECT_EQ(a.stats.pmu.llcHits, b.stats.pmu.llcHits);
+    EXPECT_EQ(a.stats.pmu.torOccupancy, b.stats.pmu.torOccupancy);
+    EXPECT_EQ(a.stats.pmu.torBusy, b.stats.pmu.torBusy);
+    EXPECT_EQ(a.stats.pmu.stallCycles, b.stats.pmu.stallCycles);
+    EXPECT_EQ(a.stats.pmu.hintFaults, b.stats.pmu.hintFaults);
+    EXPECT_EQ(a.stats.migration.promotedOps,
+              b.stats.migration.promotedOps);
+    EXPECT_EQ(a.stats.migration.promotedPages,
+              b.stats.migration.promotedPages);
+    EXPECT_EQ(a.stats.migration.demotedOps,
+              b.stats.migration.demotedOps);
+    EXPECT_EQ(a.stats.migration.demotedPages,
+              b.stats.migration.demotedPages);
+    EXPECT_EQ(a.stats.migration.failed, b.stats.migration.failed);
+    EXPECT_EQ(a.stats.migration.copyCycles,
+              b.stats.migration.copyCycles);
+    EXPECT_EQ(a.stats.pebsEvents, b.stats.pebsEvents);
+    EXPECT_EQ(a.stats.pebsDropped, b.stats.pebsDropped);
+    EXPECT_EQ(a.stats.daemonTicks, b.stats.daemonTicks);
+    EXPECT_EQ(a.stats.spans, b.stats.spans);
+}
+
+class QuietEnv : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setLogQuiet(true); }
+    void TearDown() override { setLogQuiet(false); }
+};
+
+using PoolTest = QuietEnv;
+
+} // namespace
+
+TEST(EnvJobs, DefaultsAndOverrides)
+{
+    unsetenv("PACT_JOBS");
+    EXPECT_EQ(envJobs(3), 3u);
+    EXPECT_GE(envJobs(0), 1u); // hardware_concurrency, min 1
+
+    setenv("PACT_JOBS", "5", 1);
+    EXPECT_EQ(envJobs(3), 5u);
+    EXPECT_EQ(envJobs(0), 5u);
+
+    // Non-positive or garbage values fall back to the default.
+    setenv("PACT_JOBS", "0", 1);
+    EXPECT_EQ(envJobs(3), 3u);
+    setenv("PACT_JOBS", "squid", 1);
+    EXPECT_EQ(envJobs(3), 3u);
+    unsetenv("PACT_JOBS");
+}
+
+TEST(ThreadPool, DrainsEveryTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 200; i++)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> done{0};
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<int> hits(1000, 0);
+    parallelFor(hits.size(), [&](std::size_t i) { hits[i]++; }, 4);
+    for (std::size_t i = 0; i < hits.size(); i++)
+        EXPECT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(ParallelFor, OneJobRunsInlineInOrder)
+{
+    std::vector<std::size_t> order; // safe: serial path, no threads
+    parallelFor(64, [&](std::size_t i) { order.push_back(i); }, 1);
+    ASSERT_EQ(order.size(), 64u);
+    for (std::size_t i = 0; i < order.size(); i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, ZeroIterationsIsANoOp)
+{
+    parallelFor(0, [](std::size_t) { FAIL() << "must not run"; }, 4);
+}
+
+TEST_F(PoolTest, BaselineCacheSafeUnderConcurrentHammer)
+{
+    const WorkloadBundle b = tinyBundle();
+    Runner serial;
+    const std::vector<Cycles> expect = serial.baseline(b);
+
+    // Many threads race the same Runner for the same bundle: exactly
+    // one computation, every caller sees the same cached vector.
+    Runner shared;
+    constexpr unsigned kThreads = 8;
+    std::vector<const std::vector<Cycles> *> seen(kThreads * 4,
+                                                  nullptr);
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; t++) {
+        threads.emplace_back([&, t] {
+            for (unsigned k = 0; k < 4; k++)
+                seen[t * 4 + k] = &shared.baseline(b);
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+
+    for (const auto *p : seen) {
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(p, seen[0]); // one cached vector, stable address
+    }
+    EXPECT_EQ(*seen[0], expect); // and the same runtimes as serial
+}
+
+TEST_F(PoolTest, RunManyMatchesSerialBitForBit)
+{
+    const WorkloadBundle chase = tinyBundle();
+    const WorkloadBundle rnd = tinyBundle(MasimPattern::Random);
+
+    std::vector<RunSpec> specs;
+    for (const WorkloadBundle *b : {&chase, &rnd}) {
+        for (const char *p : {"PACT", "Colloid"}) {
+            specs.push_back({b, p, 0.3});
+            specs.push_back({b, p, 0.6});
+        }
+    }
+
+    Runner serialRunner, parallelRunner;
+    const auto serial = runMany(serialRunner, specs, 1);
+    const auto parallel = runMany(parallelRunner, specs, 4);
+    ASSERT_EQ(serial.size(), specs.size());
+    ASSERT_EQ(parallel.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); i++)
+        expectIdentical(serial[i], parallel[i]);
+}
+
+TEST_F(PoolTest, RatioSweepDeterministicAcrossJobCounts)
+{
+    const WorkloadBundle b = tinyBundle();
+    const std::vector<std::string> policies = {"NoTier", "PACT"};
+
+    Runner serialRunner, parallelRunner;
+    const auto serial =
+        ratioSweep(serialRunner, b, policies, paperRatios(), 1);
+    const auto parallel =
+        ratioSweep(parallelRunner, b, policies, paperRatios(), 4);
+    ASSERT_EQ(serial.size(), policies.size());
+    ASSERT_EQ(parallel.size(), policies.size());
+    for (std::size_t pi = 0; pi < serial.size(); pi++) {
+        ASSERT_EQ(serial[pi].size(), paperRatios().size());
+        ASSERT_EQ(parallel[pi].size(), paperRatios().size());
+        for (std::size_t ri = 0; ri < serial[pi].size(); ri++)
+            expectIdentical(serial[pi][ri], parallel[pi][ri]);
+    }
+}
+
+TEST_F(PoolTest, SeedSweepDeterministicAcrossJobCounts)
+{
+    static_assert(
+        std::is_same_v<decltype(SeedStats::meanPromotions), double>,
+        "meanPromotions must be fractional (no integer truncation)");
+
+    SimConfig cfg;
+    WorkloadOptions opt;
+    opt.scale = 0.1;
+    const SeedStats serial =
+        seedSweep(cfg, "silo", opt, "PACT", 0.5, 3, 1);
+    const SeedStats parallel =
+        seedSweep(cfg, "silo", opt, "PACT", 0.5, 3, 4);
+    EXPECT_EQ(serial.seeds, parallel.seeds);
+    EXPECT_EQ(serial.meanSlowdownPct, parallel.meanSlowdownPct);
+    EXPECT_EQ(serial.stddevPct, parallel.stddevPct);
+    EXPECT_EQ(serial.meanPromotions, parallel.meanPromotions);
+}
