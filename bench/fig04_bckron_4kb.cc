@@ -102,5 +102,11 @@ main()
                 "2-22%% while promoting 2.1-10.4x fewer pages than "
                 "Colloid and 1.2-9.6x fewer than NBT; TPP reaches "
                 "hundreds of millions of promotions.\n");
+
+    std::vector<RunResult> flat;
+    for (const auto &row : grid)
+        flat.insert(flat.end(), row.begin(), row.end());
+    writeBenchManifest("fig04_bckron_4kb", runner.config(), flat,
+                       {{"scale", scale}}, {{"workload", "bc-kron"}});
     return 0;
 }

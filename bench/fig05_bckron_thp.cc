@@ -58,5 +58,12 @@ main()
     std::printf("\nPaper reference: PACT lowest across nearly all "
                 "ratios; Memtis best among baselines (1-19%% behind "
                 "PACT) thanks to THP awareness.\n");
+
+    std::vector<RunResult> flat;
+    for (const auto &row : grid)
+        flat.insert(flat.end(), row.begin(), row.end());
+    writeBenchManifest("fig05_bckron_thp", runner.config(), flat,
+                       {{"scale", scale}, {"thp", 1.0}},
+                       {{"workload", "bc-kron"}});
     return 0;
 }

@@ -87,5 +87,8 @@ main()
                 "33%% and Nomad by over 500%%; on gpt-2 only PACT "
                 "beats NoTier; PACT migrates up to 50.1x / 40.6x "
                 "fewer pages than Colloid / NBT.\n");
+
+    writeBenchManifest("fig06_all_workloads", runner.config(), flat,
+                       {{"scale", scale}, {"fast_share", 0.5}});
     return 0;
 }

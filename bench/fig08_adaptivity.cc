@@ -80,5 +80,9 @@ main()
                 "PACT's 180K while PACT achieves lower slowdown "
                 "(18%% vs 25%%); promotions spike early then "
                 "stabilize; bin width adapts to the PAC spread.\n");
+
+    writeBenchManifest("fig08_adaptivity", runner.config(), {rp, rc},
+                       {{"scale", scale}, {"fast_share", 0.5}},
+                       {{"workload", "sssp-kron"}});
     return 0;
 }

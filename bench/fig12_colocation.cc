@@ -71,5 +71,12 @@ main()
                 "aggregate slowdown by 61%% over Colloid, with 300K "
                 "vs 12M promotions; the random process stays slower "
                 "in absolute terms (inherently serialized).\n");
+
+    std::vector<RunResult> flat;
+    for (const Row &row : rows)
+        flat.push_back(row.result);
+    writeBenchManifest("fig12_colocation", runner.config(), flat,
+                       {{"scale", scale}, {"fast_share", 0.5}},
+                       {{"workload", "masim-coloc"}});
     return 0;
 }

@@ -96,5 +96,9 @@ main()
     std::printf("\nPaper reference: +Both outperforms Colloid by up "
                 "to 40%% in latency and throughput and substantially "
                 "reduces tail latency.\n");
+
+    writeBenchManifest("fig13_redis", runner.config(), results,
+                       {{"scale", scale}, {"fast_share", 0.5}},
+                       {{"workload", "redis"}});
     return 0;
 }

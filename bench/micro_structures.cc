@@ -8,9 +8,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "common/rng.hh"
 #include "mem/lru.hh"
 #include "mem/tier_manager.hh"
+#include "obs/metrics.hh"
 #include "pact/binning.hh"
 #include "pact/pac_table.hh"
 #include "pact/reservoir.hh"
@@ -146,5 +149,57 @@ BM_LruVictims(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_LruVictims);
+
+/**
+ * Overhead guard for the stat registry: a registered obs::Counter is a
+ * plain uint64 increment (the registry holds a pointer to the cell, so
+ * registration adds no branch to the hot path). This bench must stay
+ * within noise of BM_RawCounterInc — the "<3% Engine::run overhead"
+ * claim in EXPERIMENTS.md rests on it.
+ */
+static void
+BM_RawCounterInc(benchmark::State &state)
+{
+    std::uint64_t c = 0;
+    for (auto _ : state) {
+        c++;
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RawCounterInc);
+
+static void
+BM_StatCounterInc(benchmark::State &state)
+{
+    obs::StatRegistry reg;
+    obs::Counter c;
+    reg.addCounter("bench.counter", c, "bench");
+    for (auto _ : state) {
+        c.inc();
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterInc);
+
+/** Cold-path cost: snapshotting a registry the size of the Engine's. */
+static void
+BM_RegistrySample(benchmark::State &state)
+{
+    const int stats = static_cast<int>(state.range(0));
+    obs::StatRegistry reg;
+    std::vector<std::uint64_t> cells(stats, 7);
+    for (int i = 0; i < stats; i++) {
+        std::ostringstream name;
+        name << "bench.group" << i % 8 << ".stat" << i;
+        reg.addCounter(name.str(), &cells[i], "bench");
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(reg.sampleAll());
+    }
+    state.SetItemsProcessed(state.iterations() * stats);
+}
+BENCHMARK(BM_RegistrySample)->Arg(48);
 
 BENCHMARK_MAIN();

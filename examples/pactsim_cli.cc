@@ -12,12 +12,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <optional>
 #include <string>
 
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "harness/pool.hh"
 #include "harness/sweep.hh"
+#include "obs/export.hh"
+#include "obs/timeseries.hh"
 #include "policies/registry.hh"
 #include "workloads/registry.hh"
 
@@ -41,6 +45,13 @@ usage()
         "  --seed <n>          RNG seed (default 42)\n"
         "  --sweep             run every policy at the given ratio\n"
         "  --list              list workloads and policies\n"
+        "artifacts (optional path; default shown):\n"
+        "  --out-json [file]   run manifest JSON"
+        " [pactsim.manifest.json]\n"
+        "  --timeseries [file] per-window stats JSONL"
+        " [pactsim.timeseries.jsonl]\n"
+        "  --trace-out [file]  chrome://tracing / Perfetto trace"
+        " [pactsim.trace.json]\n"
         "env:\n"
         "  PACT_JOBS           worker threads for --sweep (default:\n"
         "                      all cores; 1 = serial). Results are\n"
@@ -104,12 +115,20 @@ main(int argc, char **argv)
     WorkloadOptions opt;
     SimConfig cfg;
     bool sweep = false;
+    std::string manifestPath, timeseriesPath, tracePath;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
         auto next = [&]() -> const char * {
             fatal_if(i + 1 >= argc, "missing value for ", arg);
             return argv[++i];
+        };
+        // Artifact flags take an optional path: a following token that
+        // does not look like another flag is consumed as the filename.
+        auto nextOr = [&](const char *deflt) -> const char * {
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                return argv[++i];
+            return deflt;
         };
         if (arg == "--workload") {
             workload = next();
@@ -131,6 +150,12 @@ main(int argc, char **argv)
             cfg.seed = opt.seed;
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg == "--out-json") {
+            manifestPath = nextOr("pactsim.manifest.json");
+        } else if (arg == "--timeseries") {
+            timeseriesPath = nextOr("pactsim.timeseries.jsonl");
+        } else if (arg == "--trace-out") {
+            tracePath = nextOr("pactsim.trace.json");
         } else if (arg == "--list") {
             list();
             return 0;
@@ -140,9 +165,38 @@ main(int argc, char **argv)
         }
     }
 
+    fatal_if(sweep && (!timeseriesPath.empty() || !tracePath.empty()),
+             "--timeseries/--trace-out apply to a single run, not "
+             "--sweep (use --out-json for a sweep manifest)");
+
     const WorkloadBundle bundle = makeWorkload(workload, opt);
     Runner runner(cfg);
     const double share = Runner::ratioShare(fast, slow);
+
+    // One manifest shape for both modes: the effective per-run config
+    // (capacity resolved from the ratio) plus driver parameters.
+    auto writeManifest = [&](const std::vector<RunResult> &results,
+                             const std::string &kind) {
+        obs::RunManifest m;
+        m.kind = kind;
+        m.producer = "pactsim_cli";
+        m.config = cfg;
+        m.config.fastCapacityPages = runner.capacityPages(bundle, share);
+        m.params = {{"scale", opt.scale},
+                    {"fast_share", share},
+                    {"ratio_fast", static_cast<double>(fast)},
+                    {"ratio_slow", static_cast<double>(slow)},
+                    {"thp", opt.thp ? 1.0 : 0.0}};
+        m.textParams = {{"workload", workload}};
+        if (!sweep)
+            m.textParams.emplace_back("policy", policy);
+        for (const RunResult &r : results)
+            m.results.push_back(manifestResult(r));
+        std::ofstream os(manifestPath, std::ios::binary);
+        fatal_if(!os, "cannot open ", manifestPath);
+        obs::writeRunManifest(os, m);
+        std::fprintf(stderr, "wrote %s\n", manifestPath.c_str());
+    };
 
     std::printf("%s: %llu MB resident, %zu trace ops, fast:slow "
                 "%d:%d\n\n",
@@ -169,9 +223,41 @@ main(int argc, char **argv)
                 .cellCount(r.stats.pmu.hintFaults);
         }
         t.print();
+        if (!manifestPath.empty())
+            writeManifest(results, "sweep");
         return 0;
     }
 
-    report(runner.run(bundle, policy, share));
+    std::ofstream tsStream;
+    std::optional<obs::TimeSeriesRecorder> recorder;
+    obs::TraceEventSink trace;
+    RunObservers observers;
+    if (!timeseriesPath.empty()) {
+        tsStream.open(timeseriesPath, std::ios::binary);
+        fatal_if(!tsStream, "cannot open ", timeseriesPath);
+        recorder.emplace(tsStream, cfg.daemonPeriod);
+        observers.timeseries = &*recorder;
+    }
+    if (!tracePath.empty())
+        observers.trace = &trace;
+
+    const RunResult r = runner.run(bundle, policy, share, &observers);
+    report(r);
+
+    if (!timeseriesPath.empty()) {
+        tsStream.close();
+        std::fprintf(stderr, "wrote %s (%llu windows)\n",
+                     timeseriesPath.c_str(),
+                     static_cast<unsigned long long>(recorder->rows()));
+    }
+    if (!tracePath.empty()) {
+        std::ofstream os(tracePath, std::ios::binary);
+        fatal_if(!os, "cannot open ", tracePath);
+        trace.write(os);
+        std::fprintf(stderr, "wrote %s (%zu events)\n", tracePath.c_str(),
+                     trace.size());
+    }
+    if (!manifestPath.empty())
+        writeManifest({r}, "run");
     return 0;
 }

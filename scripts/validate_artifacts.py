@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validate pactsim's machine-readable run artifacts.
+
+Runs pactsim_cli on a small stock workload with all three artifact
+flags, then checks:
+
+  * the run manifest parses, carries the expected schema tag, the full
+    simulator config, and a non-empty stat dump per result;
+  * the time-series JSONL has a schema header, consecutive windows,
+    monotone timestamps, and rows whose fields match the header layout
+    (counters non-negative);
+  * the Chrome trace parses and every event is well-formed;
+  * the JSONL and manifest artifacts are byte-identical between
+    PACT_JOBS=1 and PACT_JOBS=4 (the determinism guarantee).
+
+Pure standard library; wired into the build as a ctest entry.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+MANIFEST_SCHEMA = "pact.manifest/1"
+TIMESERIES_SCHEMA = "pact.timeseries/1"
+
+failures = []
+
+
+def check(cond, msg):
+    if cond:
+        print(f"  ok: {msg}")
+    else:
+        print(f"  FAIL: {msg}")
+        failures.append(msg)
+
+
+def run_cli(cli, outdir, jobs, workload, scale):
+    outdir = pathlib.Path(outdir)
+    paths = {
+        "manifest": outdir / f"manifest.j{jobs}.json",
+        "timeseries": outdir / f"timeseries.j{jobs}.jsonl",
+        "trace": outdir / f"trace.j{jobs}.json",
+    }
+    env = dict(os.environ, PACT_JOBS=str(jobs))
+    cmd = [
+        cli,
+        "--workload", workload,
+        "--policy", "PACT",
+        "--scale", str(scale),
+        "--out-json", str(paths["manifest"]),
+        "--timeseries", str(paths["timeseries"]),
+        "--trace-out", str(paths["trace"]),
+    ]
+    print(f"+ PACT_JOBS={jobs} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"pactsim_cli failed with exit code {proc.returncode}")
+    return paths
+
+
+def validate_manifest(path):
+    print(f"manifest: {path.name}")
+    doc = json.loads(path.read_text())
+    check(doc.get("schema") == MANIFEST_SCHEMA,
+          f"schema tag is {MANIFEST_SCHEMA}")
+    check(doc.get("kind") in ("run", "sweep", "bench"), "kind is known")
+    check(isinstance(doc.get("producer"), str) and doc["producer"],
+          "producer recorded")
+    cfg = doc.get("config", {})
+    for key in ("daemon_period_cycles", "fast_capacity_pages", "seed",
+                "fast", "slow", "cache", "cpu", "pebs", "migration"):
+        check(key in cfg, f"config carries {key}")
+    results = doc.get("results", [])
+    check(len(results) >= 1, "at least one result")
+    for r in results:
+        check(r.get("workload") and r.get("policy"),
+              "result names its workload and policy")
+        check(r.get("runtime_cycles", 0) > 0, "runtime is positive")
+        stats = r.get("stats", {})
+        check(len(stats) >= 20, f"stat dump is substantial ({len(stats)})")
+        check(all(isinstance(v, (int, float)) for v in stats.values()),
+              "stat values are numeric")
+        check("engine.cache.misses" in stats and "pact.ticks" in stats,
+              "engine and policy hierarchies both present")
+
+
+def validate_timeseries(path):
+    print(f"timeseries: {path.name}")
+    rows = [json.loads(line) for line in path.read_text().splitlines()]
+    check(len(rows) >= 2, "header plus at least one window")
+    header, body = rows[0], rows[1:]
+    check(header.get("schema") == TIMESERIES_SCHEMA,
+          f"schema tag is {TIMESERIES_SCHEMA}")
+    check(header.get("window_cycles", 0) > 0, "window length recorded")
+    fields = header.get("fields", [])
+    names = [f["name"] for f in fields]
+    kinds = {f["name"]: f["kind"] for f in fields}
+    check(len(names) >= 20 and names == sorted(names),
+          "field layout is substantial and name-sorted")
+    check(all(f["kind"] in ("counter", "gauge") for f in fields),
+          "field kinds are counter/gauge")
+
+    prev_t1 = 0
+    for i, row in enumerate(body):
+        if row.get("window") != i:
+            check(False, f"window indices consecutive (row {i})")
+            break
+        if not (row.get("t0", -1) >= prev_t1 - 0
+                and row.get("t1", -1) > row.get("t0", 0) - 1):
+            check(False, f"timestamps monotone (row {i})")
+            break
+        prev_t1 = row["t1"]
+        stats = row.get("stats", {})
+        if sorted(stats.keys()) != names:
+            check(False, f"row {i} fields match the header layout")
+            break
+        bad = [n for n, v in stats.items()
+               if kinds[n] == "counter" and v < 0]
+        if bad:
+            check(False, f"counter deltas non-negative (row {i}: {bad})")
+            break
+    else:
+        check(True, f"{len(body)} rows consistent with the header")
+
+
+def validate_trace(path):
+    print(f"trace: {path.name}")
+    doc = json.loads(path.read_text())
+    events = doc.get("traceEvents", [])
+    check(isinstance(events, list) and events, "traceEvents non-empty")
+    phases = set()
+    ok = True
+    for e in events:
+        phases.add(e.get("ph"))
+        if e.get("ph") == "X":
+            ok = ok and e.get("ts") is not None and e.get("dur") is not None
+        if e.get("ph") in ("X", "C", "M"):
+            ok = ok and bool(e.get("name"))
+    check(ok, "every event is well-formed")
+    check("X" in phases, "complete ('X') span events present")
+    check("M" in phases, "thread-name metadata present")
+    names = {e.get("name") for e in events}
+    check("daemon.tick" in names, "daemon ticks traced")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--cli", required=True,
+                    help="path to the pactsim_cli binary")
+    ap.add_argument("--workload", default="silo")
+    ap.add_argument("--scale", default="0.1")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="pact-artifacts-") as tmp:
+        j1 = run_cli(args.cli, tmp, 1, args.workload, args.scale)
+        j4 = run_cli(args.cli, tmp, 4, args.workload, args.scale)
+
+        validate_manifest(j1["manifest"])
+        validate_timeseries(j1["timeseries"])
+        validate_trace(j1["trace"])
+
+        print("determinism: PACT_JOBS=1 vs PACT_JOBS=4")
+        check(j1["timeseries"].read_bytes() == j4["timeseries"].read_bytes(),
+              "time-series JSONL byte-identical across job counts")
+        check(j1["manifest"].read_bytes() == j4["manifest"].read_bytes(),
+              "manifest byte-identical across job counts")
+        check(j1["trace"].read_bytes() == j4["trace"].read_bytes(),
+              "trace byte-identical across job counts")
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print("\nall artifact checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,26 +1,59 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace pact
 {
 
 namespace
 {
-bool quietFlag = false;
+
+std::atomic<bool> quietFlag{false};
+
+/** Serializes message emission across threads (line atomicity). */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+thread_local std::string threadTag;
+
+/** "[tag] " prefix for the calling thread, or "". */
+std::string
+prefix()
+{
+    return threadTag.empty() ? std::string() : "[" + threadTag + "] ";
+}
+
 } // namespace
 
 bool
 logQuiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 void
 setLogQuiet(bool quiet)
 {
-    quietFlag = quiet;
+    quietFlag.store(quiet, std::memory_order_relaxed);
+}
+
+void
+setLogTag(const std::string &tag)
+{
+    threadTag = tag;
+}
+
+const std::string &
+logTag()
+{
+    return threadTag;
 }
 
 namespace detail
@@ -29,29 +62,41 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "panic: %s%s (%s:%d)\n", prefix().c_str(),
+                     msg.c_str(), file, line);
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    {
+        std::lock_guard<std::mutex> lock(logMutex());
+        std::fprintf(stderr, "fatal: %s%s (%s:%d)\n", prefix().c_str(),
+                     msg.c_str(), file, line);
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    if (logQuiet())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "warn: %s%s\n", prefix().c_str(), msg.c_str());
 }
 
 void
 informImpl(const std::string &msg)
 {
-    if (!quietFlag)
-        std::fprintf(stderr, "info: %s\n", msg.c_str());
+    if (logQuiet())
+        return;
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::fprintf(stderr, "info: %s%s\n", prefix().c_str(), msg.c_str());
 }
 
 } // namespace detail

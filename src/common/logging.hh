@@ -57,6 +57,18 @@ bool logQuiet();
 /** Suppress or re-enable warn()/inform() output. */
 void setLogQuiet(bool quiet);
 
+/**
+ * Tag every warn()/inform() from the calling thread with "[tag] " —
+ * typically a run or worker label, so messages from concurrent runs
+ * (PACT_JOBS > 1) stay attributable. Empty string clears the tag.
+ * The tag is thread-local; emission itself is serialized by a mutex,
+ * so interleaved messages never tear mid-line.
+ */
+void setLogTag(const std::string &tag);
+
+/** The calling thread's current log tag (empty when unset). */
+const std::string &logTag();
+
 } // namespace pact
 
 /**

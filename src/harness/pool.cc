@@ -25,8 +25,14 @@ ThreadPool::ThreadPool(unsigned workers)
     if (workers == 0)
         workers = envJobs();
     threads_.reserve(workers);
-    for (unsigned i = 0; i < workers; i++)
-        threads_.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i < workers; i++) {
+        // Tag each worker's log output so warn()/inform() lines from
+        // concurrent runs stay attributable.
+        threads_.emplace_back([this, i] {
+            setLogTag("w" + std::to_string(i));
+            workerLoop();
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -112,7 +118,11 @@ runMany(Runner &runner, const std::vector<RunSpec> &specs, unsigned jobs)
         [&](std::size_t i) {
             const RunSpec &s = specs[i];
             panic_if(!s.bundle, "runMany: spec without bundle");
+            // Narrow the thread's log tag to the run for its duration.
+            const std::string prev = logTag();
+            setLogTag(s.bundle->name + "/" + s.policy);
             out[i] = runner.run(*s.bundle, s.policy, s.share);
+            setLogTag(prev);
         },
         jobs);
     return out;

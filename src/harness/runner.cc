@@ -51,16 +51,34 @@ Runner::baseline(const WorkloadBundle &bundle)
     return future.get();
 }
 
+obs::ManifestResult
+manifestResult(const RunResult &r)
+{
+    obs::ManifestResult m;
+    m.workload = r.workload;
+    m.policy = r.policy;
+    m.slowdownPct = r.slowdownPct;
+    m.procSlowdownPct = r.procSlowdownPct;
+    m.runtimeCycles = r.runtime;
+    m.stats = r.stats.registry;
+    return m;
+}
+
 RunResult
 Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
-                double fast_share, const std::string &label)
+                double fast_share, const std::string &label,
+                const RunObservers *obs)
 {
     const std::vector<Cycles> base = baseline(bundle);
 
     SimConfig cfg = cfg_;
     cfg.fastCapacityPages = capacityPages(bundle, fast_share);
     Engine engine(cfg, bundle.as, &bundle.traces, &policy);
-    const RunStats stats = engine.run();
+    if (obs && obs->trace)
+        engine.setTraceSink(obs->trace);
+    const RunStats stats = obs && obs->timeseries
+                               ? obs::recordRun(engine, *obs->timeseries)
+                               : engine.run();
 
     RunResult res;
     res.workload = bundle.name;
@@ -84,7 +102,7 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
 
 RunResult
 Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
-            double fast_share)
+            double fast_share, const RunObservers *obs)
 {
     auto policy = makePolicy(policy_name);
 
@@ -97,7 +115,7 @@ Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
             soarPlan(prof, capacityPages(bundle, fast_share)));
     }
 
-    return runWith(bundle, *policy, fast_share, policy_name);
+    return runWith(bundle, *policy, fast_share, policy_name, obs);
 }
 
 double

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.hh"
+#include "obs/timeseries.hh"
 #include "sim/config.hh"
 #include "sim/engine.hh"
 #include "workloads/workload.hh"
@@ -34,6 +36,21 @@ struct RunResult
     /** Primary-process runtime in cycles. */
     Cycles runtime = 0;
     RunStats stats;
+};
+
+/** A RunResult reshaped for the manifest exporter. */
+obs::ManifestResult manifestResult(const RunResult &r);
+
+/**
+ * Optional observers attached to a measured run (never the DRAM-only
+ * baseline). Both must outlive the run call.
+ */
+struct RunObservers
+{
+    /** Drive the run in windows, one JSONL row each. */
+    obs::TimeSeriesRecorder *timeseries = nullptr;
+    /** Collect migration/daemon-tick spans for chrome://tracing. */
+    obs::TraceEventSink *trace = nullptr;
 };
 
 /**
@@ -68,11 +85,13 @@ class Runner
      *                   (1.0 = everything fits; 0.0 = all slow).
      */
     RunResult run(const WorkloadBundle &bundle,
-                  const std::string &policy_name, double fast_share);
+                  const std::string &policy_name, double fast_share,
+                  const RunObservers *obs = nullptr);
 
     /** Run under a caller-constructed policy instance. */
     RunResult runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
-                      double fast_share, const std::string &label);
+                      double fast_share, const std::string &label,
+                      const RunObservers *obs = nullptr);
 
     /** Fast-share for a paper-style fast:slow ratio. */
     static double
@@ -82,10 +101,11 @@ class Runner
                static_cast<double>(fast + slow);
     }
 
-  private:
+    /** Fast-tier capacity (pages) a run at @p fast_share would get. */
     std::uint64_t capacityPages(const WorkloadBundle &bundle,
                                 double fast_share) const;
 
+  private:
     SimConfig cfg_;
     /**
      * Per-bundle baseline, held as a shared_future so that the first

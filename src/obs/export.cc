@@ -1,0 +1,368 @@
+#include "obs/export.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    // Counters are exact integers up to 2^53; print them without a
+    // fraction so deltas diff cleanly.
+    if (v == std::rint(v) && std::fabs(v) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(v));
+        return buf;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    preValue();
+    os_ << '{';
+    stack_.push_back('{');
+    started_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panic_if(stack_.empty() || stack_.back() != '{' || pendingKey_,
+             "JsonWriter: mismatched endObject");
+    os_ << '}';
+    stack_.pop_back();
+    started_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    preValue();
+    os_ << '[';
+    stack_.push_back('[');
+    started_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panic_if(stack_.empty() || stack_.back() != '[',
+             "JsonWriter: mismatched endArray");
+    os_ << ']';
+    stack_.pop_back();
+    started_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    panic_if(stack_.empty() || stack_.back() != '{' || pendingKey_,
+             "JsonWriter: key() outside an object");
+    if (started_.back())
+        os_ << ',';
+    started_.back() = true;
+    os_ << '"' << jsonEscape(k) << "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+void
+JsonWriter::preValue()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return;
+    }
+    if (!stack_.empty()) {
+        panic_if(stack_.back() == '{',
+                 "JsonWriter: value in object without key");
+        if (started_.back())
+            os_ << ',';
+        started_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    preValue();
+    os_ << '"' << jsonEscape(s) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    preValue();
+    os_ << jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    preValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    preValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    preValue();
+    os_ << (b ? "true" : "false");
+    return *this;
+}
+
+void
+writeSimConfig(JsonWriter &w, const SimConfig &cfg)
+{
+    w.beginObject();
+    w.key("fast").beginObject();
+    w.kv("latency_cycles", static_cast<std::uint64_t>(cfg.fast.latencyCycles));
+    w.kv("service_cycles_per_line", cfg.fast.serviceCycles);
+    w.endObject();
+    w.key("slow").beginObject();
+    w.kv("latency_cycles", static_cast<std::uint64_t>(cfg.slow.latencyCycles));
+    w.kv("service_cycles_per_line", cfg.slow.serviceCycles);
+    w.endObject();
+    w.key("cache").beginObject();
+    w.kv("size_bytes", cfg.cache.sizeBytes);
+    w.kv("assoc", static_cast<std::uint64_t>(cfg.cache.assoc));
+    w.kv("prefetch", cfg.cache.prefetch);
+    w.kv("prefetch_degree",
+         static_cast<std::uint64_t>(cfg.cache.prefetchDegree));
+    w.kv("prefetch_streams",
+         static_cast<std::uint64_t>(cfg.cache.prefetchStreams));
+    w.endObject();
+    w.key("cpu").beginObject();
+    w.kv("mshrs", static_cast<std::uint64_t>(cfg.cpu.mshrs));
+    w.kv("rob_ops", static_cast<std::uint64_t>(cfg.cpu.robOps));
+    w.kv("hint_fault_cycles",
+         static_cast<std::uint64_t>(cfg.cpu.hintFaultCycles));
+    w.endObject();
+    w.key("pebs").beginObject();
+    w.kv("rate", cfg.pebs.rate);
+    w.kv("sample_fast_tier", cfg.pebs.sampleFastTier);
+    w.kv("buffer_cap", static_cast<std::uint64_t>(cfg.pebs.bufferCap));
+    w.endObject();
+    w.key("chmu").beginObject();
+    w.kv("enabled", cfg.chmu.enabled);
+    w.kv("counter_cap", static_cast<std::uint64_t>(cfg.chmu.counterCap));
+    w.kv("hot_list_len", static_cast<std::uint64_t>(cfg.chmu.hotListLen));
+    w.endObject();
+    w.key("migration").beginObject();
+    w.kv("fixed_cycles_4k",
+         static_cast<std::uint64_t>(cfg.migration.fixedCycles4k));
+    w.kv("fixed_cycles_huge",
+         static_cast<std::uint64_t>(cfg.migration.fixedCyclesHuge));
+    w.kv("app_penalty_fraction", cfg.migration.appPenaltyFraction);
+    w.endObject();
+    w.kv("fast_capacity_pages", cfg.fastCapacityPages);
+    w.kv("daemon_period_cycles", static_cast<std::uint64_t>(cfg.daemonPeriod));
+    w.kv("slice_cycles", static_cast<std::uint64_t>(cfg.slice));
+    w.kv("seed", cfg.seed);
+    w.kv("max_wall_cycles", static_cast<std::uint64_t>(cfg.maxWallCycles));
+    w.endObject();
+}
+
+void
+writeRunManifest(std::ostream &os, const RunManifest &m)
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("schema", ManifestSchema);
+    w.kv("kind", m.kind);
+    w.kv("producer", m.producer);
+    w.key("config");
+    writeSimConfig(w, m.config);
+    w.key("params").beginObject();
+    for (const auto &[k, v] : m.params)
+        w.kv(k, v);
+    for (const auto &[k, v] : m.textParams)
+        w.kv(k, v);
+    w.endObject();
+    w.key("results").beginArray();
+    for (const ManifestResult &r : m.results) {
+        w.beginObject();
+        w.kv("workload", r.workload);
+        w.kv("policy", r.policy);
+        w.kv("slowdown_pct", r.slowdownPct);
+        w.key("proc_slowdown_pct").beginArray();
+        for (double p : r.procSlowdownPct)
+            w.value(p);
+        w.endArray();
+        w.kv("runtime_cycles", r.runtimeCycles);
+        w.key("stats").beginObject();
+        for (const auto &[k, v] : r.stats)
+            w.kv(k, v);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    panic_if(w.depth() != 0, "writeRunManifest: unbalanced document");
+}
+
+bool
+TraceEventSink::admit()
+{
+    if (events_.size() < capEvents())
+        return true;
+    if (dropped_++ == 0)
+        warn("TraceEventSink: event cap reached; dropping further events");
+    return false;
+}
+
+void
+TraceEventSink::completeEvent(const std::string &name,
+                              const std::string &cat, double ts_us,
+                              double dur_us, std::uint32_t tid, Args args)
+{
+    if (!admit())
+        return;
+    Event e;
+    e.ph = 'X';
+    e.name = name;
+    e.cat = cat;
+    e.ts = ts_us;
+    e.dur = dur_us;
+    e.tid = tid;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::counterEvent(const std::string &name, double ts_us,
+                             double value)
+{
+    if (!admit())
+        return;
+    Event e;
+    e.ph = 'C';
+    e.name = name;
+    e.ts = ts_us;
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+void
+TraceEventSink::threadName(std::uint32_t tid, const std::string &name)
+{
+    threadNames_.emplace_back(tid, name);
+}
+
+void
+TraceEventSink::write(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    w.kv("displayTimeUnit", "ms");
+    w.key("traceEvents").beginArray();
+    for (const auto &[tid, name] : threadNames_) {
+        w.beginObject();
+        w.kv("ph", "M");
+        w.kv("name", "thread_name");
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(tid));
+        w.key("args").beginObject().kv("name", name).endObject();
+        w.endObject();
+    }
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.kv("ph", std::string(1, e.ph));
+        w.kv("name", e.name);
+        if (!e.cat.empty())
+            w.kv("cat", e.cat);
+        w.kv("pid", std::uint64_t{0});
+        w.kv("tid", static_cast<std::uint64_t>(e.tid));
+        w.kv("ts", e.ts);
+        if (e.ph == 'X')
+            w.kv("dur", e.dur);
+        if (e.ph == 'C') {
+            w.key("args").beginObject().kv("value", e.value).endObject();
+        } else if (!e.args.empty()) {
+            w.key("args").beginObject();
+            for (const auto &[k, v] : e.args)
+                w.kv(k, v);
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+    panic_if(w.depth() != 0, "TraceEventSink: unbalanced document");
+}
+
+} // namespace obs
+
+} // namespace pact

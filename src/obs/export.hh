@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Machine-readable run artifacts: a deterministic JSON writer, the
+ * run-manifest exporter (full SimConfig + policy params + final stats,
+ * schema-versioned), and a Chrome trace_event sink so migration and
+ * daemon-tick activity can be opened in chrome://tracing / Perfetto.
+ *
+ * Everything here is layered below the harness: writers consume plain
+ * data (names, doubles, SimConfig fields) so the obs library depends
+ * only on common code.
+ */
+
+#ifndef PACT_OBS_EXPORT_HH
+#define PACT_OBS_EXPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+/** Schema tags written into (and validated against) the artifacts. */
+inline constexpr const char *ManifestSchema = "pact.manifest/1";
+inline constexpr const char *TimeSeriesSchema = "pact.timeseries/1";
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Deterministic JSON number formatting: integral values (within the
+ * double-exact range) print without a decimal point, everything else
+ * as shortest-round-trip %.17g; non-finite values become null. The
+ * format depends only on the bit pattern, which is what keeps JSONL
+ * artifacts byte-identical across job counts.
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Minimal streaming JSON writer with comma/nesting bookkeeping.
+ * Compact output (no whitespace) so artifact bytes are canonical.
+ */
+class JsonWriter
+{
+  public:
+    explicit JsonWriter(std::ostream &os) : os_(os) {}
+
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key inside the current object; follow with a value or begin*. */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<std::int64_t>(v)); }
+    JsonWriter &value(bool b);
+
+    /** key+value in one call. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** Depth of open containers (0 when the document is complete). */
+    std::size_t depth() const { return stack_.size(); }
+
+  private:
+    void preValue();
+
+    std::ostream &os_;
+    /** Per-level "a value has been emitted" flag. */
+    std::vector<bool> started_;
+    std::vector<char> stack_;
+    bool pendingKey_ = false;
+};
+
+/** One run's result as the manifest exporter consumes it. */
+struct ManifestResult
+{
+    std::string workload;
+    std::string policy;
+    double slowdownPct = 0.0;
+    std::vector<double> procSlowdownPct;
+    std::uint64_t runtimeCycles = 0;
+    /** Full registry dump (name-sorted), the authoritative stats. */
+    std::vector<std::pair<std::string, double>> stats;
+};
+
+/** Everything a run manifest records. */
+struct RunManifest
+{
+    /** "run", "sweep", or "bench". */
+    std::string kind = "run";
+    /** Driver that produced the artifact (binary or figure name). */
+    std::string producer;
+    SimConfig config;
+    /** Driver-level numeric parameters (scale, fast_share, ...). */
+    std::vector<std::pair<std::string, double>> params;
+    /** Driver-level string parameters (workload, ratio, ...). */
+    std::vector<std::pair<std::string, std::string>> textParams;
+    /** One entry per run (a single-run manifest has exactly one). */
+    std::vector<ManifestResult> results;
+};
+
+/** Write a schema-versioned run manifest as a JSON document. */
+void writeRunManifest(std::ostream &os, const RunManifest &m);
+
+/** Serialize a SimConfig as the current JSON object. */
+void writeSimConfig(JsonWriter &w, const SimConfig &cfg);
+
+/**
+ * Chrome trace_event collector. Events carry microsecond timestamps
+ * (the caller converts simulated cycles); write() emits the JSON
+ * object format that chrome://tracing and Perfetto load directly.
+ * The sink is bounded: past capEvents() further events are dropped
+ * with a single warning, so a pathological run cannot OOM the host.
+ */
+class TraceEventSink
+{
+  public:
+    /** Named argument attached to an event. */
+    using Args = std::vector<std::pair<std::string, double>>;
+
+    /** Complete ('X') duration event. */
+    void completeEvent(const std::string &name, const std::string &cat,
+                       double ts_us, double dur_us, std::uint32_t tid,
+                       Args args = {});
+
+    /** Counter ('C') event: a named value track over time. */
+    void counterEvent(const std::string &name, double ts_us, double value);
+
+    /** Label a tid for the trace viewer's track names. */
+    void threadName(std::uint32_t tid, const std::string &name);
+
+    std::size_t size() const { return events_.size(); }
+    std::size_t dropped() const { return dropped_; }
+    static constexpr std::size_t capEvents() { return 1u << 22; }
+
+    /** Emit the trace document. */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        char ph = 'X';
+        std::string name;
+        std::string cat;
+        double ts = 0.0;
+        double dur = 0.0;
+        double value = 0.0;
+        std::uint32_t tid = 0;
+        Args args;
+    };
+
+    bool admit();
+
+    std::vector<Event> events_;
+    std::vector<std::pair<std::uint32_t, std::string>> threadNames_;
+    std::size_t dropped_ = 0;
+};
+
+/** Convert simulated cycles to trace microseconds at ClockHz. */
+inline double
+cyclesToUs(Cycles c)
+{
+    return static_cast<double>(c) * 1e6 / ClockHz;
+}
+
+} // namespace obs
+
+} // namespace pact
+
+#endif // PACT_OBS_EXPORT_HH

@@ -1,0 +1,172 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+namespace
+{
+
+bool
+validName(const std::string &name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    char prev = '.';
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                        c == '.';
+        if (!ok)
+            return false;
+        if (c == '.' && prev == '.')
+            return false; // empty segment
+        prev = c;
+    }
+    return true;
+}
+
+} // namespace
+
+double
+StatRegistry::Entry::sample() const
+{
+    if (u64)
+        return static_cast<double>(*u64);
+    if (f64)
+        return *f64;
+    return fn();
+}
+
+void
+StatRegistry::insert(Entry e)
+{
+    panic_if(!validName(e.name),
+             "StatRegistry: malformed stat name '", e.name, "'");
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), e.name,
+        [](const Entry &a, const std::string &n) { return a.name < n; });
+    panic_if(it != entries_.end() && it->name == e.name,
+             "StatRegistry: duplicate stat '", e.name, "'");
+    entries_.insert(it, std::move(e));
+}
+
+void
+StatRegistry::addCounter(const std::string &name, const std::uint64_t *src,
+                         const std::string &desc)
+{
+    panic_if(!src, "StatRegistry: null source for '", name, "'");
+    Entry e;
+    e.name = name;
+    e.kind = StatKind::Counter;
+    e.u64 = src;
+    e.desc = desc;
+    insert(std::move(e));
+}
+
+void
+StatRegistry::addGauge(const std::string &name, const double *src,
+                       const std::string &desc)
+{
+    panic_if(!src, "StatRegistry: null source for '", name, "'");
+    Entry e;
+    e.name = name;
+    e.kind = StatKind::Gauge;
+    e.f64 = src;
+    e.desc = desc;
+    insert(std::move(e));
+}
+
+void
+StatRegistry::addFn(const std::string &name, StatKind kind,
+                    std::function<double()> fn, const std::string &desc)
+{
+    panic_if(!fn, "StatRegistry: empty sampler for '", name, "'");
+    Entry e;
+    e.name = name;
+    e.kind = kind;
+    e.fn = std::move(fn);
+    e.desc = desc;
+    insert(std::move(e));
+}
+
+const StatRegistry::Entry *
+StatRegistry::find(const std::string &name) const
+{
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const Entry &a, const std::string &n) { return a.name < n; });
+    if (it == entries_.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+const StatRegistry::Entry &
+StatRegistry::get(const std::string &name) const
+{
+    const Entry *e = find(name);
+    panic_if(!e, "StatRegistry: unknown stat '", name, "'");
+    return *e;
+}
+
+bool
+StatRegistry::has(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+double
+StatRegistry::value(const std::string &name) const
+{
+    return get(name).sample();
+}
+
+StatKind
+StatRegistry::kindOf(const std::string &name) const
+{
+    return get(name).kind;
+}
+
+const std::string &
+StatRegistry::descOf(const std::string &name) const
+{
+    return get(name).desc;
+}
+
+std::vector<std::string>
+StatRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+std::vector<double>
+StatRegistry::sampleAll() const
+{
+    std::vector<double> out;
+    out.reserve(entries_.size());
+    for (const Entry &e : entries_)
+        out.push_back(e.sample());
+    return out;
+}
+
+void
+StatRegistry::forEach(const std::function<void(const std::string &, StatKind,
+                                               double)> &fn) const
+{
+    for (const Entry &e : entries_)
+        fn(e.name, e.kind, e.sample());
+}
+
+} // namespace obs
+
+} // namespace pact

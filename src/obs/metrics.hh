@@ -1,0 +1,145 @@
+/**
+ * @file
+ * gem5-style statistics registry: components register named counters
+ * and gauges under hierarchical dotted names ("engine.cache.misses",
+ * "pact.binning.width"); the registry samples them on demand for
+ * end-of-run reports and per-window time series.
+ *
+ * The design is pull-based: a registered stat is a *source* — a
+ * pointer to the component's own counter variable or a sampling
+ * functor — so registering stats adds zero work to the simulation hot
+ * path. Components that want a dedicated cell use obs::Counter, whose
+ * increment compiles to a single add on a plain uint64.
+ */
+
+#ifndef PACT_OBS_METRICS_HH
+#define PACT_OBS_METRICS_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pact
+{
+
+namespace obs
+{
+
+/**
+ * How a stat's value evolves, which decides how the time-series layer
+ * reports it: counters are monotonic and reported as per-window
+ * deltas; gauges are instantaneous levels reported as-is.
+ */
+enum class StatKind : std::uint8_t { Counter, Gauge };
+
+/**
+ * A dedicated monotonic counter cell. Incrementing is a single
+ * branch-free add; the registry reads it through a pointer.
+ */
+class Counter
+{
+  public:
+    void inc(std::uint64_t d = 1) { v_ += d; }
+    Counter &operator++()
+    {
+        v_++;
+        return *this;
+    }
+    void operator++(int) { v_++; }
+    std::uint64_t value() const { return v_; }
+    /** The cell the registry samples. */
+    const std::uint64_t *cell() const { return &v_; }
+
+  private:
+    std::uint64_t v_ = 0;
+};
+
+/**
+ * Registry of named stat sources. Names are hierarchical dotted paths
+ * of [a-zA-Z0-9_-] segments; registering a duplicate or malformed
+ * name is a panic (it is always a wiring bug). Sources must outlive
+ * the registry — they are the components' own members.
+ *
+ * Sampling order is name-sorted and therefore deterministic across
+ * runs, job counts, and platforms, which is what makes the JSONL
+ * time series byte-identical for any PACT_JOBS.
+ */
+class StatRegistry
+{
+  public:
+    /** Register a counter backed by a component's uint64 cell. */
+    void addCounter(const std::string &name, const std::uint64_t *src,
+                    const std::string &desc = "");
+
+    /** Register a dedicated Counter cell. */
+    void
+    addCounter(const std::string &name, const Counter &c,
+               const std::string &desc = "")
+    {
+        addCounter(name, c.cell(), desc);
+    }
+
+    /** Register a gauge backed by a component's double cell. */
+    void addGauge(const std::string &name, const double *src,
+                  const std::string &desc = "");
+
+    /** Register a stat sampled through a functor (accessor-only
+     *  components such as Cache). */
+    void addFn(const std::string &name, StatKind kind,
+               std::function<double()> fn, const std::string &desc = "");
+
+    /** Number of registered stats. */
+    std::size_t size() const { return entries_.size(); }
+
+    bool has(const std::string &name) const;
+
+    /** Sample one stat by name; panics when unregistered. */
+    double value(const std::string &name) const;
+
+    /** All registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /** Kind of a registered stat; panics when unregistered. */
+    StatKind kindOf(const std::string &name) const;
+
+    /** Description of a registered stat ("" when none was given). */
+    const std::string &descOf(const std::string &name) const;
+
+    /**
+     * Sample every stat, in name-sorted order (aligned with names()).
+     */
+    std::vector<double> sampleAll() const;
+
+    /**
+     * Visit (name, kind, value) for every stat in name-sorted order.
+     */
+    void forEach(const std::function<void(const std::string &, StatKind,
+                                          double)> &fn) const;
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        StatKind kind;
+        const std::uint64_t *u64 = nullptr;
+        const double *f64 = nullptr;
+        std::function<double()> fn;
+        std::string desc;
+
+        double sample() const;
+    };
+
+    void insert(Entry e);
+    const Entry *find(const std::string &name) const;
+    const Entry &get(const std::string &name) const;
+
+    /** Name-sorted (insert keeps the order). */
+    std::vector<Entry> entries_;
+};
+
+} // namespace obs
+
+} // namespace pact
+
+#endif // PACT_OBS_METRICS_HH

@@ -1,0 +1,72 @@
+#include "obs/timeseries.hh"
+
+#include "common/logging.hh"
+#include "obs/export.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+TimeSeriesRecorder::TimeSeriesRecorder(std::ostream &os, Cycles window)
+    : os_(os), window_(window)
+{
+    fatal_if(window_ == 0, "TimeSeriesRecorder: zero window");
+}
+
+void
+TimeSeriesRecorder::sample(const StatRegistry &reg, Cycles t0, Cycles t1)
+{
+    if (!headerWritten_) {
+        headerWritten_ = true;
+        names_ = reg.names();
+        kinds_.reserve(names_.size());
+        for (const std::string &n : names_)
+            kinds_.push_back(reg.kindOf(n));
+        prev_.assign(names_.size(), 0.0);
+
+        JsonWriter w(os_);
+        w.beginObject();
+        w.kv("schema", TimeSeriesSchema);
+        w.kv("window_cycles", static_cast<std::uint64_t>(window_));
+        w.key("fields").beginArray();
+        for (std::size_t i = 0; i < names_.size(); i++) {
+            w.beginObject();
+            w.kv("name", names_[i]);
+            w.kv("kind", kinds_[i] == StatKind::Counter ? "counter"
+                                                        : "gauge");
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os_ << '\n';
+    }
+
+    const std::vector<double> cur = reg.sampleAll();
+    panic_if(cur.size() != names_.size(),
+             "TimeSeriesRecorder: registry layout changed mid-run");
+
+    JsonWriter w(os_);
+    w.beginObject();
+    w.kv("window", rows_);
+    w.kv("t0", static_cast<std::uint64_t>(t0));
+    w.kv("t1", static_cast<std::uint64_t>(t1));
+    w.key("stats").beginObject();
+    for (std::size_t i = 0; i < names_.size(); i++) {
+        const double v = kinds_[i] == StatKind::Counter
+                             ? cur[i] - prev_[i]
+                             : cur[i];
+        w.kv(names_[i], v);
+    }
+    w.endObject();
+    w.endObject();
+    os_ << '\n';
+
+    prev_ = cur;
+    rows_++;
+}
+
+} // namespace obs
+
+} // namespace pact

@@ -33,6 +33,41 @@ PactPolicy::name() const
 }
 
 void
+PactPolicy::registerStats(obs::StatRegistry &reg)
+{
+    using obs::StatKind;
+    reg.addFn("pact.ticks", StatKind::Counter,
+              [this] { return static_cast<double>(tickNo_); },
+              "daemon ticks processed");
+    reg.addCounter("pact.samples", &globalSamples_,
+                   "access samples consumed");
+    reg.addFn("pact.table.pages", StatKind::Gauge,
+              [this] { return static_cast<double>(table_.size()); },
+              "pages tracked in the PAC table");
+    reg.addFn("pact.pac.mass", StatKind::Gauge,
+              [this] { return pacMass_; },
+              "total PAC mass held by the table");
+    reg.addFn("pact.stall.estimated_cycles", StatKind::Counter,
+              [this] { return stallEstimated_; },
+              "cumulative Equation-1 stall estimate");
+    reg.addFn("pact.binning.width", StatKind::Gauge,
+              [this] { return binning_.width(); },
+              "current adaptive bin width");
+    reg.addCounter("pact.binning.rebins", rebins_,
+                   "Algorithm-3 controller updates");
+    reg.addCounter("pact.binning.rescales", rescales_,
+                   "updates that changed the bin width");
+    reg.addCounter("pact.demotions.eager", eagerDemotions_,
+                   "balance-rule demotions (Algorithm 2)");
+    reg.addCounter("pact.demotions.space", spaceDemotions_,
+                   "space-gating demotions");
+    reg.addCounter("pact.promotions.quarantine_skips", quarantineSkips_,
+                   "candidates skipped while quarantined");
+    reg.addCounter("pact.cooling.cooled_pages", cooledPages_,
+                   "pages whose PAC was cooled");
+}
+
+void
 PactPolicy::start(SimContext &ctx)
 {
     // k captures the slow tier's latency and architectural constants;
@@ -81,6 +116,7 @@ PactPolicy::attribute(SimContext &ctx)
         w.llcLoadMisses[tierIndex(TierId::Slow)]);
     const double S = kEff_ * misses / mlp;
     stallSeries_.push_back({ctx.now, S});
+    stallEstimated_ += S;
 
     // Aggregate sampled accesses per page: A_p, and optionally the
     // latency-weighted mass A_p * l_p.
@@ -127,6 +163,7 @@ PactPolicy::attribute(SimContext &ctx)
     touched_.clear();
     for (const auto &[page, agg] : byPage) {
         PacEntry &e = table_.touch(page);
+        const double pacBefore = static_cast<double>(e.pac);
 
         // In-place cooling: decay pages that went unsampled for a
         // long sample distance (paper §4.3.4 / Figure 10c). Both rank
@@ -137,6 +174,7 @@ PactPolicy::attribute(SimContext &ctx)
             const bool halve = cfg_.cooling == CoolingMode::Halve;
             e.pac = halve ? e.pac * 0.5f : 0.0f;
             e.freq = halve ? e.freq / 2 : 0;
+            cooledPages_++;
         }
 
         const double share = agg.latMass / totalMass;
@@ -144,12 +182,17 @@ PactPolicy::attribute(SimContext &ctx)
         e.freq += agg.count;
         e.lastSample = globalSamples_;
         touched_.push_back(page);
+        pacMass_ += static_cast<double>(e.pac) - pacBefore;
 
         reservoir_.add(rankValue(e), ctx.rng);
     }
 
     // --- Algorithm 3: adapt bin boundaries to the new distribution ---
+    const double widthBefore = binning_.width();
     binning_.update(reservoir_, table_.size(), lastCandidates_);
+    rebins_++;
+    if (binning_.width() != widthBefore)
+        rescales_++;
     widthSeries_.push_back({ctx.now, binning_.width()});
 }
 
@@ -240,12 +283,15 @@ PactPolicy::migrate(SimContext &ctx)
         }
         return referenced > PagesPerHugePage / 8;
     };
-    auto demoteOne = [&]() -> bool {
+    auto demoteOne = [&](obs::Counter &reason) -> bool {
         const auto v = ctx.lru.victims(TierId::Fast, 4, ctx.tm, false);
         for (const PageId victim : v) {
             if (quarantined(victim) || regionHot(victim))
                 continue;
-            return ctx.mig.demote(victim);
+            if (!ctx.mig.demote(victim))
+                return false;
+            reason++;
+            return true;
         }
         return false;
     };
@@ -257,8 +303,10 @@ PactPolicy::migrate(SimContext &ctx)
         (void)rank;
         if (promoted >= batchCap)
             break;
-        if (quarantined(page))
+        if (quarantined(page)) {
+            quarantineSkips_++;
             continue; // region still quarantined from last promotion
+        }
         const bool huge = ctx.tm.meta(page).flags & PageFlags::Huge;
         const std::uint64_t needed = huge ? PagesPerHugePage : 1;
 
@@ -268,13 +316,13 @@ PactPolicy::migrate(SimContext &ctx)
         while (ctx.mig.stats().demotedOps <
                    ctx.mig.stats().promotedOps + cfg_.m &&
                balanceGuard-- > 0) {
-            if (!demoteOne())
+            if (!demoteOne(eagerDemotions_))
                 break;
         }
         // Space gating: free exactly as much as the promotion needs.
         std::uint64_t guard = 4 * needed + 8;
         while (ctx.tm.freeFast() < needed && guard-- > 0) {
-            if (!demoteOne())
+            if (!demoteOne(spaceDemotions_))
                 break;
         }
         if (ctx.tm.freeFast() < needed)

@@ -134,6 +134,7 @@ class PactPolicy : public TieringPolicy
     const char *name() const override;
     void start(SimContext &ctx) override;
     void tick(SimContext &ctx) override;
+    void registerStats(obs::StatRegistry &reg) override;
 
     /** The PAC table (post-run inspection by benches/tests). */
     const PacTable &table() const { return table_; }
@@ -182,6 +183,24 @@ class PactPolicy : public TieringPolicy
     std::vector<TimeSeriesPoint> promoSeries_;
     std::vector<TimeSeriesPoint> widthSeries_;
     std::vector<TimeSeriesPoint> stallSeries_;
+
+    // Observability cells (registered via registerStats).
+    /** Cumulative estimated slow-tier stall cycles (Equation 1). */
+    double stallEstimated_ = 0.0;
+    /** Total PAC mass currently held by the table. */
+    double pacMass_ = 0.0;
+    /** Binning controller updates (Algorithm 3 invocations). */
+    obs::Counter rebins_;
+    /** Updates that actually changed the bin width. */
+    obs::Counter rescales_;
+    /** Demotions issued by the Algorithm 2 balance rule. */
+    obs::Counter eagerDemotions_;
+    /** Demotions issued to free space for a specific promotion. */
+    obs::Counter spaceDemotions_;
+    /** Promotion candidates skipped while quarantined. */
+    obs::Counter quarantineSkips_;
+    /** Pages whose PAC was cooled (halved or reset). */
+    obs::Counter cooledPages_;
 };
 
 } // namespace pact

@@ -253,9 +253,7 @@ Cpu::run(Cycles until)
             if (!spanStack_.empty()) {
                 const auto [cls, beg] = spanStack_.back();
                 spanStack_.pop_back();
-                spans_.emplace_back(
-                    cls, static_cast<std::uint32_t>(
-                             std::min<Cycles>(cycle_ - beg, 0xffffffffu)));
+                spans_.emplace_back(cls, cycle_ - beg);
             }
             break;
           case OpKind::Nop:

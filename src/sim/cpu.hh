@@ -66,8 +66,12 @@ class Cpu
     /** Wait out all outstanding misses (end-of-run drain). */
     void drainInflight();
 
-    /** Completed latency-span measurements, by span class. */
-    const std::vector<std::pair<std::uint32_t, std::uint32_t>> &
+    /**
+     * Completed latency-span measurements, by span class. Span
+     * lengths are full 64-bit cycle counts: long spans (minutes of
+     * simulated time) exceed 2^32 cycles and must not wrap.
+     */
+    const std::vector<std::pair<std::uint32_t, std::uint64_t>> &
     spans() const
     {
         return spans_;
@@ -122,7 +126,7 @@ class Cpu
     TierId lastLoadTier_ = TierId::Fast;
 
     std::vector<std::pair<std::uint32_t, Cycles>> spanStack_;
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> spans_;
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> spans_;
 };
 
 } // namespace pact

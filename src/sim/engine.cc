@@ -56,7 +56,118 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
             policy_, chmu_.get()));
     }
 
+    registerStats();
+    if (policy_)
+        policy_->registerStats(reg_);
+
     nextTick_ = cfg_.daemonPeriod;
+}
+
+void
+Engine::registerStats()
+{
+    using obs::StatKind;
+
+    reg_.addCounter("engine.daemon.ticks", &daemonTicks_,
+                    "policy daemon wakeups");
+    reg_.addFn("engine.now", StatKind::Gauge,
+               [this] { return static_cast<double>(now_); },
+               "global slice clock");
+
+    reg_.addFn("engine.cache.hits", StatKind::Counter,
+               [this] { return static_cast<double>(cache_.hits()); },
+               "LLC hits");
+    reg_.addFn("engine.cache.misses", StatKind::Counter,
+               [this] { return static_cast<double>(cache_.misses()); },
+               "LLC misses");
+    reg_.addFn("engine.cache.prefetch_hits", StatKind::Counter,
+               [this] { return static_cast<double>(cache_.prefetchHits()); },
+               "hits on prefetched lines");
+    reg_.addFn("engine.cache.prefetch_issued", StatKind::Counter,
+               [this] {
+                   return static_cast<double>(cache_.prefetchIssued());
+               },
+               "prefetch lines issued");
+
+    reg_.addFn("engine.pebs.events", StatKind::Counter,
+               [this] { return static_cast<double>(pebs_.events()); },
+               "sampleable PEBS events");
+    reg_.addFn("engine.pebs.dropped", StatKind::Counter,
+               [this] { return static_cast<double>(pebs_.dropped()); },
+               "samples dropped on buffer overflow");
+
+    reg_.addCounter("engine.pmu.instructions", &pmu_.instructions,
+                    "retired trace ops");
+    reg_.addCounter("engine.pmu.llc_hits", &pmu_.llcHits, "LLC hits");
+    reg_.addCounter("engine.pmu.compute_cycles", &pmu_.computeCycles,
+                    "compute (gap) cycles");
+    reg_.addCounter("engine.pmu.hint_faults", &pmu_.hintFaults,
+                    "NUMA hint faults");
+    reg_.addCounter("engine.pmu.prefetches", &pmu_.prefetches,
+                    "prefetch lines issued");
+    const char *tierName[NumTiers] = {"fast", "slow"};
+    for (unsigned t = 0; t < NumTiers; t++) {
+        const std::string p = std::string("engine.pmu.") + tierName[t];
+        reg_.addCounter(p + ".llc_misses", &pmu_.llcMisses[t],
+                        "demand LLC misses");
+        reg_.addCounter(p + ".llc_load_misses", &pmu_.llcLoadMisses[t],
+                        "demand-load LLC misses");
+        reg_.addCounter(p + ".tor_occupancy", &pmu_.torOccupancy[t],
+                        "TOR occupancy integral (T1)");
+        reg_.addCounter(p + ".tor_busy", &pmu_.torBusy[t],
+                        "TOR busy cycles (T2)");
+        reg_.addCounter(p + ".stall_cycles", &pmu_.stallCycles[t],
+                        "ground-truth stall cycles");
+    }
+
+    const MigrationStats &ms = mig_.stats();
+    reg_.addCounter("engine.migration.promoted_ops", &ms.promotedOps,
+                    "promotion operations");
+    reg_.addCounter("engine.migration.promoted_pages", &ms.promotedPages,
+                    "4KB pages promoted");
+    reg_.addCounter("engine.migration.demoted_ops", &ms.demotedOps,
+                    "demotion operations");
+    reg_.addCounter("engine.migration.demoted_pages", &ms.demotedPages,
+                    "4KB pages demoted");
+    reg_.addCounter("engine.migration.failed", &ms.failed,
+                    "failed migration attempts");
+    reg_.addCounter("engine.migration.copy_cycles", &ms.copyCycles,
+                    "cycles spent copying pages");
+    reg_.addCounter("engine.migration.app_penalty_cycles",
+                    &ms.appPenaltyCycles,
+                    "migration stall charged to applications");
+
+    for (unsigned t = 0; t < NumTiers; t++) {
+        const std::string p = std::string("engine.tier.") + tierName[t];
+        Tier *tier = ctx_.tiers[t];
+        reg_.addFn(p + ".requests", StatKind::Counter,
+                   [tier] { return static_cast<double>(tier->requests()); },
+                   "demand requests served");
+        reg_.addFn(p + ".lines_served", StatKind::Counter,
+                   [tier] {
+                       return static_cast<double>(tier->linesServed());
+                   },
+                   "64B lines transferred");
+        const TierId id = static_cast<TierId>(t);
+        reg_.addFn(p + ".used_pages", StatKind::Gauge,
+                   [this, id] {
+                       return static_cast<double>(tm_.used(id));
+                   },
+                   "pages resident in the tier");
+    }
+    reg_.addFn("engine.tier.touched_pages", StatKind::Gauge,
+               [this] { return static_cast<double>(tm_.touchedPages()); },
+               "pages materialized so far");
+}
+
+void
+Engine::setTraceSink(obs::TraceEventSink *sink)
+{
+    traceSink_ = sink;
+    if (traceSink_) {
+        traceSink_->threadName(0, "policy daemon");
+        traceSink_->threadName(1, "migration copies");
+    }
 }
 
 bool
@@ -84,7 +195,14 @@ Engine::chargeCopy(TierId src, TierId dst, std::uint64_t bytes)
     const double service =
         std::max(s->serviceCycles(), d->serviceCycles()) *
         static_cast<double>(lines);
-    return static_cast<Cycles>(service) + s->latency();
+    const Cycles cost = static_cast<Cycles>(service) + s->latency();
+    if (traceSink_) {
+        traceSink_->completeEvent(
+            dst == TierId::Fast ? "promote.copy" : "demote.copy",
+            "migration", obs::cyclesToUs(now_), obs::cyclesToUs(cost), 1,
+            {{"bytes", static_cast<double>(bytes)}});
+    }
+    return cost;
 }
 
 bool
@@ -108,6 +226,7 @@ Engine::runUntil(Cycles until)
 
         if (now_ >= nextTick_) {
             if (policy_) {
+                const MigrationStats before = mig_.stats();
                 ctx_.now = now_;
                 policy_->tick(ctx_);
                 daemonTicks_++;
@@ -116,6 +235,31 @@ Engine::runUntil(Cycles until)
                     cpus_[i]->addPenalty(
                         mig_.drainPenalty(static_cast<ProcId>(
                             (*traces_)[i].proc)));
+                }
+                if (traceSink_) {
+                    const MigrationStats &after = mig_.stats();
+                    const double ts = obs::cyclesToUs(now_);
+                    // The tick's visible extent is the time its
+                    // migrations kept the copy engine busy.
+                    traceSink_->completeEvent(
+                        "daemon.tick", "daemon", ts,
+                        obs::cyclesToUs(after.copyCycles -
+                                        before.copyCycles),
+                        0,
+                        {{"tick", static_cast<double>(daemonTicks_)},
+                         {"promoted_ops",
+                          static_cast<double>(after.promotedOps -
+                                              before.promotedOps)},
+                         {"demoted_ops",
+                          static_cast<double>(after.demotedOps -
+                                              before.demotedOps)}});
+                    traceSink_->counterEvent(
+                        "fast_used_pages", ts,
+                        static_cast<double>(tm_.used(TierId::Fast)));
+                    traceSink_->counterEvent(
+                        "promotions_per_tick", ts,
+                        static_cast<double>(after.promotedOps -
+                                            before.promotedOps));
                 }
             }
             nextTick_ += cfg_.daemonPeriod;
@@ -166,11 +310,23 @@ Engine::snapshot() const
     }
     rs.pmu = pmu_;
     rs.migration = mig_.stats();
-    rs.pebsEvents = pebs_.events();
-    rs.pebsDropped = pebs_.dropped();
-    rs.cacheHits = cache_.hits();
-    rs.cacheMisses = cache_.misses();
-    rs.daemonTicks = daemonTicks_;
+
+    // The scalar counters are a view over the registry: one dump
+    // supplies both the named fields below and the full artifact
+    // export, so nothing is hand-copied twice.
+    const std::vector<std::string> names = reg_.names();
+    const std::vector<double> values = reg_.sampleAll();
+    rs.registry.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); i++)
+        rs.registry.emplace_back(names[i], values[i]);
+    auto u64 = [&](const char *name) {
+        return static_cast<std::uint64_t>(rs.stat(name));
+    };
+    rs.pebsEvents = u64("engine.pebs.events");
+    rs.pebsDropped = u64("engine.pebs.dropped");
+    rs.cacheHits = u64("engine.cache.hits");
+    rs.cacheMisses = u64("engine.cache.misses");
+    rs.daemonTicks = u64("engine.daemon.ticks");
     return rs;
 }
 

@@ -16,6 +16,8 @@
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "mem/addr_space.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "mem/lru.hh"
 #include "mem/migration.hh"
 #include "mem/tier_manager.hh"
@@ -32,7 +34,12 @@
 namespace pact
 {
 
-/** Everything a finished run reports. */
+/**
+ * Everything a finished run reports. The scalar counters are a view
+ * over the engine's StatRegistry (`registry` holds the full name-
+ * sorted dump); the structured fields (pmu, migration, spans) remain
+ * typed copies for the analysis code.
+ */
 struct RunStats
 {
     /** Global slice clock when the last non-looping trace retired. */
@@ -50,8 +57,21 @@ struct RunStats
     std::uint64_t cacheMisses = 0;
     std::uint64_t daemonTicks = 0;
     /** Per-process (spanClass, cycles) latency measurements. */
-    std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+    std::vector<std::vector<std::pair<std::uint32_t, std::uint64_t>>>
         spans;
+    /** Full end-of-run stat registry dump, name-sorted. */
+    std::vector<std::pair<std::string, double>> registry;
+
+    /** Registry value by name; 0 when absent (old artifacts). */
+    double
+    stat(const std::string &name) const
+    {
+        for (const auto &[k, v] : registry) {
+            if (k == name)
+                return v;
+        }
+        return 0.0;
+    }
 
     /** Total promotion operations (the paper's Table 2 metric). */
     std::uint64_t promotions() const { return migration.promotedOps; }
@@ -102,8 +122,19 @@ class Engine : public MigrationBackend
     Pmu &pmu() { return pmu_; }
     Cache &cache() { return cache_; }
 
+    /** The stat registry every subsystem registered into. */
+    const obs::StatRegistry &stats() const { return reg_; }
+
+    /**
+     * Attach a Chrome-trace sink: migration copies and daemon ticks
+     * are recorded as trace_event spans. Call before the first
+     * runUntil(); the sink must outlive the engine.
+     */
+    void setTraceSink(obs::TraceEventSink *sink);
+
   private:
     bool allPrimariesDone() const;
+    void registerStats();
 
     const SimConfig cfg_;
     const AddrSpace &as_;
@@ -123,6 +154,9 @@ class Engine : public MigrationBackend
     std::vector<std::uint8_t> hugeMap_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
     SimContext ctx_;
+
+    obs::StatRegistry reg_;
+    obs::TraceEventSink *traceSink_ = nullptr;
 
     Cycles now_ = 0;
     Cycles nextTick_ = 0;

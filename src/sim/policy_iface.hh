@@ -11,6 +11,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "sim/config.hh"
 #include "sim/pebs.hh"
 #include "sim/pmu.hh"
@@ -72,6 +73,14 @@ class TieringPolicy : public AccessListener
 
     /** Called once before simulation starts. */
     virtual void start(SimContext &ctx) { (void)ctx; }
+
+    /**
+     * Register policy-internal stats into the engine's registry
+     * (called at engine construction, before start()). Registered
+     * sources must be members of the policy, which therefore must
+     * outlive the engine.
+     */
+    virtual void registerStats(obs::StatRegistry &reg) { (void)reg; }
 
     /** Called every daemon period. */
     virtual void tick(SimContext &ctx) = 0;

@@ -251,6 +251,25 @@ TEST(Cpu, SpansMeasureLatency)
     EXPECT_LT(c.spans()[1].second, 10u);
 }
 
+TEST(Cpu, SpansExceedUint32WithoutWrapping)
+{
+    CpuHarness h;
+    // Two 3G-cycle compute blocks inside one span: the measured
+    // length crosses 2^32 cycles and must not truncate (span cycles
+    // were once 32-bit and long service spans silently wrapped).
+    const std::uint64_t big = 3'000'000'000ull;
+    h.trace.markBegin(3);
+    h.trace.compute(big);
+    h.trace.compute(big);
+    h.trace.markEnd();
+    Cpu &c = h.cpu();
+    h.runAll();
+    ASSERT_EQ(c.spans().size(), 1u);
+    EXPECT_EQ(c.spans()[0].first, 3u);
+    EXPECT_GT(c.spans()[0].second, std::uint64_t{0xffffffffu});
+    EXPECT_GE(c.spans()[0].second, 2 * big);
+}
+
 TEST(Cpu, PebsSeesSlowLoadMisses)
 {
     CpuHarness h;

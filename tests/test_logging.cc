@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 #include "common/logging.hh"
 
 using namespace pact;
@@ -24,6 +27,64 @@ TEST(Logging, QuietFlagRoundTrips)
     setLogQuiet(false);
     EXPECT_FALSE(logQuiet());
     setLogQuiet(was);
+}
+
+TEST(Logging, TagRoundTripsAndClears)
+{
+    EXPECT_EQ(logTag(), "");
+    setLogTag("run-7");
+    EXPECT_EQ(logTag(), "run-7");
+    setLogTag("");
+    EXPECT_EQ(logTag(), "");
+}
+
+TEST(Logging, TagIsThreadLocal)
+{
+    setLogTag("main");
+    std::string seenBefore, seenAfter;
+    std::thread t([&] {
+        seenBefore = logTag(); // fresh thread: no inherited tag
+        setLogTag("worker");
+        seenAfter = logTag();
+    });
+    t.join();
+    EXPECT_EQ(seenBefore, "");
+    EXPECT_EQ(seenAfter, "worker");
+    EXPECT_EQ(logTag(), "main"); // untouched by the worker
+    setLogTag("");
+}
+
+TEST(Logging, ConcurrentWarnsDoNotRace)
+{
+    // TSan-facing: concurrent tagged warn()/inform() and quiet-flag
+    // flips must be data-race-free (mutexed emission, atomic flag).
+    const bool was = logQuiet();
+    setLogQuiet(true); // keep test output clean; the lock still runs
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; i++) {
+        threads.emplace_back([i] {
+            setLogTag("t" + std::to_string(i));
+            for (int k = 0; k < 100; k++) {
+                warn("concurrent warn ", k);
+                inform("concurrent info ", k);
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    setLogQuiet(was);
+}
+
+TEST(LoggingDeath, TaggedWarnCarriesPrefix)
+{
+    EXPECT_DEATH(
+        {
+            setLogQuiet(false);
+            setLogTag("runX");
+            warn("tagged message");
+            std::abort();
+        },
+        "warn: \\[runX\\] tagged message");
 }
 
 TEST(LoggingDeath, PanicAborts)

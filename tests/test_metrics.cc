@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Observability tests: stat registry semantics (hierarchical names,
+ * duplicate/malformed panics, pull-based sampling), time-series delta
+ * rows, artifact exporters, the RunStats registry view, and the
+ * byte-identical-JSONL determinism guarantee under concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/timeseries.hh"
+#include "workloads/masim.hh"
+
+using namespace pact;
+
+namespace
+{
+
+WorkloadBundle
+tinyBundle()
+{
+    WorkloadBundle b;
+    b.name = "tiny-chase";
+    Rng rng(31);
+    MasimParams p;
+    MasimRegion r;
+    r.name = "r";
+    r.bytes = 8ull << 20;
+    r.pattern = MasimPattern::PointerChase;
+    p.regions = {r};
+    p.ops = 200000;
+    b.traces.push_back(buildMasim(b.as, 0, p, rng));
+    return b;
+}
+
+/** Split a stream's contents into lines. */
+std::vector<std::string>
+lines(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::istringstream is(s);
+    std::string line;
+    while (std::getline(is, line))
+        out.push_back(line);
+    return out;
+}
+
+} // namespace
+
+TEST(StatRegistry, RegistersAllSourceKinds)
+{
+    obs::StatRegistry reg;
+    std::uint64_t raw = 7;
+    obs::Counter cell;
+    double level = 2.5;
+    reg.addCounter("a.raw", &raw, "raw cell");
+    reg.addCounter("a.cell", cell);
+    reg.addGauge("a.level", &level);
+    reg.addFn("a.fn", obs::StatKind::Counter, [] { return 11.0; });
+
+    EXPECT_EQ(reg.size(), 4u);
+    EXPECT_TRUE(reg.has("a.raw"));
+    EXPECT_FALSE(reg.has("a.missing"));
+    EXPECT_DOUBLE_EQ(reg.value("a.raw"), 7.0);
+    EXPECT_DOUBLE_EQ(reg.value("a.cell"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.value("a.level"), 2.5);
+    EXPECT_DOUBLE_EQ(reg.value("a.fn"), 11.0);
+    EXPECT_EQ(reg.descOf("a.raw"), "raw cell");
+    EXPECT_EQ(reg.descOf("a.cell"), "");
+    EXPECT_EQ(reg.kindOf("a.level"), obs::StatKind::Gauge);
+    EXPECT_EQ(reg.kindOf("a.fn"), obs::StatKind::Counter);
+
+    // The registry samples live sources, not registration-time copies.
+    raw = 100;
+    cell.inc(3);
+    ++cell;
+    level = -1.0;
+    EXPECT_DOUBLE_EQ(reg.value("a.raw"), 100.0);
+    EXPECT_DOUBLE_EQ(reg.value("a.cell"), 4.0);
+    EXPECT_DOUBLE_EQ(reg.value("a.level"), -1.0);
+}
+
+TEST(StatRegistry, NamesAreSortedAndSamplesAlign)
+{
+    obs::StatRegistry reg;
+    std::uint64_t a = 1, b = 2, c = 3;
+    reg.addCounter("zeta.x", &a);
+    reg.addCounter("alpha.y", &b);
+    reg.addCounter("mid.z", &c);
+
+    const auto names = reg.names();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "alpha.y");
+    EXPECT_EQ(names[1], "mid.z");
+    EXPECT_EQ(names[2], "zeta.x");
+
+    const auto vals = reg.sampleAll();
+    ASSERT_EQ(vals.size(), 3u);
+    EXPECT_DOUBLE_EQ(vals[0], 2.0);
+    EXPECT_DOUBLE_EQ(vals[1], 3.0);
+    EXPECT_DOUBLE_EQ(vals[2], 1.0);
+
+    std::vector<std::string> visited;
+    reg.forEach([&](const std::string &n, obs::StatKind, double) {
+        visited.push_back(n);
+    });
+    EXPECT_EQ(visited, names);
+}
+
+TEST(StatRegistry, HierarchicalNamesAccepted)
+{
+    obs::StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("engine.cache.misses", &v);
+    reg.addCounter("pact.promotions.eager", &v);
+    reg.addCounter("a", &v);
+    reg.addCounter("A-b_c.d2", &v);
+    EXPECT_EQ(reg.size(), 4u);
+}
+
+TEST(StatRegistryDeath, DuplicateNamePanics)
+{
+    obs::StatRegistry reg;
+    std::uint64_t v = 0;
+    reg.addCounter("dup.name", &v);
+    EXPECT_DEATH(reg.addCounter("dup.name", &v), "dup.name");
+}
+
+TEST(StatRegistryDeath, MalformedNamesPanic)
+{
+    obs::StatRegistry reg;
+    std::uint64_t v = 0;
+    EXPECT_DEATH(reg.addCounter("", &v), "stat name");
+    EXPECT_DEATH(reg.addCounter(".leading", &v), "stat name");
+    EXPECT_DEATH(reg.addCounter("trailing.", &v), "stat name");
+    EXPECT_DEATH(reg.addCounter("two..dots", &v), "stat name");
+    EXPECT_DEATH(reg.addCounter("has space", &v), "stat name");
+}
+
+TEST(StatRegistryDeath, UnknownNamePanicsOnRead)
+{
+    obs::StatRegistry reg;
+    EXPECT_DEATH(reg.value("no.such"), "no.such");
+}
+
+TEST(JsonWriter, NumbersAreCanonical)
+{
+    EXPECT_EQ(obs::jsonNumber(0.0), "0");
+    EXPECT_EQ(obs::jsonNumber(5.0), "5");
+    EXPECT_EQ(obs::jsonNumber(-3.0), "-3");
+    EXPECT_EQ(obs::jsonNumber(1e15), "1000000000000000");
+    // Non-integral and non-finite forms.
+    EXPECT_EQ(obs::jsonNumber(0.5).substr(0, 3), "0.5");
+    EXPECT_EQ(obs::jsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonWriter, EscapesStrings)
+{
+    EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+    EXPECT_EQ(obs::jsonEscape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+}
+
+TEST(TimeSeries, HeaderThenDeltaRows)
+{
+    obs::StatRegistry reg;
+    std::uint64_t count = 0;
+    double level = 1.0;
+    reg.addCounter("t.count", &count);
+    reg.addGauge("t.level", &level);
+
+    std::ostringstream os;
+    obs::TimeSeriesRecorder rec(os, 100);
+    count = 5;
+    rec.sample(reg, 0, 100);
+    count = 12; // +7
+    level = 9.0;
+    rec.sample(reg, 100, 200);
+    EXPECT_EQ(rec.rows(), 2u);
+
+    const auto rows = lines(os.str());
+    ASSERT_EQ(rows.size(), 3u);
+    // Header: schema + field layout.
+    EXPECT_NE(rows[0].find(obs::TimeSeriesSchema), std::string::npos);
+    EXPECT_NE(rows[0].find("t.count"), std::string::npos);
+    // First row: counters measured from zero, gauges as levels.
+    EXPECT_NE(rows[1].find("\"t.count\":5"), std::string::npos);
+    EXPECT_NE(rows[1].find("\"t.level\":1"), std::string::npos);
+    // Second row: the counter reports the per-window delta.
+    EXPECT_NE(rows[2].find("\"t.count\":7"), std::string::npos);
+    EXPECT_NE(rows[2].find("\"t.level\":9"), std::string::npos);
+    EXPECT_NE(rows[2].find("\"window\":1"), std::string::npos);
+}
+
+TEST(TimeSeries, RecordedRunMatchesPlainRun)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+
+    Runner plain;
+    const RunResult r0 = plain.run(b, "PACT", 0.5);
+
+    Runner recorded;
+    std::ostringstream os;
+    obs::TimeSeriesRecorder rec(os, recorded.config().daemonPeriod);
+    RunObservers observers;
+    observers.timeseries = &rec;
+    const RunResult r1 = recorded.run(b, "PACT", 0.5, &observers);
+
+    // Driving the engine in windows must not change the simulation.
+    EXPECT_EQ(r0.runtime, r1.runtime);
+    EXPECT_EQ(r0.stats.cacheMisses, r1.stats.cacheMisses);
+    EXPECT_EQ(r0.stats.registry, r1.stats.registry);
+    EXPECT_GT(rec.rows(), 1u);
+}
+
+TEST(TimeSeries, ByteIdenticalAcrossConcurrency)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+
+    // Serial reference.
+    auto record = [&b]() {
+        Runner r;
+        std::ostringstream os;
+        obs::TimeSeriesRecorder rec(os, r.config().daemonPeriod);
+        RunObservers observers;
+        observers.timeseries = &rec;
+        r.run(b, "PACT", 0.5, &observers);
+        return os.str();
+    };
+    const std::string reference = record();
+    EXPECT_FALSE(reference.empty());
+
+    // Four concurrent recordings of the same run: every artifact must
+    // match the serial reference byte for byte (the PACT_JOBS
+    // guarantee — parallelism is across runs, never within one).
+    std::vector<std::string> outs(4);
+    std::vector<std::thread> threads;
+    for (std::size_t i = 0; i < outs.size(); i++)
+        threads.emplace_back([&outs, &record, i] { outs[i] = record(); });
+    for (auto &t : threads)
+        t.join();
+    for (const std::string &s : outs)
+        EXPECT_EQ(s, reference);
+}
+
+TEST(Engine, RunStatsIsARegistryView)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner runner;
+    const RunResult r = runner.run(b, "PACT", 0.5);
+
+    // The dump carries the hierarchy and feeds the scalar view fields.
+    EXPECT_GT(r.stats.registry.size(), 20u);
+    EXPECT_EQ(static_cast<std::uint64_t>(r.stats.stat("engine.cache.misses")),
+              r.stats.cacheMisses);
+    EXPECT_EQ(static_cast<std::uint64_t>(r.stats.stat("engine.pebs.events")),
+              r.stats.pebsEvents);
+    EXPECT_EQ(static_cast<std::uint64_t>(r.stats.stat("engine.daemon.ticks")),
+              r.stats.daemonTicks);
+    EXPECT_EQ(static_cast<std::uint64_t>(
+                  r.stats.stat("engine.migration.promoted_pages")),
+              r.stats.migration.promotedPages);
+    // PACT's policy stats ride in the same dump.
+    EXPECT_GT(r.stats.stat("pact.ticks"), 0.0);
+    EXPECT_GT(r.stats.stat("pact.binning.rebins"), 0.0);
+    // Unknown names read as 0 (the view is tolerant; the registry is
+    // strict).
+    EXPECT_DOUBLE_EQ(r.stats.stat("no.such.stat"), 0.0);
+}
+
+TEST(Export, ManifestCarriesConfigParamsAndStats)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner runner;
+    const RunResult r = runner.run(b, "PACT", 0.5);
+
+    obs::RunManifest m;
+    m.producer = "test_metrics";
+    m.config = runner.config();
+    m.params = {{"fast_share", 0.5}};
+    m.textParams = {{"workload", b.name}};
+    m.results.push_back(manifestResult(r));
+
+    std::ostringstream os;
+    obs::writeRunManifest(os, m);
+    const std::string doc = os.str();
+    EXPECT_EQ(doc.front(), '{');
+    EXPECT_NE(doc.find(obs::ManifestSchema), std::string::npos);
+    EXPECT_NE(doc.find("\"producer\":\"test_metrics\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"daemon_period_cycles\""), std::string::npos);
+    EXPECT_NE(doc.find("\"workload\":\"tiny-chase\""), std::string::npos);
+    EXPECT_NE(doc.find("engine.cache.misses"), std::string::npos);
+    EXPECT_NE(doc.find("pact.pac.mass"), std::string::npos);
+    // Deterministic: serializing the same manifest twice is identical.
+    std::ostringstream os2;
+    obs::writeRunManifest(os2, m);
+    EXPECT_EQ(doc, os2.str());
+}
+
+TEST(Export, TraceSinkEmitsLoadableDocument)
+{
+    obs::TraceEventSink sink;
+    sink.threadName(0, "policy daemon");
+    sink.completeEvent("daemon.tick", "daemon", 10.0, 2.0, 0,
+                       {{"tick", 1.0}});
+    sink.counterEvent("fast_used_pages", 12.0, 42.0);
+    EXPECT_EQ(sink.size(), 2u);
+    EXPECT_EQ(sink.dropped(), 0u);
+
+    std::ostringstream os;
+    sink.write(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(doc.find("daemon.tick"), std::string::npos);
+    EXPECT_NE(doc.find("policy daemon"), std::string::npos);
+}
+
+TEST(Export, TraceSinkCollectsEngineSpans)
+{
+    setLogQuiet(true);
+    const WorkloadBundle b = tinyBundle();
+    Runner runner;
+    obs::TraceEventSink sink;
+    RunObservers observers;
+    observers.trace = &sink;
+    const RunResult r = runner.run(b, "PACT", 0.5, &observers);
+
+    EXPECT_GT(sink.size(), 0u);
+    std::ostringstream os;
+    sink.write(os);
+    const std::string doc = os.str();
+    EXPECT_NE(doc.find("daemon.tick"), std::string::npos);
+    // A PACT run on a chase workload migrates at least once.
+    if (r.stats.promotions() > 0)
+        EXPECT_NE(doc.find("promote.copy"), std::string::npos);
+}
