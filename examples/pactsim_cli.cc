@@ -14,10 +14,13 @@
 #include <cstdlib>
 #include <fstream>
 #include <optional>
+#include <sstream>
 #include <string>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "fault/fault.hh"
 #include "harness/pool.hh"
 #include "harness/sweep.hh"
 #include "obs/export.hh"
@@ -43,7 +46,11 @@ usage()
         "  --pebs-rate <n>     sample 1-in-n slow misses (default 64)\n"
         "  --period <cycles>   daemon period (default 1000000)\n"
         "  --seed <n>          RNG seed (default 42)\n"
+        "  --faults <spec>     deterministic fault injection, e.g.\n"
+        "                      migabort:p=0.1;pebsdrop:p=0.05\n"
+        "  --audit             run the invariant auditor every window\n"
         "  --sweep             run every policy at the given ratio\n"
+        "  --policies <csv>    restrict --sweep to these policies\n"
         "  --list              list workloads and policies\n"
         "artifacts (optional path; default shown):\n"
         "  --out-json [file]   run manifest JSON"
@@ -55,7 +62,11 @@ usage()
         "env:\n"
         "  PACT_JOBS           worker threads for --sweep (default:\n"
         "                      all cores; 1 = serial). Results are\n"
-        "                      identical regardless of job count.\n");
+        "                      identical regardless of job count.\n"
+        "  PACT_FAULTS         fault spec (--faults overrides)\n"
+        "  PACT_AUDIT          1 = invariant auditor (like --audit)\n"
+        "  PACT_RUN_TIMEOUT_MS per-run wall-clock budget; a run over\n"
+        "                      budget fails with TimeoutError\n");
 }
 
 void
@@ -103,10 +114,21 @@ report(const RunResult &r)
     t.print();
 }
 
-} // namespace
+/** Split a comma-separated list, skipping empty fields. */
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(csv);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
 
 int
-main(int argc, char **argv)
+cliMain(int argc, char **argv)
 {
     setLogQuiet(true);
     std::string workload = "bc-kron";
@@ -115,6 +137,7 @@ main(int argc, char **argv)
     WorkloadOptions opt;
     SimConfig cfg;
     bool sweep = false;
+    std::vector<std::string> sweepPolicies;
     std::string manifestPath, timeseriesPath, tracePath;
 
     for (int i = 1; i < argc; i++) {
@@ -148,8 +171,14 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             opt.seed = std::strtoull(next(), nullptr, 10);
             cfg.seed = opt.seed;
+        } else if (arg == "--faults") {
+            cfg.faults = next();
+        } else if (arg == "--audit") {
+            cfg.audit = true;
         } else if (arg == "--sweep") {
             sweep = true;
+        } else if (arg == "--policies") {
+            sweepPolicies = splitCsv(next());
         } else if (arg == "--out-json") {
             manifestPath = nextOr("pactsim.manifest.json");
         } else if (arg == "--timeseries") {
@@ -168,6 +197,16 @@ main(int argc, char **argv)
     fatal_if(sweep && (!timeseriesPath.empty() || !tracePath.empty()),
              "--timeseries/--trace-out apply to a single run, not "
              "--sweep (use --out-json for a sweep manifest)");
+    fatal_if(!sweepPolicies.empty() && !sweep,
+             "--policies only applies to --sweep (use --policy for a "
+             "single run)");
+
+    // Resolve PACT_FAULTS into the config up front so the manifest
+    // records the effective fault spec, and validate before spending
+    // time building the workload.
+    if (cfg.faults.empty())
+        cfg.faults = envFaultSpec();
+    cfg.validate();
 
     const WorkloadBundle bundle = makeWorkload(workload, opt);
     Runner runner(cfg);
@@ -175,7 +214,7 @@ main(int argc, char **argv)
 
     // One manifest shape for both modes: the effective per-run config
     // (capacity resolved from the ratio) plus driver parameters.
-    auto writeManifest = [&](const std::vector<RunResult> &results,
+    auto writeManifest = [&](const std::vector<obs::ManifestResult> &results,
                              const std::string &kind) {
         obs::RunManifest m;
         m.kind = kind;
@@ -190,8 +229,7 @@ main(int argc, char **argv)
         m.textParams = {{"workload", workload}};
         if (!sweep)
             m.textParams.emplace_back("policy", policy);
-        for (const RunResult &r : results)
-            m.results.push_back(manifestResult(r));
+        m.results = results;
         std::ofstream os(manifestPath, std::ios::binary);
         fatal_if(!os, "cannot open ", manifestPath);
         obs::writeRunManifest(os, m);
@@ -207,24 +245,45 @@ main(int argc, char **argv)
 
     if (sweep) {
         // All policies run concurrently (PACT_JOBS workers); the
-        // report keeps the registry order.
+        // report keeps the registry order. A run that fails (bad
+        // policy name, injected fault tripping an invariant, timeout)
+        // is reported in place without aborting the rest of the sweep.
         std::vector<RunSpec> specs;
-        for (const auto &p : allPolicyNames())
+        const auto policies =
+            sweepPolicies.empty() ? allPolicyNames() : sweepPolicies;
+        for (const auto &p : policies)
             specs.push_back({&bundle, p, share});
-        const std::vector<RunResult> results = runMany(runner, specs);
+        const std::vector<RunOutcome> outcomes =
+            runManyOutcomes(runner, specs);
         Table t({"policy", "slowdown", "promotions", "demotions",
                  "hint faults"});
-        for (const RunResult &r : results) {
-            t.row()
-                .cell(r.policy)
-                .cell(r.slowdownPct, 1)
-                .cellCount(r.stats.promotions())
-                .cellCount(r.stats.demotions())
-                .cellCount(r.stats.pmu.hintFaults);
+        for (const RunOutcome &o : outcomes) {
+            if (o.ok) {
+                const RunResult &r = o.result;
+                t.row()
+                    .cell(r.policy)
+                    .cell(r.slowdownPct, 1)
+                    .cellCount(r.stats.promotions())
+                    .cellCount(r.stats.demotions())
+                    .cellCount(r.stats.pmu.hintFaults);
+            } else {
+                t.row()
+                    .cell(o.spec.policy)
+                    .cell("FAILED: " + o.error.kind)
+                    .cell("-")
+                    .cell("-")
+                    .cell("-");
+                std::fprintf(stderr, "%s: %s\n", o.spec.policy.c_str(),
+                             o.error.message.c_str());
+            }
         }
         t.print();
-        if (!manifestPath.empty())
+        if (!manifestPath.empty()) {
+            std::vector<obs::ManifestResult> results;
+            for (const RunOutcome &o : outcomes)
+                results.push_back(manifestOutcome(o));
             writeManifest(results, "sweep");
+        }
         return 0;
     }
 
@@ -243,6 +302,8 @@ main(int argc, char **argv)
 
     const RunResult r = runner.run(bundle, policy, share, &observers);
     report(r);
+    std::vector<obs::ManifestResult> results = {manifestResult(r)};
+    results.back().fastShare = share;
 
     if (!timeseriesPath.empty()) {
         tsStream.close();
@@ -258,6 +319,23 @@ main(int argc, char **argv)
                      trace.size());
     }
     if (!manifestPath.empty())
-        writeManifest({r}, "run");
+        writeManifest(results, "run");
     return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Structured failures (bad flags/config, unknown names, tripped
+    // invariants) exit 1 with a one-line diagnostic instead of an
+    // abort; anything else is a bug and propagates to std::terminate.
+    try {
+        return cliMain(argc, argv);
+    } catch (const SimError &e) {
+        std::fprintf(stderr, "error (%s): %s\n", e.kind().c_str(),
+                     e.what());
+        return 1;
+    }
 }

@@ -1,0 +1,38 @@
+#!/bin/sh
+# Build with -DPACT_SANITIZE=address (ASan + UBSan, see the top-level
+# CMakeLists) and run the robustness tests, so memory errors on the
+# fault-injection / failure paths — exactly the paths ordinary green
+# runs never exercise — are caught before they land. Skips (exit 0)
+# when the toolchain has no usable ASan runtime, so it is safe to call
+# unconditionally from CI.
+#
+# Usage: scripts/check_asan.sh [build-dir]   (default: build-asan)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build-asan"}
+
+# Probe for a working ASan+UBSan runtime: some minimal images ship the
+# compiler flag but not the runtime, which only surfaces at link time.
+probe=$(mktemp -d)
+trap 'rm -rf "$probe"' EXIT
+cat >"$probe/t.cc" <<'EOF'
+int main() { return 0; }
+EOF
+if ! ${CXX:-c++} -fsanitize=address,undefined "$probe/t.cc" \
+    -o "$probe/t" >/dev/null 2>&1; then
+    echo "check_asan: no usable ASan runtime; skipping" >&2
+    exit 0
+fi
+
+cmake -B "$build" -S "$repo" -DPACT_SANITIZE=address
+cmake --build "$build" -j --target test_robustness test_pool
+
+# halt_on_error so the first report fails the script rather than
+# scrolling past; the robustness tests drive every fault class plus
+# the exception-capturing sweep, test_pool the parallel machinery.
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    "$build/tests/test_robustness"
+PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \
+    UBSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
+echo "check_asan: clean"

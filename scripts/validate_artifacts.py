@@ -6,6 +6,10 @@ flags, then checks:
 
   * the run manifest parses, carries the expected schema tag, the full
     simulator config, and a non-empty stat dump per result;
+  * a poisoned sweep (one unknown policy name among good ones)
+    completes, records a structured error for the failed run, keeps
+    every surviving result, and stays byte-identical across job
+    counts;
   * the time-series JSONL has a schema header, consecutive windows,
     monotone timestamps, and rows whose fields match the header layout
     (counters non-negative);
@@ -24,7 +28,7 @@ import subprocess
 import sys
 import tempfile
 
-MANIFEST_SCHEMA = "pact.manifest/1"
+MANIFEST_SCHEMA = "pact.manifest/2"
 TIMESERIES_SCHEMA = "pact.timeseries/1"
 
 failures = []
@@ -63,6 +67,27 @@ def run_cli(cli, outdir, jobs, workload, scale):
     return paths
 
 
+def run_poisoned_sweep(cli, outdir, jobs, workload, scale):
+    """A sweep with one unknown policy among good ones must complete."""
+    outdir = pathlib.Path(outdir)
+    path = outdir / f"poisoned.j{jobs}.json"
+    env = dict(os.environ, PACT_JOBS=str(jobs))
+    cmd = [
+        cli,
+        "--workload", workload,
+        "--scale", str(scale),
+        "--sweep",
+        "--policies", "PACT,BogusPolicy,NoTier",
+        "--out-json", str(path),
+    ]
+    print(f"+ PACT_JOBS={jobs} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"poisoned sweep failed with exit code {proc.returncode}")
+    return path
+
+
 def validate_manifest(path):
     print(f"manifest: {path.name}")
     doc = json.loads(path.read_text())
@@ -75,18 +100,46 @@ def validate_manifest(path):
     for key in ("daemon_period_cycles", "fast_capacity_pages", "seed",
                 "fast", "slow", "cache", "cpu", "pebs", "migration"):
         check(key in cfg, f"config carries {key}")
+    for key in ("faults", "audit"):
+        check(key in cfg, f"config carries {key}")
     results = doc.get("results", [])
     check(len(results) >= 1, "at least one result")
     for r in results:
         check(r.get("workload") and r.get("policy"),
               "result names its workload and policy")
+        if not r.get("ok", True):
+            # Failed runs record why they died instead of stats.
+            err = r.get("error", {})
+            check(bool(err.get("kind")) and bool(err.get("message")),
+                  "failed result carries error kind and message")
+            continue
         check(r.get("runtime_cycles", 0) > 0, "runtime is positive")
         stats = r.get("stats", {})
         check(len(stats) >= 20, f"stat dump is substantial ({len(stats)})")
         check(all(isinstance(v, (int, float)) for v in stats.values()),
               "stat values are numeric")
-        check("engine.cache.misses" in stats and "pact.ticks" in stats,
-              "engine and policy hierarchies both present")
+        check("engine.cache.misses" in stats,
+              "engine stat hierarchy present")
+        if r["policy"].startswith("PACT"):
+            check("pact.ticks" in stats, "policy stat hierarchy present")
+
+
+def validate_poisoned_sweep(path):
+    print(f"poisoned sweep: {path.name}")
+    validate_manifest(path)
+    doc = json.loads(path.read_text())
+    results = doc.get("results", [])
+    check(len(results) == 3, "every sweep slot produced a record")
+    by_policy = {r.get("policy"): r for r in results}
+    bogus = by_policy.get("BogusPolicy", {})
+    check(bogus.get("ok") is False, "unknown policy recorded as failed")
+    check(bogus.get("error", {}).get("kind") == "PolicyError",
+          "failure kind is PolicyError")
+    check("BogusPolicy" in bogus.get("error", {}).get("message", ""),
+          "failure message names the policy")
+    for name in ("PACT", "NoTier"):
+        check(by_policy.get(name, {}).get("ok") is True,
+              f"{name} survived the poisoned sweep")
 
 
 def validate_timeseries(path):
@@ -171,6 +224,14 @@ def main():
               "manifest byte-identical across job counts")
         check(j1["trace"].read_bytes() == j4["trace"].read_bytes(),
               "trace byte-identical across job counts")
+
+        p1 = run_poisoned_sweep(args.cli, tmp, 1, args.workload,
+                                args.scale)
+        p4 = run_poisoned_sweep(args.cli, tmp, 4, args.workload,
+                                args.scale)
+        validate_poisoned_sweep(p1)
+        check(p1.read_bytes() == p4.read_bytes(),
+              "poisoned-sweep manifest byte-identical across job counts")
 
     if failures:
         print(f"\n{len(failures)} check(s) failed")

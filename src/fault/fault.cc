@@ -1,0 +1,158 @@
+#include "fault/fault.hh"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hh"
+
+namespace pact
+{
+
+namespace
+{
+
+/** Split @p text on @p sep, skipping empty pieces. */
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::istringstream is(text);
+    std::string piece;
+    while (std::getline(is, piece, sep)) {
+        if (!piece.empty())
+            out.push_back(piece);
+    }
+    return out;
+}
+
+/** Parse "<key>=<double>" enforcing [lo, hi]; clause names the error. */
+double
+parseParam(const std::string &clause, const std::string &body,
+           const std::string &key, double lo, double hi)
+{
+    const std::string want = key + "=";
+    throw_config_if(body.compare(0, want.size(), want) != 0,
+                    "fault clause '", clause, "': expected ", key,
+                    "=<value>");
+    const std::string value = body.substr(want.size());
+    char *end = nullptr;
+    const double v = std::strtod(value.c_str(), &end);
+    throw_config_if(value.empty() || end != value.c_str() + value.size(),
+                    "fault clause '", clause, "': bad number '", value, "'");
+    throw_config_if(v < lo || v > hi, "fault clause '", clause, "': ", key,
+                    " must be in [", lo, ", ", hi, "], got ", v);
+    return v;
+}
+
+} // namespace
+
+FaultSpec
+parseFaultSpec(const std::string &text)
+{
+    FaultSpec spec;
+    for (const std::string &clause : split(text, ';')) {
+        const auto colon = clause.find(':');
+        throw_config_if(colon == std::string::npos, "fault clause '",
+                        clause, "': expected <name>:<param>=<value>");
+        const std::string name = clause.substr(0, colon);
+        const std::string body = clause.substr(colon + 1);
+        if (name == "migabort") {
+            spec.migAbortP = parseParam(clause, body, "p", 0.0, 1.0);
+        } else if (name == "pebsdrop") {
+            spec.pebsDropP = parseParam(clause, body, "p", 0.0, 1.0);
+        } else if (name == "pebsdup") {
+            spec.pebsDupP = parseParam(clause, body, "p", 0.0, 1.0);
+        } else if (name == "wrap") {
+            const double bits = parseParam(clause, body, "bits", 1.0, 63.0);
+            throw_config_if(bits != static_cast<double>(
+                                        static_cast<unsigned>(bits)),
+                            "fault clause '", clause,
+                            "': bits must be an integer");
+            spec.wrapBits = static_cast<unsigned>(bits);
+        } else if (name == "jitter") {
+            spec.jitterFrac = parseParam(clause, body, "frac", 0.0, 0.99);
+        } else {
+            throw_config("unknown fault class '", name, "' (expected ",
+                         "migabort, pebsdrop, pebsdup, wrap, or jitter)");
+        }
+    }
+    return spec;
+}
+
+FaultPlan::FaultPlan(const FaultSpec &spec, std::uint64_t seed)
+    : spec_(spec),
+      // Decorrelate the fault stream from every other consumer of the
+      // run seed (engine RNG is seed ^ 0x5bd1e995).
+      rng_(seed ^ 0xfa417ab5u)
+{
+    if (spec_.wrapBits > 0 && spec_.wrapBits < 64)
+        wrapMask_ = (1ull << spec_.wrapBits) - 1;
+}
+
+std::unique_ptr<FaultPlan>
+FaultPlan::fromSpec(const std::string &text, std::uint64_t seed)
+{
+    if (text.empty())
+        return nullptr;
+    const FaultSpec spec = parseFaultSpec(text);
+    if (!spec.any())
+        return nullptr;
+    return std::make_unique<FaultPlan>(spec, seed);
+}
+
+bool
+FaultPlan::abortMigration(PageId page)
+{
+    (void)page;
+    if (spec_.migAbortP <= 0.0)
+        return false;
+    if (!rng_.chance(spec_.migAbortP))
+        return false;
+    counters_.migrationAborts++;
+    return true;
+}
+
+bool
+FaultPlan::dropSample()
+{
+    if (spec_.pebsDropP <= 0.0)
+        return false;
+    if (!rng_.chance(spec_.pebsDropP))
+        return false;
+    counters_.pebsDropped++;
+    return true;
+}
+
+bool
+FaultPlan::duplicateSample()
+{
+    if (spec_.pebsDupP <= 0.0)
+        return false;
+    if (!rng_.chance(spec_.pebsDupP))
+        return false;
+    counters_.pebsDuplicated++;
+    return true;
+}
+
+Cycles
+FaultPlan::jitterPeriod(Cycles nominal)
+{
+    if (spec_.jitterFrac <= 0.0 || nominal == 0)
+        return nominal;
+    // Uniform jitter in [-frac, +frac] of the nominal period.
+    const double skew = (rng_.uniform() * 2.0 - 1.0) * spec_.jitterFrac;
+    const auto jittered = static_cast<std::int64_t>(
+        static_cast<double>(nominal) * (1.0 + skew));
+    counters_.jitteredWindows++;
+    return jittered < 1 ? Cycles(1) : static_cast<Cycles>(jittered);
+}
+
+std::string
+envFaultSpec()
+{
+    const char *s = std::getenv("PACT_FAULTS");
+    return s ? std::string(s) : std::string();
+}
+
+} // namespace pact

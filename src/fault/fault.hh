@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Deterministic fault injection for robustness experiments.
+ *
+ * A FaultPlan is a seeded decision stream for four fault classes that
+ * PACT's design is sensitive to:
+ *
+ *   migabort  - transactional migration copies abort mid-flight (the
+ *               Nomad contention model, now injectable for any policy)
+ *   pebsdrop  - PEBS samples silently dropped before they reach the
+ *               sampler buffer (sampling starvation)
+ *   pebsdup   - PEBS samples duplicated (double counting / attribution
+ *               skew)
+ *   wrap      - hardware counters wrap at 2^bits (narrow-MSR model;
+ *               the daemon sees masked PMU snapshots)
+ *   jitter    - daemon windows land early/late by a uniform fraction
+ *               of the nominal period (timer noise)
+ *
+ * Determinism contract: the plan owns a private Rng derived from the
+ * run seed, and each fault class consumes randomness only when that
+ * class is enabled in the spec. The same spec + seed therefore yields
+ * a byte-identical fault schedule on every run and at every PACT_JOBS
+ * value, and enabling one class never perturbs another's schedule
+ * (each decision draws exactly one value from the shared stream only
+ * at its own call sites, which the simulator reaches in deterministic
+ * simulated-time order).
+ *
+ * Spec grammar (semicolon-separated clauses, all optional):
+ *
+ *   migabort:p=<prob>;pebsdrop:p=<prob>;pebsdup:p=<prob>;
+ *   wrap:bits=<n>;jitter:frac=<f>
+ *
+ * e.g. "migabort:p=0.2;wrap:bits=32". Parse errors throw ConfigError.
+ */
+
+#ifndef PACT_FAULT_FAULT_HH
+#define PACT_FAULT_FAULT_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pact
+{
+
+/** Parsed fault-injection request; all classes disabled by default. */
+struct FaultSpec
+{
+    /** Probability a migration copy aborts mid-flight. */
+    double migAbortP = 0.0;
+    /** Probability a PEBS sample is dropped before buffering. */
+    double pebsDropP = 0.0;
+    /** Probability a buffered PEBS sample is duplicated. */
+    double pebsDupP = 0.0;
+    /** Counter width in bits (0 disables wraparound; else 1..63). */
+    unsigned wrapBits = 0;
+    /** Daemon-window jitter as a fraction of the period in [0, 1). */
+    double jitterFrac = 0.0;
+
+    /** True when at least one fault class is enabled. */
+    bool any() const
+    {
+        return migAbortP > 0.0 || pebsDropP > 0.0 || pebsDupP > 0.0 ||
+               wrapBits > 0 || jitterFrac > 0.0;
+    }
+};
+
+/**
+ * Parse the --faults / PACT_FAULTS grammar documented above. Empty
+ * input yields an all-disabled spec; malformed clauses, unknown fault
+ * names, and out-of-range parameters throw ConfigError naming the
+ * offending clause.
+ */
+FaultSpec parseFaultSpec(const std::string &text);
+
+/** Injection counts, exported as faults.* stats when a plan is live. */
+struct FaultCounters
+{
+    std::uint64_t migrationAborts = 0;
+    std::uint64_t pebsDropped = 0;
+    std::uint64_t pebsDuplicated = 0;
+    std::uint64_t jitteredWindows = 0;
+};
+
+/**
+ * The live decision stream for one run. Constructed from a spec and
+ * the run seed; every decision method is deterministic in call order.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan(const FaultSpec &spec, std::uint64_t seed);
+
+    /**
+     * Build a plan from a spec string, or nullptr when the string is
+     * empty / enables nothing. Throws ConfigError on a bad spec.
+     */
+    static std::unique_ptr<FaultPlan> fromSpec(const std::string &text,
+                                               std::uint64_t seed);
+
+    /** Should this migration copy abort? Counts when it fires. */
+    bool abortMigration(PageId page);
+
+    /** Should this PEBS sample be dropped? Counts when it fires. */
+    bool dropSample();
+
+    /** Should this buffered PEBS sample be duplicated? */
+    bool duplicateSample();
+
+    /** Counter width being modeled (0 = full 64-bit, no wrap). */
+    unsigned wrapBits() const { return spec_.wrapBits; }
+
+    /** Mask applied to PMU counters when wrapBits() > 0. */
+    std::uint64_t wrapMask() const { return wrapMask_; }
+
+    /**
+     * The (possibly jittered) length of the next daemon window for a
+     * nominal period. Always at least 1 cycle; counts jittered windows.
+     */
+    Cycles jitterPeriod(Cycles nominal);
+
+    const FaultSpec &spec() const { return spec_; }
+    const FaultCounters &counters() const { return counters_; }
+
+  private:
+    FaultSpec spec_;
+    Rng rng_;
+    std::uint64_t wrapMask_ = ~0ull;
+    FaultCounters counters_;
+};
+
+/** The PACT_FAULTS environment spec, or "" when unset. */
+std::string envFaultSpec();
+
+} // namespace pact
+
+#endif // PACT_FAULT_FAULT_HH

@@ -1,11 +1,36 @@
 #include "harness/pool.hh"
 
 #include <cstdlib>
+#include <exception>
+#include <limits>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
 {
+
+namespace
+{
+
+/** Restore the calling thread's log tag even when a run throws. */
+class LogTagScope
+{
+  public:
+    explicit LogTagScope(const std::string &tag) : prev_(logTag())
+    {
+        setLogTag(tag);
+    }
+    ~LogTagScope() { setLogTag(prev_); }
+
+    LogTagScope(const LogTagScope &) = delete;
+    LogTagScope &operator=(const LogTagScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
+} // namespace
 
 unsigned
 envJobs(unsigned deflt)
@@ -98,15 +123,39 @@ parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
     jobs = jobs == 0 ? envJobs() : jobs;
     if (jobs > n)
         jobs = static_cast<unsigned>(n);
+
+    // Exceptions never escape into a pool worker (that would
+    // std::terminate); each is captured here and the one from the
+    // lowest iteration index is rethrown once every iteration ran, so
+    // the propagated error is the same at any job count. The serial
+    // path uses the same capture-drain-rethrow shape for identical
+    // semantics.
+    std::mutex errMutex;
+    std::size_t errIndex = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr firstError;
+    auto guarded = [&](std::size_t i) {
+        try {
+            fn(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errMutex);
+            if (i < errIndex) {
+                errIndex = i;
+                firstError = std::current_exception();
+            }
+        }
+    };
+
     if (jobs <= 1) {
         for (std::size_t i = 0; i < n; i++)
-            fn(i);
-        return;
+            guarded(i);
+    } else {
+        ThreadPool pool(jobs);
+        for (std::size_t i = 0; i < n; i++)
+            pool.submit([&guarded, i] { guarded(i); });
+        pool.wait();
     }
-    ThreadPool pool(jobs);
-    for (std::size_t i = 0; i < n; i++)
-        pool.submit([&fn, i] { fn(i); });
-    pool.wait();
+    if (firstError)
+        std::rethrow_exception(firstError);
 }
 
 std::vector<RunResult>
@@ -119,13 +168,54 @@ runMany(Runner &runner, const std::vector<RunSpec> &specs, unsigned jobs)
             const RunSpec &s = specs[i];
             panic_if(!s.bundle, "runMany: spec without bundle");
             // Narrow the thread's log tag to the run for its duration.
-            const std::string prev = logTag();
-            setLogTag(s.bundle->name + "/" + s.policy);
+            const LogTagScope tag(s.bundle->name + "/" + s.policy);
             out[i] = runner.run(*s.bundle, s.policy, s.share);
-            setLogTag(prev);
         },
         jobs);
     return out;
+}
+
+std::vector<RunOutcome>
+runManyOutcomes(Runner &runner, const std::vector<RunSpec> &specs,
+                unsigned jobs)
+{
+    std::vector<RunOutcome> out(specs.size());
+    parallelFor(
+        specs.size(),
+        [&](std::size_t i) {
+            const RunSpec &s = specs[i];
+            panic_if(!s.bundle, "runManyOutcomes: spec without bundle");
+            RunOutcome &o = out[i];
+            o.spec = s;
+            const LogTagScope tag(s.bundle->name + "/" + s.policy);
+            try {
+                o.result = runner.run(*s.bundle, s.policy, s.share);
+                o.ok = true;
+            } catch (const SimError &e) {
+                o.error = {e.kind(), e.what()};
+            } catch (const std::exception &e) {
+                o.error = {"UnknownError", e.what()};
+            }
+        },
+        jobs);
+    return out;
+}
+
+obs::ManifestResult
+manifestOutcome(const RunOutcome &o)
+{
+    obs::ManifestResult m;
+    if (o.ok) {
+        m = manifestResult(o.result);
+    } else {
+        m.workload = o.spec.bundle ? o.spec.bundle->name : "?";
+        m.policy = o.spec.policy;
+        m.ok = false;
+        m.errorKind = o.error.kind;
+        m.errorMessage = o.error.message;
+    }
+    m.fastShare = o.spec.share;
+    return m;
 }
 
 } // namespace pact

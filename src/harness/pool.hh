@@ -71,9 +71,15 @@ class ThreadPool
 /**
  * Run fn(0..n-1) across @p jobs workers (0 selects envJobs()). With
  * one job the calls happen inline on the calling thread, in order —
- * exactly the pre-parallel behavior. Iterations must be independent;
- * exceptions escaping @p fn terminate (the harness reports errors via
- * fatal(), which exits).
+ * exactly the pre-parallel behavior. Iterations must be independent.
+ *
+ * Exception semantics: an exception escaping @p fn does NOT terminate
+ * and does NOT cancel other iterations — every index still runs (so
+ * independent work is never silently skipped), and once all are done
+ * the exception from the lowest-indexed failing iteration is rethrown
+ * on the calling thread. The lowest-index rule makes the propagated
+ * error independent of worker scheduling, preserving the harness's
+ * any-job-count determinism.
  */
 void parallelFor(std::size_t n, const std::function<void(std::size_t)> &fn,
                  unsigned jobs = 0);
@@ -94,10 +100,48 @@ struct RunSpec
  * envJobs()). Results are returned in spec order and are bit-identical
  * for any job count: each run owns its Engine/policy/RNG and the
  * runner's baseline cache is computed exactly once per bundle.
+ *
+ * A run that throws does not abort the sweep: every other spec still
+ * executes, then the error from the lowest-indexed failing spec
+ * propagates (parallelFor semantics). Use runManyOutcomes() to capture
+ * failures per-run instead of propagating them.
  */
 std::vector<RunResult> runMany(Runner &runner,
                                const std::vector<RunSpec> &specs,
                                unsigned jobs = 0);
+
+/** Why a sweep run failed, in manifest-ready form. */
+struct RunError
+{
+    /** SimError::kind(), or "UnknownError" for foreign exceptions. */
+    std::string kind;
+    std::string message;
+};
+
+/** One sweep slot: either a completed result or a captured failure. */
+struct RunOutcome
+{
+    /** The spec this outcome answers (copied for the manifest). */
+    RunSpec spec;
+    bool ok = false;
+    /** Valid when ok. */
+    RunResult result;
+    /** Valid when !ok. */
+    RunError error;
+};
+
+/**
+ * Fault-tolerant sweep: like runMany(), but a run that throws SimError
+ * (or any std::exception) is captured as a failed RunOutcome in its
+ * slot while every other run completes normally. Surviving results are
+ * bit-identical to a sweep without the failing spec, at any job count.
+ */
+std::vector<RunOutcome> runManyOutcomes(Runner &runner,
+                                        const std::vector<RunSpec> &specs,
+                                        unsigned jobs = 0);
+
+/** Reshape an outcome (success or failure) for the manifest writer. */
+obs::ManifestResult manifestOutcome(const RunOutcome &o);
 
 } // namespace pact
 

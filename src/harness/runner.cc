@@ -1,7 +1,9 @@
 #include "harness/runner.hh"
 
+#include <chrono>
 #include <cstdlib>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "policies/registry.hh"
 #include "policies/soar.hh"
@@ -42,11 +44,17 @@ Runner::baseline(const WorkloadBundle &bundle)
         }
     }
     if (compute) {
-        SimConfig cfg = cfg_;
-        cfg.fastCapacityPages = bundle.rssPages() + 1024;
-        auto policy = makePolicy("NoTier");
-        Engine engine(cfg, bundle.as, &bundle.traces, policy.get());
-        promise.set_value(engine.run().procCycles);
+        try {
+            SimConfig cfg = cfg_;
+            cfg.fastCapacityPages = bundle.rssPages() + 1024;
+            auto policy = makePolicy("NoTier");
+            Engine engine(cfg, bundle.as, &bundle.traces, policy.get());
+            promise.set_value(engine.run().procCycles);
+        } catch (...) {
+            // Every waiter on this bundle's future must see the error;
+            // an unset promise would block them forever.
+            promise.set_exception(std::current_exception());
+        }
     }
     return future.get();
 }
@@ -76,9 +84,33 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
     Engine engine(cfg, bundle.as, &bundle.traces, &policy);
     if (obs && obs->trace)
         engine.setTraceSink(obs->trace);
-    const RunStats stats = obs && obs->timeseries
-                               ? obs::recordRun(engine, *obs->timeseries)
-                               : engine.run();
+
+    RunStats stats;
+    const std::uint64_t timeoutMs = envRunTimeoutMs();
+    if (obs && obs->timeseries) {
+        // Time-series runs are already window-driven; the recorder
+        // owns the loop, so the watchdog does not apply here.
+        stats = obs::recordRun(engine, *obs->timeseries);
+    } else if (timeoutMs > 0) {
+        // Cooperative watchdog: drive the run one daemon period at a
+        // time and give up once the wall-clock budget is spent. The
+        // chunked loop retires exactly the same simulated work as
+        // engine.run(), so results under the budget stay identical.
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeoutMs);
+        while (engine.runUntil(engine.now() + cfg.daemonPeriod)) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+                throw TimeoutError(detail::buildMessage(
+                    bundle.name, "/", label, ": exceeded "
+                    "PACT_RUN_TIMEOUT_MS=", timeoutMs, " at simulated "
+                    "cycle ", engine.now()));
+            }
+        }
+        stats = engine.snapshot();
+    } else {
+        stats = engine.run();
+    }
 
     RunResult res;
     res.workload = bundle.name;
@@ -116,6 +148,17 @@ Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
     }
 
     return runWith(bundle, *policy, fast_share, policy_name, obs);
+}
+
+std::uint64_t
+envRunTimeoutMs()
+{
+    if (const char *s = std::getenv("PACT_RUN_TIMEOUT_MS")) {
+        const long long v = std::atoll(s);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
+    }
+    return 0;
 }
 
 double

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -18,8 +19,9 @@ Addr
 AddrSpace::alloc(ProcId proc, const std::string &name, std::uint64_t bytes,
                  bool thp)
 {
-    fatal_if(bytes == 0, "AddrSpace::alloc: zero-size allocation '", name,
-             "'");
+    throw_workload_if(bytes == 0,
+                      "AddrSpace::alloc: zero-size allocation '", name,
+                      "'");
     const std::uint64_t align = thp ? HugePageBytes : PageBytes;
     brk_ = (brk_ + align - 1) & ~(align - 1);
 

@@ -1,6 +1,7 @@
 #include "mem/migration.hh"
 
 #include "common/logging.hh"
+#include "fault/fault.hh"
 
 namespace pact
 {
@@ -45,6 +46,14 @@ MigrationEngine::migrateRegion(PageId page, TierId dst)
 
     if (dst == TierId::Fast && tm_.freeFast() < count) {
         stats_.failed++;
+        return false;
+    }
+
+    // Injected contention: the copy aborts mid-flight, paying the same
+    // bandwidth/penalty costs as a Nomad transactional abort but
+    // moving nothing.
+    if (faults_ && faults_->abortMigration(page)) {
+        chargeAbortedCopy(page);
         return false;
     }
 

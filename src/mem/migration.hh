@@ -21,6 +21,8 @@
 namespace pact
 {
 
+class FaultPlan;
+
 /**
  * Charges the data-copy cost of a migration against the memory system.
  * Implemented by the simulation engine, which advances both tiers'
@@ -97,6 +99,13 @@ class MigrationEngine
      */
     void chargeAbortedCopy(PageId page);
 
+    /**
+     * Attach a fault plan: migrations then abort mid-copy (through the
+     * same cost path as Nomad's transactional aborts) whenever the
+     * plan says so. nullptr disables injection.
+     */
+    void setFaultPlan(FaultPlan *faults) { faults_ = faults; }
+
     /** Migration statistics so far. */
     const MigrationStats &stats() const { return stats_; }
 
@@ -131,6 +140,7 @@ class MigrationEngine
     LruLists &lru_;
     MigrationBackend &backend_;
     MigrationConfig cfg_;
+    FaultPlan *faults_ = nullptr;
     MigrationStats stats_;
     std::vector<Cycles> pendingPenalty_;
 };

@@ -1,5 +1,8 @@
 #include "mem/tier_manager.hh"
 
+#include <algorithm>
+
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -99,6 +102,55 @@ void
 TierManager::clearFirstTouchOverrides()
 {
     std::fill(firstTouchOverride_.begin(), firstTouchOverride_.end(), 0xff);
+}
+
+void
+TierManager::auditConsistency() const
+{
+    std::array<std::uint64_t, NumTiers> counted = {0, 0};
+    std::uint64_t touched = 0;
+    std::uint64_t huge = 0;
+    for (PageId p = 0; p < meta_.size(); p++) {
+        const PageMeta &m = meta_[p];
+        if (!(m.flags & PageFlags::Touched)) {
+            throw_invariant_if(m.flags & PageFlags::Shadowed,
+                               "audit: untouched page ", p,
+                               " carries Shadowed (flags=",
+                               static_cast<unsigned>(m.flags), ")");
+            continue;
+        }
+        throw_invariant_if(m.tier >= NumTiers, "audit: page ", p,
+                           " in invalid tier ",
+                           static_cast<unsigned>(m.tier), " (flags=",
+                           static_cast<unsigned>(m.flags), ", owner=",
+                           static_cast<unsigned>(m.owner), ")");
+        throw_invariant_if((m.flags & PageFlags::Shadowed) &&
+                               m.tier != static_cast<std::uint8_t>(
+                                             TierId::Fast),
+                           "audit: page ", p, " is Shadowed but resides "
+                           "in tier ", static_cast<unsigned>(m.tier),
+                           " (shadow copies track fast-tier pages)");
+        counted[m.tier]++;
+        touched++;
+        if (m.flags & PageFlags::Huge)
+            huge++;
+    }
+    for (unsigned t = 0; t < NumTiers; t++) {
+        throw_invariant_if(counted[t] != used_[t],
+                           "audit: tier ", t, " residency mismatch: ",
+                           counted[t], " pages counted vs ", used_[t],
+                           " in used() accounting");
+    }
+    throw_invariant_if(touched != touchedCount_,
+                       "audit: touched-page count mismatch: ", touched,
+                       " counted vs ", touchedCount_, " recorded");
+    throw_invariant_if(huge != hugeCount_,
+                       "audit: huge-page count mismatch: ", huge,
+                       " counted vs ", hugeCount_, " recorded");
+    throw_invariant_if(used_[tierIndex(TierId::Fast)] > fastCapacity_,
+                       "audit: fast tier over capacity: ",
+                       used_[tierIndex(TierId::Fast)], " used vs ",
+                       fastCapacity_, " capacity");
 }
 
 } // namespace pact

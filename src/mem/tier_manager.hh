@@ -134,6 +134,16 @@ class TierManager
     /** True when any 2MB mappings exist (THP-aware policies). */
     bool hugeInUse() const { return hugeCount_ > 0; }
 
+    /**
+     * Full-consistency audit (PACT_AUDIT=1): recounts the page array
+     * and checks that every touched page sits in exactly one valid
+     * tier, per-tier residency matches the used() accounting, touched
+     * and huge counts are conserved, fast-tier usage respects the
+     * capacity, and Shadowed implies fast residency. O(totalPages);
+     * throws InvariantError with a dump of the first violation.
+     */
+    void auditConsistency() const;
+
   private:
     void materialize(PageId page, ProcId proc, bool huge, TierId tier);
 

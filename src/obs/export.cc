@@ -230,6 +230,8 @@ writeSimConfig(JsonWriter &w, const SimConfig &cfg)
     w.kv("slice_cycles", static_cast<std::uint64_t>(cfg.slice));
     w.kv("seed", cfg.seed);
     w.kv("max_wall_cycles", static_cast<std::uint64_t>(cfg.maxWallCycles));
+    w.kv("faults", cfg.faults);
+    w.kv("audit", cfg.audit);
     w.endObject();
 }
 
@@ -254,16 +256,28 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
         w.beginObject();
         w.kv("workload", r.workload);
         w.kv("policy", r.policy);
-        w.kv("slowdown_pct", r.slowdownPct);
-        w.key("proc_slowdown_pct").beginArray();
-        for (double p : r.procSlowdownPct)
-            w.value(p);
-        w.endArray();
-        w.kv("runtime_cycles", r.runtimeCycles);
-        w.key("stats").beginObject();
-        for (const auto &[k, v] : r.stats)
-            w.kv(k, v);
-        w.endObject();
+        w.kv("ok", r.ok);
+        if (r.fastShare >= 0.0)
+            w.kv("fast_share", r.fastShare);
+        if (r.ok) {
+            w.kv("slowdown_pct", r.slowdownPct);
+            w.key("proc_slowdown_pct").beginArray();
+            for (double p : r.procSlowdownPct)
+                w.value(p);
+            w.endArray();
+            w.kv("runtime_cycles", r.runtimeCycles);
+            w.key("stats").beginObject();
+            for (const auto &[k, v] : r.stats)
+                w.kv(k, v);
+            w.endObject();
+        } else {
+            // A failed run records what was asked and why it died; no
+            // stats exist to dump.
+            w.key("error").beginObject();
+            w.kv("kind", r.errorKind);
+            w.kv("message", r.errorMessage);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();

@@ -27,8 +27,13 @@ namespace pact
 namespace obs
 {
 
-/** Schema tags written into (and validated against) the artifacts. */
-inline constexpr const char *ManifestSchema = "pact.manifest/1";
+/**
+ * Schema tags written into (and validated against) the artifacts.
+ * pact.manifest/2 adds per-result "ok" and structured "error" records
+ * (failed sweep runs are first-class results) plus the "faults" and
+ * "audit" config keys.
+ */
+inline constexpr const char *ManifestSchema = "pact.manifest/2";
 inline constexpr const char *TimeSeriesSchema = "pact.timeseries/1";
 
 /** Escape a string for embedding inside JSON double quotes. */
@@ -100,6 +105,19 @@ struct ManifestResult
     std::uint64_t runtimeCycles = 0;
     /** Full registry dump (name-sorted), the authoritative stats. */
     std::vector<std::pair<std::string, double>> stats;
+
+    /**
+     * Whether the run completed. Failed runs carry errorKind/
+     * errorMessage instead of slowdown/runtime/stats, so a poisoned
+     * sweep still documents every spec it attempted.
+     */
+    bool ok = true;
+    /** SimError kind ("ConfigError", ...) when !ok. */
+    std::string errorKind;
+    /** Human-readable failure diagnostic when !ok. */
+    std::string errorMessage;
+    /** Fast-tier share the spec requested (< 0 = not recorded). */
+    double fastShare = -1.0;
 };
 
 /** Everything a run manifest records. */

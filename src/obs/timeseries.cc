@@ -1,5 +1,6 @@
 #include "obs/timeseries.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "obs/export.hh"
 
@@ -12,7 +13,7 @@ namespace obs
 TimeSeriesRecorder::TimeSeriesRecorder(std::ostream &os, Cycles window)
     : os_(os), window_(window)
 {
-    fatal_if(window_ == 0, "TimeSeriesRecorder: zero window");
+    throw_config_if(window_ == 0, "TimeSeriesRecorder: zero window");
 }
 
 void

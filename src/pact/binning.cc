@@ -26,7 +26,10 @@ AdaptiveBinning::freedmanDiaconis(const Reservoir &res,
                             static_cast<double>(cfg_.staticBins);
         w = std::max(span, cfg_.minWidth);
     }
-    return w;
+    // An ill-conditioned reservoir (infinite or NaN rank values) must
+    // not poison the width: std::max(NaN, minWidth) is NaN, and every
+    // later binOf() would inherit it. Fall back to the floor instead.
+    return std::isfinite(w) ? w : cfg_.minWidth;
 }
 
 void

@@ -69,7 +69,9 @@ class AdaptiveBinning
     std::uint32_t
     binOf(double pac) const
     {
-        if (pac <= 0.0)
+        // Negated comparison so NaN lands in bin 0 rather than hitting
+        // the undefined float-to-int cast below.
+        if (!(pac > 0.0))
             return 0;
         const double b = pac / width_;
         return b >= 4.0e9 ? 4000000000u : static_cast<std::uint32_t>(b);

@@ -1,8 +1,10 @@
 #include "pact/pact_policy.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "mem/addr_space.hh"
 #include "mem/lru.hh"
@@ -19,9 +21,10 @@ PactPolicy::PactPolicy(const PactConfig &cfg)
 {
     // CHMU hot-lists carry access counts only — there is no per-sample
     // latency to weight by (paper §4.3.5 vs §4.3.7).
-    fatal_if(cfg_.sampler == SamplerSource::Chmu && cfg_.latencyWeighted,
-             "PACT: latencyWeighted attribution requires PEBS "
-             "sampling; the CHMU provides no per-access latency");
+    throw_config_if(cfg_.sampler == SamplerSource::Chmu &&
+                        cfg_.latencyWeighted,
+                    "PACT: latencyWeighted attribution requires PEBS "
+                    "sampling; the CHMU provides no per-access latency");
 }
 
 const char *
@@ -102,9 +105,13 @@ PactPolicy::attribute(SimContext &ctx)
         const std::uint64_t lines = slow->linesServed();
         const Cycles elapsed =
             ctx.now > lastTickNow_ ? ctx.now - lastTickNow_ : 1;
-        const double rate =
-            static_cast<double>(lines - lastSlowLines_) /
-            static_cast<double>(elapsed);
+        // Clamp the window's line count at zero: a counter that moved
+        // backwards (wraparound injection, device reset) must degrade
+        // to "no traffic observed", not a huge unsigned difference.
+        const std::uint64_t served =
+            lines >= lastSlowLines_ ? lines - lastSlowLines_ : 0;
+        const double rate = static_cast<double>(served) /
+                            static_cast<double>(elapsed);
         lastSlowLines_ = lines;
         lastTickNow_ = ctx.now;
         mlp = std::max(1.0,
@@ -130,9 +137,9 @@ PactPolicy::attribute(SimContext &ctx)
     std::uint64_t sampleCount = 0;
 
     if (cfg_.sampler == SamplerSource::Chmu) {
-        fatal_if(!ctx.chmu,
-                 "PACT configured for CHMU sampling but "
-                 "SimConfig::chmu.enabled is false");
+        throw_config_if(!ctx.chmu,
+                        "PACT configured for CHMU sampling but "
+                        "SimConfig::chmu.enabled is false");
         const auto hot = ctx.chmu->readHotList();
         byPage.reserve(hot.size());
         for (const ChmuEntry &e : hot) {
@@ -158,6 +165,15 @@ PactPolicy::attribute(SimContext &ctx)
     }
     if (byPage.empty())
         return;
+    // Degenerate window: the latency-weighted total mass A_t can be
+    // zero even with samples present (every sampled access reported
+    // zero latency, or a CHMU hot list of zero counts). S_p = S *
+    // A_p / A_t would then be NaN; fall back to uniform count-based
+    // attribution, or treat the window as sampleless when there are
+    // no counts either.
+    const bool massless = !(totalMass > 0.0);
+    if (massless && sampleCount == 0)
+        return;
     globalSamples_ += sampleCount;
 
     touched_.clear();
@@ -177,7 +193,10 @@ PactPolicy::attribute(SimContext &ctx)
             cooledPages_++;
         }
 
-        const double share = agg.latMass / totalMass;
+        const double share =
+            massless ? static_cast<double>(agg.count) /
+                           static_cast<double>(sampleCount)
+                     : agg.latMass / totalMass;
         e.pac += static_cast<float>(S * share);
         e.freq += agg.count;
         e.lastSample = globalSamples_;
@@ -337,6 +356,45 @@ PactPolicy::migrate(SimContext &ctx)
         }
     }
     promoSeries_.push_back({ctx.now, static_cast<double>(promoted)});
+}
+
+void
+PactPolicy::audit(const SimContext &ctx) const
+{
+    (void)ctx;
+    // PAC values are accumulated stall shares: every tracked entry
+    // must stay finite and non-negative or ranking is meaningless.
+    table_.forEach([&](const PacEntry &e) {
+        throw_invariant_if(!std::isfinite(e.pac) || e.pac < 0.0f,
+                           "audit: page ", e.page, " has invalid PAC ",
+                           e.pac, " (freq=", e.freq, ", lastSample=",
+                           e.lastSample, ", lastPromote=", e.lastPromote,
+                           ")");
+    });
+    throw_invariant_if(!std::isfinite(pacMass_) || pacMass_ < 0.0,
+                       "audit: total PAC mass is invalid: ", pacMass_,
+                       " over ", table_.size(), " tracked pages");
+
+    // Reservoir conservation: the sample never exceeds its capacity or
+    // the stream length, and holds only finite values.
+    throw_invariant_if(reservoir_.size() > reservoir_.capacity(),
+                       "audit: reservoir holds ", reservoir_.size(),
+                       " values over capacity ", reservoir_.capacity());
+    throw_invariant_if(reservoir_.seen() < reservoir_.size(),
+                       "audit: reservoir saw ", reservoir_.seen(),
+                       " values but holds ", reservoir_.size());
+    for (const double v : reservoir_.values()) {
+        throw_invariant_if(!std::isfinite(v) || v < 0.0,
+                           "audit: reservoir holds invalid rank value ",
+                           v);
+    }
+
+    // Bin geometry: a non-finite or non-positive width would fold
+    // every page into one bin (or crash binOf).
+    throw_invariant_if(!std::isfinite(binning_.width()) ||
+                           binning_.width() <= 0.0,
+                       "audit: bin width is invalid: ", binning_.width(),
+                       " (scale factor ", binning_.scaleFactor(), ")");
 }
 
 void

@@ -134,6 +134,7 @@ class PactPolicy : public TieringPolicy
     const char *name() const override;
     void start(SimContext &ctx) override;
     void tick(SimContext &ctx) override;
+    void audit(const SimContext &ctx) const override;
     void registerStats(obs::StatRegistry &reg) override;
 
     /** The PAC table (post-run inspection by benches/tests). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
 
@@ -10,7 +11,7 @@ namespace pact
 
 Reservoir::Reservoir(std::size_t capacity) : cap_(capacity)
 {
-    fatal_if(capacity == 0, "Reservoir: zero capacity");
+    throw_config_if(capacity == 0, "Reservoir: zero capacity");
     buf_.reserve(capacity);
 }
 

@@ -1,5 +1,6 @@
 #include "policies/registry.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "pact/pact_policy.hh"
 #include "policies/alto.hh"
@@ -63,7 +64,7 @@ makePolicy(const std::string &name)
         cfg.cooling = CoolingMode::Reset;
         return std::make_unique<PactPolicy>(cfg);
     }
-    fatal("unknown policy '", name, "'");
+    throw_policy("unknown policy '", name, "'");
 }
 
 const std::vector<std::string> &

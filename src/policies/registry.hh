@@ -21,7 +21,7 @@ namespace pact
  * "Memtis", "Colloid", "Nomad", "Alto", "Soar", "PACT", "PACT-freq",
  * "PACT-static", "PACT-adaptive", "PACT-cool-halve",
  * "PACT-cool-reset", "PACT-littleslaw" (AMD counter path).
- * Unknown names fatal().
+ * Unknown names throw PolicyError.
  */
 std::unique_ptr<TieringPolicy> makePolicy(const std::string &name);
 

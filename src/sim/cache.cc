@@ -1,5 +1,6 @@
 #include "sim/cache.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -23,9 +24,10 @@ hashLine(std::uint64_t line)
 
 Cache::Cache(const CacheParams &params) : params_(params)
 {
-    fatal_if(params.assoc == 0, "Cache: zero associativity");
+    throw_config_if(params.assoc == 0, "Cache: zero associativity");
     const std::uint64_t lines = params.sizeBytes / LineBytes;
-    fatal_if(lines < params.assoc, "Cache: too small for associativity");
+    throw_config_if(lines < params.assoc,
+                    "Cache: too small for associativity");
     sets_ = lines / params.assoc;
     // Round down to a power of two for cheap indexing.
     while (sets_ & (sets_ - 1))

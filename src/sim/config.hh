@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
 
 #include "common/types.hh"
 #include "mem/migration.hh"
@@ -155,6 +156,19 @@ struct SimConfig
      */
     Cycles maxWallCycles = 1ull << 36;
 
+    /**
+     * Fault-injection spec (see src/fault/fault.hh for the grammar).
+     * Empty disables injection; the PACT_FAULTS environment variable
+     * fills this in when the config leaves it empty.
+     */
+    std::string faults;
+
+    /**
+     * Run the periodic invariant auditor every daemon window (also
+     * enabled by PACT_AUDIT=1). Throws InvariantError on violation.
+     */
+    bool audit = false;
+
     /** Select the slow tier preset. */
     void
     setSlowTier(SlowTierKind kind)
@@ -162,6 +176,15 @@ struct SimConfig
         slow = kind == SlowTierKind::Numa ? numaTierParams()
                                           : cxlTierParams();
     }
+
+    /**
+     * Check every field for simulability; throws ConfigError with a
+     * field-level diagnostic ("SimConfig.<field> must ..., got <v>")
+     * on the first violation. The Engine validates on construction, so
+     * a bad config fails fast with a recoverable error rather than
+     * corrupting a run. Defaults always pass.
+     */
+    void validate() const;
 };
 
 } // namespace pact

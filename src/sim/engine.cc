@@ -1,15 +1,33 @@
 #include "sim/engine.hh"
 
 #include <algorithm>
+#include <cstdlib>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
 {
 
+namespace
+{
+
+/** PACT_AUDIT=1 (any value but "0"/"") enables the periodic audit. */
+bool
+envAudit()
+{
+    const char *s = std::getenv("PACT_AUDIT");
+    return s && *s && std::string(s) != "0";
+}
+
+} // namespace
+
 Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
                const std::vector<Trace> *traces, TieringPolicy *policy)
-    : cfg_(cfg), as_(as), traces_(traces), policy_(policy),
+    // Validate before any member is built so a bad config surfaces as
+    // ConfigError instead of corrupting component construction.
+    : cfg_((cfg.validate(), cfg)), as_(as), traces_(traces),
+      policy_(policy),
       rng_(cfg.seed ^ 0x5bd1e995u),
       fastTier_(TierId::Fast, cfg.fast),
       slowTier_(TierId::Slow, cfg.slow),
@@ -19,10 +37,27 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
       lru_(as.totalPages()),
       mig_(tm_, lru_, *this, cfg.migration,
            static_cast<unsigned>(traces->size())),
-      ctx_{cfg_, 0,     pmu_, pebs_, tm_,
-           lru_, mig_,  as_,  {&fastTier_, &slowTier_}, rng_}
+      faults_(FaultPlan::fromSpec(
+          cfg.faults.empty() ? envFaultSpec() : cfg.faults, cfg.seed)),
+      ctx_{cfg_,
+           0,
+           // Under counter-wraparound injection policies read the
+           // masked PMU view; the engine keeps writing ground truth.
+           faults_ && faults_->wrapBits() ? wrappedPmu_ : pmu_,
+           pebs_,
+           tm_,
+           lru_,
+           mig_,
+           as_,
+           {&fastTier_, &slowTier_},
+           rng_}
 {
-    fatal_if(traces_->empty(), "Engine: no traces");
+    throw_config_if(traces_->empty(), "Engine: no traces");
+
+    pebs_.setFaultPlan(faults_.get());
+    mig_.setFaultPlan(faults_.get());
+    ctx_.faults = faults_.get();
+    auditEnabled_ = cfg_.audit || envAudit();
 
     if (cfg_.chmu.enabled) {
         ChmuParams cp;
@@ -35,7 +70,8 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
     bool have_primary = false;
     for (const Trace &t : *traces_)
         have_primary |= !t.loop;
-    fatal_if(!have_primary, "Engine: all traces loop; run never ends");
+    throw_config_if(!have_primary,
+                    "Engine: all traces loop; run never ends");
 
     // Per-page huge flag map from the allocation registry.
     hugeMap_.assign(as.totalPages(), 0);
@@ -60,7 +96,35 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
     if (policy_)
         policy_->registerStats(reg_);
 
-    nextTick_ = cfg_.daemonPeriod;
+    nextTick_ = nextPeriod();
+}
+
+Cycles
+Engine::nextPeriod()
+{
+    return faults_ ? faults_->jitterPeriod(cfg_.daemonPeriod)
+                   : cfg_.daemonPeriod;
+}
+
+void
+Engine::refreshWrappedPmu()
+{
+    if (!faults_ || faults_->wrapBits() == 0)
+        return;
+    const std::uint64_t m = faults_->wrapMask();
+    wrappedPmu_ = pmu_;
+    wrappedPmu_.instructions &= m;
+    wrappedPmu_.llcHits &= m;
+    wrappedPmu_.computeCycles &= m;
+    wrappedPmu_.hintFaults &= m;
+    wrappedPmu_.prefetches &= m;
+    for (unsigned t = 0; t < NumTiers; t++) {
+        wrappedPmu_.llcLoadMisses[t] &= m;
+        wrappedPmu_.llcMisses[t] &= m;
+        wrappedPmu_.torOccupancy[t] &= m;
+        wrappedPmu_.torBusy[t] &= m;
+        wrappedPmu_.stallCycles[t] &= m;
+    }
 }
 
 void
@@ -158,6 +222,18 @@ Engine::registerStats()
     reg_.addFn("engine.tier.touched_pages", StatKind::Gauge,
                [this] { return static_cast<double>(tm_.touchedPages()); },
                "pages materialized so far");
+
+    if (faults_) {
+        const FaultCounters &fc = faults_->counters();
+        reg_.addCounter("faults.migration_aborts", &fc.migrationAborts,
+                        "injected mid-copy migration aborts");
+        reg_.addCounter("faults.pebs_dropped", &fc.pebsDropped,
+                        "injected PEBS sample drops");
+        reg_.addCounter("faults.pebs_duplicated", &fc.pebsDuplicated,
+                        "injected PEBS sample duplicates");
+        reg_.addCounter("faults.jittered_windows", &fc.jitteredWindows,
+                        "daemon windows with injected jitter");
+    }
 }
 
 void
@@ -212,6 +288,7 @@ Engine::runUntil(Cycles until)
         started_ = true;
         if (policy_) {
             ctx_.now = 0;
+            refreshWrappedPmu();
             policy_->start(ctx_);
         }
     }
@@ -228,6 +305,7 @@ Engine::runUntil(Cycles until)
             if (policy_) {
                 const MigrationStats before = mig_.stats();
                 ctx_.now = now_;
+                refreshWrappedPmu();
                 policy_->tick(ctx_);
                 daemonTicks_++;
                 // Application threads absorb migration penalties.
@@ -262,7 +340,14 @@ Engine::runUntil(Cycles until)
                                             before.promotedOps));
                 }
             }
-            nextTick_ += cfg_.daemonPeriod;
+            // Debug-mode consistency audit: tier accounting after the
+            // tick's migrations, then the policy's own invariants.
+            if (auditEnabled_) {
+                tm_.auditConsistency();
+                if (policy_)
+                    policy_->audit(ctx_);
+            }
+            nextTick_ += nextPeriod();
         }
 
         if (now_ >= cfg_.maxWallCycles) {
@@ -270,23 +355,29 @@ Engine::runUntil(Cycles until)
             finished_ = true;
             for (auto &cpu : cpus_)
                 cpu->drainInflight();
-            if (policy_) {
-                ctx_.now = now_;
-                policy_->finish(ctx_);
-            }
+            finishRun();
             return false;
         }
 
         if (allPrimariesDone()) {
             finished_ = true;
-            if (policy_) {
-                ctx_.now = now_;
-                policy_->finish(ctx_);
-            }
+            finishRun();
             return false;
         }
     }
     return true;
+}
+
+void
+Engine::finishRun()
+{
+    if (policy_) {
+        ctx_.now = now_;
+        refreshWrappedPmu();
+        policy_->finish(ctx_);
+    }
+    if (auditEnabled_)
+        tm_.auditConsistency();
 }
 
 RunStats

@@ -15,6 +15,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "mem/addr_space.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
@@ -88,6 +89,8 @@ class Engine : public MigrationBackend
   public:
     /**
      * @param cfg Simulation configuration (fast capacity, tiers, ...).
+     *            Validated via SimConfig::validate() before anything
+     *            is built; throws ConfigError on a bad field.
      * @param as Address space the traces were generated against.
      *           Never mutated: many engines may share one bundle's
      *           address space, including concurrently.
@@ -122,6 +125,9 @@ class Engine : public MigrationBackend
     Pmu &pmu() { return pmu_; }
     Cache &cache() { return cache_; }
 
+    /** Live fault plan, or nullptr when no faults are enabled. */
+    FaultPlan *faults() { return faults_.get(); }
+
     /** The stat registry every subsystem registered into. */
     const obs::StatRegistry &stats() const { return reg_; }
 
@@ -135,6 +141,16 @@ class Engine : public MigrationBackend
   private:
     bool allPrimariesDone() const;
     void registerStats();
+    void finishRun();
+
+    /** The next daemon window length (jittered when faults say so). */
+    Cycles nextPeriod();
+
+    /**
+     * Refresh the masked PMU view policies read under counter-
+     * wraparound injection (no-op when wrap is disabled).
+     */
+    void refreshWrappedPmu();
 
     const SimConfig cfg_;
     const AddrSpace &as_;
@@ -151,6 +167,14 @@ class Engine : public MigrationBackend
     TierManager tm_;
     LruLists lru_;
     MigrationEngine mig_;
+    /**
+     * Fault plan (nullptr when disabled). Declared before ctx_: the
+     * context's PMU reference binds to wrappedPmu_ when counter
+     * wraparound is injected.
+     */
+    std::unique_ptr<FaultPlan> faults_;
+    /** Masked copy of pmu_ that policies see under wrap injection. */
+    Pmu wrappedPmu_;
     std::vector<std::uint8_t> hugeMap_;
     std::vector<std::unique_ptr<Cpu>> cpus_;
     SimContext ctx_;
@@ -163,6 +187,8 @@ class Engine : public MigrationBackend
     std::uint64_t daemonTicks_ = 0;
     bool started_ = false;
     bool finished_ = false;
+    /** Periodic invariant audit (SimConfig::audit or PACT_AUDIT=1). */
+    bool auditEnabled_ = false;
 };
 
 } // namespace pact

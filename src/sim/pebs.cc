@@ -1,5 +1,6 @@
 #include "sim/pebs.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -7,7 +8,7 @@ namespace pact
 
 PebsSampler::PebsSampler(const PebsParams &params) : params_(params)
 {
-    fatal_if(params.rate == 0, "PEBS: rate must be >= 1");
+    throw_config_if(params.rate == 0, "PEBS: rate must be >= 1");
     buffer_.reserve(1024);
 }
 

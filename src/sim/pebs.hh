@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "fault/fault.hh"
 #include "sim/config.hh"
 
 namespace pact
@@ -44,12 +45,24 @@ class PebsSampler
         if (++sinceLast_ < params_.rate)
             return;
         sinceLast_ = 0;
+        // Injected sampling faults: a drop silently loses the sample
+        // (the hardware never delivered it), a duplicate records it
+        // twice (double attribution) if the buffer has room.
+        if (faults_ && faults_->dropSample())
+            return;
         if (buffer_.size() >= params_.bufferCap) {
             dropped_++;
             return;
         }
         buffer_.push_back({vaddr, latency, tier, proc});
+        if (faults_ && faults_->duplicateSample() &&
+            buffer_.size() < params_.bufferCap) {
+            buffer_.push_back({vaddr, latency, tier, proc});
+        }
     }
+
+    /** Attach a fault plan (nullptr disables injection). */
+    void setFaultPlan(FaultPlan *faults) { faults_ = faults; }
 
     /** Move all buffered records out (daemon drain). */
     std::vector<PebsRecord>
@@ -70,6 +83,7 @@ class PebsSampler
 
   private:
     PebsParams params_;
+    FaultPlan *faults_ = nullptr;
     std::uint64_t sinceLast_ = 0;
     std::uint64_t events_ = 0;
     std::uint64_t dropped_ = 0;

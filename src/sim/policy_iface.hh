@@ -21,6 +21,7 @@ namespace pact
 
 class AddrSpace;
 class Chmu;
+class FaultPlan;
 class LruLists;
 class MigrationEngine;
 class Tier;
@@ -42,6 +43,8 @@ struct SimContext
     Rng &rng;
     /** Device-side hotness unit, when SimConfig::chmu.enabled. */
     Chmu *chmu = nullptr;
+    /** Live fault-injection plan, when SimConfig::faults enables one. */
+    FaultPlan *faults = nullptr;
 };
 
 /** Receives synchronous access events from the CPU model. */
@@ -84,6 +87,13 @@ class TieringPolicy : public AccessListener
 
     /** Called every daemon period. */
     virtual void tick(SimContext &ctx) = 0;
+
+    /**
+     * Audit policy-internal invariants (PACT_AUDIT=1); called by the
+     * engine after every tick. Implementations throw InvariantError
+     * with a dump of the violating entity.
+     */
+    virtual void audit(const SimContext &ctx) const { (void)ctx; }
 
     /** Called once after the primary workload completes. */
     virtual void finish(SimContext &ctx) { (void)ctx; }

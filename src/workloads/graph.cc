@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -112,7 +113,7 @@ void
 allocGraph(AddrSpace &as, ProcId proc, const std::string &prefix,
            CsrGraph &g, bool thp, bool with_weights)
 {
-    fatal_if(g.numVertices == 0, "allocGraph: empty graph");
+    throw_workload_if(g.numVertices == 0, "allocGraph: empty graph");
     g.offsetsAddr = as.alloc(proc, prefix + ".offsets",
                              8ull * (g.numVertices + 1), thp);
     g.neighborsAddr =

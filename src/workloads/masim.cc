@@ -1,5 +1,6 @@
 #include "workloads/masim.hh"
 
+#include "common/error.hh"
 #include "common/logging.hh"
 
 namespace pact
@@ -53,7 +54,7 @@ Trace
 buildMasim(AddrSpace &as, ProcId proc, const MasimParams &params, Rng &rng,
            bool thp)
 {
-    fatal_if(params.regions.empty(), "masim: no regions");
+    throw_workload_if(params.regions.empty(), "masim: no regions");
 
     Trace trace;
     trace.name = "masim";

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "workloads/gpt2.hh"
 #include "workloads/graph.hh"
@@ -79,7 +80,7 @@ makeGraphBundle(const std::string &name, const WorkloadOptions &opt)
         allocGraph(b.as, 0, "bfskron", g, opt.thp);
         b.traces.push_back(bfsTrace(b.as, 0, g, 0, lim, opt.thp));
     } else {
-        fatal("unknown graph workload '", name, "'");
+        throw_workload("unknown graph workload '", name, "'");
     }
     b.traces.back().name = name;
     return b;
@@ -130,7 +131,7 @@ buildByName(const std::string &name, const WorkloadOptions &opt)
         name.rfind("pr-", 0) == 0 || name.rfind("cc-", 0) == 0) {
         return makeGraphBundle(name, opt);
     }
-    fatal("unknown workload '", name, "'");
+    throw_workload("unknown workload '", name, "'");
 }
 
 } // namespace

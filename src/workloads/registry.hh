@@ -18,7 +18,7 @@ namespace pact
 /**
  * Build a workload by name. Known names: masim, gups, bc-kron,
  * bc-urand, bc-twitter, sssp-kron, tc-twitter, bfs-kron, gpt2, silo,
- * redis, bwaves, xz, deepsjeng. Unknown names fatal().
+ * redis, bwaves, xz, deepsjeng. Unknown names throw WorkloadError.
  */
 WorkloadBundle makeWorkload(const std::string &name,
                             const WorkloadOptions &opt = {});

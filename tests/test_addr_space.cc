@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "mem/addr_space.hh"
 
 using namespace pact;
@@ -94,9 +96,14 @@ TEST(AddrSpace, ObjectIdsSequential)
         EXPECT_EQ(as.objects()[i].id, i);
 }
 
-TEST(AddrSpaceDeath, ZeroSizeAllocationIsFatal)
+TEST(AddrSpaceDeath, ZeroSizeAllocationThrows)
 {
     AddrSpace as;
-    EXPECT_EXIT({ as.alloc(0, "bad", 0); },
-                ::testing::ExitedWithCode(1), "zero-size");
+    try {
+        as.alloc(0, "bad", 0);
+        FAIL() << "expected WorkloadError";
+    } catch (const WorkloadError &e) {
+        EXPECT_NE(std::string(e.what()).find("zero-size"),
+                  std::string::npos);
+    }
 }

@@ -6,9 +6,27 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "sim/cache.hh"
 
 using namespace pact;
+
+/**
+ * Assert @p stmt throws @p kind with @p substr somewhere in what().
+ * (The throw-based replacement for the old EXPECT_EXIT death tests.)
+ */
+#define EXPECT_THROW_KIND(kind, stmt, substr)                          \
+    do {                                                               \
+        try {                                                          \
+            stmt;                                                      \
+            FAIL() << "expected " #kind;                               \
+        } catch (const kind &e_) {                                     \
+            EXPECT_NE(std::string(e_.what()).find(substr),             \
+                      std::string::npos)                               \
+                << e_.what();                                          \
+        }                                                              \
+    } while (0)
 
 namespace
 {
@@ -132,10 +150,10 @@ TEST(Cache, ResetClearsEverything)
     EXPECT_FALSE(c.access(0x1000).hit);
 }
 
-TEST(CacheDeath, ZeroAssocIsFatal)
+TEST(CacheDeath, ZeroAssocThrows)
 {
     CacheParams p;
     p.assoc = 0;
-    EXPECT_EXIT({ Cache c(p); }, ::testing::ExitedWithCode(1),
+    EXPECT_THROW_KIND(ConfigError, { Cache c(p); },
                 "associativity");
 }

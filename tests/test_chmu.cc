@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "harness/runner.hh"
 #include "pact/pact_policy.hh"
@@ -146,6 +147,11 @@ TEST(ChmuIntegrationDeath, ChmuSamplerWithoutDeviceIsFatal)
     PactConfig cfg;
     cfg.sampler = SamplerSource::Chmu;
     PactPolicy pol(cfg);
-    EXPECT_EXIT({ run.runWith(b, pol, 0.4, "PACT-chmu"); },
-                ::testing::ExitedWithCode(1), "chmu");
+    try {
+        run.runWith(b, pol, 0.4, "PACT-chmu");
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("chmu"),
+                  std::string::npos);
+    }
 }

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "mem/addr_space.hh"
 #include "sim/engine.hh"
@@ -134,8 +135,13 @@ TEST(EngineDeath, AllLoopingIsFatal)
     as.alloc(0, "a", 1 << 20);
     std::vector<Trace> traces(1);
     traces[0].loop = true;
-    EXPECT_EXIT({ Engine e(cfg, as, &traces, nullptr); },
-                ::testing::ExitedWithCode(1), "loop");
+    try {
+        Engine e(cfg, as, &traces, nullptr);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("loop"),
+                  std::string::npos);
+    }
 }
 
 TEST(Engine, MaxWallCyclesCutsRunShort)

@@ -9,6 +9,7 @@
 
 #include <cmath>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "harness/runner.hh"
 #include "pact/pact_policy.hh"
@@ -243,8 +244,13 @@ TEST_F(PactPolicyTest, ChmuRejectsLatencyWeightedAttribution)
 
     PactConfig bad = ok;
     bad.latencyWeighted = true;
-    EXPECT_EXIT({ PactPolicy pol(bad); },
-                ::testing::ExitedWithCode(1), "latencyWeighted");
+    try {
+        PactPolicy pol(bad);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("latencyWeighted"),
+                  std::string::npos);
+    }
 }
 
 TEST_F(PactPolicyTest, QuarantineLimitsChurn)

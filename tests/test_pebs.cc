@@ -5,9 +5,27 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "sim/pebs.hh"
 
 using namespace pact;
+
+/**
+ * Assert @p stmt throws @p kind with @p substr somewhere in what().
+ * (The throw-based replacement for the old EXPECT_EXIT death tests.)
+ */
+#define EXPECT_THROW_KIND(kind, stmt, substr)                          \
+    do {                                                               \
+        try {                                                          \
+            stmt;                                                      \
+            FAIL() << "expected " #kind;                               \
+        } catch (const kind &e_) {                                     \
+            EXPECT_NE(std::string(e_.what()).find(substr),             \
+                      std::string::npos)                               \
+                << e_.what();                                          \
+        }                                                              \
+    } while (0)
 
 TEST(Pebs, SamplesOneInRate)
 {
@@ -88,10 +106,10 @@ TEST(Pebs, RateChangeTakesEffect)
     EXPECT_EQ(s.drain().size(), 5u);
 }
 
-TEST(PebsDeath, ZeroRateIsFatal)
+TEST(PebsDeath, ZeroRateThrows)
 {
     PebsParams p;
     p.rate = 0;
-    EXPECT_EXIT({ PebsSampler s(p); }, ::testing::ExitedWithCode(1),
+    EXPECT_THROW_KIND(ConfigError, { PebsSampler s(p); },
                 "rate");
 }

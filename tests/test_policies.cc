@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "harness/runner.hh"
 #include "policies/colloid.hh"
@@ -65,10 +66,15 @@ TEST(PolicyRegistry, MakesEveryKnownPolicy)
     EXPECT_NE(makePolicy("PACT-cool-reset"), nullptr);
 }
 
-TEST(PolicyRegistryDeath, UnknownPolicyIsFatal)
+TEST(PolicyRegistryDeath, UnknownPolicyThrows)
 {
-    EXPECT_EXIT({ makePolicy("nonsense"); },
-                ::testing::ExitedWithCode(1), "unknown policy");
+    try {
+        makePolicy("nonsense");
+        FAIL() << "expected PolicyError";
+    } catch (const PolicyError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown policy"),
+                  std::string::npos);
+    }
 }
 
 using PolicyBehaviour = QuietTest;

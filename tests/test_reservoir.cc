@@ -5,9 +5,27 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.hh"
+
 #include "pact/reservoir.hh"
 
 using namespace pact;
+
+/**
+ * Assert @p stmt throws @p kind with @p substr somewhere in what().
+ * (The throw-based replacement for the old EXPECT_EXIT death tests.)
+ */
+#define EXPECT_THROW_KIND(kind, stmt, substr)                          \
+    do {                                                               \
+        try {                                                          \
+            stmt;                                                      \
+            FAIL() << "expected " #kind;                               \
+        } catch (const kind &e_) {                                     \
+            EXPECT_NE(std::string(e_.what()).find(substr),             \
+                      std::string::npos)                               \
+                << e_.what();                                          \
+        }                                                              \
+    } while (0)
 
 TEST(Reservoir, FillsToCapacityFirst)
 {
@@ -91,8 +109,8 @@ TEST(Reservoir, SkewedStreamQuartilesReflectSkew)
     EXPECT_LT(q.q3, 100.0);
 }
 
-TEST(ReservoirDeath, ZeroCapacityIsFatal)
+TEST(ReservoirDeath, ZeroCapacityThrows)
 {
-    EXPECT_EXIT({ Reservoir r(0); }, ::testing::ExitedWithCode(1),
+    EXPECT_THROW_KIND(ConfigError, { Reservoir r(0); },
                 "capacity");
 }

@@ -11,6 +11,7 @@
 #include <queue>
 #include <set>
 
+#include "common/error.hh"
 #include "common/logging.hh"
 #include "workloads/graph.hh"
 #include "workloads/graph_kernels.hh"
@@ -378,10 +379,15 @@ TEST(Registry, ScaleShrinksFootprint)
     EXPECT_LT(small.rssPages(), big.rssPages() / 4);
 }
 
-TEST(RegistryDeath, UnknownWorkloadIsFatal)
+TEST(RegistryDeath, UnknownWorkloadThrows)
 {
-    EXPECT_EXIT({ makeWorkload("nope", {}); },
-                ::testing::ExitedWithCode(1), "unknown workload");
+    try {
+        makeWorkload("nope", {});
+        FAIL() << "expected WorkloadError";
+    } catch (const WorkloadError &e) {
+        EXPECT_NE(std::string(e.what()).find("unknown workload"),
+                  std::string::npos);
+    }
 }
 
 TEST(InitPass, MakesWholeAllocationResident)
