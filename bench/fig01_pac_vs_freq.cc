@@ -11,6 +11,7 @@
  * higher frequency does not imply higher PAC.
  */
 
+#include <memory>
 #include <algorithm>
 #include <vector>
 
@@ -138,15 +139,18 @@ main()
     opt.scale = scale;
 
     // Profile the three workloads concurrently, print in order.
-    std::vector<std::pair<std::string, WorkloadBundle>> bundles;
-    bundles.emplace_back("masim", fig1Masim(scale));
-    bundles.emplace_back("gups", makeWorkload("gups", opt));
-    bundles.emplace_back("tc-twitter", makeWorkload("tc-twitter", opt));
+    std::vector<std::pair<std::string, std::shared_ptr<const WorkloadBundle>>>
+        bundles;
+    bundles.emplace_back(
+        "masim", std::make_shared<const WorkloadBundle>(fig1Masim(scale)));
+    bundles.emplace_back("gups", makeWorkloadShared("gups", opt));
+    bundles.emplace_back("tc-twitter",
+                         makeWorkloadShared("tc-twitter", opt));
 
     std::vector<std::vector<std::pair<double, double>>> profiles(
         bundles.size());
     parallelFor(bundles.size(), [&](std::size_t i) {
-        profiles[i] = profileBundle(bundles[i].second);
+        profiles[i] = profileBundle(*bundles[i].second);
     });
     for (std::size_t i = 0; i < bundles.size(); i++)
         printProfile(profiles[i], bundles[i].first);

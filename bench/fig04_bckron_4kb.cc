@@ -26,17 +26,17 @@ main()
 
     WorkloadOptions opt;
     opt.scale = scale;
-    const WorkloadBundle bundle = makeWorkload("bc-kron", opt);
+    const auto bundle = makeWorkloadShared("bc-kron", opt);
     std::printf("bc-kron: %llu pages RSS, %zu trace ops\n",
-                static_cast<unsigned long long>(bundle.rssPages()),
-                bundle.traces[0].size());
+                static_cast<unsigned long long>(bundle->rssPages()),
+                bundle->traces[0].size());
 
     Runner runner;
     const std::vector<std::string> policies = {
         "PACT", "Colloid", "NBT",  "Alto",  "Nomad",
         "TPP",  "Memtis",  "Soar", "NoTier"};
     const auto grid =
-        ratioSweep(runner, bundle, policies, paperRatios());
+        ratioSweep(runner, *bundle, policies, paperRatios());
 
     printHeading(std::cout, "Figure 4: slowdown vs DRAM-only (%)");
     {
@@ -51,7 +51,7 @@ main()
         }
         // The CXL line: everything on the slow tier.
         t.row().cell("CXL(all-slow)");
-        const RunResult allSlow = runner.run(bundle, "NoTier", 0.0);
+        const RunResult allSlow = runner.run(*bundle, "NoTier", 0.0);
         for (std::size_t i = 0; i < paperRatios().size(); i++)
             t.cell(allSlow.slowdownPct, 1);
         t.print();

@@ -24,13 +24,13 @@ main()
     WorkloadOptions opt;
     opt.scale = scale;
     opt.thp = true; // madvise(MADV_HUGEPAGE) on all objects
-    const WorkloadBundle bundle = makeWorkload("bc-kron", opt);
+    const auto bundle = makeWorkloadShared("bc-kron", opt);
 
     Runner runner;
     const std::vector<std::string> policies = {
         "PACT", "Memtis", "Colloid", "NBT", "Nomad", "TPP", "NoTier"};
     const auto grid =
-        ratioSweep(runner, bundle, policies, paperRatios());
+        ratioSweep(runner, *bundle, policies, paperRatios());
 
     printHeading(std::cout,
                  "Figure 5: slowdown vs DRAM-only (%), THP enabled");

@@ -39,18 +39,19 @@ main()
     // Build every bundle, then fan the full workload x policy grid
     // out across PACT_JOBS workers in one batch.
     const std::vector<std::string> workloads = figureSixWorkloads();
-    std::vector<WorkloadBundle> bundles(workloads.size());
+    std::vector<std::shared_ptr<const WorkloadBundle>> bundles(
+        workloads.size());
     parallelFor(workloads.size(), [&](std::size_t i) {
         WorkloadOptions opt;
         opt.scale = scale;
-        bundles[i] = makeWorkload(workloads[i], opt);
+        bundles[i] = makeWorkloadShared(workloads[i], opt);
     });
 
     Runner runner;
     std::vector<RunSpec> specs;
-    for (const WorkloadBundle &b : bundles) {
+    for (const auto &b : bundles) {
         for (const std::string &p : policies)
-            specs.push_back({&b, p, 0.5});
+            specs.push_back({b.get(), p, 0.5});
     }
     const std::vector<RunResult> flat = runMany(runner, specs);
 

@@ -34,11 +34,12 @@ main()
                                                 "Memtis"};
 
     const std::vector<std::string> workloads = figureSixWorkloads();
-    std::vector<WorkloadBundle> bundles(workloads.size());
+    std::vector<std::shared_ptr<const WorkloadBundle>> bundles(
+        workloads.size());
     parallelFor(workloads.size(), [&](std::size_t i) {
         WorkloadOptions opt;
         opt.scale = scale;
-        bundles[i] = makeWorkload(workloads[i], opt);
+        bundles[i] = makeWorkloadShared(workloads[i], opt);
     });
 
     Runner runner; // baselines are ratio-independent: cache once
@@ -46,10 +47,10 @@ main()
         // One batch per ratio: PACT plus the three baselines for
         // every workload, fanned out across PACT_JOBS workers.
         std::vector<RunSpec> specs;
-        for (const WorkloadBundle &b : bundles) {
-            specs.push_back({&b, "PACT", ratio.share()});
+        for (const auto &b : bundles) {
+            specs.push_back({b.get(), "PACT", ratio.share()});
             for (const std::string &base : baselines)
-                specs.push_back({&b, base, ratio.share()});
+                specs.push_back({b.get(), base, ratio.share()});
         }
         const std::vector<RunResult> flat = runMany(runner, specs);
 

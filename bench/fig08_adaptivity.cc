@@ -25,7 +25,7 @@ main()
 
     WorkloadOptions opt;
     opt.scale = scale;
-    const WorkloadBundle bundle = makeWorkload("sssp-kron", opt);
+    const auto bundle = makeWorkloadShared("sssp-kron", opt);
     Runner runner;
 
     // Both systems run concurrently; the shared baseline is computed
@@ -34,9 +34,9 @@ main()
     RunResult rp, rc;
     parallelFor(2, [&](std::size_t i) {
         if (i == 0)
-            rp = runner.runWith(bundle, pact, 0.5, "PACT");
+            rp = runner.runWith(*bundle, pact, 0.5, "PACT");
         else
-            rc = runner.run(bundle, "Colloid", 0.5);
+            rc = runner.run(*bundle, "Colloid", 0.5);
     });
 
     printHeading(std::cout, "Headline: PACT vs Colloid on sssp-kron");

@@ -33,11 +33,12 @@ main()
 
     const std::vector<std::string> workloads = {
         "pac-inversion", "bc-kron", "bc-urand", "sssp-kron", "silo"};
-    std::vector<WorkloadBundle> bundles(workloads.size());
+    std::vector<std::shared_ptr<const WorkloadBundle>> bundles(
+        workloads.size());
     parallelFor(workloads.size(), [&](std::size_t i) {
         WorkloadOptions opt;
         opt.scale = scale;
-        bundles[i] = makeWorkload(workloads[i], opt);
+        bundles[i] = makeWorkloadShared(workloads[i], opt);
     });
 
     // Both variants of every workload run concurrently; the policy
@@ -51,9 +52,9 @@ main()
         const double share =
             workloads[i] == "pac-inversion" ? 0.4 : 0.5;
         if (j % 2 == 0)
-            rps[i] = runner.runWith(bundles[i], pacts[i], share, "PACT");
+            rps[i] = runner.runWith(*bundles[i], pacts[i], share, "PACT");
         else
-            rfs[i] = runner.runWith(bundles[i], freqs[i], share,
+            rfs[i] = runner.runWith(*bundles[i], freqs[i], share,
                                     "PACT-freq");
     });
 

@@ -30,7 +30,7 @@ main()
 
     WorkloadOptions opt;
     opt.scale = scale;
-    const WorkloadBundle bundle = makeWorkload("bc-kron", opt);
+    const auto bundle = makeWorkloadShared("bc-kron", opt);
 
     // (a) PEBS sampling rate. The paper sweeps 800..4000 on runs of
     // minutes; scaled runs sweep the same 5x span around the default.
@@ -47,7 +47,7 @@ main()
         }
         std::vector<RunResult> results(rates.size());
         parallelFor(rates.size(), [&](std::size_t i) {
-            results[i] = runners[i].run(bundle, "PACT", 0.5);
+            results[i] = runners[i].run(*bundle, "PACT", 0.5);
         });
         Table t({"rate (1-in-N)", "slowdown", "promotions",
                  "PEBS samples"});
@@ -74,7 +74,7 @@ main()
         }
         std::vector<RunResult> results(periods.size());
         parallelFor(periods.size(), [&](std::size_t i) {
-            results[i] = runners[i].run(bundle, "PACT", 0.5);
+            results[i] = runners[i].run(*bundle, "PACT", 0.5);
         });
         Table t({"period (ms)", "slowdown", "promotions", "windows"});
         for (std::size_t i = 0; i < periods.size(); i++) {
@@ -98,9 +98,9 @@ main()
                                              "silo"};
         const std::vector<std::string> variants = {
             "PACT", "PACT-cool-halve", "PACT-cool-reset"};
-        std::vector<WorkloadBundle> bs(ws.size());
+        std::vector<std::shared_ptr<const WorkloadBundle>> bs(ws.size());
         parallelFor(ws.size(), [&](std::size_t i) {
-            bs[i] = makeWorkload(ws[i], opt);
+            bs[i] = makeWorkloadShared(ws[i], opt);
         });
         std::deque<Runner> runners;
         for (std::size_t i = 0; i < ws.size(); i++)
@@ -108,7 +108,7 @@ main()
         std::vector<RunResult> results(ws.size() * variants.size());
         parallelFor(results.size(), [&](std::size_t j) {
             const std::size_t wi = j / variants.size();
-            results[j] = runners[wi].run(bs[wi],
+            results[j] = runners[wi].run(*bs[wi],
                                          variants[j % variants.size()],
                                          0.5);
         });
@@ -139,7 +139,7 @@ main()
         std::vector<RunResult> results(ms.size());
         parallelFor(ms.size(), [&](std::size_t i) {
             results[i] =
-                runners[i].runWith(bundle, policies[i], 0.5, "PACT");
+                runners[i].runWith(*bundle, policies[i], 0.5, "PACT");
         });
         Table t({"m", "slowdown", "promotions", "demotions"});
         for (std::size_t i = 0; i < ms.size(); i++) {
@@ -159,7 +159,7 @@ main()
         Runner runner;
         const std::vector<RunResult> results = runMany(
             runner,
-            {{&bundle, "PACT", 0.5}, {&bundle, "PACT-littleslaw", 0.5}});
+            {{bundle.get(), "PACT", 0.5}, {bundle.get(), "PACT-littleslaw", 0.5}});
         Table t({"source", "slowdown", "promotions"});
         for (const RunResult &r : results) {
             t.row()
@@ -184,9 +184,9 @@ main()
         RunResult rPebs, rChmu;
         parallelFor(2, [&](std::size_t i) {
             if (i == 0)
-                rPebs = pebsRunner.run(bundle, "PACT", 0.5);
+                rPebs = pebsRunner.run(*bundle, "PACT", 0.5);
             else
-                rChmu = chmuRunner.runWith(bundle, chmuPol, 0.5,
+                rChmu = chmuRunner.runWith(*bundle, chmuPol, 0.5,
                                            "PACT-chmu");
         });
         Table t({"backend", "slowdown", "promotions"});
@@ -206,9 +206,9 @@ main()
     {
         Runner runner;
         const std::vector<RunResult> results =
-            runMany(runner, {{&bundle, "PACT-static", 0.5},
-                             {&bundle, "PACT-adaptive", 0.5},
-                             {&bundle, "PACT", 0.5}});
+            runMany(runner, {{bundle.get(), "PACT-static", 0.5},
+                             {bundle.get(), "PACT-adaptive", 0.5},
+                             {bundle.get(), "PACT", 0.5}});
         Table t({"mode", "slowdown", "promotions"});
         for (const RunResult &r : results) {
             t.row()

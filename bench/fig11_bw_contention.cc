@@ -24,7 +24,7 @@ namespace
 WorkloadBundle
 contendedBundle(double scale, unsigned threads, bool thp)
 {
-    WorkloadBundle b = makeWorkload("bc-kron", {scale, thp, 42});
+    WorkloadBundle b = *makeWorkloadShared("bc-kron", {scale, thp, 42});
     b.name = "bc-kron+mlc" + std::to_string(threads) +
              (thp ? "-thp" : "");
     MlcParams mp;

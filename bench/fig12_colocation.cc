@@ -28,7 +28,7 @@ main()
 
     WorkloadOptions opt;
     opt.scale = scale;
-    const WorkloadBundle bundle = makeWorkload("masim-coloc", opt);
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
     Runner runner;
 
     // All four systems run concurrently on the shared Runner; the
@@ -47,9 +47,9 @@ main()
     parallelFor(rows.size(), [&](std::size_t i) {
         if (rows[i].name == "PACT-latw")
             rows[i].result =
-                runner.runWith(bundle, latwPol, 0.5, "PACT-latw");
+                runner.runWith(*bundle, latwPol, 0.5, "PACT-latw");
         else
-            rows[i].result = runner.run(bundle, rows[i].name, 0.5);
+            rows[i].result = runner.run(*bundle, rows[i].name, 0.5);
     });
 
     printHeading(std::cout, "Figure 12: per-process slowdowns");

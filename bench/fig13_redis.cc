@@ -62,7 +62,7 @@ main()
 
     WorkloadOptions opt;
     opt.scale = scale;
-    const WorkloadBundle bundle = makeWorkload("redis", opt);
+    const auto bundle = makeWorkloadShared("redis", opt);
     Runner runner;
 
     printHeading(std::cout,
@@ -76,10 +76,10 @@ main()
         {"+Both (PACT)", "PACT"},
     };
     const std::vector<RunResult> results =
-        runMany(runner, {{&bundle, "Colloid", 0.5},
-                         {&bundle, "PACT-static", 0.5},
-                         {&bundle, "PACT-adaptive", 0.5},
-                         {&bundle, "PACT", 0.5}});
+        runMany(runner, {{bundle.get(), "Colloid", 0.5},
+                         {bundle.get(), "PACT-static", 0.5},
+                         {bundle.get(), "PACT-adaptive", 0.5},
+                         {bundle.get(), "PACT", 0.5}});
     for (std::size_t i = 0; i < results.size(); i++) {
         const RunResult &r = results[i];
         const ServiceStats s = serviceStats(r);

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * End-to-end hot-path benchmark: trace ops per second through a full
+ * Engine::run, the metric scripts/bench_perf.py records into
+ * BENCH_hotpath.json. Every paper figure is a sweep of exactly these
+ * runs, so items_per_second here is the wall-clock currency of the
+ * whole experiment harness.
+ *
+ * Workload scale defaults to 0.5 and follows PACT_SCALE/PACT_QUICK so
+ * the bench_perf_smoke ctest entry can run a tiny configuration; the
+ * recorded perf trajectory must always be produced at one fixed scale
+ * (bench_perf.py pins it) to stay comparable across commits.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "harness/runner.hh"
+#include "policies/registry.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+/**
+ * One full Engine::run of @p workload under @p policy_name with the
+ * fast tier sized to half the footprint (the paper's 1:1 ratio).
+ * Reported items are retired trace ops summed over all processes.
+ */
+void
+engineRun(benchmark::State &state, const char *workload,
+          const char *policy_name)
+{
+    setLogQuiet(true);
+    WorkloadOptions opt;
+    opt.scale = envScale(0.5);
+    const auto bundle = makeWorkloadShared(workload, opt);
+
+    SimConfig cfg;
+    cfg.fastCapacityPages = static_cast<std::uint64_t>(
+        static_cast<double>(bundle->rssPages()) * 0.5 + 0.5);
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        auto policy = makePolicy(policy_name);
+        Engine engine(cfg, bundle->as, &bundle->traces, policy.get());
+        const RunStats rs = engine.run();
+        for (const std::uint64_t r : rs.procRetired)
+            ops += r;
+        benchmark::DoNotOptimize(rs.wallCycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    state.counters["scale"] = opt.scale;
+}
+
+} // namespace
+
+// The tracked set: a pointer-chase/random workload (MSHR- and
+// TOR-accounting-heavy), a graph kernel (the figure sweeps' staple),
+// and a no-daemon run isolating the bare per-op simulation loop.
+BENCHMARK_CAPTURE(engineRun, gups_PACT, "gups", "PACT")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineRun, gups_NoTier, "gups", "NoTier")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineRun, bckron_PACT, "bc-kron", "PACT")
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineRun, silo_Memtis, "silo", "Memtis")
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

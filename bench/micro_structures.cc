@@ -11,12 +11,14 @@
 #include <sstream>
 
 #include "common/rng.hh"
+#include "mem/addr_space.hh"
 #include "mem/lru.hh"
 #include "mem/tier_manager.hh"
 #include "obs/metrics.hh"
 #include "pact/binning.hh"
 #include "pact/pac_table.hh"
 #include "pact/reservoir.hh"
+#include "sim/cpu.hh"
 
 using namespace pact;
 
@@ -118,7 +120,7 @@ BM_LruScan(benchmark::State &state)
     LruLists lru(pages);
     for (PageId p = 0; p < pages; p++) {
         tm.touch(p, 0, false);
-        lru.insert(p, TierId::Fast);
+        lru.insert(p, TierId::Fast, tm);
     }
     Rng rng(7);
     for (auto _ : state) {
@@ -140,7 +142,7 @@ BM_LruVictims(benchmark::State &state)
     LruLists lru(pages);
     for (PageId p = 0; p < pages; p++) {
         tm.touch(p, 0, false);
-        lru.insert(p, TierId::Fast);
+        lru.insert(p, TierId::Fast, tm);
     }
     lru.scan(TierId::Fast, pages, tm);
     for (auto _ : state) {
@@ -149,6 +151,87 @@ BM_LruVictims(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * 32);
 }
 BENCHMARK(BM_LruVictims);
+
+/**
+ * The per-op CPU loop in isolation (no daemon, no migrations): a
+ * looping trace of independent loads with compute gaps drives the
+ * retire/advance machinery, the event-driven TOR sweep, and the fused
+ * page-meta resolve — the costs the hot-path overhaul targets.
+ */
+static void
+BM_CpuAdvance(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.fastCapacityPages = 1024;
+    AddrSpace as;
+    const Addr base = as.alloc(0, "buf", 8 << 20);
+    Trace trace;
+    trace.loop = true;
+    Rng rng(8);
+    for (int i = 0; i < 8192; i++) {
+        trace.load(base + (static_cast<Addr>(rng.below(2048)) << PageShift) +
+                   ((static_cast<Addr>(i) * LineBytes) & (PageBytes - 1)));
+        if (i % 4 == 0)
+            trace.compute(2);
+    }
+    TierManager tm(as.totalPages(), cfg.fastCapacityPages);
+    LruLists lru(as.totalPages());
+    Cache cache(cfg.cache);
+    Tier fast(TierId::Fast, cfg.fast);
+    Tier slow(TierId::Slow, cfg.slow);
+    Pmu pmu;
+    PebsSampler pebs(cfg.pebs);
+    std::vector<std::uint8_t> huge(as.totalPages(), 0);
+    Cpu cpu(cfg, trace, cache,
+            std::array<Tier *, NumTiers>{&fast, &slow}, tm, lru, pmu, pebs,
+            huge, nullptr);
+    for (auto _ : state) {
+        cpu.run(cpu.cycle() + 10000);
+    }
+    state.SetItemsProcessed(cpu.retired());
+}
+BENCHMARK(BM_CpuAdvance);
+
+/** One LLC probe; footprint arg (log2 bytes) sets the hit/miss mix. */
+static void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(SimConfig{}.cache);
+    const Addr mask = (Addr{1} << state.range(0)) - 1;
+    Rng rng(9);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.next() & mask & ~Addr{LineBytes - 1}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess)->Arg(22)->Arg(28);
+
+/**
+ * The single-PageMeta placement + LRU-membership resolve the CPU does
+ * per access (tier, touched, and the folded LRU tracked bit all come
+ * from one 8-byte load).
+ */
+static void
+BM_TierResolve(benchmark::State &state)
+{
+    const std::uint64_t pages = 1 << 16;
+    TierManager tm(pages, pages / 2);
+    LruLists lru(pages);
+    for (PageId p = 0; p < pages; p++) {
+        const TierId t = tm.touch(p, 0, false);
+        lru.insert(p, t, tm);
+    }
+    Rng rng(10);
+    for (auto _ : state) {
+        const PageMeta &m = tm.meta(rng.below(pages));
+        unsigned r = (m.flags & PageFlags::Touched) ? m.tier : 0xffu;
+        r += (m.flags & PageFlags::LruListed) ? 1u : 0u;
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TierResolve);
 
 /**
  * Overhead guard for the stat registry: a registered obs::Counter is a

@@ -26,13 +26,13 @@ main()
 
     WorkloadOptions opt;
     opt.scale = envScale(0.5);
-    const WorkloadBundle bundle = makeWorkload("masim-coloc", opt);
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
     Runner runner;
 
     Table t({"policy", "stream tenant", "chase tenant", "aggregate",
              "promotions"});
     for (const char *policy : {"PACT", "Colloid", "NoTier"}) {
-        const RunResult r = runner.run(bundle, policy, 0.5);
+        const RunResult r = runner.run(*bundle, policy, 0.5);
         const double agg =
             (r.procSlowdownPct[0] + r.procSlowdownPct[1]) / 2.0;
         t.row()

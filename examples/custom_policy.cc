@@ -74,14 +74,14 @@ main()
     const double share = Runner::ratioShare(1, 4);
 
     for (const char *workload : {"bc-kron", "gups"}) {
-        const WorkloadBundle bundle = makeWorkload(workload, opt);
+        const auto bundle = makeWorkloadShared(workload, opt);
         Runner runner;
 
         RecencyPolicy recency;
         const RunResult rr =
-            runner.runWith(bundle, recency, share, "Recency");
-        const RunResult rp = runner.run(bundle, "PACT", share);
-        const RunResult rn = runner.run(bundle, "NoTier", share);
+            runner.runWith(*bundle, recency, share, "Recency");
+        const RunResult rp = runner.run(*bundle, "PACT", share);
+        const RunResult rn = runner.run(*bundle, "NoTier", share);
 
         std::printf("\n-- %s --\n", workload);
         Table t({"policy", "slowdown", "promotions", "demotions"});

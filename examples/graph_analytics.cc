@@ -23,18 +23,18 @@ main()
 
     WorkloadOptions opt;
     opt.scale = envScale(0.5);
-    const WorkloadBundle bundle = makeWorkload("bc-kron", opt);
+    const auto bundle = makeWorkloadShared("bc-kron", opt);
     Runner runner;
 
     Table t({"ratio", "PACT", "Colloid", "NoTier", "PACT promos",
              "Colloid promos"});
     for (const RatioSpec &ratio : paperRatios()) {
         const RunResult pact =
-            runner.run(bundle, "PACT", ratio.share());
+            runner.run(*bundle, "PACT", ratio.share());
         const RunResult colloid =
-            runner.run(bundle, "Colloid", ratio.share());
+            runner.run(*bundle, "Colloid", ratio.share());
         const RunResult none =
-            runner.run(bundle, "NoTier", ratio.share());
+            runner.run(*bundle, "NoTier", ratio.share());
         t.row()
             .cell(ratio.label)
             .cell(pact.slowdownPct, 1)

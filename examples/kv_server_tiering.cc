@@ -51,15 +51,15 @@ main()
 
     WorkloadOptions opt;
     opt.scale = envScale(0.5);
-    const WorkloadBundle bundle = makeWorkload("redis", opt);
+    const auto bundle = makeWorkloadShared("redis", opt);
     Runner runner;
 
     Table t({"policy", "thpt (Mops/s)", "p50 (us)", "p99 (us)",
              "slowdown", "promotions"});
-    reportService(t, "PACT", runner.run(bundle, "PACT", 0.5));
-    reportService(t, "Memtis", runner.run(bundle, "Memtis", 0.5));
-    reportService(t, "Colloid", runner.run(bundle, "Colloid", 0.5));
-    reportService(t, "NoTier", runner.run(bundle, "NoTier", 0.5));
+    reportService(t, "PACT", runner.run(*bundle, "PACT", 0.5));
+    reportService(t, "Memtis", runner.run(*bundle, "Memtis", 0.5));
+    reportService(t, "Colloid", runner.run(*bundle, "Colloid", 0.5));
+    reportService(t, "NoTier", runner.run(*bundle, "NoTier", 0.5));
     t.print();
 
     std::printf("\nZipfian GETs concentrate criticality in the bucket "

@@ -208,7 +208,7 @@ cliMain(int argc, char **argv)
         cfg.faults = envFaultSpec();
     cfg.validate();
 
-    const WorkloadBundle bundle = makeWorkload(workload, opt);
+    const auto bundle = makeWorkloadShared(workload, opt);
     Runner runner(cfg);
     const double share = Runner::ratioShare(fast, slow);
 
@@ -220,7 +220,7 @@ cliMain(int argc, char **argv)
         m.kind = kind;
         m.producer = "pactsim_cli";
         m.config = cfg;
-        m.config.fastCapacityPages = runner.capacityPages(bundle, share);
+        m.config.fastCapacityPages = runner.capacityPages(*bundle, share);
         m.params = {{"scale", opt.scale},
                     {"fast_share", share},
                     {"ratio_fast", static_cast<double>(fast)},
@@ -240,8 +240,8 @@ cliMain(int argc, char **argv)
                 "%d:%d\n\n",
                 workload.c_str(),
                 static_cast<unsigned long long>(
-                    bundle.rssPages() * PageBytes >> 20),
-                bundle.traces[0].size(), fast, slow);
+                    bundle->rssPages() * PageBytes >> 20),
+                bundle->traces[0].size(), fast, slow);
 
     if (sweep) {
         // All policies run concurrently (PACT_JOBS workers); the
@@ -252,7 +252,7 @@ cliMain(int argc, char **argv)
         const auto policies =
             sweepPolicies.empty() ? allPolicyNames() : sweepPolicies;
         for (const auto &p : policies)
-            specs.push_back({&bundle, p, share});
+            specs.push_back({bundle.get(), p, share});
         const std::vector<RunOutcome> outcomes =
             runManyOutcomes(runner, specs);
         Table t({"policy", "slowdown", "promotions", "demotions",
@@ -300,7 +300,7 @@ cliMain(int argc, char **argv)
     if (!tracePath.empty())
         observers.trace = &trace;
 
-    const RunResult r = runner.run(bundle, policy, share, &observers);
+    const RunResult r = runner.run(*bundle, policy, share, &observers);
     report(r);
     std::vector<obs::ManifestResult> results = {manifestResult(r)};
     results.back().fastShare = share;

@@ -34,24 +34,24 @@ main(int argc, char **argv)
     //    to record its memory access trace.
     WorkloadOptions opt;
     opt.scale = envScale(0.5);
-    const WorkloadBundle bundle = makeWorkload(workload, opt);
+    const auto bundle = makeWorkloadShared(workload, opt);
     std::printf("  footprint : %llu MB (%llu pages)\n",
                 static_cast<unsigned long long>(
-                    bundle.rssPages() * PageBytes >> 20),
-                static_cast<unsigned long long>(bundle.rssPages()));
+                    bundle->rssPages() * PageBytes >> 20),
+                static_cast<unsigned long long>(bundle->rssPages()));
     std::printf("  trace     : %zu memory operations\n",
-                bundle.traces[0].size());
+                bundle->traces[0].size());
 
     // 2. Run it under PACT. The runner computes a DRAM-only baseline
     //    and reports slowdown against it, the paper's metric.
     Runner runner;
     PactPolicy pact; // default: adaptive binning + scaling, alpha=1
     const RunResult r = runner.runWith(
-        bundle, pact, Runner::ratioShare(fast, slow), "PACT");
+        *bundle, pact, Runner::ratioShare(fast, slow), "PACT");
 
     // 3. Compare against first-touch (no tiering).
     const RunResult none = runner.run(
-        bundle, "NoTier", Runner::ratioShare(fast, slow));
+        *bundle, "NoTier", Runner::ratioShare(fast, slow));
 
     std::printf("\nResults (slowdown vs DRAM-only):\n");
     std::printf("  PACT      : %6.1f%%  (%llu promotions, %llu "

@@ -1,0 +1,152 @@
+#!/usr/bin/env python3
+"""Record the repo's performance trajectory into BENCH_hotpath.json.
+
+Runs the bench/hotpath google-benchmark binary (end-to-end Engine runs,
+items_per_second = retired trace ops per second), parses its JSON
+output, and appends one labelled entry to the tracked artifact:
+
+    scripts/bench_perf.py --bin build/bench/hotpath --label after-pr4
+
+Entries with the same label are replaced (reruns are idempotent), so
+the artifact reads as an ordered trajectory: one entry per recorded
+point, each carrying every benchmark's ops/sec. When at least two
+entries exist the script prints a per-benchmark speedup table of the
+new entry against the previous one.
+
+For a tracked measurement build with the perf configuration:
+
+    cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release -DPACT_LTO=ON
+    cmake --build build-perf -j --target hotpath
+
+The workload scale is pinned (default 0.5) via PACT_SCALE so entries
+stay comparable across commits; --scale/--filter exist for the
+bench_perf_smoke ctest entry, which runs a tiny configuration and only
+checks the artifact schema (scripts/validate_artifacts.py --bench-json).
+
+Pure standard library.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+SCHEMA = "pact.bench_perf/1"
+
+
+def run_benchmark(binary, scale, bench_filter, repetitions):
+    cmd = [binary, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    if repetitions > 1:
+        cmd += [f"--benchmark_repetitions={repetitions}",
+                "--benchmark_report_aggregates_only=true"]
+    env = dict(os.environ, PACT_SCALE=str(scale))
+    env.pop("PACT_QUICK", None)  # would silently override the scale
+    print(f"+ PACT_SCALE={scale} {' '.join(cmd)}", file=sys.stderr)
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"benchmark binary failed with exit code {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def extract_entry(label, scale, report):
+    """One artifact entry from a google-benchmark JSON report."""
+    benchmarks = {}
+    for b in report.get("benchmarks", []):
+        # With aggregates, keep the median; plain runs have run_type
+        # "iteration" and no aggregate_name.
+        if b.get("run_type") == "aggregate" and \
+                b.get("aggregate_name") != "median":
+            continue
+        name = b["name"]
+        for suffix in ("_median",):
+            if name.endswith(suffix):
+                name = name[: -len(suffix)]
+        benchmarks[name] = {
+            "items_per_second": b.get("items_per_second", 0.0),
+            "real_time_ms": b.get("real_time", 0.0),
+            "iterations": b.get("iterations", 0),
+        }
+    if not benchmarks:
+        sys.exit("benchmark report contained no benchmarks")
+    ctx = report.get("context", {})
+    return {
+        "label": label,
+        "scale": scale,
+        "host": {
+            "num_cpus": ctx.get("num_cpus", 0),
+            "library_build_type": ctx.get("library_build_type", ""),
+        },
+        "date": ctx.get("date", ""),
+        "benchmarks": benchmarks,
+    }
+
+
+def load_artifact(path):
+    if path.exists():
+        doc = json.loads(path.read_text())
+        if doc.get("schema") != SCHEMA:
+            sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+        return doc
+    return {"schema": SCHEMA, "entries": []}
+
+
+def print_comparison(prev, cur):
+    print(f"\nspeedup: {cur['label']} vs {prev['label']}")
+    width = max((len(n) for n in cur["benchmarks"]), default=10)
+    for name, b in sorted(cur["benchmarks"].items()):
+        p = prev["benchmarks"].get(name)
+        if not p or not p["items_per_second"]:
+            continue
+        ratio = b["items_per_second"] / p["items_per_second"]
+        print(f"  {name:<{width}}  {p['items_per_second'] / 1e6:8.2f} -> "
+              f"{b['items_per_second'] / 1e6:8.2f} Mops/s   {ratio:.2f}x")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--bin", required=True,
+                    help="path to the bench/hotpath binary")
+    ap.add_argument("--label", required=True,
+                    help="entry label, e.g. 'seed' or 'after-pr4'")
+    ap.add_argument("--out", default="BENCH_hotpath.json",
+                    help="artifact path (default: BENCH_hotpath.json)")
+    ap.add_argument("--scale", type=float, default=0.5,
+                    help="pinned PACT_SCALE for the run (default 0.5)")
+    ap.add_argument("--filter", default="",
+                    help="--benchmark_filter regex (smoke runs)")
+    ap.add_argument("--repetitions", type=int, default=1,
+                    help="benchmark repetitions; >1 records the median")
+    args = ap.parse_args()
+
+    report = run_benchmark(args.bin, args.scale, args.filter,
+                           args.repetitions)
+    entry = extract_entry(args.label, args.scale, report)
+
+    out = pathlib.Path(args.out)
+    doc = load_artifact(out)
+    doc["entries"] = [e for e in doc["entries"]
+                      if e.get("label") != args.label]
+    doc["entries"].append(entry)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out} ({len(doc['entries'])} entries)")
+
+    # Self-check the artifact so a malformed write fails loudly here
+    # rather than in a later bench_perf_smoke run.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    import validate_artifacts
+    errors = validate_artifacts.validate_bench_json(out)
+    if errors:
+        sys.exit("\n".join(f"FAIL: {e}" for e in errors))
+
+    if len(doc["entries"]) >= 2:
+        print_comparison(doc["entries"][-2], doc["entries"][-1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -65,9 +65,9 @@ seedSweep(const SimConfig &cfg, const std::string &workload,
         [&](std::size_t s) {
             WorkloadOptions opt = base_opt;
             opt.seed = base_opt.seed + 7919 * (s + 1);
-            const WorkloadBundle bundle = makeWorkload(workload, opt);
+            const auto bundle = makeWorkloadShared(workload, opt);
             Runner runner(cfg);
-            const RunResult r = runner.run(bundle, policy, fast_share);
+            const RunResult r = runner.run(*bundle, policy, fast_share);
             slowdowns[s] = r.slowdownPct;
             promotions[s] = static_cast<double>(r.stats.promotions());
         },

@@ -1,14 +1,12 @@
 #include "mem/lru.hh"
 
 #include "common/logging.hh"
-#include "mem/tier_manager.hh"
 
 namespace pact
 {
 
 LruLists::LruLists(std::uint64_t total_pages)
-    : prev_(total_pages, -1), next_(total_pages, -1),
-      where_(total_pages, NotListed)
+    : prev_(total_pages, -1), next_(total_pages, -1)
 {
 }
 
@@ -18,15 +16,7 @@ LruLists::resize(std::uint64_t total_pages)
     if (total_pages > prev_.size()) {
         prev_.resize(total_pages, -1);
         next_.resize(total_pages, -1);
-        where_.resize(total_pages, NotListed);
     }
-}
-
-void
-LruLists::setWhere(PageId page, TierId t, ListKind k)
-{
-    where_[page] =
-        static_cast<std::uint8_t>(tierIndex(t) * 2 + static_cast<int>(k));
 }
 
 void
@@ -62,31 +52,36 @@ LruLists::unlink(List &l, PageId page)
 }
 
 void
-LruLists::insert(PageId page, TierId tier)
+LruLists::insert(PageId page, TierId tier, TierManager &tm)
 {
-    panic_if(page >= where_.size(), "LRU insert: page out of range");
-    panic_if(where_[page] != NotListed, "LRU insert: page already listed");
+    panic_if(page >= prev_.size(), "LRU insert: page out of range");
+    panic_if(tm.meta(page).flags & PageFlags::LruListed,
+             "LRU insert: page already listed");
     pushHead(list(tier, Active), page);
-    setWhere(page, tier, Active);
+    setWhere(tm, page, tier, Active);
 }
 
 void
-LruLists::remove(PageId page)
+LruLists::remove(PageId page, TierManager &tm)
 {
-    if (page >= where_.size() || where_[page] == NotListed)
+    if (page >= prev_.size() || page >= tm.totalPages())
         return;
-    const auto t = static_cast<TierId>(where_[page] / 2);
-    const auto k = static_cast<ListKind>(where_[page] % 2);
+    std::uint8_t &flags = tm.meta(page).flags;
+    if (!(flags & PageFlags::LruListed))
+        return;
+    const auto t = static_cast<TierId>((flags & PageFlags::LruSlow) ? 1 : 0);
+    const auto k =
+        (flags & PageFlags::LruInactive) ? Inactive : Active;
     unlink(list(t, k), page);
-    where_[page] = NotListed;
+    flags &= static_cast<std::uint8_t>(~PageFlags::LruMask);
 }
 
 void
-LruLists::moveTier(PageId page, TierId to)
+LruLists::moveTier(PageId page, TierId to, TierManager &tm)
 {
-    remove(page);
+    remove(page, tm);
     pushHead(list(to, Active), page);
-    setWhere(page, to, Active);
+    setWhere(tm, page, to, Active);
 }
 
 void
@@ -102,10 +97,10 @@ LruLists::scan(TierId tier, std::uint64_t nscan, TierManager &tm)
         if (m.flags & PageFlags::Referenced) {
             m.flags &= ~PageFlags::Referenced;
             pushHead(active, page);
-            setWhere(page, tier, Active);
+            setWhere(tm, page, tier, Active);
         } else {
             pushHead(inactive, page);
-            setWhere(page, tier, Inactive);
+            setWhere(tm, page, tier, Inactive);
         }
     }
 
@@ -118,7 +113,7 @@ LruLists::scan(TierId tier, std::uint64_t nscan, TierManager &tm)
         m.flags &= ~PageFlags::Referenced;
         unlink(inactive, page);
         pushHead(active, page);
-        setWhere(page, tier, Active);
+        setWhere(tm, page, tier, Active);
     }
 }
 
@@ -141,14 +136,14 @@ LruLists::victims(TierId tier, std::uint64_t n, TierManager &tm,
             m.flags &= ~PageFlags::Referenced;
             unlink(inactive, page);
             pushHead(active, page);
-            setWhere(page, tier, Active);
+            setWhere(tm, page, tier, Active);
             continue;
         }
         // Rotate the candidate to the head so the walk progresses even
         // though the page stays listed until migration moves it.
         unlink(inactive, page);
         pushHead(inactive, page);
-        setWhere(page, tier, Inactive);
+        setWhere(tm, page, tier, Inactive);
         out.push_back(page);
         if (inactive.size <= out.size())
             break;

@@ -3,6 +3,12 @@
  * Kernel-style two-list (active/inactive) page LRU per tier, emulating
  * the Linux reclaim machinery PACT's eager demotion and TPP's
  * watermark-based demotion pull victims from.
+ *
+ * A page's list membership is not stored in a side array: it lives in
+ * the top three bits of PageMeta::flags (PageFlags::LruMask), so the
+ * per-access tracked() probe on the CPU hot path touches the same
+ * cache line the placement and referenced bits already load. Every
+ * mutator therefore takes the owning TierManager.
  */
 
 #ifndef PACT_MEM_LRU_HH
@@ -13,11 +19,10 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "mem/tier_manager.hh"
 
 namespace pact
 {
-
-class TierManager;
 
 /**
  * Intrusive doubly-linked active/inactive lists over page ids, one pair
@@ -34,13 +39,13 @@ class LruLists
     void resize(std::uint64_t total_pages);
 
     /** Add a newly materialized page to its tier's active list head. */
-    void insert(PageId page, TierId tier);
+    void insert(PageId page, TierId tier, TierManager &tm);
 
     /** Remove a page (before migration re-inserts it elsewhere). */
-    void remove(PageId page);
+    void remove(PageId page, TierManager &tm);
 
     /** Move a page between tiers (migration bookkeeping). */
-    void moveTier(PageId page, TierId to);
+    void moveTier(PageId page, TierId to, TierManager &tm);
 
     /**
      * Age lists: scan up to nscan pages from the active tail, moving
@@ -68,14 +73,14 @@ class LruLists
 
     /** Whether the page is currently on any list. */
     bool
-    tracked(PageId page) const
+    tracked(PageId page, const TierManager &tm) const
     {
-        return page < where_.size() && where_[page] != NotListed;
+        return page < tm.totalPages() &&
+               (tm.meta(page).flags & PageFlags::LruListed);
     }
 
   private:
     enum ListKind : std::uint8_t { Active = 0, Inactive = 1 };
-    static constexpr std::uint8_t NotListed = 0xff;
 
     struct List
     {
@@ -93,12 +98,19 @@ class LruLists
 
     void pushHead(List &l, PageId page);
     void unlink(List &l, PageId page);
-    void setWhere(PageId page, TierId t, ListKind k);
+
+    static void
+    setWhere(TierManager &tm, PageId page, TierId t, ListKind k)
+    {
+        std::uint8_t &flags = tm.meta(page).flags;
+        flags = static_cast<std::uint8_t>(
+            (flags & ~PageFlags::LruMask) | PageFlags::LruListed |
+            (tierIndex(t) ? PageFlags::LruSlow : 0) |
+            (k == Inactive ? PageFlags::LruInactive : 0));
+    }
 
     std::vector<std::int64_t> prev_;
     std::vector<std::int64_t> next_;
-    /** Packed location: 0xff = not listed, else tier*2 + kind. */
-    std::vector<std::uint8_t> where_;
     std::array<std::array<List, 2>, NumTiers> lists_;
 };
 

@@ -62,8 +62,8 @@ MigrationEngine::migrateRegion(PageId page, TierId dst)
         if (!tm_.touched(p) || tm_.tierOf(p) != src)
             continue;
         tm_.place(p, dst);
-        if (lru_.tracked(p))
-            lru_.moveTier(p, dst);
+        if (lru_.tracked(p, tm_))
+            lru_.moveTier(p, dst, tm_);
     }
     chargeCosts(page, count * PageBytes, src, dst);
 

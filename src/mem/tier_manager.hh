@@ -45,6 +45,19 @@ constexpr std::uint8_t HintArmed = 1 << 2;
 constexpr std::uint8_t Referenced = 1 << 3;
 /** A non-exclusive (Nomad-style) shadow copy exists on the slow tier. */
 constexpr std::uint8_t Shadowed = 1 << 4;
+/**
+ * LruLists stores a page's list membership in the top three flag
+ * bits, so the CPU hot path resolves placement and LRU tracking from
+ * the same PageMeta load. Valid only via LruLists; the location bits
+ * (LruSlow/LruInactive) are meaningless unless LruListed is set.
+ */
+constexpr std::uint8_t LruListed = 1 << 5;
+/** Listed on the slow tier's lists (fast when clear). */
+constexpr std::uint8_t LruSlow = 1 << 6;
+/** Listed on the inactive list (active when clear). */
+constexpr std::uint8_t LruInactive = 1 << 7;
+/** All LruLists-owned bits. */
+constexpr std::uint8_t LruMask = LruListed | LruSlow | LruInactive;
 } // namespace PageFlags
 
 /**

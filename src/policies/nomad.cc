@@ -34,7 +34,7 @@ NomadPolicy::tick(SimContext &ctx)
             // Clean drop: flip the mapping back to the shadow copy.
             m.flags &= ~PageFlags::Shadowed;
             ctx.tm.place(v[0], TierId::Slow);
-            ctx.lru.moveTier(v[0], TierId::Slow);
+            ctx.lru.moveTier(v[0], TierId::Slow, ctx.tm);
         } else if (!ctx.mig.demote(v[0])) {
             break;
         }

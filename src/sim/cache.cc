@@ -25,6 +25,10 @@ hashLine(std::uint64_t line)
 Cache::Cache(const CacheParams &params) : params_(params)
 {
     throw_config_if(params.assoc == 0, "Cache: zero associativity");
+    throw_config_if(params.prefetch && params.prefetchStreams == 0,
+                    "Cache: prefetch enabled with zero streams");
+    throw_config_if(params.prefetch && params.prefetchDegree == 0,
+                    "Cache: prefetch enabled with zero degree");
     const std::uint64_t lines = params.sizeBytes / LineBytes;
     throw_config_if(lines < params.assoc,
                     "Cache: too small for associativity");
@@ -45,7 +49,8 @@ Cache::lookupFill(std::uint64_t line, bool prefetch_fill,
     Way *base = &ways_[set * assoc_];
     clock_++;
 
-    Way *victim = base;
+    // Pure tag scan first: hits (the common case) skip the victim
+    // bookkeeping entirely.
     for (unsigned w = 0; w < assoc_; w++) {
         Way &way = base[w];
         if (way.valid && way.tag == line) {
@@ -54,6 +59,13 @@ Cache::lookupFill(std::uint64_t line, bool prefetch_fill,
             way.stamp = clock_;
             return true;
         }
+    }
+
+    // Miss: last invalid way if any, else the earliest min-stamp way
+    // (the same choice the former fused scan made).
+    Way *victim = base;
+    for (unsigned w = 0; w < assoc_; w++) {
+        Way &way = base[w];
         if (!way.valid) {
             victim = &way;
         } else if (victim->valid && way.stamp < victim->stamp) {

@@ -15,72 +15,24 @@ Cpu::Cpu(const SimConfig &cfg, const Trace &trace, Cache &cache,
       lru_(lru), pmu_(pmu), pebs_(pebs), huge_(huge), listener_(listener),
       chmu_(chmu)
 {
-    inflight_.reserve(cfg.cpu.mshrs + 1);
+    missHeap_.reserve(cfg.cpu.mshrs + 1);
+    pendingStarts_.reserve(cfg.cpu.mshrs + 1);
 }
 
+/**
+ * Accrue TOR occupancy/busy over [c0, c1), during which the per-tier
+ * outstanding-miss counts are constant.
+ */
 void
-Cpu::accountTor(Cycles c0, Cycles c1)
+Cpu::accrueTor(Cycles c0, Cycles c1)
 {
-    if (inflight_.empty() || c1 <= c0)
-        return;
-
+    const Cycles dt = c1 - c0;
     for (unsigned t = 0; t < NumTiers; t++) {
-        // Clip each outstanding miss of this tier to [c0, c1).
-        Cycles lo[64], hi[64];
-        unsigned n = 0;
-        std::uint64_t occ = 0;
-        for (const Miss &m : inflight_) {
-            if (tierIndex(m.tier) != t)
-                continue;
-            const Cycles a = std::max(m.start, c0);
-            const Cycles b = std::min(m.completion, c1);
-            if (a >= b)
-                continue;
-            occ += b - a;
-            if (n < 64) {
-                lo[n] = a;
-                hi[n] = b;
-                n++;
-            }
+        if (const std::uint32_t n = torCount_[t]) {
+            pmu_.torOccupancy[t] += static_cast<std::uint64_t>(n) * dt;
+            pmu_.torBusy[t] += dt;
         }
-        if (n == 0)
-            continue;
-        pmu_.torOccupancy[t] += occ;
-
-        // Busy cycles = length of the union of the clipped intervals.
-        // Insertion sort by start (n is tiny: at most mshrs).
-        for (unsigned i = 1; i < n; i++) {
-            const Cycles l = lo[i], h = hi[i];
-            unsigned j = i;
-            while (j > 0 && lo[j - 1] > l) {
-                lo[j] = lo[j - 1];
-                hi[j] = hi[j - 1];
-                j--;
-            }
-            lo[j] = l;
-            hi[j] = h;
-        }
-        std::uint64_t busy = 0;
-        Cycles curLo = lo[0], curHi = hi[0];
-        for (unsigned i = 1; i < n; i++) {
-            if (lo[i] <= curHi) {
-                curHi = std::max(curHi, hi[i]);
-            } else {
-                busy += curHi - curLo;
-                curLo = lo[i];
-                curHi = hi[i];
-            }
-        }
-        busy += curHi - curLo;
-        pmu_.torBusy[t] += busy;
     }
-}
-
-void
-Cpu::removeCompleted()
-{
-    std::erase_if(inflight_,
-                  [this](const Miss &m) { return m.completion <= cycle_; });
 }
 
 void
@@ -88,10 +40,46 @@ Cpu::advanceTo(Cycles c1)
 {
     if (c1 <= cycle_)
         return;
-    accountTor(cycle_, c1);
+    if (missHeap_.empty()) {
+        // Nothing in flight: no boundary can fall inside the window
+        // (a future start always belongs to an outstanding miss).
+        cycle_ = c1;
+        return;
+    }
+
+    // Sweep interval boundaries up to c1 in time order, accruing over
+    // each constant-count segment. Boundaries at exactly c1 flip the
+    // counts for the next window and contribute zero width to this
+    // one. A completion's matching start is strictly earlier (latency
+    // is at least one cycle), so counts never go transiently negative.
+    Cycles pos = cycle_;
+    while (true) {
+        const Cycles nextStart = pendingStarts_.empty()
+                                     ? ~Cycles{0}
+                                     : pendingStarts_.front().time;
+        const Cycles nextComp =
+            missHeap_.empty() ? ~Cycles{0} : missHeap_.front().completion;
+        const Cycles t = std::min(nextStart, nextComp);
+        if (t > c1)
+            break;
+        if (t > pos) {
+            accrueTor(pos, t);
+            pos = t;
+        }
+        if (nextStart <= nextComp) {
+            torCount_[pendingStarts_.front().tier]++;
+            std::pop_heap(pendingStarts_.begin(), pendingStarts_.end(),
+                          startAfter);
+            pendingStarts_.pop_back();
+        } else {
+            torCount_[tierIndex(missHeap_.front().tier)]--;
+            std::pop_heap(missHeap_.begin(), missHeap_.end(), missAfter);
+            missHeap_.pop_back();
+        }
+    }
+    if (c1 > pos)
+        accrueTor(pos, c1);
     cycle_ = c1;
-    if (!inflight_.empty())
-        removeCompleted();
 }
 
 void
@@ -116,9 +104,28 @@ void
 Cpu::drainInflight()
 {
     Cycles maxc = cycle_;
-    for (const Miss &m : inflight_)
+    for (const Miss &m : missHeap_)
         maxc = std::max(maxc, m.completion);
     advanceTo(maxc);
+}
+
+void
+Cpu::insertMiss(Cycles start, Cycles completion, TierId tier)
+{
+    missHeap_.push_back({completion, opIdx_, tier});
+    std::push_heap(missHeap_.begin(), missHeap_.end(), missAfter);
+    robFifo_.push_back({completion, opIdx_, tier});
+    // start >= cycle_ always (tiers never backdate service). Service
+    // beginning right now occupies the TOR immediately; a
+    // bandwidth-queued start waits for the sweep to reach it.
+    if (start == cycle_) {
+        torCount_[tierIndex(tier)]++;
+    } else {
+        pendingStarts_.push_back(
+            {start, static_cast<std::uint8_t>(tierIndex(tier))});
+        std::push_heap(pendingStarts_.begin(), pendingStarts_.end(),
+                       startAfter);
+    }
 }
 
 void
@@ -127,18 +134,24 @@ Cpu::doAccess(const TraceOp &op)
     const bool isLoad = op.kind() == OpKind::Load;
     const PageId page = pageOf(op.vaddr());
 
-    // Resolve placement (materializing on first touch).
+    // Resolve placement, LRU membership, and the policy-visible bits
+    // through a single PageMeta load (the LRU location lives in the
+    // same flags byte). touch() materializes on first touch and panics
+    // on out-of-range pages.
     TierId tier;
-    if (tm_.touched(page)) {
-        tier = tm_.tierOf(page);
+    PageMeta *mp;
+    if (page < tm_.totalPages() &&
+        ((mp = &tm_.meta(page))->flags & PageFlags::Touched)) {
+        tier = static_cast<TierId>(mp->tier);
     } else {
         const bool huge = page < huge_.size() && huge_[page];
         tier = tm_.touch(page, trace_.proc, huge);
+        mp = &tm_.meta(page);
     }
-    if (!lru_.tracked(page))
-        lru_.insert(page, tier);
+    PageMeta &m = *mp;
+    if (!(m.flags & PageFlags::LruListed))
+        lru_.insert(page, tier, tm_);
 
-    PageMeta &m = tm_.meta(page);
     m.flags |= PageFlags::Referenced;
     m.lastAccess = static_cast<std::uint32_t>(cycle_ >> 10);
     if (m.shortFreq < 0xff)
@@ -166,11 +179,14 @@ Cpu::doAccess(const TraceOp &op)
         // Prefetches consume target-tier bandwidth but never fault
         // pages in; drop bursts into unmapped space.
         const PageId ppage = pageOf(cr.prefetchStart << LineShift);
-        if (tm_.touched(ppage)) {
-            Tier *pt = tiers_[tierIndex(tm_.tierOf(ppage))];
-            pt->chargeLines(cycle_, cr.prefetchLines);
-            cache_.installPrefetches(cr.prefetchStart, cr.prefetchLines);
-            pmu_.prefetches += cr.prefetchLines;
+        if (ppage < tm_.totalPages()) {
+            const PageMeta &pm = tm_.meta(ppage);
+            if (pm.flags & PageFlags::Touched) {
+                Tier *pt = tiers_[tierIndex(static_cast<TierId>(pm.tier))];
+                pt->chargeLines(cycle_, cr.prefetchLines);
+                cache_.installPrefetches(cr.prefetchStart, cr.prefetchLines);
+                pmu_.prefetches += cr.prefetchLines;
+            }
         }
     }
 
@@ -182,21 +198,25 @@ Cpu::doAccess(const TraceOp &op)
     }
 
     // Structural hazards: MSHRs, then ROB headroom.
-    while (inflight_.size() >= cfg_.cpu.mshrs) {
-        auto it = std::min_element(inflight_.begin(), inflight_.end(),
-                                   [](const Miss &a, const Miss &b) {
-                                       return a.completion < b.completion;
-                                   });
-        waitFor(it->completion, it->tier);
+    while (missHeap_.size() >= cfg_.cpu.mshrs) {
+        const Miss next = missHeap_.front(); // earliest completion
+        waitFor(next.completion, next.tier); // ...which retires it
     }
-    while (!inflight_.empty() &&
-           opIdx_ - inflight_.front().opIdx >=
-               static_cast<std::uint64_t>(cfg_.cpu.robOps)) {
-        waitFor(inflight_.front().completion, inflight_.front().tier);
+    while (!robFifo_.empty()) {
+        if (robFifo_.front().completion <= cycle_) {
+            robFifo_.pop_front(); // already retired, frees headroom
+            continue;
+        }
+        const Miss oldest = robFifo_.front();
+        if (opIdx_ - oldest.opIdx <
+            static_cast<std::uint64_t>(cfg_.cpu.robOps))
+            break;
+        waitFor(oldest.completion, oldest.tier);
+        robFifo_.pop_front();
     }
 
     const TierAccess acc = tiers_[tierIndex(tier)]->access(cycle_);
-    inflight_.push_back({acc.start, acc.completion, opIdx_, tier, isLoad});
+    insertMiss(acc.start, acc.completion, tier);
 
     pmu_.llcMisses[tierIndex(tier)]++;
     if (chmu_ && tier == TierId::Slow)

@@ -11,6 +11,17 @@
  * waited on — giving the ground-truth per-tier stalls that PAC's
  * Equation 1 models. TOR occupancy counters (T1/T2) are integrated
  * cycle-exactly over the outstanding-miss set, per tier.
+ *
+ * The accounting is event-driven: a miss raises the per-tier
+ * outstanding count at its service start (immediately when the tier
+ * is idle, via a small future-start heap when bandwidth queuing
+ * pushes the start out) and lowers it when the completion-ordered
+ * miss heap retires it. Clock advances sweep both heaps once in time
+ * order, accruing occupancy (count x dt) and busy (dt while
+ * count > 0) over each constant-count segment — O(log mshrs) per
+ * miss instead of the O(mshrs^2) per-advance interval clipping it
+ * replaces, with bit-identical integrals (and no silent 64-interval
+ * union cap, so tor_busy is now exact for mshrs > 64 too).
  */
 
 #ifndef PACT_SIM_CPU_HH
@@ -18,6 +29,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "common/types.hh"
@@ -86,18 +98,41 @@ class Cpu
   private:
     struct Miss
     {
-        Cycles start;
         Cycles completion;
         std::uint64_t opIdx;
         TierId tier;
-        bool isLoad;
     };
+
+    /** A queued miss whose TOR occupancy starts in the future. */
+    struct PendingStart
+    {
+        Cycles time;
+        std::uint8_t tier;
+    };
+
+    /** Min-heap order on start time (ties are order-insensitive:
+     *  equal-time segments have zero width). */
+    static bool
+    startAfter(const PendingStart &a, const PendingStart &b)
+    {
+        return a.time > b.time;
+    }
+
+    /** Min-heap order on (completion, opIdx): the opIdx tie-break
+     *  reproduces the first-of-equal-completions insertion-order pick
+     *  the linear-scan MSHR stall attribution made. */
+    static bool
+    missAfter(const Miss &a, const Miss &b)
+    {
+        return a.completion != b.completion ? a.completion > b.completion
+                                            : a.opIdx > b.opIdx;
+    }
 
     void doAccess(const TraceOp &op);
     void waitFor(Cycles completion, TierId tier);
     void advanceTo(Cycles c1);
-    void accountTor(Cycles c0, Cycles c1);
-    void removeCompleted();
+    void accrueTor(Cycles c0, Cycles c1);
+    void insertMiss(Cycles start, Cycles completion, TierId tier);
 
     const SimConfig &cfg_;
     const Trace &trace_;
@@ -120,7 +155,20 @@ class Cpu
     Cycles finishCycle_ = 0;
     Cycles penaltyCycles_ = 0;
 
-    std::vector<Miss> inflight_;
+    /** Outstanding misses as a min-heap by (completion, opIdx);
+     *  retiring one also ends its TOR occupancy interval. */
+    std::vector<Miss> missHeap_;
+    /** Outstanding misses in program order; completed fronts are
+     *  popped lazily at the ROB-headroom check. */
+    std::deque<Miss> robFifo_;
+    /** Future TOR interval starts, min-heap by time (only used when
+     *  tier bandwidth queuing delays service past the current cycle,
+     *  otherwise the start raises torCount_ directly at insert). */
+    std::vector<PendingStart> pendingStarts_;
+    /** Misses currently occupying the TOR, per tier (between the
+     *  already-swept start and completion boundaries). */
+    std::array<std::uint32_t, NumTiers> torCount_ = {0, 0};
+
     bool lastLoadValid_ = false;
     Cycles lastLoadCompletion_ = 0;
     TierId lastLoadTier_ = TierId::Fast;

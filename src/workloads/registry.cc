@@ -1,6 +1,12 @@
 #include "workloads/registry.hh"
 
+#include <bit>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <mutex>
 
 #include "common/error.hh"
 #include "common/logging.hh"
@@ -142,6 +148,88 @@ makeWorkload(const std::string &name, const WorkloadOptions &opt)
     WorkloadBundle b = buildByName(name, opt);
     prependInitPass(b);
     return b;
+}
+
+namespace
+{
+
+using BundlePtr = std::shared_ptr<const WorkloadBundle>;
+
+/** PACT_WORKLOAD_CACHE=0 disables bundle sharing. */
+bool
+cacheEnabled()
+{
+    static const bool enabled = [] {
+        const char *s = std::getenv("PACT_WORKLOAD_CACHE");
+        return !s || !*s || std::string(s) != "0";
+    }();
+    return enabled;
+}
+
+/** Exact cache key: options are hashed by value, scale by bit pattern. */
+std::string
+bundleKey(const std::string &name, const WorkloadOptions &opt)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%016llx|%d|%llu",
+                  static_cast<unsigned long long>(
+                      std::bit_cast<std::uint64_t>(opt.scale)),
+                  opt.thp ? 1 : 0,
+                  static_cast<unsigned long long>(opt.seed));
+    return name + buf;
+}
+
+std::mutex bundleCacheMutex;
+std::map<std::string, std::shared_future<BundlePtr>> bundleCache;
+
+} // namespace
+
+std::shared_ptr<const WorkloadBundle>
+makeWorkloadShared(const std::string &name, const WorkloadOptions &opt)
+{
+    if (!cacheEnabled())
+        return std::make_shared<const WorkloadBundle>(
+            makeWorkload(name, opt));
+
+    // First caller for a key installs the future and builds outside
+    // the lock; concurrent callers for the same key wait on the same
+    // result (the Runner baseline-cache pattern).
+    const std::string key = bundleKey(name, opt);
+    std::promise<BundlePtr> promise;
+    std::shared_future<BundlePtr> future;
+    bool build = false;
+    {
+        std::lock_guard<std::mutex> lock(bundleCacheMutex);
+        auto it = bundleCache.find(key);
+        if (it == bundleCache.end()) {
+            future = promise.get_future().share();
+            bundleCache.emplace(key, future);
+            build = true;
+        } else {
+            future = it->second;
+        }
+    }
+    if (build) {
+        try {
+            promise.set_value(std::make_shared<const WorkloadBundle>(
+                makeWorkload(name, opt)));
+        } catch (...) {
+            // Wake every waiter with the error, then drop the entry so
+            // a later call can retry (e.g. transient bad options).
+            promise.set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(bundleCacheMutex);
+            bundleCache.erase(key);
+            return future.get(); // rethrows for this caller
+        }
+    }
+    return future.get();
+}
+
+void
+clearWorkloadCache()
+{
+    std::lock_guard<std::mutex> lock(bundleCacheMutex);
+    bundleCache.clear();
 }
 
 const std::vector<std::string> &

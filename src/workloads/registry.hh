@@ -7,6 +7,7 @@
 #ifndef PACT_WORKLOADS_REGISTRY_HH
 #define PACT_WORKLOADS_REGISTRY_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,27 @@ namespace pact
  */
 WorkloadBundle makeWorkload(const std::string &name,
                             const WorkloadOptions &opt = {});
+
+/**
+ * Build a workload by name through the process-wide bundle cache.
+ *
+ * Trace generation is expensive (a graph build plus a full kernel run)
+ * and every driver that sweeps policies or ratios replays the same
+ * immutable bundle, so identical (name, scale, thp, seed) requests
+ * share one generation: the first caller builds while concurrent
+ * callers wait on the same future, mirroring the Runner baseline
+ * cache. Bundles are returned as shared_ptr<const ...> — Engine never
+ * mutates a bundle, so sharing across threads is safe.
+ *
+ * Set PACT_WORKLOAD_CACHE=0 to disable (every call builds a private
+ * copy); a failed build is not cached, so callers can retry.
+ */
+std::shared_ptr<const WorkloadBundle>
+makeWorkloadShared(const std::string &name,
+                   const WorkloadOptions &opt = {});
+
+/** Drop every cached bundle (tests and memory-conscious drivers). */
+void clearWorkloadCache();
 
 /** The 12 workloads of the paper's Figure 6. */
 const std::vector<std::string> &figureSixWorkloads();

@@ -128,6 +128,28 @@ TEST(Cpu, TorMlpNearMshrsForIndependent)
     EXPECT_LE(mlp, 16.5);
 }
 
+TEST(Cpu, TorBusyExactAboveSixtyFourMshrs)
+{
+    // Regression: the former interval-union accounting silently capped
+    // each window at 64 intervals per tier, undercounting tor_busy
+    // whenever mshrs > 64. The event-driven sweep has no such cap.
+    //
+    // 96 independent misses through a tier serialized at 100
+    // cycles/line with 418-cycle latency occupy [100*i, 100*i + 418):
+    // consecutive intervals overlap (418 > 100), so the union is one
+    // contiguous span [0, 100*95 + 418) and every counter is exact.
+    CpuHarness h;
+    h.cfg.cpu.mshrs = 96;
+    h.cfg.slow.serviceCycles = 100.0;
+    h.slow = std::make_unique<Tier>(TierId::Slow, h.cfg.slow);
+    for (int i = 0; i < 96; i++)
+        h.trace.load(h.base + static_cast<Addr>(i) * 8 * LineBytes);
+    h.runAll();
+    EXPECT_EQ(h.pmu.llcMisses[1], 96u);
+    EXPECT_EQ(h.pmu.torOccupancy[1], 96u * SlowLat);
+    EXPECT_EQ(h.pmu.torBusy[1], 100u * 95 + SlowLat);
+}
+
 TEST(Cpu, TorBusyNeverExceedsOccupancy)
 {
     CpuHarness h;
@@ -306,7 +328,7 @@ TEST(Cpu, FirstTouchGoesThroughTierManager)
     h.runAll();
     EXPECT_EQ(h.tm->used(TierId::Fast), 4u);
     EXPECT_EQ(h.tm->used(TierId::Slow), 4u);
-    EXPECT_TRUE(h.lru->tracked(pageOf(h.base)));
+    EXPECT_TRUE(h.lru->tracked(pageOf(h.base), *h.tm));
 }
 
 TEST(Cpu, DeterministicReplay)

@@ -20,7 +20,7 @@ populate(TierManager &tm, LruLists &lru, PageId n)
 {
     for (PageId p = 0; p < n; p++) {
         tm.touch(p, 0, false);
-        lru.insert(p, TierId::Fast);
+        lru.insert(p, TierId::Fast, tm);
     }
 }
 
@@ -33,8 +33,8 @@ TEST(Lru, InsertTracksPages)
     populate(tm, lru, 5);
     EXPECT_EQ(lru.activeSize(TierId::Fast), 5u);
     EXPECT_EQ(lru.inactiveSize(TierId::Fast), 0u);
-    EXPECT_TRUE(lru.tracked(3));
-    EXPECT_FALSE(lru.tracked(9));
+    EXPECT_TRUE(lru.tracked(3, tm));
+    EXPECT_FALSE(lru.tracked(9, tm));
 }
 
 TEST(Lru, RemoveUntracks)
@@ -42,10 +42,10 @@ TEST(Lru, RemoveUntracks)
     TierManager tm(10, 10);
     LruLists lru(10);
     populate(tm, lru, 3);
-    lru.remove(1);
-    EXPECT_FALSE(lru.tracked(1));
+    lru.remove(1, tm);
+    EXPECT_FALSE(lru.tracked(1, tm));
     EXPECT_EQ(lru.activeSize(TierId::Fast), 2u);
-    lru.remove(1); // double remove is a no-op
+    lru.remove(1, tm); // double remove is a no-op
     EXPECT_EQ(lru.activeSize(TierId::Fast), 2u);
 }
 
@@ -54,7 +54,7 @@ TEST(Lru, MoveTierRelists)
     TierManager tm(10, 10);
     LruLists lru(10);
     populate(tm, lru, 2);
-    lru.moveTier(0, TierId::Slow);
+    lru.moveTier(0, TierId::Slow, tm);
     EXPECT_EQ(lru.activeSize(TierId::Fast), 1u);
     EXPECT_EQ(lru.activeSize(TierId::Slow), 1u);
 }
@@ -129,7 +129,7 @@ TEST(Lru, VictimsStayListedUntilMigrated)
     const auto v = lru.victims(TierId::Fast, 2, tm);
     ASSERT_EQ(v.size(), 2u);
     for (PageId p : v)
-        EXPECT_TRUE(lru.tracked(p));
+        EXPECT_TRUE(lru.tracked(p, tm));
 }
 
 TEST(Lru, ActiveFallbackSkipsReferencedFirst)
@@ -150,8 +150,8 @@ TEST(Lru, ResizeGrows)
     lru.resize(100);
     tm.resize(100);
     tm.touch(50, 0, false);
-    lru.insert(50, TierId::Fast);
-    EXPECT_TRUE(lru.tracked(50));
+    lru.insert(50, TierId::Fast, tm);
+    EXPECT_TRUE(lru.tracked(50, tm));
 }
 
 TEST(LruDeath, DoubleInsertPanics)
@@ -159,6 +159,6 @@ TEST(LruDeath, DoubleInsertPanics)
     TierManager tm(4, 4);
     LruLists lru(4);
     tm.touch(0, 0, false);
-    lru.insert(0, TierId::Fast);
-    EXPECT_DEATH({ lru.insert(0, TierId::Fast); }, "already listed");
+    lru.insert(0, TierId::Fast, tm);
+    EXPECT_DEATH({ lru.insert(0, TierId::Fast, tm); }, "already listed");
 }

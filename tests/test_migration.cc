@@ -56,7 +56,7 @@ TEST(Migration, PromoteMovesPage)
     Fixture f(10, 5);
     f.tm.setFirstTouchOverride(0, TierId::Slow);
     f.tm.touch(0, 0, false);
-    f.lru.insert(0, TierId::Slow);
+    f.lru.insert(0, TierId::Slow, f.tm);
     EXPECT_TRUE(f.mig.promote(0));
     EXPECT_EQ(f.tm.tierOf(0), TierId::Fast);
     EXPECT_EQ(f.mig.stats().promotedOps, 1u);
@@ -78,7 +78,7 @@ TEST(Migration, DemoteFreesFastSpace)
 {
     Fixture f(10, 1);
     f.tm.touch(0, 0, false);
-    f.lru.insert(0, TierId::Fast);
+    f.lru.insert(0, TierId::Fast, f.tm);
     EXPECT_TRUE(f.mig.demote(0));
     EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
     EXPECT_EQ(f.tm.freeFast(), 1u);
@@ -185,7 +185,7 @@ TEST(Migration, LruFollowsMigration)
     Fixture f(10, 5);
     f.tm.setFirstTouchOverride(0, TierId::Slow);
     f.tm.touch(0, 0, false);
-    f.lru.insert(0, TierId::Slow);
+    f.lru.insert(0, TierId::Slow, f.tm);
     EXPECT_TRUE(f.mig.promote(0));
     EXPECT_EQ(f.lru.activeSize(TierId::Fast), 1u);
     EXPECT_EQ(f.lru.activeSize(TierId::Slow), 0u);

@@ -167,6 +167,29 @@ TEST(SimConfigValidate, DiagnosticsNameTheField)
     EXPECT_THROW(c7.validate(), ConfigError);
 }
 
+TEST(SimConfigValidate, CacheCtorRejectsPrefetchWithoutStreams)
+{
+    // The Cache constructor itself must refuse the degenerate
+    // prefetcher configurations (unit code builds Caches directly,
+    // bypassing SimConfig::validate): trainPrefetcher would otherwise
+    // take streamVictim_ % streams_.size() with an empty stream table.
+    CacheParams p;
+    p.prefetch = true;
+    p.prefetchStreams = 0;
+    EXPECT_THROW(Cache{p}, ConfigError);
+
+    CacheParams q;
+    q.prefetch = true;
+    q.prefetchDegree = 0;
+    EXPECT_THROW(Cache{q}, ConfigError);
+
+    // Streams without prefetching stay legal (the table sits unused).
+    CacheParams r;
+    r.prefetch = false;
+    r.prefetchStreams = 0;
+    EXPECT_NO_THROW(Cache{r});
+}
+
 // ---------------------------------------------------------------------
 // Fault spec parsing
 // ---------------------------------------------------------------------
