@@ -8,9 +8,15 @@
 
 #include <benchmark/benchmark.h>
 
-#include <sstream>
+#include <unistd.h>
 
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
 #include "common/rng.hh"
+#include "harness/runner.hh"
 #include "mem/addr_space.hh"
 #include "mem/lru.hh"
 #include "mem/tier_manager.hh"
@@ -19,6 +25,8 @@
 #include "pact/pac_table.hh"
 #include "pact/reservoir.hh"
 #include "sim/cpu.hh"
+#include "trace_store/trace_store.hh"
+#include "workloads/registry.hh"
 
 using namespace pact;
 
@@ -284,5 +292,66 @@ BM_RegistrySample(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * stats);
 }
 BENCHMARK(BM_RegistrySample)->Arg(48);
+
+/**
+ * Startup cost, cold: generate bc-kron from scratch (graph build, bc
+ * kernel, init pass) — what every process pays without the trace
+ * store. items_per_second = trace ops made available per second, so
+ * BM_WorkloadGenWarm / BM_WorkloadGenCold reads directly as the
+ * warm-start speedup recorded in BENCH_hotpath.json.
+ */
+static void
+BM_WorkloadGenCold(benchmark::State &state)
+{
+    setLogQuiet(true);
+    WorkloadOptions opt;
+    opt.scale = envScale(1.0);
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        const WorkloadBundle b = makeWorkload("bc-kron", opt);
+        for (const Trace &t : b.traces)
+            ops += t.ops.size();
+        benchmark::DoNotOptimize(b.traces[0].ops.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+}
+BENCHMARK(BM_WorkloadGenCold)->Unit(benchmark::kMillisecond);
+
+/** Startup cost, warm: zero-copy mmap load of the same bundle. */
+static void
+BM_WorkloadGenWarm(benchmark::State &state)
+{
+    setLogQuiet(true);
+    WorkloadOptions opt;
+    opt.scale = envScale(1.0);
+    const std::string dir =
+        (std::filesystem::temp_directory_path() /
+         ("pact-bench-store-" + std::to_string(::getpid())))
+            .string();
+    const std::string key = workloadCacheKey("bc-kron", opt);
+    {
+        const WorkloadBundle b = makeWorkload("bc-kron", opt);
+        if (!traceStoreSave(dir, key, b.name, b.as, b.traces)) {
+            state.SkipWithError("trace store save failed");
+            return;
+        }
+    }
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        std::string name;
+        AddrSpace as;
+        std::vector<Trace> traces;
+        if (!traceStoreLoad(dir, key, name, as, traces)) {
+            state.SkipWithError("trace store load failed");
+            break;
+        }
+        for (const Trace &t : traces)
+            ops += t.ops.size();
+        benchmark::DoNotOptimize(traces[0].ops.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_WorkloadGenWarm)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

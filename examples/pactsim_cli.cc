@@ -10,6 +10,7 @@
  *   pactsim_cli --list
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +27,7 @@
 #include "obs/export.hh"
 #include "obs/timeseries.hh"
 #include "policies/registry.hh"
+#include "trace_store/trace_store.hh"
 #include "workloads/registry.hh"
 
 using namespace pact;
@@ -49,6 +51,8 @@ usage()
         "  --faults <spec>     deterministic fault injection, e.g.\n"
         "                      migabort:p=0.1;pebsdrop:p=0.05\n"
         "  --audit             run the invariant auditor every window\n"
+        "  --trace-dir [dir]   persist generated traces and warm-start\n"
+        "                      from them (zero-copy) [.pact-traces]\n"
         "  --sweep             run every policy at the given ratio\n"
         "  --policies <csv>    restrict --sweep to these policies\n"
         "  --list              list workloads and policies\n"
@@ -63,6 +67,8 @@ usage()
         "  PACT_JOBS           worker threads for --sweep (default:\n"
         "                      all cores; 1 = serial). Results are\n"
         "                      identical regardless of job count.\n"
+        "  PACT_TRACE_DIR      trace-store directory (--trace-dir\n"
+        "                      overrides; 1 = .pact-traces)\n"
         "  PACT_FAULTS         fault spec (--faults overrides)\n"
         "  PACT_AUDIT          1 = invariant auditor (like --audit)\n"
         "  PACT_RUN_TIMEOUT_MS per-run wall-clock budget; a run over\n"
@@ -175,6 +181,8 @@ cliMain(int argc, char **argv)
             cfg.faults = next();
         } else if (arg == "--audit") {
             cfg.audit = true;
+        } else if (arg == "--trace-dir") {
+            setTraceStoreDir(nextOr(".pact-traces"));
         } else if (arg == "--sweep") {
             sweep = true;
         } else if (arg == "--policies") {
@@ -208,7 +216,25 @@ cliMain(int argc, char **argv)
         cfg.faults = envFaultSpec();
     cfg.validate();
 
-    const auto bundle = makeWorkloadShared(workload, opt);
+    WorkloadSource source = WorkloadSource::Generated;
+    const auto buildStart = std::chrono::steady_clock::now();
+    const auto bundle = makeWorkloadShared(workload, opt, &source);
+    const auto buildMs =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - buildStart)
+            .count();
+    if (!traceStoreDir().empty()) {
+        // generation_ms counts trace *generation* only: a warm load
+        // (disk or memory) did not generate, so it reports 0.
+        const bool generated = source == WorkloadSource::Generated;
+        std::fprintf(
+            stderr, "trace-store: source=%s generation_ms=%lld\n",
+            generated ? "generated"
+                      : (source == WorkloadSource::DiskCache
+                             ? "disk"
+                             : "memory"),
+            generated ? static_cast<long long>(buildMs) : 0ll);
+    }
     Runner runner(cfg);
     const double share = Runner::ratioShare(fast, slow);
 

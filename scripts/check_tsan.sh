@@ -25,10 +25,15 @@ if ! ${CXX:-c++} -fsanitize=thread "$probe/t.cc" -o "$probe/t" \
 fi
 
 cmake -B "$build" -S "$repo" -DPACT_SANITIZE=thread
-cmake --build "$build" -j --target test_pool test_harness
+cmake --build "$build" -j --target test_pool test_harness \
+    test_trace_store
 
 # The pool tests force multi-threaded schedules themselves; PACT_JOBS=4
 # additionally routes every default-jobs code path through the pool.
+# test_trace_store adds parallel trace generation and concurrent
+# zero-copy warm loads sharing one mapping.
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_harness"
+PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "$build/tests/test_trace_store"
 echo "check_tsan: clean"

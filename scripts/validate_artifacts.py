@@ -17,7 +17,17 @@ flags, then checks:
   * the JSONL and manifest artifacts are byte-identical between
     PACT_JOBS=1 and PACT_JOBS=4 (the determinism guarantee).
 
-Pure standard library; wired into the build as a ctest entry.
+Two trace-store modes ride along:
+
+  * --trace-store FILE|DIR validates .pacttrace headers standalone
+    (magic, schema version, size, payload checksum);
+  * --trace-store-only drives pactsim_cli cold then warm against a
+    temp --trace-dir and checks that the warm run loads from disk with
+    zero generation time, that manifests are byte-identical with the
+    store off, cold, and warm, and that the persisted store file is
+    byte-identical between PACT_JOBS=1 and PACT_JOBS=4.
+
+Pure standard library; wired into the build as ctest entries.
 """
 
 import argparse
@@ -31,6 +41,8 @@ import tempfile
 MANIFEST_SCHEMA = "pact.manifest/2"
 TIMESERIES_SCHEMA = "pact.timeseries/1"
 BENCH_PERF_SCHEMA = "pact.bench_perf/1"
+TRACE_STORE_MAGIC = b"PACTTRC1"
+TRACE_STORE_VERSION = 1
 
 failures = []
 
@@ -246,16 +258,162 @@ def validate_bench_json(path):
     return errors
 
 
+def trace_store_checksum(data):
+    """FNV-1a-64 over little-endian 8-byte words, tail bytes singly —
+    the same function as src/trace_store/trace_store.cc."""
+    h = 0xCBF29CE484222325
+    prime = 0x100000001B3
+    mask = (1 << 64) - 1
+    whole = len(data) - (len(data) % 8)
+    for i in range(0, whole, 8):
+        w = int.from_bytes(data[i:i + 8], "little")
+        h = ((h ^ w) * prime) & mask
+    for b in data[whole:]:
+        h = ((h ^ b) * prime) & mask
+    return h
+
+
+def validate_trace_store_file(path):
+    """Header/checksum-check one .pacttrace file.
+
+    Returns a list of error strings; empty means the file is sound.
+    """
+    errors = []
+
+    def need(cond, msg):
+        if not cond:
+            errors.append(f"{path}: {msg}")
+
+    try:
+        data = pathlib.Path(path).read_bytes()
+    except OSError as e:
+        return [f"{path}: unreadable ({e})"]
+    if len(data) < 64:
+        return [f"{path}: shorter than the 64-byte header"]
+    need(data[:8] == TRACE_STORE_MAGIC,
+         f"magic is {TRACE_STORE_MAGIC.decode()}")
+    version = int.from_bytes(data[8:12], "little")
+    need(version == TRACE_STORE_VERSION,
+         f"schema version is {TRACE_STORE_VERSION} (got {version})")
+    file_bytes = int.from_bytes(data[32:40], "little")
+    need(file_bytes == len(data),
+         f"header length {file_bytes} matches file size {len(data)}")
+    checksum = int.from_bytes(data[40:48], "little")
+    need(checksum == trace_store_checksum(data[64:]),
+         "payload checksum verifies")
+    return errors
+
+
+def validate_trace_store_tree(target):
+    """Standalone --trace-store entry: one file or every .pacttrace
+    under a directory."""
+    target = pathlib.Path(target)
+    files = sorted(target.glob("*.pacttrace")) if target.is_dir() \
+        else [target]
+    check(bool(files), f"{target} contains .pacttrace files")
+    for f in files:
+        errors = validate_trace_store_file(f)
+        for e in errors:
+            print(f"  FAIL: {e}")
+            failures.append(e)
+        if not errors:
+            print(f"  ok: {f.name} header and checksum verify")
+
+
+def run_store_cli(cli, outdir, tag, jobs, workload, scale, trace_dir):
+    """One CLI run with an optional --trace-dir; returns (manifest
+    path, stderr text)."""
+    outdir = pathlib.Path(outdir)
+    manifest = outdir / f"store.{tag}.json"
+    env = dict(os.environ, PACT_JOBS=str(jobs))
+    cmd = [
+        cli,
+        "--workload", workload,
+        "--policy", "PACT",
+        "--scale", str(scale),
+        "--out-json", str(manifest),
+    ]
+    if trace_dir is not None:
+        cmd += ["--trace-dir", str(trace_dir)]
+    print(f"+ PACT_JOBS={jobs} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"pactsim_cli failed with exit code {proc.returncode}")
+    return manifest, proc.stderr
+
+
+def validate_trace_store_e2e(cli, tmp, workload, scale):
+    """Cold-write/warm-read through the real CLI."""
+    tmp = pathlib.Path(tmp)
+    tdir = tmp / "traces"
+
+    print("trace store: cold vs warm")
+    base, _ = run_store_cli(cli, tmp, "nostore", 4, workload, scale,
+                            None)
+    cold, cold_err = run_store_cli(cli, tmp, "cold", 4, workload,
+                                   scale, tdir)
+    check("trace-store: source=generated" in cold_err,
+          "cold run reports source=generated")
+    warm, warm_err = run_store_cli(cli, tmp, "warm", 4, workload,
+                                   scale, tdir)
+    check("trace-store: source=disk generation_ms=0" in warm_err,
+          "warm run loads from disk with zero generation time")
+    check(cold.read_bytes() == warm.read_bytes(),
+          "cold and warm manifests byte-identical")
+    check(base.read_bytes() == cold.read_bytes(),
+          "manifest byte-identical with the store off vs on")
+
+    stores = sorted(tdir.glob("*.pacttrace"))
+    check(len(stores) == 1, "cold run persisted exactly one bundle")
+    for f in stores:
+        errors = validate_trace_store_file(f)
+        for e in errors:
+            print(f"  FAIL: {e}")
+            failures.append(e)
+        if not errors:
+            print(f"  ok: {f.name} header and checksum verify")
+
+    print("trace store: PACT_JOBS=1 vs PACT_JOBS=4 generation")
+    d1, d4 = tmp / "traces-j1", tmp / "traces-j4"
+    m1, _ = run_store_cli(cli, tmp, "j1", 1, workload, scale, d1)
+    m4, _ = run_store_cli(cli, tmp, "j4", 4, workload, scale, d4)
+    check(m1.read_bytes() == m4.read_bytes(),
+          "manifest byte-identical across job counts with store on")
+    f1 = sorted(d1.glob("*.pacttrace"))
+    f4 = sorted(d4.glob("*.pacttrace"))
+    check(len(f1) == 1 and len(f4) == 1,
+          "both job counts persisted one bundle")
+    if len(f1) == 1 and len(f4) == 1:
+        check(f1[0].name == f4[0].name,
+              "store file names agree across job counts")
+        check(f1[0].read_bytes() == f4[0].read_bytes(),
+              "persisted traces byte-identical across job counts")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--cli",
                     help="path to the pactsim_cli binary")
     ap.add_argument("--bench-json",
                     help="only validate a BENCH_hotpath.json artifact")
+    ap.add_argument("--trace-store",
+                    help="only validate a .pacttrace file (or every "
+                         "one under a directory)")
+    ap.add_argument("--trace-store-only", action="store_true",
+                    help="with --cli: run only the cold/warm trace-"
+                         "store checks")
     ap.add_argument("--workload", default="silo")
     ap.add_argument("--scale", default="0.1")
     args = ap.parse_args()
 
+    if args.trace_store:
+        validate_trace_store_tree(args.trace_store)
+        if failures:
+            print(f"\n{len(failures)} check(s) failed")
+            return 1
+        print("\nall trace-store checks passed")
+        return 0
     if args.bench_json:
         errors = validate_bench_json(args.bench_json)
         for e in errors:
@@ -265,7 +423,18 @@ def main():
         print(f"  ok: {args.bench_json} matches {BENCH_PERF_SCHEMA}")
         return 0
     if not args.cli:
-        ap.error("--cli is required unless --bench-json is given")
+        ap.error("--cli is required unless --bench-json or "
+                 "--trace-store is given")
+
+    if args.trace_store_only:
+        with tempfile.TemporaryDirectory(prefix="pact-store-") as tmp:
+            validate_trace_store_e2e(args.cli, tmp, args.workload,
+                                     args.scale)
+        if failures:
+            print(f"\n{len(failures)} check(s) failed")
+            return 1
+        print("\nall trace-store checks passed")
+        return 0
 
     with tempfile.TemporaryDirectory(prefix="pact-artifacts-") as tmp:
         j1 = run_cli(args.cli, tmp, 1, args.workload, args.scale)

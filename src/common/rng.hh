@@ -110,6 +110,22 @@ class Rng
 };
 
 /**
+ * Seed for the @p idx-th decorrelated sub-stream of @p seed
+ * (splitmix64 of the pair). Parallel generators give every chunk of
+ * work its own Rng(rngStream(seed, chunk)) so the emitted bytes are a
+ * pure function of (seed, chunk) — identical whether chunks run
+ * serially or on any number of pool workers.
+ */
+inline std::uint64_t
+rngStream(std::uint64_t seed, std::uint64_t idx)
+{
+    std::uint64_t z = seed + (idx + 1) * 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
  * Zipfian distribution over [0, n) with skew theta, using the
  * Gray et al. computation popularized by YCSB. Draws are O(1).
  */

@@ -38,6 +38,26 @@ AddrSpace::alloc(ProcId proc, const std::string &name, std::uint64_t bytes,
     return obj.base;
 }
 
+void
+AddrSpace::restore(std::vector<ObjectInfo> objects)
+{
+    Addr brk = PageBytes;
+    for (std::size_t i = 0; i < objects.size(); i++) {
+        const ObjectInfo &o = objects[i];
+        throw_workload_if(o.id != static_cast<ObjectId>(i),
+                          "AddrSpace::restore: object ids not "
+                          "sequential");
+        throw_workload_if(o.bytes == 0 || o.base % PageBytes != 0 ||
+                              o.bytes % PageBytes != 0 || o.base < brk,
+                          "AddrSpace::restore: object '", o.name,
+                          "' has an impossible extent");
+        brk = o.end();
+    }
+    base_ = PageBytes;
+    brk_ = brk;
+    objects_ = std::move(objects);
+}
+
 const ObjectInfo *
 AddrSpace::objectAt(Addr addr) const
 {

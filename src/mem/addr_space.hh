@@ -58,6 +58,15 @@ class AddrSpace
     /** Object descriptor for an address, or nullptr when unmapped. */
     const ObjectInfo *objectAt(Addr addr) const;
 
+    /**
+     * Replace the registry with a persisted one (trace-store warm
+     * load). The objects must look like alloc() produced them: ids
+     * sequential, bases page-aligned and monotonically increasing,
+     * sizes whole pages. Throws WorkloadError on a registry that
+     * alloc() could not have produced (corrupt store file).
+     */
+    void restore(std::vector<ObjectInfo> objects);
+
     /** All registered objects, in allocation order. */
     const std::vector<ObjectInfo> &objects() const { return objects_; }
 

@@ -278,6 +278,13 @@ Cpu::run(Cycles until)
             break;
           case OpKind::Nop:
             break;
+          case OpKind::BigGap:
+            // The full cycle count rides in the addr field (the
+            // 12-bit gap field is zero); accounting matches the
+            // equivalent run of max-gap Nops.
+            pmu_.computeCycles += op.vaddr();
+            advanceTo(cycle_ + op.vaddr());
+            break;
         }
 
         // Retire-width floor: at most 4 ops per cycle.

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Persistent on-disk cache of generated workload traces. A bundle is
+ * serialized into one versioned .pacttrace file (header with magic,
+ * schema version, generator-version hash, and checksum; the AddrSpace
+ * object registry; then each trace's packed TraceOp array, 64-byte
+ * aligned). A warm start mmaps the file read-only and every trace
+ * replays straight out of the shared mapping — no per-op copy, and
+ * the page cache shares the bytes across concurrent processes.
+ *
+ * Robustness contract: a corrupt, truncated, or version-mismatched
+ * file is a warn() and a regeneration, never a failure; writes go
+ * through a temp file plus atomic rename so concurrent processes
+ * never observe torn files.
+ */
+
+#ifndef PACT_TRACE_STORE_TRACE_STORE_HH
+#define PACT_TRACE_STORE_TRACE_STORE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/addr_space.hh"
+#include "sim/trace.hh"
+
+namespace pact
+{
+
+/**
+ * Generator version: bump whenever any workload builder changes its
+ * emitted bytes, so stale caches self-invalidate. Its hash rides in
+ * every file header.
+ */
+constexpr char kTraceGenVersion[] = "pact-gen/2";
+
+/** .pacttrace schema version (header layout + section encoding). */
+constexpr std::uint32_t kTraceStoreVersion = 1;
+
+/** Hash of kTraceGenVersion, as stored in file headers. */
+std::uint64_t generatorVersionHash();
+
+/**
+ * FNV-1a-64 folded over little-endian 8-byte words (trailing bytes
+ * folded singly). Word-wise keeps verification off the warm-start
+ * critical path; scripts/validate_artifacts.py implements the same
+ * function in pure Python.
+ */
+std::uint64_t traceStoreChecksum(const void *data, std::size_t bytes);
+
+/**
+ * Effective store directory: the setTraceStoreDir() override when
+ * set, else PACT_TRACE_DIR (the value "1" or an empty value select
+ * ".pact-traces"). Empty result = store disabled.
+ */
+std::string traceStoreDir();
+
+/** Process-wide override (the CLI's --trace-dir). Empty = back to env. */
+void setTraceStoreDir(const std::string &dir);
+
+/**
+ * On-disk file name for a bundle cache key: every byte outside
+ * [A-Za-z0-9._-] becomes '_', plus the ".pacttrace" suffix. Keys map
+ * 1:1 onto file names for every registry workload (sanitization only
+ * touches the '|' separators).
+ */
+std::string traceStoreFileName(const std::string &key);
+
+/**
+ * Load a bundle from @p dir. On success fills @p name / @p as /
+ * @p traces (trace ops alias a shared read-only mapping of the file)
+ * and returns true. Any problem — missing file, bad magic, schema or
+ * generator-version mismatch, truncation, checksum failure, registry
+ * that does not validate — warns and returns false so the caller
+ * regenerates.
+ */
+bool traceStoreLoad(const std::string &dir, const std::string &key,
+                    std::string &name, AddrSpace &as,
+                    std::vector<Trace> &traces);
+
+/**
+ * Persist a bundle into @p dir (created if missing) under @p key's
+ * file name via temp file + atomic rename. Failures warn and return
+ * false; the cache is an optimization, never a correctness input.
+ */
+bool traceStoreSave(const std::string &dir, const std::string &key,
+                    const std::string &name, const AddrSpace &as,
+                    const std::vector<Trace> &traces);
+
+} // namespace pact
+
+#endif // PACT_TRACE_STORE_TRACE_STORE_HH

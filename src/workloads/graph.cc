@@ -1,15 +1,50 @@
 #include "workloads/graph.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/pool.hh"
 
 namespace pact
 {
 
 namespace
 {
+
+/**
+ * Edge-generation chunk size. Each chunk draws from its own
+ * deterministic RNG stream and writes a disjoint, index-addressed
+ * slice of the edge list, so the merged output is byte-identical to a
+ * serial pass at any PACT_JOBS. 64K edges per chunk keeps scheduling
+ * overhead negligible while still fanning a scale-18 build across
+ * every core.
+ */
+constexpr std::uint64_t kEdgeChunk = 1ull << 16;
+
+/**
+ * Fill edges[2e] / edges[2e+1] for e in chunked parallel index order;
+ * genOne draws one directed edge (u, v) from the chunk's stream.
+ */
+template <typename GenOne>
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+generateEdges(std::uint64_t m, std::uint64_t streamSeed, GenOne genOne)
+{
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges(2 * m);
+    const std::uint64_t chunks = (m + kEdgeChunk - 1) / kEdgeChunk;
+    parallelFor(chunks, [&](std::size_t c) {
+        Rng rng(rngStream(streamSeed, c));
+        const std::uint64_t lo = c * kEdgeChunk;
+        const std::uint64_t hi = std::min(m, lo + kEdgeChunk);
+        for (std::uint64_t e = lo; e < hi; e++) {
+            const auto [u, v] = genOne(rng);
+            edges[2 * e] = {u, v};
+            edges[2 * e + 1] = {v, u}; // undirected
+        }
+    });
+    return edges;
+}
 
 /** Build CSR from an edge list (deduplicated, self-loops dropped). */
 CsrGraph
@@ -54,29 +89,32 @@ buildRmat(std::uint32_t scale, std::uint32_t edge_factor,
     const std::uint32_t n = 1u << scale;
     const std::uint64_t m = static_cast<std::uint64_t>(n) * edge_factor;
 
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-    edges.reserve(2 * m);
-    for (std::uint64_t e = 0; e < m; e++) {
-        std::uint32_t u = 0, v = 0;
-        for (std::uint32_t bit = 0; bit < scale; bit++) {
-            const double r = rng.uniform();
-            std::uint32_t ub = 0, vb = 0;
-            if (r < p.a) {
-                // top-left
-            } else if (r < p.a + p.b) {
-                vb = 1;
-            } else if (r < p.a + p.b + p.c) {
-                ub = 1;
-            } else {
-                ub = 1;
-                vb = 1;
+    // One draw from the caller's rng seeds every chunk stream; the
+    // caller's rng then continues with the CSR weight pass, so the
+    // whole build is deterministic at any job count.
+    const std::uint64_t streamSeed = rng.next();
+    auto edges = generateEdges(
+        m, streamSeed,
+        [&p, scale](Rng &crng) -> std::pair<std::uint32_t, std::uint32_t> {
+            std::uint32_t u = 0, v = 0;
+            for (std::uint32_t bit = 0; bit < scale; bit++) {
+                const double r = crng.uniform();
+                std::uint32_t ub = 0, vb = 0;
+                if (r < p.a) {
+                    // top-left
+                } else if (r < p.a + p.b) {
+                    vb = 1;
+                } else if (r < p.a + p.b + p.c) {
+                    ub = 1;
+                } else {
+                    ub = 1;
+                    vb = 1;
+                }
+                u = (u << 1) | ub;
+                v = (v << 1) | vb;
             }
-            u = (u << 1) | ub;
-            v = (v << 1) | vb;
-        }
-        edges.emplace_back(u, v);
-        edges.emplace_back(v, u); // undirected
-    }
+            return {u, v};
+        });
     return toCsr(n, edges, rng);
 }
 
@@ -86,14 +124,14 @@ buildUniform(std::uint32_t scale, std::uint32_t edge_factor, Rng &rng)
     const std::uint32_t n = 1u << scale;
     const std::uint64_t m = static_cast<std::uint64_t>(n) * edge_factor;
 
-    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
-    edges.reserve(2 * m);
-    for (std::uint64_t e = 0; e < m; e++) {
-        const auto u = static_cast<std::uint32_t>(rng.below(n));
-        const auto v = static_cast<std::uint32_t>(rng.below(n));
-        edges.emplace_back(u, v);
-        edges.emplace_back(v, u);
-    }
+    const std::uint64_t streamSeed = rng.next();
+    auto edges = generateEdges(
+        m, streamSeed,
+        [n](Rng &crng) -> std::pair<std::uint32_t, std::uint32_t> {
+            const auto u = static_cast<std::uint32_t>(crng.below(n));
+            const auto v = static_cast<std::uint32_t>(crng.below(n));
+            return {u, v};
+        });
     return toCsr(n, edges, rng);
 }
 

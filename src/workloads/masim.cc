@@ -2,6 +2,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "common/pool.hh"
 
 namespace pact
 {
@@ -48,29 +49,46 @@ emitOne(Trace &trace, const MasimRegion &region, RegionState &st,
         trace.load(a, dep, region.gap);
 }
 
-} // namespace
-
-Trace
-buildMasim(AddrSpace &as, ProcId proc, const MasimParams &params, Rng &rng,
-           bool thp)
+/**
+ * Register every region's backing in the address space (a serial bump
+ * allocation; no randomness), returning the per-region generation
+ * state the emit phase consumes.
+ */
+std::vector<RegionState>
+allocRegions(AddrSpace &as, ProcId proc, const MasimParams &params,
+             bool thp)
 {
     throw_workload_if(params.regions.empty(), "masim: no regions");
+    std::vector<RegionState> states(params.regions.size());
+    for (std::size_t i = 0; i < params.regions.size(); i++) {
+        const MasimRegion &r = params.regions[i];
+        states[i].base = as.alloc(proc, r.name, r.bytes, thp);
+        states[i].lines = r.bytes / LineBytes;
+    }
+    return states;
+}
 
+/**
+ * Record the access stream over pre-allocated regions. Reads nothing
+ * shared, so traces of a multi-process bundle can emit concurrently,
+ * each on its own RNG stream.
+ */
+Trace
+emitMasim(const MasimParams &params, std::vector<RegionState> states,
+          ProcId proc, Rng &rng)
+{
     Trace trace;
     trace.name = "masim";
     trace.proc = proc;
     trace.ops.reserve(params.ops);
 
-    std::vector<RegionState> states(params.regions.size());
     double totalWeight = 0.0;
     for (std::size_t i = 0; i < params.regions.size(); i++) {
-        const MasimRegion &r = params.regions[i];
-        RegionState &st = states[i];
-        st.base = as.alloc(proc, r.name, r.bytes, thp);
-        st.lines = r.bytes / LineBytes;
-        if (r.pattern == MasimPattern::PointerChase)
-            st.chase = chaseCycle(st.lines, rng);
-        totalWeight += r.weight;
+        // Chase cycles are part of the recorded behavior, so they draw
+        // from the trace's rng (in region order, as before).
+        if (params.regions[i].pattern == MasimPattern::PointerChase)
+            states[i].chase = chaseCycle(states[i].lines, rng);
+        totalWeight += params.regions[i].weight;
     }
 
     if (params.phased) {
@@ -105,6 +123,16 @@ buildMasim(AddrSpace &as, ProcId proc, const MasimParams &params, Rng &rng,
         emitOne(trace, params.regions[idx], states[idx], rng);
     }
     return trace;
+}
+
+} // namespace
+
+Trace
+buildMasim(AddrSpace &as, ProcId proc, const MasimParams &params, Rng &rng,
+           bool thp)
+{
+    return emitMasim(params, allocRegions(as, proc, params, thp), proc,
+                     rng);
 }
 
 WorkloadBundle
@@ -165,7 +193,6 @@ makeMasimColocation(const WorkloadOptions &opt)
 {
     WorkloadBundle b;
     b.name = "masim-coloc";
-    Rng rng(opt.seed);
 
     // Process 0: streaming over its own 6GB-scaled working set.
     MasimParams seqp;
@@ -175,8 +202,6 @@ makeMasimColocation(const WorkloadOptions &opt)
     seq.pattern = MasimPattern::Sequential;
     seqp.regions = {seq};
     seqp.ops = scaled(3000000, opt.scale, 100000);
-    Trace t0 = buildMasim(b.as, 0, seqp, rng, opt.thp);
-    t0.name = "masim-seq";
 
     // Process 1: pointer-chase random access, same footprint.
     MasimParams rndp;
@@ -186,11 +211,23 @@ makeMasimColocation(const WorkloadOptions &opt)
     rnd.pattern = MasimPattern::PointerChase;
     rndp.regions = {rnd};
     rndp.ops = scaled(3000000, opt.scale, 100000);
-    Trace t1 = buildMasim(b.as, 1, rndp, rng, opt.thp);
-    t1.name = "masim-rnd";
 
-    b.traces.push_back(std::move(t0));
-    b.traces.push_back(std::move(t1));
+    // Allocations happen serially in a fixed order; each trace then
+    // records on its own seed-derived RNG stream, so the two processes
+    // emit concurrently with byte-identical output at any PACT_JOBS.
+    std::vector<RegionState> st0 = allocRegions(b.as, 0, seqp, opt.thp);
+    std::vector<RegionState> st1 = allocRegions(b.as, 1, rndp, opt.thp);
+    b.traces.resize(2);
+    parallelFor(2, [&](std::size_t i) {
+        Rng rng(rngStream(opt.seed, i));
+        if (i == 0) {
+            b.traces[0] = emitMasim(seqp, std::move(st0), 0, rng);
+            b.traces[0].name = "masim-seq";
+        } else {
+            b.traces[1] = emitMasim(rndp, std::move(st1), 1, rng);
+            b.traces[1].name = "masim-rnd";
+        }
+    });
     return b;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/error.hh"
 #include "common/logging.hh"
+#include "trace_store/trace_store.hh"
 #include "workloads/gpt2.hh"
 #include "workloads/graph.hh"
 #include "workloads/graph_kernels.hh"
@@ -166,35 +167,83 @@ cacheEnabled()
     return enabled;
 }
 
-/** Exact cache key: options are hashed by value, scale by bit pattern. */
-std::string
-bundleKey(const std::string &name, const WorkloadOptions &opt)
-{
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "|%016llx|%d|%llu",
-                  static_cast<unsigned long long>(
-                      std::bit_cast<std::uint64_t>(opt.scale)),
-                  opt.thp ? 1 : 0,
-                  static_cast<unsigned long long>(opt.seed));
-    return name + buf;
-}
-
 std::mutex bundleCacheMutex;
 std::map<std::string, std::shared_future<BundlePtr>> bundleCache;
 
+/**
+ * Disk-cache-then-generate: warm-load the bundle from the trace store
+ * when enabled, else build it and persist the result for the next
+ * process. Store problems only ever cost a regeneration.
+ */
+BundlePtr
+buildOrLoad(const std::string &name, const WorkloadOptions &opt,
+            const std::string &key, WorkloadSource &source)
+{
+    const std::string dir = traceStoreDir();
+    if (!dir.empty()) {
+        auto warm = std::make_shared<WorkloadBundle>();
+        if (traceStoreLoad(dir, key, warm->name, warm->as,
+                           warm->traces)) {
+            source = WorkloadSource::DiskCache;
+            return warm;
+        }
+    }
+    auto built =
+        std::make_shared<WorkloadBundle>(makeWorkload(name, opt));
+    source = WorkloadSource::Generated;
+    if (!dir.empty())
+        traceStoreSave(dir, key, built->name, built->as, built->traces);
+    return built;
+}
+
 } // namespace
+
+std::string
+workloadCacheKey(const std::string &name, const WorkloadOptions &opt)
+{
+    // Options are keyed by value, scale by bit pattern. The buffer is
+    // sized from the format's provable worst case (16 hex digits, one
+    // bool digit, a full 20-digit uint64), not a guessed round number.
+    constexpr char kWorst[] = "|ffffffffffffffff|1|18446744073709551615";
+    char buf[sizeof(kWorst)];
+    static_assert(sizeof(buf) == 1 + 16 + 1 + 1 + 1 + 20 + 1,
+                  "key buffer must fit the widest possible fields");
+    const int n =
+        std::snprintf(buf, sizeof(buf), "|%016llx|%d|%llu",
+                      static_cast<unsigned long long>(
+                          std::bit_cast<std::uint64_t>(opt.scale)),
+                      opt.thp ? 1 : 0,
+                      static_cast<unsigned long long>(opt.seed));
+    throw_workload_if(n < 0 ||
+                          static_cast<std::size_t>(n) >= sizeof(buf),
+                      "workloadCacheKey: options overflow the key "
+                      "format");
+    return name + buf;
+}
 
 std::shared_ptr<const WorkloadBundle>
 makeWorkloadShared(const std::string &name, const WorkloadOptions &opt)
 {
-    if (!cacheEnabled())
-        return std::make_shared<const WorkloadBundle>(
-            makeWorkload(name, opt));
+    return makeWorkloadShared(name, opt, nullptr);
+}
+
+std::shared_ptr<const WorkloadBundle>
+makeWorkloadShared(const std::string &name, const WorkloadOptions &opt,
+                   WorkloadSource *source)
+{
+    const std::string key = workloadCacheKey(name, opt);
+    WorkloadSource src = WorkloadSource::MemoryCache;
+
+    if (!cacheEnabled()) {
+        BundlePtr b = buildOrLoad(name, opt, key, src);
+        if (source)
+            *source = src;
+        return b;
+    }
 
     // First caller for a key installs the future and builds outside
     // the lock; concurrent callers for the same key wait on the same
     // result (the Runner baseline-cache pattern).
-    const std::string key = bundleKey(name, opt);
     std::promise<BundlePtr> promise;
     std::shared_future<BundlePtr> future;
     bool build = false;
@@ -211,8 +260,7 @@ makeWorkloadShared(const std::string &name, const WorkloadOptions &opt)
     }
     if (build) {
         try {
-            promise.set_value(std::make_shared<const WorkloadBundle>(
-                makeWorkload(name, opt)));
+            promise.set_value(buildOrLoad(name, opt, key, src));
         } catch (...) {
             // Wake every waiter with the error, then drop the entry so
             // a later call can retry (e.g. transient bad options).
@@ -222,6 +270,8 @@ makeWorkloadShared(const std::string &name, const WorkloadOptions &opt)
             return future.get(); // rethrows for this caller
         }
     }
+    if (source)
+        *source = src;
     return future.get();
 }
 

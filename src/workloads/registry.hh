@@ -42,6 +42,33 @@ std::shared_ptr<const WorkloadBundle>
 makeWorkloadShared(const std::string &name,
                    const WorkloadOptions &opt = {});
 
+/** Where makeWorkloadShared obtained a bundle. */
+enum class WorkloadSource
+{
+    /** Built from scratch by the workload generators. */
+    Generated,
+    /** Warm-loaded (zero-copy) from the on-disk trace store. */
+    DiskCache,
+    /** Shared from the process-wide bundle cache. */
+    MemoryCache,
+};
+
+/**
+ * As above, additionally reporting where the bundle came from (drivers
+ * use this to report cold-vs-warm startup). @p source may be null.
+ */
+std::shared_ptr<const WorkloadBundle>
+makeWorkloadShared(const std::string &name, const WorkloadOptions &opt,
+                   WorkloadSource *source);
+
+/**
+ * Exact bundle identity: name, scale bit pattern, thp, and seed. Keys
+ * both the in-process bundle cache and (via traceStoreFileName) the
+ * on-disk trace store.
+ */
+std::string workloadCacheKey(const std::string &name,
+                             const WorkloadOptions &opt);
+
 /** Drop every cached bundle (tests and memory-conscious drivers). */
 void clearWorkloadCache();
 

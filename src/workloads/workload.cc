@@ -1,5 +1,7 @@
 #include "workloads/workload.hh"
 
+#include "common/pool.hh"
+
 namespace pact
 {
 
@@ -24,9 +26,14 @@ chaseCycle(std::size_t slots, Rng &rng)
 void
 prependInitPass(WorkloadBundle &bundle)
 {
-    for (Trace &trace : bundle.traces) {
+    // Each trace's init pass only reads the (already final) object
+    // registry and mutates its own op span, so traces proceed in
+    // parallel; the result is independent of the job count because no
+    // randomness or cross-trace state is involved.
+    parallelFor(bundle.traces.size(), [&](std::size_t ti) {
+        Trace &trace = bundle.traces[ti];
         if (trace.loop)
-            continue;
+            return;
         std::vector<TraceOp> init;
         for (const ObjectInfo &obj : bundle.as.objects()) {
             if (obj.proc != trace.proc)
@@ -38,8 +45,8 @@ prependInitPass(WorkloadBundle &bundle)
                     false, 0));
             }
         }
-        trace.ops.insert(trace.ops.begin(), init.begin(), init.end());
-    }
+        trace.ops.prepend(init);
+    });
 }
 
 } // namespace pact

@@ -1,11 +1,14 @@
 /**
  * @file
  * Trace format tests: the 8-byte packed op encoding round-trips, gap
- * overflow spills into Nop ops, and the builder helpers emit what the
- * CPU model expects.
+ * overflow collapses into a single BigGap op, the builder helpers emit
+ * what the CPU model expects, and the TraceOpSpan storage keeps its
+ * view coherent across copies, moves, and adopted mappings.
  */
 
 #include <gtest/gtest.h>
+
+#include <memory>
 
 #include "sim/trace.hh"
 
@@ -24,7 +27,7 @@ TEST(TraceOp, RoundTripsAllFields)
 TEST(TraceOp, EveryKindRoundTrips)
 {
     for (OpKind k : {OpKind::Load, OpKind::Store, OpKind::MarkBegin,
-                     OpKind::MarkEnd, OpKind::Nop}) {
+                     OpKind::MarkEnd, OpKind::Nop, OpKind::BigGap}) {
         const TraceOp op = TraceOp::make(0x1000, k, false, 0);
         EXPECT_EQ(op.kind(), k);
         EXPECT_FALSE(op.dep());
@@ -65,31 +68,91 @@ TEST(Trace, LoadStoreHelpers)
     EXPECT_FALSE(t.ops[1].dep());
 }
 
-TEST(Trace, ComputeSplitsLargeGaps)
+TEST(Trace, SmallComputeStaysNop)
 {
     Trace t;
-    t.compute(10000); // > MaxGap: must split into several Nops
-    std::uint64_t total = 0;
-    for (const TraceOp &op : t.ops) {
-        EXPECT_EQ(op.kind(), OpKind::Nop);
-        EXPECT_LE(op.gap(), TraceOp::MaxGap);
-        total += op.gap();
-    }
-    EXPECT_EQ(total, 10000u);
-    EXPECT_GE(t.size(), 3u);
+    t.compute(TraceOp::MaxGap);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.ops[0].kind(), OpKind::Nop);
+    EXPECT_EQ(t.ops[0].gap(), TraceOp::MaxGap);
+}
+
+TEST(Trace, WideComputeBecomesOneBigGap)
+{
+    Trace t;
+    t.compute(1000000); // > MaxGap: one BigGap, not ~245 Nops
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.ops[0].kind(), OpKind::BigGap);
+    EXPECT_EQ(t.ops[0].vaddr(), 1000000u);
+    EXPECT_EQ(t.ops[0].gap(), 0u);
 }
 
 TEST(Trace, OversizedLoadGapSpills)
 {
     Trace t;
     t.load(0x1000, false, 100000);
-    // The gap spills into Nop ops before the load itself.
+    // The gap spills into a BigGap op before the load itself.
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t.ops[0].kind(), OpKind::BigGap);
+    EXPECT_EQ(t.ops[0].vaddr(), 100000u);
     EXPECT_EQ(t.ops.back().kind(), OpKind::Load);
     EXPECT_EQ(t.ops.back().gap(), 0u);
-    std::uint64_t total = 0;
-    for (const TraceOp &op : t.ops)
-        total += op.gap();
-    EXPECT_EQ(total, 100000u);
+}
+
+TEST(TraceOpSpan, CopyAndMoveKeepViewCoherent)
+{
+    Trace t;
+    for (int i = 0; i < 100; i++)
+        t.load(0x1000 + 64 * i);
+
+    Trace copy = t;
+    ASSERT_EQ(copy.size(), t.size());
+    EXPECT_NE(copy.ops.data(), t.ops.data()); // deep copy
+    for (std::size_t i = 0; i < t.size(); i++)
+        EXPECT_EQ(copy.ops[i].bits, t.ops[i].bits);
+
+    const TraceOp *before = copy.ops.data();
+    Trace moved = std::move(copy);
+    EXPECT_EQ(moved.ops.data(), before); // vector steal, no copy
+    EXPECT_EQ(moved.size(), t.size());
+    EXPECT_EQ(copy.size(), 0u); // NOLINT: moved-from is empty
+}
+
+TEST(TraceOpSpan, AdoptAliasesExternalStorage)
+{
+    auto owner = std::make_shared<std::vector<TraceOp>>();
+    for (int i = 0; i < 16; i++)
+        owner->push_back(TraceOp::make(0x2000 + i, OpKind::Load,
+                                       false, 0));
+    Trace t;
+    t.ops.adopt(owner, owner->data(), owner->size());
+    EXPECT_TRUE(t.ops.mapped());
+    EXPECT_EQ(t.ops.data(), owner->data()); // zero-copy
+    ASSERT_EQ(t.size(), 16u);
+    EXPECT_EQ(t.ops[3].vaddr(), 0x2003u);
+
+    // Copies of a mapped span share the backing storage.
+    Trace copy = t;
+    EXPECT_TRUE(copy.ops.mapped());
+    EXPECT_EQ(copy.ops.data(), owner->data());
+    EXPECT_GE(owner.use_count(), 3);
+
+    // Mutation materializes a private copy (copy-on-write).
+    copy.load(0x9000);
+    EXPECT_FALSE(copy.ops.mapped());
+    EXPECT_NE(copy.ops.data(), owner->data());
+    ASSERT_EQ(copy.size(), 17u);
+    EXPECT_EQ(copy.ops[16].vaddr(), 0x9000u);
+    EXPECT_EQ(t.size(), 16u); // original untouched
+
+    // Prepending (the init pass) also works on mapped spans.
+    std::vector<TraceOp> init = {
+        TraceOp::make(0x1, OpKind::Store, false, 0)};
+    t.ops.prepend(init);
+    EXPECT_FALSE(t.ops.mapped());
+    ASSERT_EQ(t.size(), 17u);
+    EXPECT_EQ(t.ops[0].vaddr(), 0x1u);
+    EXPECT_EQ(t.ops[1].vaddr(), 0x2000u);
 }
 
 TEST(Trace, MarkersCarryClass)
