@@ -2,8 +2,11 @@
  * @file
  * Figure 11: bandwidth contention. bc-kron co-located with an
  * MLC-style streaming hog on the fast tier, sweeping 1..8 hog
- * threads; PACT vs Colloid (4KB) and vs Memtis (THP). Slowdowns are
- * normalized to a DRAM-only baseline under identical contention.
+ * threads; PACT vs Colloid (4KB) and vs Memtis (THP). The graph
+ * process and the hog run as two real tenants of one engine — each
+ * with its own core and policy daemon — contending on the shared LLC
+ * and tier token buckets. Slowdowns are normalized to a DRAM-only
+ * baseline under identical contention.
  *
  * Expected shape: PACT stays comparable or better while issuing
  * substantially fewer promotions (paper: 3.5-4.7x fewer than
@@ -60,12 +63,12 @@ main()
     Runner runner;
     std::vector<RunSpec> specs;
     for (const WorkloadBundle &b : b4) {
-        specs.push_back({&b, "PACT", 0.5});
-        specs.push_back({&b, "Colloid", 0.5});
+        specs.push_back({&b, "PACT", 0.5, true});
+        specs.push_back({&b, "Colloid", 0.5, true});
     }
     for (const WorkloadBundle &b : bt) {
-        specs.push_back({&b, "PACT", 0.5});
-        specs.push_back({&b, "Memtis", 0.5});
+        specs.push_back({&b, "PACT", 0.5, true});
+        specs.push_back({&b, "Memtis", 0.5, true});
     }
     const std::vector<RunResult> flat = runMany(runner, specs);
 

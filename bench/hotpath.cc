@@ -15,6 +15,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
 #include "common/logging.hh"
 #include "harness/runner.hh"
@@ -58,11 +60,49 @@ engineRun(benchmark::State &state, const char *workload,
     state.counters["scale"] = opt.scale;
 }
 
+/**
+ * Multi-tenant hot path: every trace of @p workload becomes a tenant
+ * with its own core, PEBS sampler, and policy daemon on the shared
+ * LLC/tiers — the per-op cost of the tenant dispatch loop relative to
+ * the single-daemon engineRun above.
+ */
+void
+engineTenants(benchmark::State &state, const char *workload,
+              const char *policy_name)
+{
+    setLogQuiet(true);
+    WorkloadOptions opt;
+    opt.scale = envScale(0.5);
+    const auto bundle = makeWorkloadShared(workload, opt);
+
+    SimConfig cfg;
+    cfg.fastCapacityPages = static_cast<std::uint64_t>(
+        static_cast<double>(bundle->rssPages()) * 0.5 + 0.5);
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<TieringPolicy>> policies;
+        std::vector<TenantSpec> specs;
+        for (const Trace &t : bundle->traces) {
+            policies.push_back(makePolicy(policy_name));
+            specs.push_back({"", {&t}, policies.back().get()});
+        }
+        Engine engine(cfg, bundle->as, std::move(specs));
+        const RunStats rs = engine.run();
+        for (const std::uint64_t r : rs.procRetired)
+            ops += r;
+        benchmark::DoNotOptimize(rs.wallCycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    state.counters["scale"] = opt.scale;
+}
+
 } // namespace
 
 // The tracked set: a pointer-chase/random workload (MSHR- and
 // TOR-accounting-heavy), a graph kernel (the figure sweeps' staple),
-// and a no-daemon run isolating the bare per-op simulation loop.
+// a no-daemon run isolating the bare per-op simulation loop, and a
+// 4-tenant colocation exercising the multi-daemon dispatch.
 BENCHMARK_CAPTURE(engineRun, gups_PACT, "gups", "PACT")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(engineRun, gups_NoTier, "gups", "NoTier")
@@ -71,5 +111,29 @@ BENCHMARK_CAPTURE(engineRun, bckron_PACT, "bc-kron", "PACT")
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(engineRun, silo_Memtis, "silo", "Memtis")
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineTenants, coloc4_PACT, "masim-coloc4", "PACT")
+    ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // The stock context's library_build_type describes how the
+    // google-benchmark *library* was compiled; record this binary's
+    // own build type so bench_perf.py can refuse to log unoptimized
+    // numbers into the tracked trajectory. PACT_BUILD_TYPE carries
+    // CMAKE_BUILD_TYPE (bench/CMakeLists.txt); NDEBUG is the fallback
+    // for builds outside CMake.
+#ifdef PACT_BUILD_TYPE
+    benchmark::AddCustomContext("pact_build_type", PACT_BUILD_TYPE);
+#elif defined(NDEBUG)
+    benchmark::AddCustomContext("pact_build_type", "release");
+#else
+    benchmark::AddCustomContext("pact_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

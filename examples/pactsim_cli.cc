@@ -53,6 +53,11 @@ usage()
         "  --audit             run the invariant auditor every window\n"
         "  --trace-dir [dir]   persist generated traces and warm-start\n"
         "                      from them (zero-copy) [.pact-traces]\n"
+        "  --tenants [n]       multi-tenant mode: every trace becomes\n"
+        "                      a tenant with its own core and policy\n"
+        "                      daemon (per-tenant tenant<i>.* stats);\n"
+        "                      with n, runs the n-process colocation\n"
+        "                      workload masim-coloc<n>\n"
         "  --sweep             run every policy at the given ratio\n"
         "  --policies <csv>    restrict --sweep to these policies\n"
         "  --list              list workloads and policies\n"
@@ -118,6 +123,21 @@ report(const RunResult &r)
         static_cast<double>(r.stats.migration.appPenaltyCycles) / 1e6,
         2);
     t.print();
+
+    if (r.tenants.empty())
+        return;
+    std::printf("\nper-tenant (shared LLC/tiers, one daemon each):\n");
+    Table tt({"tenant", "slowdown", "retired ops", "daemon ticks",
+              "PEBS events"});
+    for (const RunResult::Tenant &tn : r.tenants) {
+        tt.row()
+            .cell(tn.name)
+            .cell(pct(tn.slowdownPct))
+            .cellCount(tn.retired)
+            .cellCount(tn.daemonTicks)
+            .cellCount(tn.pebsEvents);
+    }
+    tt.print();
 }
 
 /** Split a comma-separated list, skipping empty fields. */
@@ -143,6 +163,8 @@ cliMain(int argc, char **argv)
     WorkloadOptions opt;
     SimConfig cfg;
     bool sweep = false;
+    bool tenantsMode = false;
+    unsigned tenantCount = 0;
     std::vector<std::string> sweepPolicies;
     std::string manifestPath, timeseriesPath, tracePath;
 
@@ -183,6 +205,12 @@ cliMain(int argc, char **argv)
             cfg.audit = true;
         } else if (arg == "--trace-dir") {
             setTraceStoreDir(nextOr(".pact-traces"));
+        } else if (arg == "--tenants") {
+            tenantsMode = true;
+            const char *v = nextOr("");
+            if (v[0] != '\0')
+                tenantCount =
+                    static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (arg == "--sweep") {
             sweep = true;
         } else if (arg == "--policies") {
@@ -208,6 +236,17 @@ cliMain(int argc, char **argv)
     fatal_if(!sweepPolicies.empty() && !sweep,
              "--policies only applies to --sweep (use --policy for a "
              "single run)");
+
+    // --tenants <n> selects the n-process colocation generator; bare
+    // --tenants runs whatever multi-process workload was named, one
+    // tenant per trace.
+    if (tenantCount > 0) {
+        fatal_if(workload != "masim-coloc" &&
+                     workload.rfind("masim-coloc", 0) != 0,
+                 "--tenants <n> selects masim-coloc<n>; combine a bare "
+                 "--tenants with --workload for other bundles");
+        workload = "masim-coloc" + std::to_string(tenantCount);
+    }
 
     // Resolve PACT_FAULTS into the config up front so the manifest
     // records the effective fault spec, and validate before spending
@@ -253,6 +292,8 @@ cliMain(int argc, char **argv)
                     {"ratio_slow", static_cast<double>(slow)},
                     {"thp", opt.thp ? 1.0 : 0.0}};
         m.textParams = {{"workload", workload}};
+        if (tenantsMode)
+            m.textParams.emplace_back("mode", "tenants");
         if (!sweep)
             m.textParams.emplace_back("policy", policy);
         m.results = results;
@@ -278,7 +319,7 @@ cliMain(int argc, char **argv)
         const auto policies =
             sweepPolicies.empty() ? allPolicyNames() : sweepPolicies;
         for (const auto &p : policies)
-            specs.push_back({bundle.get(), p, share});
+            specs.push_back({bundle.get(), p, share, tenantsMode});
         const std::vector<RunOutcome> outcomes =
             runManyOutcomes(runner, specs);
         Table t({"policy", "slowdown", "promotions", "demotions",
@@ -326,7 +367,9 @@ cliMain(int argc, char **argv)
     if (!tracePath.empty())
         observers.trace = &trace;
 
-    const RunResult r = runner.run(*bundle, policy, share, &observers);
+    const RunResult r =
+        tenantsMode ? runner.runTenants(*bundle, policy, share, &observers)
+                    : runner.run(*bundle, policy, share, &observers);
     report(r);
     std::vector<obs::ManifestResult> results = {manifestResult(r)};
     results.back().fastShare = share;

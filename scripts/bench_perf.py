@@ -19,9 +19,12 @@ For a tracked measurement build with the perf configuration:
     cmake --build build-perf -j --target hotpath
 
 The workload scale is pinned (default 0.5) via PACT_SCALE so entries
-stay comparable across commits; --scale/--filter exist for the
-bench_perf_smoke ctest entry, which runs a tiny configuration and only
-checks the artifact schema (scripts/validate_artifacts.py --bench-json).
+stay comparable across commits, and only Release binaries are accepted
+into the trajectory (the binary self-reports via the pact_build_type
+context key; --allow-debug records a tagged entry anyway). --scale/
+--filter/--allow-debug exist for the bench_perf_smoke ctest entry,
+which runs a tiny configuration and only checks the artifact schema
+(scripts/validate_artifacts.py --bench-json).
 
 Pure standard library.
 """
@@ -53,6 +56,17 @@ def run_benchmark(binary, scale, bench_filter, repetitions):
     return json.loads(proc.stdout)
 
 
+def report_build_type(report):
+    """The benched binary's own build type.
+
+    bench/hotpath records it as the "pact_build_type" custom context
+    key (the stock library_build_type only describes how the
+    google-benchmark library was compiled). Unknown when the binary
+    predates the key.
+    """
+    return report.get("context", {}).get("pact_build_type", "unknown")
+
+
 def extract_entry(label, scale, report):
     """One artifact entry from a google-benchmark JSON report."""
     benchmarks = {}
@@ -81,6 +95,7 @@ def extract_entry(label, scale, report):
             "num_cpus": ctx.get("num_cpus", 0),
             "library_build_type": ctx.get("library_build_type", ""),
         },
+        "build_type": report_build_type(report),
         "date": ctx.get("date", ""),
         "benchmarks": benchmarks,
     }
@@ -121,10 +136,24 @@ def main():
                     help="--benchmark_filter regex (smoke runs)")
     ap.add_argument("--repetitions", type=int, default=1,
                     help="benchmark repetitions; >1 records the median")
+    ap.add_argument("--allow-debug", action="store_true",
+                    help="record an entry from a non-Release binary "
+                         "anyway (tagged build_type=debug; smoke runs)")
     args = ap.parse_args()
 
     report = run_benchmark(args.bin, args.scale, args.filter,
                            args.repetitions)
+
+    # Unoptimized numbers poison the trajectory: one debug entry makes
+    # every later Release entry look like a 10x win. Refuse unless the
+    # caller explicitly opts in (the entry still carries its tag).
+    build_type = report_build_type(report)
+    if build_type != "release" and not args.allow_debug:
+        sys.exit(f"{args.bin} reports build type {build_type!r}; the "
+                 "tracked trajectory only accepts Release binaries "
+                 "(cmake -DCMAKE_BUILD_TYPE=Release). Pass "
+                 "--allow-debug to record a tagged entry anyway.")
+
     entry = extract_entry(args.label, args.scale, report)
 
     out = pathlib.Path(args.out)

@@ -27,7 +27,7 @@ fi
 
 cmake -B "$build" -S "$repo" -DPACT_SANITIZE=address
 cmake --build "$build" -j --target test_robustness test_pool \
-    test_trace_store
+    test_trace_store test_multicore
 
 # halt_on_error so the first report fails the script rather than
 # scrolling past; the robustness tests drive every fault class plus
@@ -40,4 +40,11 @@ PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \
     UBSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
 PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \
     UBSAN_OPTIONS="halt_on_error=1" "$build/tests/test_trace_store"
+
+# Multi-tenant engine with 4 tenants on shared tiers: per-tenant
+# PEBS/PMU/daemon state plus the flat core array is exactly the kind
+# of ownership split where a stale reference would hide.
+PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \
+    UBSAN_OPTIONS="halt_on_error=1" "$build/tests/test_multicore" \
+    --gtest_filter='Multicore.SharedTier*:Multicore.TwoTenant*:Multicore.TenantRows*'
 echo "check_asan: clean"

@@ -26,7 +26,7 @@ fi
 
 cmake -B "$build" -S "$repo" -DPACT_SANITIZE=thread
 cmake --build "$build" -j --target test_pool test_harness \
-    test_trace_store
+    test_trace_store test_multicore
 
 # The pool tests force multi-threaded schedules themselves; PACT_JOBS=4
 # additionally routes every default-jobs code path through the pool.
@@ -36,4 +36,10 @@ PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_harness"
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" \
     "$build/tests/test_trace_store"
+
+# Multi-tenant engine with 4 tenants contending on shared tiers: the
+# engine itself is serial, but its runs fan out through the pool and
+# share bundles/baselines across threads.
+PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" \
+    "$build/tests/test_multicore" --gtest_filter='Multicore.SharedTier*:Multicore.TwoTenant*:Multicore.TenantRows*'
 echo "check_tsan: clean"

@@ -5,7 +5,8 @@ Runs pactsim_cli on a small stock workload with all three artifact
 flags, then checks:
 
   * the run manifest parses, carries the expected schema tag, the full
-    simulator config, and a non-empty stat dump per result;
+    simulator config, a non-empty stat dump per result, and a
+    well-formed per-result "tenants" array (pact.manifest/3);
   * a poisoned sweep (one unknown policy name among good ones)
     completes, records a structured error for the failed run, keeps
     every surviving result, and stays byte-identical across job
@@ -16,6 +17,12 @@ flags, then checks:
   * the Chrome trace parses and every event is well-formed;
   * the JSONL and manifest artifacts are byte-identical between
     PACT_JOBS=1 and PACT_JOBS=4 (the determinism guarantee).
+
+A multi-tenant mode rides along:
+
+  * --tenants-only drives pactsim_cli --tenants 4 (the masim-coloc4
+    colocation) and checks the per-tenant manifest rows, the
+    tenant<i>.* stat subtrees, and PACT_JOBS=1 vs =4 byte-identity.
 
 Two trace-store modes ride along:
 
@@ -38,7 +45,7 @@ import subprocess
 import sys
 import tempfile
 
-MANIFEST_SCHEMA = "pact.manifest/2"
+MANIFEST_SCHEMA = "pact.manifest/3"
 TIMESERIES_SCHEMA = "pact.timeseries/1"
 BENCH_PERF_SCHEMA = "pact.bench_perf/1"
 TRACE_STORE_MAGIC = b"PACTTRC1"
@@ -133,8 +140,22 @@ def validate_manifest(path):
               "stat values are numeric")
         check("engine.cache.misses" in stats,
               "engine stat hierarchy present")
+        # pact.manifest/3: every ok result carries a tenants array
+        # (empty for legacy single-daemon runs).
+        tenants = r.get("tenants")
+        check(isinstance(tenants, list), "result carries a tenants array")
+        for t in tenants if isinstance(tenants, list) else []:
+            check(isinstance(t.get("name"), str) and t["name"],
+                  "tenant row carries a name")
+            for key in ("slowdown_pct", "retired_ops", "cycles",
+                        "daemon_ticks", "pebs_events"):
+                check(isinstance(t.get(key), (int, float)),
+                      f"tenant {t.get('name')} carries {key}")
         if r["policy"].startswith("PACT"):
-            check("pact.ticks" in stats, "policy stat hierarchy present")
+            prefix = (tenants[0].get("name", "") + ".") \
+                if isinstance(tenants, list) and tenants else ""
+            check(f"{prefix}pact.ticks" in stats,
+                  "policy stat hierarchy present")
 
 
 def validate_poisoned_sweep(path):
@@ -391,6 +412,60 @@ def validate_trace_store_e2e(cli, tmp, workload, scale):
               "persisted traces byte-identical across job counts")
 
 
+def run_tenants_cli(cli, outdir, jobs, tenants, scale):
+    """One multi-tenant CLI run; returns the manifest path."""
+    outdir = pathlib.Path(outdir)
+    manifest = outdir / f"tenants{tenants}.j{jobs}.json"
+    env = dict(os.environ, PACT_JOBS=str(jobs))
+    cmd = [
+        cli,
+        "--workload", "masim-coloc",
+        "--tenants", str(tenants),
+        "--policy", "PACT",
+        "--scale", str(scale),
+        "--out-json", str(manifest),
+    ]
+    print(f"+ PACT_JOBS={jobs} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"pactsim_cli failed with exit code {proc.returncode}")
+    return manifest
+
+
+def validate_tenants_e2e(cli, tmp, scale):
+    """Multi-tenant mode through the real CLI: a 4-tenant colocation
+    run produces a manifest with one row and one stat subtree per
+    tenant, byte-identical between PACT_JOBS=1 and PACT_JOBS=4."""
+    n = 4
+    m1 = run_tenants_cli(cli, tmp, 1, n, scale)
+    m4 = run_tenants_cli(cli, tmp, 4, n, scale)
+
+    validate_manifest(m1)
+    doc = json.loads(m1.read_text())
+    check(doc.get("params", {}).get("mode") == "tenants",
+          "manifest records mode=tenants")
+    r = doc["results"][0]
+    tenants = r.get("tenants", [])
+    check(len(tenants) == n, f"result carries {n} tenant rows")
+    names = [t.get("name") for t in tenants]
+    check(names == [f"tenant{i}" for i in range(n)],
+          "tenant rows are tenant0..tenant3 in order")
+    stats = r.get("stats", {})
+    for i in range(n):
+        check(stats.get(f"tenant{i}.daemon.ticks", 0) > 0,
+              f"tenant{i} stat subtree present with live daemon")
+    check(sum(stats.get(f"tenant{i}.daemon.ticks", 0)
+              for i in range(n)) == stats.get("engine.daemon.ticks"),
+          "per-tenant daemon ticks sum to the machine total")
+    check(all(t.get("retired_ops", 0) > 0 for t in tenants),
+          "every tenant retired ops")
+
+    print("tenant determinism: PACT_JOBS=1 vs PACT_JOBS=4")
+    check(m1.read_bytes() == m4.read_bytes(),
+          "tenant manifest byte-identical across job counts")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--cli",
@@ -403,6 +478,9 @@ def main():
     ap.add_argument("--trace-store-only", action="store_true",
                     help="with --cli: run only the cold/warm trace-"
                          "store checks")
+    ap.add_argument("--tenants-only", action="store_true",
+                    help="with --cli: run only the multi-tenant "
+                         "manifest checks (masim-coloc4 --tenants)")
     ap.add_argument("--workload", default="silo")
     ap.add_argument("--scale", default="0.1")
     args = ap.parse_args()
@@ -434,6 +512,15 @@ def main():
             print(f"\n{len(failures)} check(s) failed")
             return 1
         print("\nall trace-store checks passed")
+        return 0
+
+    if args.tenants_only:
+        with tempfile.TemporaryDirectory(prefix="pact-tenants-") as tmp:
+            validate_tenants_e2e(args.cli, tmp, args.scale)
+        if failures:
+            print(f"\n{len(failures)} check(s) failed")
+            return 1
+        print("\nall tenant-mode checks passed")
         return 0
 
     with tempfile.TemporaryDirectory(prefix="pact-artifacts-") as tmp:

@@ -41,7 +41,9 @@ runMany(Runner &runner, const std::vector<RunSpec> &specs, unsigned jobs)
             panic_if(!s.bundle, "runMany: spec without bundle");
             // Narrow the thread's log tag to the run for its duration.
             const LogTagScope tag(s.bundle->name + "/" + s.policy);
-            out[i] = runner.run(*s.bundle, s.policy, s.share);
+            out[i] = s.tenants
+                         ? runner.runTenants(*s.bundle, s.policy, s.share)
+                         : runner.run(*s.bundle, s.policy, s.share);
         },
         jobs);
     return out;
@@ -61,7 +63,10 @@ runManyOutcomes(Runner &runner, const std::vector<RunSpec> &specs,
             o.spec = s;
             const LogTagScope tag(s.bundle->name + "/" + s.policy);
             try {
-                o.result = runner.run(*s.bundle, s.policy, s.share);
+                o.result =
+                    s.tenants
+                        ? runner.runTenants(*s.bundle, s.policy, s.share)
+                        : runner.run(*s.bundle, s.policy, s.share);
                 o.ok = true;
             } catch (const SimError &e) {
                 o.error = {e.kind(), e.what()};

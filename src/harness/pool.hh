@@ -31,6 +31,12 @@ struct RunSpec
     std::string policy;
     /** Fast-tier capacity as a fraction of RSS. */
     double share = 0.5;
+    /**
+     * Run through Runner::runTenants(): every trace becomes a tenant
+     * with its own core and policy-daemon instance on the shared
+     * tiers, instead of one daemon over all traces.
+     */
+    bool tenants = false;
 };
 
 /**

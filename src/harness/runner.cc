@@ -67,31 +67,40 @@ manifestResult(const RunResult &r)
     m.policy = r.policy;
     m.slowdownPct = r.slowdownPct;
     m.procSlowdownPct = r.procSlowdownPct;
+    for (const RunResult::Tenant &t : r.tenants) {
+        obs::ManifestResult::Tenant mt;
+        mt.name = t.name;
+        mt.slowdownPct = t.slowdownPct;
+        mt.retiredOps = t.retired;
+        mt.cycles = t.cycles;
+        mt.daemonTicks = t.daemonTicks;
+        mt.pebsEvents = t.pebsEvents;
+        m.tenants.push_back(std::move(mt));
+    }
     m.runtimeCycles = r.runtime;
     m.stats = r.stats.registry;
     return m;
 }
 
-RunResult
-Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
-                double fast_share, const std::string &label,
-                const RunObservers *obs)
+namespace
 {
-    const std::vector<Cycles> base = baseline(bundle);
 
-    SimConfig cfg = cfg_;
-    cfg.fastCapacityPages = capacityPages(bundle, fast_share);
-    Engine engine(cfg, bundle.as, &bundle.traces, &policy);
-    if (obs && obs->trace)
-        engine.setTraceSink(obs->trace);
-
-    RunStats stats;
+/**
+ * Drive a constructed engine to completion under the observer and
+ * watchdog conventions shared by every Runner entry point.
+ */
+RunStats
+driveEngine(Engine &engine, const SimConfig &cfg,
+            const WorkloadBundle &bundle, const std::string &label,
+            const RunObservers *obs)
+{
     const std::uint64_t timeoutMs = envRunTimeoutMs();
     if (obs && obs->timeseries) {
         // Time-series runs are already window-driven; the recorder
         // owns the loop, so the watchdog does not apply here.
-        stats = obs::recordRun(engine, *obs->timeseries);
-    } else if (timeoutMs > 0) {
+        return obs::recordRun(engine, *obs->timeseries);
+    }
+    if (timeoutMs > 0) {
         // Cooperative watchdog: drive the run one daemon period at a
         // time and give up once the wall-clock budget is spent. The
         // chunked loop retires exactly the same simulated work as
@@ -107,15 +116,19 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
                     "cycle ", engine.now()));
             }
         }
-        stats = engine.snapshot();
-    } else {
-        stats = engine.run();
+        return engine.snapshot();
     }
+    return engine.run();
+}
 
+/** Per-process slowdowns vs baseline + headline fields. */
+RunResult
+assembleResult(const WorkloadBundle &bundle, const std::string &label,
+               const std::vector<Cycles> &base, RunStats stats)
+{
     RunResult res;
     res.workload = bundle.name;
     res.policy = label;
-    res.stats = stats;
     for (std::size_t p = 0; p < stats.procCycles.size(); p++) {
         if (bundle.traces[p].loop) {
             res.procSlowdownPct.push_back(0.0);
@@ -129,7 +142,95 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
     res.runtime = stats.procCycles.empty() ? 0 : stats.procCycles[0];
     res.slowdownPct =
         res.procSlowdownPct.empty() ? 0.0 : res.procSlowdownPct[0];
+    res.stats = std::move(stats);
     return res;
+}
+
+} // namespace
+
+RunResult
+Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
+                double fast_share, const std::string &label,
+                const RunObservers *obs)
+{
+    const std::vector<Cycles> base = baseline(bundle);
+
+    SimConfig cfg = cfg_;
+    cfg.fastCapacityPages = capacityPages(bundle, fast_share);
+    Engine engine(cfg, bundle.as, &bundle.traces, &policy);
+    if (obs && obs->trace)
+        engine.setTraceSink(obs->trace);
+
+    return assembleResult(bundle, label, base,
+                          driveEngine(engine, cfg, bundle, label, obs));
+}
+
+RunResult
+Runner::runTenantsWith(const WorkloadBundle &bundle,
+                       const PolicyFactory &factory, double fast_share,
+                       const std::string &label, const RunObservers *obs)
+{
+    throw_config_if(bundle.traces.empty(),
+                    "runTenantsWith: bundle has no traces");
+    const std::vector<Cycles> base = baseline(bundle);
+
+    // One tenant per trace, in trace order, so process index p and
+    // tenant index p coincide and baselines line up.
+    std::vector<std::unique_ptr<TieringPolicy>> policies;
+    std::vector<TenantSpec> specs;
+    policies.reserve(bundle.traces.size());
+    specs.reserve(bundle.traces.size());
+    for (std::size_t i = 0; i < bundle.traces.size(); i++) {
+        policies.push_back(factory(i));
+        TenantSpec s;
+        s.traces.push_back(&bundle.traces[i]);
+        s.policy = policies.back().get();
+        specs.push_back(std::move(s));
+    }
+
+    SimConfig cfg = cfg_;
+    cfg.fastCapacityPages = capacityPages(bundle, fast_share);
+    Engine engine(cfg, bundle.as, std::move(specs));
+    if (obs && obs->trace)
+        engine.setTraceSink(obs->trace);
+
+    RunResult res =
+        assembleResult(bundle, label, base,
+                       driveEngine(engine, cfg, bundle, label, obs));
+    for (const RunStats::Tenant &t : res.stats.tenants) {
+        RunResult::Tenant row;
+        row.name = t.name;
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (std::size_t p : t.procs) {
+            if (p < res.procSlowdownPct.size() && !bundle.traces[p].loop) {
+                sum += res.procSlowdownPct[p];
+                n++;
+            }
+        }
+        row.slowdownPct = n ? sum / static_cast<double>(n) : 0.0;
+        row.retired = t.retired;
+        row.cycles = t.cycles;
+        row.daemonTicks = t.daemonTicks;
+        row.pebsEvents = t.pebsEvents;
+        res.tenants.push_back(std::move(row));
+    }
+    return res;
+}
+
+RunResult
+Runner::runTenants(const WorkloadBundle &bundle,
+                   const std::string &policy_name, double fast_share,
+                   const RunObservers *obs)
+{
+    // Soar's offline profiling pass models a whole-machine plan; a
+    // per-tenant instance would silently plan against the other
+    // tenants' pages too.
+    throw_config_if(policy_name == "Soar",
+                    "runTenants: Soar is single-tenant only");
+    return runTenantsWith(
+        bundle, [&](std::size_t) { return makePolicy(policy_name); },
+        fast_share, policy_name, obs);
 }
 
 RunResult

@@ -8,6 +8,7 @@
 #ifndef PACT_HARNESS_RUNNER_HH
 #define PACT_HARNESS_RUNNER_HH
 
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -27,12 +28,26 @@ namespace pact
 /** One run's headline numbers. */
 struct RunResult
 {
+    /** One tenant's summary of a multi-tenant run. */
+    struct Tenant
+    {
+        std::string name;
+        /** Mean slowdown over the tenant's non-looping processes. */
+        double slowdownPct = 0.0;
+        std::uint64_t retired = 0;
+        Cycles cycles = 0;
+        std::uint64_t daemonTicks = 0;
+        std::uint64_t pebsEvents = 0;
+    };
+
     std::string workload;
     std::string policy;
     /** Percent slowdown of the primary process vs DRAM-only. */
     double slowdownPct = 0.0;
     /** Per-process percent slowdowns (colocation runs). */
     std::vector<double> procSlowdownPct;
+    /** Per-tenant rows (empty on the legacy single-daemon path). */
+    std::vector<Tenant> tenants;
     /** Primary-process runtime in cycles. */
     Cycles runtime = 0;
     RunStats stats;
@@ -92,6 +107,28 @@ class Runner
     RunResult runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
                       double fast_share, const std::string &label,
                       const RunObservers *obs = nullptr);
+
+    /** Builds tenant @p i's policy daemon (nullptr = no daemon). */
+    using PolicyFactory =
+        std::function<std::unique_ptr<TieringPolicy>(std::size_t)>;
+
+    /**
+     * Run the bundle as a multi-tenant colocation: each trace becomes
+     * one tenant with its own core and an independent instance of the
+     * named policy, all contending on the shared LLC, tier bandwidth,
+     * and TierManager. Slowdowns are normalized against the same
+     * DRAM-only per-process baseline as run(). "Soar" is rejected:
+     * its offline profiling pass assumes the whole machine.
+     */
+    RunResult runTenants(const WorkloadBundle &bundle,
+                         const std::string &policy_name, double fast_share,
+                         const RunObservers *obs = nullptr);
+
+    /** Multi-tenant run with caller-built per-tenant policies. */
+    RunResult runTenantsWith(const WorkloadBundle &bundle,
+                             const PolicyFactory &factory,
+                             double fast_share, const std::string &label,
+                             const RunObservers *obs = nullptr);
 
     /** Fast-share for a paper-style fast:slow ratio. */
     static double

@@ -265,6 +265,18 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
             for (double p : r.procSlowdownPct)
                 w.value(p);
             w.endArray();
+            w.key("tenants").beginArray();
+            for (const ManifestResult::Tenant &t : r.tenants) {
+                w.beginObject();
+                w.kv("name", t.name);
+                w.kv("slowdown_pct", t.slowdownPct);
+                w.kv("retired_ops", t.retiredOps);
+                w.kv("cycles", t.cycles);
+                w.kv("daemon_ticks", t.daemonTicks);
+                w.kv("pebs_events", t.pebsEvents);
+                w.endObject();
+            }
+            w.endArray();
             w.kv("runtime_cycles", r.runtimeCycles);
             w.key("stats").beginObject();
             for (const auto &[k, v] : r.stats)

@@ -29,11 +29,13 @@ namespace obs
 
 /**
  * Schema tags written into (and validated against) the artifacts.
- * pact.manifest/2 adds per-result "ok" and structured "error" records
+ * pact.manifest/2 added per-result "ok" and structured "error" records
  * (failed sweep runs are first-class results) plus the "faults" and
- * "audit" config keys.
+ * "audit" config keys. pact.manifest/3 adds the per-result "tenants"
+ * array (one object per tenant of a multi-tenant engine; empty for
+ * legacy single-daemon runs).
  */
-inline constexpr const char *ManifestSchema = "pact.manifest/2";
+inline constexpr const char *ManifestSchema = "pact.manifest/3";
 inline constexpr const char *TimeSeriesSchema = "pact.timeseries/1";
 
 /** Escape a string for embedding inside JSON double quotes. */
@@ -98,10 +100,23 @@ class JsonWriter
 /** One run's result as the manifest exporter consumes it. */
 struct ManifestResult
 {
+    /** Per-tenant summary row of a multi-tenant run. */
+    struct Tenant
+    {
+        std::string name;
+        double slowdownPct = 0.0;
+        std::uint64_t retiredOps = 0;
+        std::uint64_t cycles = 0;
+        std::uint64_t daemonTicks = 0;
+        std::uint64_t pebsEvents = 0;
+    };
+
     std::string workload;
     std::string policy;
     double slowdownPct = 0.0;
     std::vector<double> procSlowdownPct;
+    /** One row per tenant; empty on the legacy single-daemon path. */
+    std::vector<Tenant> tenants;
     std::uint64_t runtimeCycles = 0;
     /** Full registry dump (name-sorted), the authoritative stats. */
     std::vector<std::pair<std::string, double>> stats;

@@ -47,6 +47,8 @@ StatRegistry::Entry::sample() const
 void
 StatRegistry::insert(Entry e)
 {
+    if (!prefix_.empty())
+        e.name = prefix_ + e.name;
     panic_if(!validName(e.name),
              "StatRegistry: malformed stat name '", e.name, "'");
     auto it = std::lower_bound(
@@ -94,6 +96,22 @@ StatRegistry::addFn(const std::string &name, StatKind kind,
     e.fn = std::move(fn);
     e.desc = desc;
     insert(std::move(e));
+}
+
+void
+StatRegistry::pushPrefix(const std::string &prefix)
+{
+    prefixStack_.push_back(prefix_.size());
+    prefix_ += prefix;
+}
+
+void
+StatRegistry::popPrefix()
+{
+    panic_if(prefixStack_.empty(),
+             "StatRegistry: popPrefix without pushPrefix");
+    prefix_.resize(prefixStack_.back());
+    prefixStack_.pop_back();
 }
 
 const StatRegistry::Entry *

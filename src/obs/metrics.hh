@@ -117,6 +117,20 @@ class StatRegistry
     void forEach(const std::function<void(const std::string &, StatKind,
                                           double)> &fn) const;
 
+    /**
+     * Push a name prefix: every stat registered until the matching
+     * popPrefix() is inserted as "<prefix><name>". This is how one
+     * registry hosts several instances of the same component (per-
+     * tenant policy daemons all register "pact.ticks", each landing
+     * under its own "tenant<i>." subtree). Prefixes nest. Prefer the
+     * StatPrefix RAII guard over calling these directly.
+     */
+    void pushPrefix(const std::string &prefix);
+    void popPrefix();
+
+    /** The currently effective (concatenated) prefix. */
+    const std::string &prefix() const { return prefix_; }
+
   private:
     struct Entry
     {
@@ -136,6 +150,26 @@ class StatRegistry
 
     /** Name-sorted (insert keeps the order). */
     std::vector<Entry> entries_;
+    /** Concatenation of the pushed prefix stack. */
+    std::string prefix_;
+    /** Length of prefix_ before each push (for popPrefix). */
+    std::vector<std::size_t> prefixStack_;
+};
+
+/** RAII guard scoping a registration prefix to a block. */
+class StatPrefix
+{
+  public:
+    StatPrefix(StatRegistry &reg, const std::string &prefix) : reg_(reg)
+    {
+        reg_.pushPrefix(prefix);
+    }
+    ~StatPrefix() { reg_.popPrefix(); }
+    StatPrefix(const StatPrefix &) = delete;
+    StatPrefix &operator=(const StatPrefix &) = delete;
+
+  private:
+    StatRegistry &reg_;
 };
 
 } // namespace obs

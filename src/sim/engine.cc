@@ -20,43 +20,88 @@ envAudit()
     return s && *s && std::string(s) != "0";
 }
 
+/** Wrap every trace under one tenant: the pre-tenant engine shape. */
+std::vector<TenantSpec>
+legacySpecs(const std::vector<Trace> *traces, TieringPolicy *policy)
+{
+    throw_config_if(!traces || traces->empty(), "Engine: no traces");
+    TenantSpec spec;
+    spec.traces.reserve(traces->size());
+    for (const Trace &t : *traces)
+        spec.traces.push_back(&t);
+    spec.policy = policy;
+    std::vector<TenantSpec> out;
+    out.push_back(std::move(spec));
+    return out;
+}
+
+/**
+ * Size the migration engine's per-process penalty table: proc ids are
+ * trace-assigned, so the table must cover the largest one even when
+ * tenants skip ids.
+ */
+unsigned
+numProcs(const std::vector<TenantSpec> &tenants)
+{
+    throw_config_if(tenants.empty(), "Engine: no tenants");
+    std::size_t count = 0;
+    unsigned maxProc = 0;
+    for (const TenantSpec &s : tenants) {
+        throw_config_if(s.traces.empty(), "Engine: tenant '", s.name,
+                        "' has no traces");
+        for (const Trace *t : s.traces) {
+            throw_config_if(!t, "Engine: null trace in tenant '", s.name,
+                            "'");
+            maxProc = std::max(maxProc, static_cast<unsigned>(t->proc));
+            count++;
+        }
+    }
+    return std::max(static_cast<unsigned>(count), maxProc + 1);
+}
+
 } // namespace
 
 Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
                const std::vector<Trace> *traces, TieringPolicy *policy)
+    : Engine(cfg, as, legacySpecs(traces, policy), true)
+{
+}
+
+Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
+               std::vector<TenantSpec> tenants)
+    : Engine(cfg, as, std::move(tenants), false)
+{
+}
+
+Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
+               std::vector<TenantSpec> tenants, bool legacy)
     // Validate before any member is built so a bad config surfaces as
     // ConfigError instead of corrupting component construction.
-    : cfg_((cfg.validate(), cfg)), as_(as), traces_(traces),
-      policy_(policy),
+    : cfg_((cfg.validate(), cfg)), as_(as), legacy_(legacy),
       rng_(cfg.seed ^ 0x5bd1e995u),
       fastTier_(TierId::Fast, cfg.fast),
       slowTier_(TierId::Slow, cfg.slow),
       cache_(cfg.cache),
-      pebs_(cfg.pebs),
       tm_(as.totalPages(), cfg.fastCapacityPages),
       lru_(as.totalPages()),
-      mig_(tm_, lru_, *this, cfg.migration,
-           static_cast<unsigned>(traces->size())),
+      mig_(tm_, lru_, *this, cfg.migration, numProcs(tenants)),
       faults_(FaultPlan::fromSpec(
-          cfg.faults.empty() ? envFaultSpec() : cfg.faults, cfg.seed)),
-      ctx_{cfg_,
-           0,
-           // Under counter-wraparound injection policies read the
-           // masked PMU view; the engine keeps writing ground truth.
-           faults_ && faults_->wrapBits() ? wrappedPmu_ : pmu_,
-           pebs_,
-           tm_,
-           lru_,
-           mig_,
-           as_,
-           {&fastTier_, &slowTier_},
-           rng_}
+          cfg.faults.empty() ? envFaultSpec() : cfg.faults, cfg.seed))
 {
-    throw_config_if(traces_->empty(), "Engine: no traces");
+    tenants_.reserve(tenants.size());
+    for (TenantSpec &s : tenants) {
+        if (s.name.empty())
+            s.name = "tenant" + std::to_string(tenants_.size());
+        tenants_.push_back(
+            std::make_unique<TenantState>(std::move(s), cfg_.pebs));
+    }
+    init();
+}
 
-    pebs_.setFaultPlan(faults_.get());
+void
+Engine::init()
+{
     mig_.setFaultPlan(faults_.get());
-    ctx_.faults = faults_.get();
     auditEnabled_ = cfg_.audit || envAudit();
 
     if (cfg_.chmu.enabled) {
@@ -64,18 +109,18 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
         cp.counterCap = cfg_.chmu.counterCap;
         cp.hotListLen = cfg_.chmu.hotListLen;
         chmu_ = std::make_unique<Chmu>(cp);
-        ctx_.chmu = chmu_.get();
     }
 
     bool have_primary = false;
-    for (const Trace &t : *traces_)
-        have_primary |= !t.loop;
+    for (const auto &t : tenants_)
+        for (const Trace *tr : t->spec.traces)
+            have_primary |= !tr->loop;
     throw_config_if(!have_primary,
                     "Engine: all traces loop; run never ends");
 
     // Per-page huge flag map from the allocation registry.
-    hugeMap_.assign(as.totalPages(), 0);
-    for (const ObjectInfo &obj : as.objects()) {
+    hugeMap_.assign(as_.totalPages(), 0);
+    for (const ObjectInfo &obj : as_.objects()) {
         if (!obj.thp)
             continue;
         const PageId first = obj.firstPage();
@@ -86,15 +131,41 @@ Engine::Engine(const SimConfig &cfg, const AddrSpace &as,
         }
     }
 
-    for (const Trace &t : *traces_) {
-        cpus_.push_back(std::make_unique<Cpu>(
-            cfg_, t, cache_, ctx_.tiers, tm_, lru_, pmu_, pebs_, hugeMap_,
-            policy_, chmu_.get()));
+    const std::array<Tier *, NumTiers> tiers{&fastTier_, &slowTier_};
+    for (std::size_t i = 0; i < tenants_.size(); i++) {
+        TenantState &t = *tenants_[i];
+        t.pebs.setFaultPlan(faults_.get());
+        // Under counter-wraparound injection the policy reads the
+        // masked PMU view; the cores keep writing ground truth.
+        Pmu &policyView =
+            faults_ && faults_->wrapBits() ? t.wrappedPmu : t.pmu;
+        t.ctx = std::make_unique<SimContext>(SimContext{
+            cfg_, 0, policyView, t.pebs, tm_, lru_, mig_, as_, tiers,
+            rng_});
+        t.ctx->chmu = chmu_.get();
+        t.ctx->faults = faults_.get();
+        t.ctx->tenant = static_cast<unsigned>(i);
+
+        for (const Trace *tr : t.spec.traces) {
+            t.cpus.push_back(cpus_.size());
+            traceOf_.push_back(tr);
+            cpus_.push_back(std::make_unique<Cpu>(
+                cfg_, *tr, cache_, tiers, tm_, lru_, t.pmu, t.pebs,
+                hugeMap_, t.spec.policy, chmu_.get()));
+        }
     }
 
     registerStats();
-    if (policy_)
-        policy_->registerStats(reg_);
+    if (legacy_) {
+        // Pre-tenant registry layout: the single policy's stats land
+        // unprefixed, and no tenant subtree exists. The golden corpus
+        // pins this layout bit-for-bit.
+        if (tenants_[0]->spec.policy)
+            tenants_[0]->spec.policy->registerStats(reg_);
+    } else {
+        for (std::size_t i = 0; i < tenants_.size(); i++)
+            registerTenantStats(i);
+    }
 
     nextTick_ = nextPeriod();
 }
@@ -107,24 +178,46 @@ Engine::nextPeriod()
 }
 
 void
-Engine::refreshWrappedPmu()
+Engine::refreshWrappedPmu(TenantState &t)
 {
     if (!faults_ || faults_->wrapBits() == 0)
         return;
     const std::uint64_t m = faults_->wrapMask();
-    wrappedPmu_ = pmu_;
-    wrappedPmu_.instructions &= m;
-    wrappedPmu_.llcHits &= m;
-    wrappedPmu_.computeCycles &= m;
-    wrappedPmu_.hintFaults &= m;
-    wrappedPmu_.prefetches &= m;
-    for (unsigned t = 0; t < NumTiers; t++) {
-        wrappedPmu_.llcLoadMisses[t] &= m;
-        wrappedPmu_.llcMisses[t] &= m;
-        wrappedPmu_.torOccupancy[t] &= m;
-        wrappedPmu_.torBusy[t] &= m;
-        wrappedPmu_.stallCycles[t] &= m;
+    t.wrappedPmu = t.pmu;
+    t.wrappedPmu.instructions &= m;
+    t.wrappedPmu.llcHits &= m;
+    t.wrappedPmu.computeCycles &= m;
+    t.wrappedPmu.hintFaults &= m;
+    t.wrappedPmu.prefetches &= m;
+    for (unsigned i = 0; i < NumTiers; i++) {
+        t.wrappedPmu.llcLoadMisses[i] &= m;
+        t.wrappedPmu.llcMisses[i] &= m;
+        t.wrappedPmu.torOccupancy[i] &= m;
+        t.wrappedPmu.torBusy[i] &= m;
+        t.wrappedPmu.stallCycles[i] &= m;
     }
+}
+
+Pmu
+Engine::aggregatePmu() const
+{
+    Pmu sum;
+    for (const auto &t : tenants_) {
+        const Pmu &p = t->pmu;
+        sum.instructions += p.instructions;
+        sum.llcHits += p.llcHits;
+        sum.computeCycles += p.computeCycles;
+        sum.hintFaults += p.hintFaults;
+        sum.prefetches += p.prefetches;
+        for (unsigned i = 0; i < NumTiers; i++) {
+            sum.llcLoadMisses[i] += p.llcLoadMisses[i];
+            sum.llcMisses[i] += p.llcMisses[i];
+            sum.torOccupancy[i] += p.torOccupancy[i];
+            sum.torBusy[i] += p.torBusy[i];
+            sum.stallCycles[i] += p.stallCycles[i];
+        }
+    }
+    return sum;
 }
 
 void
@@ -132,8 +225,30 @@ Engine::registerStats()
 {
     using obs::StatKind;
 
+    // Machine-wide counters. PMU and PEBS sums span all tenants; with
+    // one tenant each sum is the tenant's own uint64 converted to
+    // double, so the legacy path's values are bit-identical to the
+    // pre-tenant addCounter registrations these replace.
+    auto pmuSum = [this](std::uint64_t Pmu::*field) {
+        return [this, field] {
+            double acc = 0.0;
+            for (const auto &t : tenants_)
+                acc += static_cast<double>(t->pmu.*field);
+            return acc;
+        };
+    };
+    auto pmuTierSum = [this](std::array<std::uint64_t, NumTiers> Pmu::*field,
+                             unsigned tier) {
+        return [this, field, tier] {
+            double acc = 0.0;
+            for (const auto &t : tenants_)
+                acc += static_cast<double>((t->pmu.*field)[tier]);
+            return acc;
+        };
+    };
+
     reg_.addCounter("engine.daemon.ticks", &daemonTicks_,
-                    "policy daemon wakeups");
+                    "policy daemon wakeups (all tenants)");
     reg_.addFn("engine.now", StatKind::Gauge,
                [this] { return static_cast<double>(now_); },
                "global slice clock");
@@ -154,34 +269,48 @@ Engine::registerStats()
                "prefetch lines issued");
 
     reg_.addFn("engine.pebs.events", StatKind::Counter,
-               [this] { return static_cast<double>(pebs_.events()); },
+               [this] {
+                   double acc = 0.0;
+                   for (const auto &t : tenants_)
+                       acc += static_cast<double>(t->pebs.events());
+                   return acc;
+               },
                "sampleable PEBS events");
     reg_.addFn("engine.pebs.dropped", StatKind::Counter,
-               [this] { return static_cast<double>(pebs_.dropped()); },
+               [this] {
+                   double acc = 0.0;
+                   for (const auto &t : tenants_)
+                       acc += static_cast<double>(t->pebs.dropped());
+                   return acc;
+               },
                "samples dropped on buffer overflow");
 
-    reg_.addCounter("engine.pmu.instructions", &pmu_.instructions,
-                    "retired trace ops");
-    reg_.addCounter("engine.pmu.llc_hits", &pmu_.llcHits, "LLC hits");
-    reg_.addCounter("engine.pmu.compute_cycles", &pmu_.computeCycles,
-                    "compute (gap) cycles");
-    reg_.addCounter("engine.pmu.hint_faults", &pmu_.hintFaults,
-                    "NUMA hint faults");
-    reg_.addCounter("engine.pmu.prefetches", &pmu_.prefetches,
-                    "prefetch lines issued");
+    reg_.addFn("engine.pmu.instructions", StatKind::Counter,
+               pmuSum(&Pmu::instructions), "retired trace ops");
+    reg_.addFn("engine.pmu.llc_hits", StatKind::Counter,
+               pmuSum(&Pmu::llcHits), "LLC hits");
+    reg_.addFn("engine.pmu.compute_cycles", StatKind::Counter,
+               pmuSum(&Pmu::computeCycles), "compute (gap) cycles");
+    reg_.addFn("engine.pmu.hint_faults", StatKind::Counter,
+               pmuSum(&Pmu::hintFaults), "NUMA hint faults");
+    reg_.addFn("engine.pmu.prefetches", StatKind::Counter,
+               pmuSum(&Pmu::prefetches), "prefetch lines issued");
     const char *tierName[NumTiers] = {"fast", "slow"};
     for (unsigned t = 0; t < NumTiers; t++) {
         const std::string p = std::string("engine.pmu.") + tierName[t];
-        reg_.addCounter(p + ".llc_misses", &pmu_.llcMisses[t],
-                        "demand LLC misses");
-        reg_.addCounter(p + ".llc_load_misses", &pmu_.llcLoadMisses[t],
-                        "demand-load LLC misses");
-        reg_.addCounter(p + ".tor_occupancy", &pmu_.torOccupancy[t],
-                        "TOR occupancy integral (T1)");
-        reg_.addCounter(p + ".tor_busy", &pmu_.torBusy[t],
-                        "TOR busy cycles (T2)");
-        reg_.addCounter(p + ".stall_cycles", &pmu_.stallCycles[t],
-                        "ground-truth stall cycles");
+        reg_.addFn(p + ".llc_misses", StatKind::Counter,
+                   pmuTierSum(&Pmu::llcMisses, t), "demand LLC misses");
+        reg_.addFn(p + ".llc_load_misses", StatKind::Counter,
+                   pmuTierSum(&Pmu::llcLoadMisses, t),
+                   "demand-load LLC misses");
+        reg_.addFn(p + ".tor_occupancy", StatKind::Counter,
+                   pmuTierSum(&Pmu::torOccupancy, t),
+                   "TOR occupancy integral (T1)");
+        reg_.addFn(p + ".tor_busy", StatKind::Counter,
+                   pmuTierSum(&Pmu::torBusy, t), "TOR busy cycles (T2)");
+        reg_.addFn(p + ".stall_cycles", StatKind::Counter,
+                   pmuTierSum(&Pmu::stallCycles, t),
+                   "ground-truth stall cycles");
     }
 
     const MigrationStats &ms = mig_.stats();
@@ -201,9 +330,10 @@ Engine::registerStats()
                     &ms.appPenaltyCycles,
                     "migration stall charged to applications");
 
+    Tier *tiers[NumTiers] = {&fastTier_, &slowTier_};
     for (unsigned t = 0; t < NumTiers; t++) {
         const std::string p = std::string("engine.tier.") + tierName[t];
-        Tier *tier = ctx_.tiers[t];
+        Tier *tier = tiers[t];
         reg_.addFn(p + ".requests", StatKind::Counter,
                    [tier] { return static_cast<double>(tier->requests()); },
                    "demand requests served");
@@ -237,6 +367,62 @@ Engine::registerStats()
 }
 
 void
+Engine::registerTenantStats(std::size_t i)
+{
+    using obs::StatKind;
+
+    TenantState &t = *tenants_[i];
+    const obs::StatPrefix scope(reg_, t.spec.name + ".");
+
+    reg_.addCounter("daemon.ticks", &t.ticks,
+                    "this tenant's policy daemon wakeups");
+    reg_.addFn("retired_ops", StatKind::Counter,
+               [this, &t] {
+                   double acc = 0.0;
+                   for (std::size_t c : t.cpus)
+                       acc += static_cast<double>(cpus_[c]->retired());
+                   return acc;
+               },
+               "ops retired by this tenant's cores");
+    reg_.addFn("pebs.events", StatKind::Counter,
+               [&t] { return static_cast<double>(t.pebs.events()); },
+               "sampleable PEBS events");
+    reg_.addFn("pebs.dropped", StatKind::Counter,
+               [&t] { return static_cast<double>(t.pebs.dropped()); },
+               "samples dropped on buffer overflow");
+
+    reg_.addCounter("pmu.instructions", &t.pmu.instructions,
+                    "retired trace ops");
+    reg_.addCounter("pmu.llc_hits", &t.pmu.llcHits, "LLC hits");
+    reg_.addCounter("pmu.compute_cycles", &t.pmu.computeCycles,
+                    "compute (gap) cycles");
+    reg_.addCounter("pmu.hint_faults", &t.pmu.hintFaults,
+                    "NUMA hint faults");
+    reg_.addCounter("pmu.prefetches", &t.pmu.prefetches,
+                    "prefetch lines issued");
+    const char *tierName[NumTiers] = {"fast", "slow"};
+    for (unsigned k = 0; k < NumTiers; k++) {
+        const std::string p = std::string("pmu.") + tierName[k];
+        reg_.addCounter(p + ".llc_misses", &t.pmu.llcMisses[k],
+                        "demand LLC misses");
+        reg_.addCounter(p + ".llc_load_misses", &t.pmu.llcLoadMisses[k],
+                        "demand-load LLC misses");
+        reg_.addCounter(p + ".tor_occupancy", &t.pmu.torOccupancy[k],
+                        "TOR occupancy integral (T1)");
+        reg_.addCounter(p + ".tor_busy", &t.pmu.torBusy[k],
+                        "TOR busy cycles (T2)");
+        reg_.addCounter(p + ".stall_cycles", &t.pmu.stallCycles[k],
+                        "ground-truth stall cycles");
+    }
+
+    // The tenant's policy registers its own stats under the same
+    // subtree, so N instances of one policy class coexist without
+    // duplicate-name panics.
+    if (t.spec.policy)
+        t.spec.policy->registerStats(reg_);
+}
+
+void
 Engine::setTraceSink(obs::TraceEventSink *sink)
 {
     traceSink_ = sink;
@@ -250,7 +436,7 @@ bool
 Engine::allPrimariesDone() const
 {
     for (std::size_t i = 0; i < cpus_.size(); i++) {
-        if (!(*traces_)[i].loop && !cpus_[i]->done())
+        if (!traceOf_[i]->loop && !cpus_[i]->done())
             return false;
     }
     return true;
@@ -260,8 +446,9 @@ Cycles
 Engine::chargeCopy(TierId src, TierId dst, std::uint64_t bytes)
 {
     const std::uint64_t lines = (bytes + LineBytes - 1) / LineBytes;
-    Tier *s = ctx_.tiers[tierIndex(src)];
-    Tier *d = ctx_.tiers[tierIndex(dst)];
+    Tier *tiers[NumTiers] = {&fastTier_, &slowTier_};
+    Tier *s = tiers[tierIndex(src)];
+    Tier *d = tiers[tierIndex(dst)];
     // The copy occupies both buses (stealing bandwidth from demand
     // traffic), but the returned cost is the queue-free transfer time:
     // intra-batch queueing is absorbed by the migration daemon thread,
@@ -286,10 +473,12 @@ Engine::runUntil(Cycles until)
 {
     if (!started_) {
         started_ = true;
-        if (policy_) {
-            ctx_.now = 0;
-            refreshWrappedPmu();
-            policy_->start(ctx_);
+        for (auto &t : tenants_) {
+            if (!t->spec.policy)
+                continue;
+            t->ctx->now = 0;
+            refreshWrappedPmu(*t);
+            t->spec.policy->start(*t->ctx);
         }
     }
     if (finished_)
@@ -302,18 +491,20 @@ Engine::runUntil(Cycles until)
         now_ = sliceEnd;
 
         if (now_ >= nextTick_) {
-            if (policy_) {
+            bool ticked = false;
+            // Daemon-window boundary: every tenant's daemon runs, in
+            // tenant order, against the shared tier state. Serial and
+            // fixed-order, so N-tenant runs stay deterministic.
+            for (auto &t : tenants_) {
+                if (!t->spec.policy)
+                    continue;
                 const MigrationStats before = mig_.stats();
-                ctx_.now = now_;
-                refreshWrappedPmu();
-                policy_->tick(ctx_);
+                t->ctx->now = now_;
+                refreshWrappedPmu(*t);
+                t->spec.policy->tick(*t->ctx);
+                t->ticks++;
                 daemonTicks_++;
-                // Application threads absorb migration penalties.
-                for (std::size_t i = 0; i < cpus_.size(); i++) {
-                    cpus_[i]->addPenalty(
-                        mig_.drainPenalty(static_cast<ProcId>(
-                            (*traces_)[i].proc)));
-                }
+                ticked = true;
                 if (traceSink_) {
                     const MigrationStats &after = mig_.stats();
                     const double ts = obs::cyclesToUs(now_);
@@ -340,12 +531,21 @@ Engine::runUntil(Cycles until)
                                             before.promotedOps));
                 }
             }
+            if (ticked) {
+                // Application threads absorb migration penalties.
+                for (std::size_t i = 0; i < cpus_.size(); i++) {
+                    cpus_[i]->addPenalty(mig_.drainPenalty(
+                        static_cast<ProcId>(traceOf_[i]->proc)));
+                }
+            }
             // Debug-mode consistency audit: tier accounting after the
-            // tick's migrations, then the policy's own invariants.
+            // ticks' migrations, then each policy's own invariants.
             if (auditEnabled_) {
                 tm_.auditConsistency();
-                if (policy_)
-                    policy_->audit(ctx_);
+                for (auto &t : tenants_) {
+                    if (t->spec.policy)
+                        t->spec.policy->audit(*t->ctx);
+                }
             }
             nextTick_ += nextPeriod();
         }
@@ -371,10 +571,12 @@ Engine::runUntil(Cycles until)
 void
 Engine::finishRun()
 {
-    if (policy_) {
-        ctx_.now = now_;
-        refreshWrappedPmu();
-        policy_->finish(ctx_);
+    for (auto &t : tenants_) {
+        if (!t->spec.policy)
+            continue;
+        t->ctx->now = now_;
+        refreshWrappedPmu(*t);
+        t->spec.policy->finish(*t->ctx);
     }
     if (auditEnabled_)
         tm_.auditConsistency();
@@ -399,7 +601,7 @@ Engine::snapshot() const
         rs.procRetired.push_back(cpus_[i]->retired());
         rs.spans.push_back(cpus_[i]->spans());
     }
-    rs.pmu = pmu_;
+    rs.pmu = aggregatePmu();
     rs.migration = mig_.stats();
 
     // The scalar counters are a view over the registry: one dump
@@ -418,6 +620,24 @@ Engine::snapshot() const
     rs.cacheHits = u64("engine.cache.hits");
     rs.cacheMisses = u64("engine.cache.misses");
     rs.daemonTicks = u64("engine.daemon.ticks");
+
+    if (!legacy_) {
+        rs.tenants.reserve(tenants_.size());
+        for (const auto &t : tenants_) {
+            RunStats::Tenant ts;
+            ts.name = t->spec.name;
+            ts.procs = t->cpus;
+            for (std::size_t c : t->cpus) {
+                ts.retired += cpus_[c]->retired();
+                ts.cycles = std::max(
+                    ts.cycles, cpus_[c]->done() ? cpus_[c]->finishCycle()
+                                                : cpus_[c]->cycle());
+            }
+            ts.pebsEvents = t->pebs.events();
+            ts.daemonTicks = t->ticks;
+            rs.tenants.push_back(std::move(ts));
+        }
+    }
     return rs;
 }
 

@@ -1,16 +1,21 @@
 /**
  * @file
- * Simulation engine: owns the memory system, one CPU per trace, and
- * the policy daemon, interleaving their execution in bounded time
- * slices so colocated processes contend for tier bandwidth while the
- * daemon wakes every sampling period — the runtime structure of the
- * paper's userspace PACT daemon.
+ * Simulation engine: N cores, each replaying its own trace, contend
+ * for a shared LLC, shared per-tier bandwidth, and a shared
+ * TierManager. Cores are grouped into *tenants*: each tenant owns its
+ * cores' PMU counters, a private PEBS sampler fed only by its own
+ * cores, and (optionally) its own policy daemon — the runtime
+ * structure of one userspace PACT daemon per colocated process in the
+ * paper. Cores advance in bounded lockstep slices (epochs no longer
+ * than SimConfig::slice, which daemon windows are a multiple of), so
+ * a run is deterministic and byte-identical at any PACT_JOBS.
  */
 
 #ifndef PACT_SIM_ENGINE_HH
 #define PACT_SIM_ENGINE_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/rng.hh"
@@ -36,6 +41,24 @@ namespace pact
 {
 
 /**
+ * One tenant of a multi-tenant engine: a named group of traces (one
+ * core each) plus the policy daemon managing that tenant's pages.
+ *
+ * The referenced traces and policy must outlive the engine. A null
+ * policy means the tenant runs without a daemon (a pure noisy
+ * neighbor under first-touch placement).
+ */
+struct TenantSpec
+{
+    /** Stat-subtree name; empty selects "tenant<i>". */
+    std::string name;
+    /** This tenant's traces (each gets a dedicated core). */
+    std::vector<const Trace *> traces;
+    /** Per-tenant tiering daemon, or nullptr for none. */
+    TieringPolicy *policy = nullptr;
+};
+
+/**
  * Everything a finished run reports. The scalar counters are a view
  * over the engine's StatRegistry (`registry` holds the full name-
  * sorted dump); the structured fields (pmu, migration, spans) remain
@@ -43,13 +66,28 @@ namespace pact
  */
 struct RunStats
 {
+    /** Per-tenant summary (one entry per TenantSpec; tenant-aware
+     *  engines only — legacy single-policy engines leave it empty so
+     *  existing artifacts keep their exact shape). */
+    struct Tenant
+    {
+        std::string name;
+        /** Indices into procCycles/procRetired of this tenant's cores. */
+        std::vector<std::size_t> procs;
+        std::uint64_t retired = 0;
+        /** Finish cycle of the tenant's last core (or current cycle). */
+        Cycles cycles = 0;
+        std::uint64_t pebsEvents = 0;
+        std::uint64_t daemonTicks = 0;
+    };
+
     /** Global slice clock when the last non-looping trace retired. */
     Cycles wallCycles = 0;
     /** Per-process finish cycle (0 for looping co-runners). */
     std::vector<Cycles> procCycles;
     /** Per-process retired op counts. */
     std::vector<std::uint64_t> procRetired;
-    /** Final PMU counter values. */
+    /** Final PMU counter values (summed over all tenants). */
     Pmu pmu;
     MigrationStats migration;
     std::uint64_t pebsEvents = 0;
@@ -62,6 +100,8 @@ struct RunStats
         spans;
     /** Full end-of-run stat registry dump, name-sorted. */
     std::vector<std::pair<std::string, double>> registry;
+    /** Per-tenant summaries (empty on the legacy single-policy path). */
+    std::vector<Tenant> tenants;
 
     /** Registry value by name; 0 when absent (old artifacts). */
     double
@@ -80,14 +120,20 @@ struct RunStats
 };
 
 /**
- * Drives one simulation: traces are replayed on per-process CPUs that
- * share the LLC, tiers, and page table; the policy daemon ticks every
- * SimConfig::daemonPeriod cycles of global time.
+ * Drives one simulation: traces are replayed on per-tenant CPUs that
+ * share the LLC, tiers, and page table; each tenant's policy daemon
+ * ticks every SimConfig::daemonPeriod cycles of global time.
  */
 class Engine : public MigrationBackend
 {
   public:
     /**
+     * Legacy single-daemon constructor: every trace runs under one
+     * shared policy, PEBS sampler, and PMU — the pre-tenant layout.
+     * Stats register unprefixed (no tenant subtree), so registry
+     * dumps and manifests from this path are byte-compatible with
+     * earlier releases (the golden corpus pins this layout).
+     *
      * @param cfg Simulation configuration (fast capacity, tiers, ...).
      *            Validated via SimConfig::validate() before anything
      *            is built; throws ConfigError on a bad field.
@@ -100,6 +146,16 @@ class Engine : public MigrationBackend
      */
     Engine(const SimConfig &cfg, const AddrSpace &as,
            const std::vector<Trace> *traces, TieringPolicy *policy);
+
+    /**
+     * Multi-tenant constructor: each TenantSpec's traces run on their
+     * own cores against the shared LLC/tiers/TierManager, with a
+     * private PEBS sampler and PMU per tenant and one policy daemon
+     * per tenant. Per-tenant stats register under "tenant<i>." (or the
+     * spec's name), including the policy's own stats.
+     */
+    Engine(const SimConfig &cfg, const AddrSpace &as,
+           std::vector<TenantSpec> tenants);
 
     /** Run to completion and return statistics. */
     RunStats run();
@@ -119,11 +175,18 @@ class Engine : public MigrationBackend
     /** Global slice clock. */
     Cycles now() const { return now_; }
 
-    SimContext &context() { return ctx_; }
+    /** Tenant 0's daemon context (the only tenant on the legacy path). */
+    SimContext &context() { return *tenants_[0]->ctx; }
     TierManager &tierManager() { return tm_; }
     MigrationEngine &migration() { return mig_; }
-    Pmu &pmu() { return pmu_; }
+    /** Tenant 0's PMU (the whole machine on the legacy path). */
+    Pmu &pmu() { return tenants_[0]->pmu; }
+    /** Machine-wide counters: field-wise sum over all tenants. */
+    Pmu aggregatePmu() const;
     Cache &cache() { return cache_; }
+
+    /** Number of tenants (1 on the legacy path). */
+    std::size_t numTenants() const { return tenants_.size(); }
 
     /** Live fault plan, or nullptr when no faults are enabled. */
     FaultPlan *faults() { return faults_.get(); }
@@ -139,45 +202,67 @@ class Engine : public MigrationBackend
     void setTraceSink(obs::TraceEventSink *sink);
 
   private:
+    /** Everything one tenant owns: counters, sampler, daemon context. */
+    struct TenantState
+    {
+        TenantSpec spec;
+        /** Ground-truth counters written by this tenant's cores. */
+        Pmu pmu;
+        /** Masked PMU view policies read under wrap injection. */
+        Pmu wrappedPmu;
+        PebsSampler pebs;
+        std::uint64_t ticks = 0;
+        /** Indices into cpus_/traceOf_ of this tenant's cores. */
+        std::vector<std::size_t> cpus;
+        /** Built after the state is at its final address (refs). */
+        std::unique_ptr<SimContext> ctx;
+
+        TenantState(TenantSpec s, const PebsParams &pp)
+            : spec(std::move(s)), pebs(pp)
+        {}
+    };
+
+    /** Shared implementation both public constructors delegate to. */
+    Engine(const SimConfig &cfg, const AddrSpace &as,
+           std::vector<TenantSpec> tenants, bool legacy);
+
+    void init();
     bool allPrimariesDone() const;
     void registerStats();
+    void registerTenantStats(std::size_t i);
     void finishRun();
 
     /** The next daemon window length (jittered when faults say so). */
     Cycles nextPeriod();
 
     /**
-     * Refresh the masked PMU view policies read under counter-
-     * wraparound injection (no-op when wrap is disabled).
+     * Refresh the masked PMU view one tenant's policy reads under
+     * counter-wraparound injection (no-op when wrap is disabled).
      */
-    void refreshWrappedPmu();
+    void refreshWrappedPmu(TenantState &t);
 
     const SimConfig cfg_;
     const AddrSpace &as_;
-    const std::vector<Trace> *traces_;
-    TieringPolicy *policy_;
+    /** Whether stats follow the pre-tenant unprefixed layout. */
+    const bool legacy_;
 
     Rng rng_;
     Tier fastTier_;
     Tier slowTier_;
     Cache cache_;
-    Pmu pmu_;
-    PebsSampler pebs_;
     std::unique_ptr<Chmu> chmu_;
     TierManager tm_;
     LruLists lru_;
     MigrationEngine mig_;
-    /**
-     * Fault plan (nullptr when disabled). Declared before ctx_: the
-     * context's PMU reference binds to wrappedPmu_ when counter
-     * wraparound is injected.
-     */
+    /** Fault plan (nullptr when disabled). */
     std::unique_ptr<FaultPlan> faults_;
-    /** Masked copy of pmu_ that policies see under wrap injection. */
-    Pmu wrappedPmu_;
     std::vector<std::uint8_t> hugeMap_;
+
+    std::vector<std::unique_ptr<TenantState>> tenants_;
+    /** All cores, flat (tenant grouping via TenantState::cpus). */
     std::vector<std::unique_ptr<Cpu>> cpus_;
-    SimContext ctx_;
+    /** The trace each core replays (aligned with cpus_). */
+    std::vector<const Trace *> traceOf_;
 
     obs::StatRegistry reg_;
     obs::TraceEventSink *traceSink_ = nullptr;

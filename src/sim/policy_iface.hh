@@ -45,6 +45,13 @@ struct SimContext
     Chmu *chmu = nullptr;
     /** Live fault-injection plan, when SimConfig::faults enables one. */
     FaultPlan *faults = nullptr;
+    /**
+     * Index of the tenant this context belongs to. Each tenant's
+     * daemon gets its own context whose pmu/pebs views see only that
+     * tenant's cores; tm/lru/mig/tiers stay shared (capacity and
+     * bandwidth are machine-wide). 0 for single-tenant engines.
+     */
+    unsigned tenant = 0;
 };
 
 /** Receives synchronous access events from the CPU model. */

@@ -231,4 +231,94 @@ makeMasimColocation(const WorkloadOptions &opt)
     return b;
 }
 
+WorkloadBundle
+makeMasimColocationN(unsigned tenants, const WorkloadOptions &opt)
+{
+    throw_workload_if(tenants < 2 || tenants > 32,
+                      "masim-coloc<N>: tenants must be in [2, 32], got ",
+                      tenants);
+    WorkloadBundle b;
+    b.name = "masim-coloc" + std::to_string(tenants);
+
+    // Process 0 is the latency-critical victim: a serialized pointer
+    // chase whose slowdown is the experiment's headline number. The
+    // other processes are bandwidth-hungry streamers whose demand
+    // traffic contends on the shared tier token buckets.
+    std::vector<MasimParams> params(tenants);
+    MasimRegion victim;
+    victim.name = "coloc.victim";
+    victim.bytes = scaled(24ull << 20, opt.scale, 1 << 20);
+    victim.pattern = MasimPattern::PointerChase;
+    params[0].regions = {victim};
+    params[0].ops = scaled(1500000, opt.scale, 50000);
+    for (unsigned i = 1; i < tenants; i++) {
+        MasimRegion stream;
+        stream.name = "coloc.stream" + std::to_string(i);
+        stream.bytes = scaled(12ull << 20, opt.scale, 1 << 20);
+        stream.pattern = MasimPattern::Sequential;
+        params[i].regions = {stream};
+        params[i].ops = scaled(1500000, opt.scale, 50000);
+    }
+
+    // Serial allocation in process order fixes the address layout;
+    // emission then parallelizes over per-process RNG streams, byte-
+    // identical at any PACT_JOBS (the makeMasimColocation pattern).
+    std::vector<std::vector<RegionState>> states(tenants);
+    for (unsigned i = 0; i < tenants; i++)
+        states[i] =
+            allocRegions(b.as, static_cast<ProcId>(i), params[i], opt.thp);
+    b.traces.resize(tenants);
+    parallelFor(tenants, [&](std::size_t i) {
+        Rng rng(rngStream(opt.seed, i));
+        b.traces[i] = emitMasim(params[i], std::move(states[i]),
+                                static_cast<ProcId>(i), rng);
+        b.traces[i].name =
+            i == 0 ? "coloc-victim" : "coloc-stream" + std::to_string(i);
+    });
+    return b;
+}
+
+Trace
+interleaveTraces(const std::vector<Trace> &traces)
+{
+    throw_workload_if(traces.empty(), "interleaveTraces: no traces");
+    std::size_t total = 0;
+    for (const Trace &t : traces) {
+        throw_workload_if(t.loop, "interleaveTraces: trace '", t.name,
+                          "' loops; a merged trace has no loop point");
+        total += t.size();
+    }
+
+    Trace merged;
+    merged.name = "interleaved";
+    merged.proc = 0;
+    merged.ops.reserve(total);
+
+    // Round-robin one op per live trace. A shorter trace dropping out
+    // must not end the merge: the remaining traces keep rotating, so
+    // the longest trace's tail is appended and no op is ever lost.
+    std::vector<std::size_t> cursor(traces.size(), 0);
+    std::size_t emitted = 0;
+    while (emitted < total) {
+        for (std::size_t i = 0; i < traces.size(); i++) {
+            if (cursor[i] < traces[i].size()) {
+                merged.ops.push_back(traces[i].ops[cursor[i]++]);
+                emitted++;
+            }
+        }
+    }
+    return merged;
+}
+
+WorkloadBundle
+makeMasimColocationInterleaved(const WorkloadOptions &opt)
+{
+    WorkloadBundle split = makeMasimColocation(opt);
+    WorkloadBundle b;
+    b.name = "masim-coloc-interleaved";
+    b.as = std::move(split.as);
+    b.traces.push_back(interleaveTraces(split.traces));
+    return b;
+}
+
 } // namespace pact

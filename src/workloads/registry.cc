@@ -105,6 +105,17 @@ buildByName(const std::string &name, const WorkloadOptions &opt)
         return makeMasimDefault(opt);
     if (name == "masim-coloc")
         return makeMasimColocation(opt);
+    if (name == "masim-coloc-interleaved")
+        return makeMasimColocationInterleaved(opt);
+    if (name.rfind("masim-coloc", 0) == 0 && name.size() > 11) {
+        // "masim-coloc<N>": N-process colocation for the multi-tenant
+        // engine (one pointer-chase victim + N-1 streamers).
+        char *end = nullptr;
+        const unsigned long n = std::strtoul(name.c_str() + 11, &end, 10);
+        throw_workload_if(!end || *end != '\0',
+                          "unknown workload '", name, "'");
+        return makeMasimColocationN(static_cast<unsigned>(n), opt);
+    }
     if (name == "pac-inversion")
         return makePacInversion(opt);
     if (name == "gups")

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Multi-tenant engine tests: the tenant path reproduces the golden
+ * single-policy corpus bit-for-bit for one tenant, N-tenant runs are
+ * byte-deterministic across PACT_JOBS settings and repeats, and the
+ * shared per-tier token buckets cap aggregate bandwidth no matter how
+ * many tenants contend on them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hh"
+#include "harness/runner.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+struct GoldenCase
+{
+    const char *id;
+    const char *policy;
+    unsigned mshrs;
+    unsigned robOps;
+    const char *faults;
+};
+
+/** The exact corner set test_golden.cc pins (same order). */
+constexpr GoldenCase kCases[] = {
+    {"pact_default", "PACT", 16, 192, ""},
+    {"memtis_default", "Memtis", 16, 192, ""},
+    {"tpp_default", "TPP", 16, 192, ""},
+    {"pact_mshrs1", "PACT", 1, 192, ""},
+    {"pact_mshrs64_rob8", "PACT", 64, 8, ""},
+    {"pact_jitter", "PACT", 16, 192, "jitter:frac=0.3"},
+};
+
+struct GoldenStat
+{
+    const char *caseId;
+    const char *name;
+    double value;
+};
+
+const std::vector<GoldenStat> kGolden = {
+#include "golden_stats.inc"
+};
+
+/** Restore an environment variable on scope exit. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        if (const char *v = std::getenv(name))
+            saved_ = v;
+        else
+            unset_ = true;
+    }
+    ~EnvGuard()
+    {
+        if (unset_)
+            unsetenv(name_);
+        else
+            setenv(name_, saved_.c_str(), 1);
+    }
+
+    EnvGuard(const EnvGuard &) = delete;
+    EnvGuard &operator=(const EnvGuard &) = delete;
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool unset_ = false;
+};
+
+/** Serialize one run the way pactsim_cli's --out-json path does. */
+std::string
+manifestBytes(const SimConfig &cfg, const RunResult &r)
+{
+    obs::RunManifest m;
+    m.kind = "run";
+    m.producer = "test_multicore";
+    m.config = cfg;
+    m.results.push_back(manifestResult(r));
+    std::ostringstream os;
+    obs::writeRunManifest(os, m);
+    return os.str();
+}
+
+/**
+ * Generate masim-coloc fresh (no shared-bundle cache, so PACT_JOBS
+ * really governs generation) and run it as two tenants.
+ */
+RunResult
+twoTenantRun(const char *jobs)
+{
+    setenv("PACT_JOBS", jobs, 1);
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const WorkloadBundle bundle = makeWorkload("masim-coloc", opt);
+    Runner runner;
+    return runner.runTenants(bundle, "PACT", 0.5);
+}
+
+} // namespace
+
+/**
+ * (a) A 1-tenant engine is the legacy engine plus stat prefixing:
+ * every golden-corpus value must reappear bit-identically, either
+ * under its original name (machine-wide engine/faults stats) or
+ * under the tenant0. subtree (the policy's own stats).
+ */
+TEST(Multicore, OneTenantReproducesGoldenCorners)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.1;
+    const auto bundle = makeWorkloadShared("silo", opt);
+
+    for (const GoldenCase &c : kCases) {
+        SCOPED_TRACE(c.id);
+
+        SimConfig cfg;
+        cfg.cpu.mshrs = c.mshrs;
+        cfg.cpu.robOps = c.robOps;
+        cfg.faults = c.faults;
+        Runner runner(cfg);
+        const RunResult r =
+            runner.runTenants(*bundle, c.policy, Runner::ratioShare(1, 2));
+
+        ASSERT_EQ(r.tenants.size(), 1u);
+        EXPECT_EQ(r.tenants[0].name, "tenant0");
+
+        std::map<std::string, double> dump(r.stats.registry.begin(),
+                                           r.stats.registry.end());
+        std::size_t checked = 0;
+        for (const GoldenStat &g : kGolden) {
+            if (std::string(g.caseId) != c.id)
+                continue;
+            auto it = dump.find(g.name);
+            if (it == dump.end())
+                it = dump.find("tenant0." + std::string(g.name));
+            ASSERT_NE(it, dump.end())
+                << g.name << " missing from the tenant-path registry";
+            EXPECT_EQ(it->second, g.value)
+                << g.name << " drifted on the tenant path";
+            checked++;
+        }
+        ASSERT_GT(checked, 0u)
+            << "no golden data for case " << c.id
+            << " (regenerate golden_stats.inc)";
+    }
+}
+
+/**
+ * (b) Two-tenant manifests are byte-identical at PACT_JOBS=1 vs =4
+ * (generation fan-out must not leak into the simulation) and across
+ * repeated runs (no hidden state between engines).
+ */
+TEST(Multicore, TwoTenantManifestBytesAreJobInvariant)
+{
+    const EnvGuard guard("PACT_JOBS");
+    // Bypass the shared-bundle cache so each run regenerates its
+    // traces under the PACT_JOBS value being tested.
+    const EnvGuard cacheGuard("PACT_WORKLOAD_CACHE");
+    const EnvGuard storeGuard("PACT_TRACE_DIR");
+    unsetenv("PACT_TRACE_DIR");
+
+    const SimConfig cfg;
+    const std::string serial = manifestBytes(cfg, twoTenantRun("1"));
+    const std::string wide = manifestBytes(cfg, twoTenantRun("4"));
+    const std::string again = manifestBytes(cfg, twoTenantRun("4"));
+
+    EXPECT_NE(serial.find("\"schema\":\"pact.manifest/3\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"tenants\":["), std::string::npos);
+    EXPECT_NE(serial.find("\"tenant0\""), std::string::npos);
+    EXPECT_NE(serial.find("\"tenant1\""), std::string::npos);
+    EXPECT_EQ(serial, wide) << "PACT_JOBS leaked into the simulation";
+    EXPECT_EQ(wide, again) << "repeat run diverged";
+}
+
+/**
+ * (c) Four tenants share the two tier token buckets: total lines
+ * served per tier must respect the tier's service rate over the run
+ * (cap x wall time, plus bounded burst slack from migration copies) —
+ * the property that would break if tenants ever got private buckets.
+ */
+TEST(Multicore, SharedTierBucketCapsAggregateBandwidth)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc4", opt);
+    ASSERT_EQ(bundle->traces.size(), 4u);
+
+    Runner runner;
+    const RunResult r = runner.runTenants(*bundle, "PACT", 0.5);
+
+    ASSERT_EQ(r.tenants.size(), 4u);
+    for (const RunResult::Tenant &t : r.tenants) {
+        EXPECT_GT(t.retired, 0u) << t.name;
+        EXPECT_GT(t.daemonTicks, 0u) << t.name;
+    }
+
+    const double wall = static_cast<double>(r.stats.wallCycles);
+    ASSERT_GT(wall, 0.0);
+    const struct
+    {
+        const char *stat;
+        double serviceCycles;
+    } tiers[] = {
+        {"engine.tier.fast.lines_served",
+         runner.config().fast.serviceCycles},
+        {"engine.tier.slow.lines_served",
+         runner.config().slow.serviceCycles},
+    };
+    for (const auto &tier : tiers) {
+        const double lines = r.stats.stat(tier.stat);
+        EXPECT_GT(lines, 0.0) << tier.stat;
+        // One migration batch can be charged as a burst past the
+        // cursor; 2MB (32768 lines) of slack plus 5% covers it while
+        // still catching any per-tenant (4x) bucket split.
+        const double busy = lines * tier.serviceCycles;
+        EXPECT_LE(busy, 1.05 * wall + 32768.0 * tier.serviceCycles)
+            << tier.stat << ": " << lines
+            << " lines exceed the shared bucket's service rate";
+    }
+}
+
+/** Tenants see less fast-tier than a whole-machine run would. */
+TEST(Multicore, TenantRowsSumToMachineRetired)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
+    Runner runner;
+    const RunResult r = runner.runTenants(*bundle, "Colloid", 0.5);
+
+    ASSERT_EQ(r.tenants.size(), 2u);
+    std::uint64_t retired = 0;
+    std::uint64_t ticks = 0;
+    for (const RunResult::Tenant &t : r.tenants) {
+        retired += t.retired;
+        ticks += t.daemonTicks;
+    }
+    std::uint64_t procSum = 0;
+    for (std::uint64_t p : r.stats.procRetired)
+        procSum += p;
+    EXPECT_EQ(retired, procSum);
+    EXPECT_EQ(ticks, r.stats.daemonTicks);
+    // Per-tenant stat subtrees exist for both tenants.
+    EXPECT_GT(r.stats.stat("tenant0.daemon.ticks"), 0.0);
+    EXPECT_GT(r.stats.stat("tenant1.daemon.ticks"), 0.0);
+    EXPECT_EQ(r.stats.stat("tenant0.daemon.ticks") +
+                  r.stats.stat("tenant1.daemon.ticks"),
+              static_cast<double>(r.stats.daemonTicks));
+}
+
+/** Soar's offline profile assumes the whole machine; reject it. */
+TEST(MulticoreDeath, SoarIsSingleTenantOnly)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
+    Runner runner;
+    try {
+        runner.runTenants(*bundle, "Soar", 0.5);
+        FAIL() << "expected ConfigError";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("single-tenant"),
+                  std::string::npos);
+    }
+}
