@@ -68,6 +68,10 @@ usage()
         " [pactsim.timeseries.jsonl]\n"
         "  --trace-out [file]  chrome://tracing / Perfetto trace"
         " [pactsim.trace.json]\n"
+        "  --events [file]     decision provenance journal JSONL"
+        " [pactsim.events.jsonl]\n"
+        "                      (with --trace-out, migrations also\n"
+        "                      render as per-page async trace slices)\n"
         "env:\n"
         "  PACT_JOBS           worker threads for --sweep (default:\n"
         "                      all cores; 1 = serial). Results are\n"
@@ -166,7 +170,7 @@ cliMain(int argc, char **argv)
     bool tenantsMode = false;
     unsigned tenantCount = 0;
     std::vector<std::string> sweepPolicies;
-    std::string manifestPath, timeseriesPath, tracePath;
+    std::string manifestPath, timeseriesPath, tracePath, eventsPath;
 
     for (int i = 1; i < argc; i++) {
         const std::string arg = argv[i];
@@ -221,6 +225,8 @@ cliMain(int argc, char **argv)
             timeseriesPath = nextOr("pactsim.timeseries.jsonl");
         } else if (arg == "--trace-out") {
             tracePath = nextOr("pactsim.trace.json");
+        } else if (arg == "--events") {
+            eventsPath = nextOr("pactsim.events.jsonl");
         } else if (arg == "--list") {
             list();
             return 0;
@@ -230,9 +236,10 @@ cliMain(int argc, char **argv)
         }
     }
 
-    fatal_if(sweep && (!timeseriesPath.empty() || !tracePath.empty()),
-             "--timeseries/--trace-out apply to a single run, not "
-             "--sweep (use --out-json for a sweep manifest)");
+    fatal_if(sweep && (!timeseriesPath.empty() || !tracePath.empty() ||
+                       !eventsPath.empty()),
+             "--timeseries/--trace-out/--events apply to a single run, "
+             "not --sweep (use --out-json for a sweep manifest)");
     fatal_if(!sweepPolicies.empty() && !sweep,
              "--policies only applies to --sweep (use --policy for a "
              "single run)");
@@ -366,6 +373,11 @@ cliMain(int argc, char **argv)
     }
     if (!tracePath.empty())
         observers.trace = &trace;
+    std::optional<obs::EventJournal> journal;
+    if (!eventsPath.empty()) {
+        journal.emplace();
+        observers.events = &*journal;
+    }
 
     const RunResult r =
         tenantsMode ? runner.runTenants(*bundle, policy, share, &observers)
@@ -380,7 +392,25 @@ cliMain(int argc, char **argv)
                      timeseriesPath.c_str(),
                      static_cast<unsigned long long>(recorder->rows()));
     }
+    if (!eventsPath.empty()) {
+        std::ofstream os(eventsPath, std::ios::binary);
+        fatal_if(!os, "cannot open ", eventsPath);
+        journal->writeJsonl(os);
+        std::fprintf(
+            stderr, "wrote %s (%llu events, %llu dropped)\n",
+            eventsPath.c_str(),
+            static_cast<unsigned long long>(journal->emitted()),
+            static_cast<unsigned long long>(journal->dropped()));
+    }
     if (!tracePath.empty()) {
+        // The journal's per-page migration slices land on the same
+        // per-tenant migration lanes the engine uses for its copy
+        // spans (legacy runs: the single tid-1 lane).
+        if (journal) {
+            journal->mergeIntoTrace(trace, [&](std::uint32_t tenant) {
+                return tenantsMode ? static_cast<int>(2 * tenant + 1) : 1;
+            });
+        }
         std::ofstream os(tracePath, std::ios::binary);
         fatal_if(!os, "cannot open ", tracePath);
         trace.write(os);

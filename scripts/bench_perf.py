@@ -26,6 +26,13 @@ context key; --allow-debug records a tagged entry anyway). --scale/
 which runs a tiny configuration and only checks the artifact schema
 (scripts/validate_artifacts.py --bench-json).
 
+Regression gate: --check <baseline-label> skips running anything and
+instead compares the artifact's *latest* entry against the named
+baseline entry, exiting non-zero if any benchmark's items_per_second
+regressed by more than --threshold percent (default 10):
+
+    scripts/bench_perf.py --check pr6-multicore
+
 Pure standard library.
 """
 
@@ -122,12 +129,68 @@ def print_comparison(prev, cur):
               f"{b['items_per_second'] / 1e6:8.2f} Mops/s   {ratio:.2f}x")
 
 
+def check_regression(path, baseline_label, threshold_pct):
+    """Gate the latest entry against a named baseline entry.
+
+    Returns the process exit code: 0 when every benchmark common to
+    both entries is within threshold_pct of the baseline's
+    items_per_second, 1 when any regressed further. Benchmarks present
+    in only one entry are reported but do not fail the gate (the set
+    evolves across PRs).
+    """
+    if not path.exists():
+        sys.exit(f"{path}: no artifact to check")
+    doc = load_artifact(path)
+    if not doc["entries"]:
+        sys.exit(f"{path}: artifact has no entries")
+    by_label = {e.get("label"): e for e in doc["entries"]}
+    base = by_label.get(baseline_label)
+    if base is None:
+        sys.exit(f"{path}: no entry labelled {baseline_label!r} "
+                 f"(have: {', '.join(sorted(by_label))})")
+    cur = doc["entries"][-1]
+
+    print(f"check: {cur['label']} vs baseline {base['label']} "
+          f"(threshold {threshold_pct:.0f}%)")
+    regressions = []
+    width = max((len(n) for n in cur["benchmarks"]), default=10)
+    for name, b in sorted(cur["benchmarks"].items()):
+        p = base["benchmarks"].get(name)
+        if not p or not p.get("items_per_second"):
+            print(f"  {name:<{width}}  (not in baseline; skipped)")
+            continue
+        ratio = b["items_per_second"] / p["items_per_second"]
+        verdict = "ok"
+        if ratio < 1.0 - threshold_pct / 100.0:
+            verdict = "REGRESSED"
+            regressions.append(name)
+        print(f"  {name:<{width}}  {p['items_per_second'] / 1e6:8.2f} -> "
+              f"{b['items_per_second'] / 1e6:8.2f} Mops/s   "
+              f"{ratio:.3f}x  {verdict}")
+    for name in sorted(set(base["benchmarks"]) - set(cur["benchmarks"])):
+        print(f"  {name:<{width}}  (dropped since baseline; skipped)")
+    if regressions:
+        print(f"FAIL: {len(regressions)} benchmark(s) regressed >"
+              f"{threshold_pct:.0f}% vs {base['label']}: "
+              f"{', '.join(regressions)}")
+        return 1
+    print("ok: no benchmark regressed beyond the threshold")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--bin", required=True,
+    ap.add_argument("--bin",
                     help="path to the bench/hotpath binary")
-    ap.add_argument("--label", required=True,
+    ap.add_argument("--label",
                     help="entry label, e.g. 'seed' or 'after-pr4'")
+    ap.add_argument("--check", metavar="BASELINE_LABEL",
+                    help="compare the artifact's latest entry against "
+                         "this baseline entry instead of running; exit "
+                         "1 on any >threshold regression")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="--check regression threshold in percent "
+                         "(default 10)")
     ap.add_argument("--out", default="BENCH_hotpath.json",
                     help="artifact path (default: BENCH_hotpath.json)")
     ap.add_argument("--scale", type=float, default=0.5,
@@ -140,6 +203,12 @@ def main():
                     help="record an entry from a non-Release binary "
                          "anyway (tagged build_type=debug; smoke runs)")
     args = ap.parse_args()
+
+    if args.check:
+        return check_regression(pathlib.Path(args.out), args.check,
+                                args.threshold)
+    if not args.bin or not args.label:
+        ap.error("--bin and --label are required (unless using --check)")
 
     report = run_benchmark(args.bin, args.scale, args.filter,
                            args.repetitions)

@@ -5,18 +5,28 @@ Runs pactsim_cli on a small stock workload with all three artifact
 flags, then checks:
 
   * the run manifest parses, carries the expected schema tag, the full
-    simulator config, a non-empty stat dump per result, and a
-    well-formed per-result "tenants" array (pact.manifest/3);
+    simulator config, a non-empty stat dump per result, a well-formed
+    per-result "tenants" array, and well-formed per-result
+    "distributions" snapshots (pact.manifest/4);
   * a poisoned sweep (one unknown policy name among good ones)
     completes, records a structured error for the failed run, keeps
     every surviving result, and stays byte-identical across job
     counts;
   * the time-series JSONL has a schema header, consecutive windows,
-    monotone timestamps, and rows whose fields match the header layout
-    (counters non-negative);
+    monotone timestamps, rows whose fields match the header layout
+    (counters non-negative), and per-window distribution summaries
+    matching the header's distribution list (pact.timeseries/2);
   * the Chrome trace parses and every event is well-formed;
   * the JSONL and manifest artifacts are byte-identical between
     PACT_JOBS=1 and PACT_JOBS=4 (the determinism guarantee).
+
+A decision-provenance mode rides along:
+
+  * --events-only drives a fault-injected multi-tenant run with
+    --events and checks the pact.events/1 journal (schema, seq/cycle
+    monotonicity, per-kind payload keys, PACT_JOBS byte-identity);
+    with --inspect it then drives the pact_inspect reader, including
+    --explain on a promoted page's full provenance chain.
 
 A multi-tenant mode rides along:
 
@@ -45,9 +55,17 @@ import subprocess
 import sys
 import tempfile
 
-MANIFEST_SCHEMA = "pact.manifest/3"
-TIMESERIES_SCHEMA = "pact.timeseries/1"
+MANIFEST_SCHEMA = "pact.manifest/4"
+TIMESERIES_SCHEMA = "pact.timeseries/2"
+EVENTS_SCHEMA = "pact.events/1"
 BENCH_PERF_SCHEMA = "pact.bench_perf/1"
+# Fixed log-linear histogram layout (obs::Distribution).
+DIST_NUM_BINS = 1 + (63 - (-32) + 1) * 4
+EVENT_KINDS = {
+    "pebs_sample", "bin_assign", "promote_enqueue", "demote_enqueue",
+    "migration_start", "migration_complete", "migration_abort",
+    "daemon_tick",
+}
 TRACE_STORE_MAGIC = b"PACTTRC1"
 TRACE_STORE_VERSION = 1
 
@@ -156,6 +174,43 @@ def validate_manifest(path):
                 if isinstance(tenants, list) and tenants else ""
             check(f"{prefix}pact.ticks" in stats,
                   "policy stat hierarchy present")
+        # pact.manifest/4: every ok result carries distribution stats.
+        dists = r.get("distributions")
+        check(isinstance(dists, dict) and dists,
+              "result carries a distributions object")
+        if isinstance(dists, dict):
+            check("engine.dist.migration.latency" in dists,
+                  "engine distribution hierarchy present")
+            for name, d in dists.items():
+                validate_distribution(name, d)
+
+
+def validate_distribution(name, d):
+    """Shape-check one manifest distribution snapshot."""
+    ok = (isinstance(d, dict) and
+          all(k in d for k in ("count", "sum", "max", "p50", "p90",
+                               "p99", "bins")))
+    if not ok:
+        check(False, f"distribution {name} carries the summary keys")
+        return
+    bins = d["bins"]
+    shaped = (isinstance(bins, list) and
+              all(isinstance(p, list) and len(p) == 2 and
+                  isinstance(p[0], int) and 0 <= p[0] < DIST_NUM_BINS and
+                  isinstance(p[1], int) and p[1] > 0 for p in bins))
+    indices = [p[0] for p in bins] if shaped else []
+    shaped = shaped and indices == sorted(indices) and \
+        len(indices) == len(set(indices))
+    total = sum(p[1] for p in bins) if shaped else -1
+    consistent = shaped and total == d["count"]
+    quantiles = d["count"] == 0 or \
+        (d["p50"] <= d["p90"] <= d["p99"] <= d["max"])
+    if not (shaped and consistent and quantiles):
+        check(False, f"distribution {name} is well-formed "
+                     f"(sparse ascending bins summing to count, "
+                     f"ordered quantiles)")
+        return
+    check(True, f"distribution {name} well-formed ({d['count']} samples)")
 
 
 def validate_poisoned_sweep(path):
@@ -191,6 +246,13 @@ def validate_timeseries(path):
           "field layout is substantial and name-sorted")
     check(all(f["kind"] in ("counter", "gauge") for f in fields),
           "field kinds are counter/gauge")
+    # pact.timeseries/2: the header lists distribution names and each
+    # row summarizes the window's delta histogram per distribution.
+    dist_names = header.get("distributions")
+    check(isinstance(dist_names, list) and
+          dist_names == sorted(dist_names),
+          "header distribution list present and name-sorted")
+    dist_names = dist_names if isinstance(dist_names, list) else []
 
     prev_t1 = 0
     for i, row in enumerate(body):
@@ -210,6 +272,19 @@ def validate_timeseries(path):
                if kinds[n] == "counter" and v < 0]
         if bad:
             check(False, f"counter deltas non-negative (row {i}: {bad})")
+            break
+        dist = row.get("dist", {})
+        if sorted(dist.keys()) != dist_names:
+            check(False, f"row {i} dist keys match the header list")
+            break
+        bad_dist = [n for n, d in dist.items()
+                    if not (isinstance(d, dict) and
+                            d.get("count", -1) >= 0 and
+                            all(k in d for k in ("p50", "p90", "p99")))]
+        if bad_dist:
+            check(False,
+                  f"dist rows carry count/p50/p90/p99 (row {i}: "
+                  f"{bad_dist})")
             break
     else:
         check(True, f"{len(body)} rows consistent with the header")
@@ -466,6 +541,157 @@ def validate_tenants_e2e(cli, tmp, scale):
           "tenant manifest byte-identical across job counts")
 
 
+def run_events_cli(cli, outdir, jobs, tenants, scale, faults):
+    """One fault-injected multi-tenant run with --events; returns
+    (manifest path, events path)."""
+    outdir = pathlib.Path(outdir)
+    manifest = outdir / f"events{tenants}.j{jobs}.json"
+    events = outdir / f"events{tenants}.j{jobs}.jsonl"
+    env = dict(os.environ, PACT_JOBS=str(jobs))
+    cmd = [
+        cli,
+        "--workload", "masim-coloc",
+        "--tenants", str(tenants),
+        "--policy", "PACT",
+        "--scale", str(scale),
+        "--faults", faults,
+        "--events", str(events),
+        "--out-json", str(manifest),
+    ]
+    print(f"+ PACT_JOBS={jobs} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, env=env, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        sys.exit(f"pactsim_cli failed with exit code {proc.returncode}")
+    return manifest, events
+
+
+# Journal payload keys required per event kind (pact.events/1).
+EVENT_PAYLOAD = {
+    "pebs_sample": ("src_tier", "latency"),
+    "bin_assign": ("pac", "bin", "mlp"),
+    "promote_enqueue": ("pac", "bin"),
+    "demote_enqueue": ("pac", "bin"),
+    "migration_start": ("src_tier", "dst_tier", "pages"),
+    "migration_complete": ("src_tier", "dst_tier", "pages", "latency"),
+    "migration_abort": ("src_tier", "dst_tier", "pages", "latency"),
+    "daemon_tick": ("latency",),
+}
+
+
+def validate_events_journal(path):
+    """Schema/consistency-check a pact.events/1 journal; returns the
+    parsed event list."""
+    print(f"events: {path.name}")
+    lines = path.read_text().splitlines()
+    check(len(lines) >= 2, "header plus at least one event")
+    header = json.loads(lines[0])
+    check(header.get("schema") == EVENTS_SCHEMA,
+          f"schema tag is {EVENTS_SCHEMA}")
+    check(header.get("capacity", 0) > 0, "ring capacity recorded")
+    emitted, dropped = header.get("emitted", 0), header.get("dropped", 0)
+    check(emitted > 0, "journal recorded events")
+    held = min(emitted, header.get("capacity", 0))
+    check(len(lines) - 1 == held,
+          f"line count matches held events ({held})")
+    events = [json.loads(line) for line in lines[1:]]
+    seqs = [e.get("seq") for e in events]
+    check(seqs == list(range(emitted - held, emitted)),
+          "seq numbers are consecutive and end at emitted-1")
+    check(all(e.get("kind") in EVENT_KINDS for e in events),
+          "every event kind is known")
+    # Events are emission-ordered (seq), not timestamp-sorted: cores
+    # advance in bounded slices and may overshoot a window boundary by
+    # up to one slice before the daemon tick is stamped with the
+    # nominal boundary time, so `now` may step back by at most that.
+    slice_cycles = 100000
+    peak, bounded = 0, True
+    for now in (e.get("now") for e in events):
+        bounded = bounded and now >= peak - slice_cycles
+        peak = max(peak, now)
+    check(bounded,
+          "event cycles are monotone within one slice of jitter")
+    payload_ok = all(
+        all(k in e for k in EVENT_PAYLOAD[e["kind"]])
+        for e in events if e.get("kind") in EVENT_PAYLOAD)
+    check(payload_ok, "per-kind payload keys present")
+    kinds = {e.get("kind") for e in events}
+    for needed in ("pebs_sample", "bin_assign", "promote_enqueue",
+                   "migration_start", "migration_complete",
+                   "daemon_tick"):
+        check(needed in kinds, f"journal contains {needed} events")
+    check("migration_abort" in kinds,
+          "fault injection produced migration aborts")
+    tenants = {e.get("tenant") for e in events}
+    check(len(tenants) >= 2, "events span multiple tenant lanes")
+    return events
+
+
+def find_provenance_page(events):
+    """A promoted page whose full decision chain survived in the ring:
+    binning decision, promote enqueue, migration start + commit."""
+    needed = {"bin_assign", "promote_enqueue", "migration_start",
+              "migration_complete"}
+    by_page = {}
+    for e in events:
+        if e.get("kind") in needed and e.get("dst_tier", 0) == 0:
+            by_page.setdefault(e["page"], set()).add(e["kind"])
+    for page, kinds in sorted(by_page.items()):
+        if kinds == needed:
+            return page
+    return None
+
+
+def run_inspect(inspect, args_list):
+    cmd = [inspect] + [str(a) for a in args_list]
+    print(f"+ {' '.join(cmd)}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def validate_inspect_e2e(inspect, manifest, events_path, page):
+    """Drive the pact_inspect reader over freshly produced artifacts."""
+    print("pact-inspect: summary/dist/diff/explain")
+    rc, out = run_inspect(inspect, ["summary", manifest])
+    check(rc == 0 and "distributions" in out,
+          "summary renders the manifest with distributions")
+    rc, out = run_inspect(inspect, ["dist", manifest,
+                                    "engine.dist.migration.latency"])
+    check(rc == 0 and "p99" in out, "dist prints percentile tables")
+    rc, out = run_inspect(inspect, ["diff", manifest, manifest])
+    check(rc == 0 and "0 differing stat(s)" in out,
+          "self-diff reports zero differing stats")
+    rc, out = run_inspect(inspect, ["--explain", page, events_path])
+    chain_ok = all(k in out for k in
+                   ("bin_assign", "promote_enqueue", "migration_start",
+                    "migration_complete", "pac=", "bin="))
+    check(rc == 0 and chain_ok,
+          f"--explain reconstructs page {page}'s provenance chain")
+
+
+def validate_events_e2e(cli, inspect, tmp, scale):
+    """The decision-provenance pipeline end to end: fault-injected
+    multi-tenant run, journal schema, jobs byte-identity, and the
+    pact_inspect reader over the results."""
+    n = 4
+    faults = "migabort:p=0.2"
+    m1, e1 = run_events_cli(cli, tmp, 1, n, scale, faults)
+    m4, e4 = run_events_cli(cli, tmp, 4, n, scale, faults)
+
+    events = validate_events_journal(e1)
+    print("events determinism: PACT_JOBS=1 vs PACT_JOBS=4")
+    check(e1.read_bytes() == e4.read_bytes(),
+          "events journal byte-identical across job counts")
+    check(m1.read_bytes() == m4.read_bytes(),
+          "manifest byte-identical across job counts")
+
+    page = find_provenance_page(events)
+    check(page is not None,
+          "a promoted page retains its full provenance chain")
+    if inspect and page is not None:
+        validate_inspect_e2e(inspect, m1, e1, page)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--cli",
@@ -481,6 +707,12 @@ def main():
     ap.add_argument("--tenants-only", action="store_true",
                     help="with --cli: run only the multi-tenant "
                          "manifest checks (masim-coloc4 --tenants)")
+    ap.add_argument("--events-only", action="store_true",
+                    help="with --cli: run only the decision-provenance "
+                         "journal checks (fault-injected masim-coloc4)")
+    ap.add_argument("--inspect",
+                    help="path to the pact_inspect binary (drives the "
+                         "reader over the --events-only artifacts)")
     ap.add_argument("--workload", default="silo")
     ap.add_argument("--scale", default="0.1")
     args = ap.parse_args()
@@ -521,6 +753,15 @@ def main():
             print(f"\n{len(failures)} check(s) failed")
             return 1
         print("\nall tenant-mode checks passed")
+        return 0
+
+    if args.events_only:
+        with tempfile.TemporaryDirectory(prefix="pact-events-") as tmp:
+            validate_events_e2e(args.cli, args.inspect, tmp, args.scale)
+        if failures:
+            print(f"\n{len(failures)} check(s) failed")
+            return 1
+        print("\nall provenance checks passed")
         return 0
 
     with tempfile.TemporaryDirectory(prefix="pact-artifacts-") as tmp:

@@ -30,6 +30,25 @@ prefix()
     return threadTag.empty() ? std::string() : "[" + threadTag + "] ";
 }
 
+/** Dedup state for consecutive identical warn() lines. All guarded by
+ *  logMutex(); the total is atomic so tests can read it lock-free. */
+std::string lastWarnLine;
+std::uint64_t pendingWarnRepeats = 0;
+std::atomic<std::uint64_t> warnSuppressedTotal{0};
+
+/** Emit the pending "repeated N×" summary (logMutex must be held). */
+void
+flushWarnRepeatsLocked()
+{
+    if (pendingWarnRepeats == 0)
+        return;
+    std::fprintf(stderr,
+                 "warn: last message repeated %llu more time%s\n",
+                 static_cast<unsigned long long>(pendingWarnRepeats),
+                 pendingWarnRepeats == 1 ? "" : "s");
+    pendingWarnRepeats = 0;
+}
+
 } // namespace
 
 bool
@@ -56,6 +75,20 @@ logTag()
     return threadTag;
 }
 
+std::uint64_t
+warnSuppressed()
+{
+    return warnSuppressedTotal.load(std::memory_order_relaxed);
+}
+
+void
+flushWarnRepeats()
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    flushWarnRepeatsLocked();
+    lastWarnLine.clear();
+}
+
 namespace detail
 {
 
@@ -64,6 +97,7 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> lock(logMutex());
+        flushWarnRepeatsLocked();
         std::fprintf(stderr, "panic: %s%s (%s:%d)\n", prefix().c_str(),
                      msg.c_str(), file, line);
     }
@@ -75,6 +109,7 @@ fatalImpl(const char *file, int line, const std::string &msg)
 {
     {
         std::lock_guard<std::mutex> lock(logMutex());
+        flushWarnRepeatsLocked();
         std::fprintf(stderr, "fatal: %s%s (%s:%d)\n", prefix().c_str(),
                      msg.c_str(), file, line);
     }
@@ -86,8 +121,16 @@ warnImpl(const std::string &msg)
 {
     if (logQuiet())
         return;
+    const std::string line = prefix() + msg;
     std::lock_guard<std::mutex> lock(logMutex());
-    std::fprintf(stderr, "warn: %s%s\n", prefix().c_str(), msg.c_str());
+    if (line == lastWarnLine) {
+        pendingWarnRepeats++;
+        warnSuppressedTotal.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    flushWarnRepeatsLocked();
+    lastWarnLine = line;
+    std::fprintf(stderr, "warn: %s\n", line.c_str());
 }
 
 void
@@ -96,6 +139,10 @@ informImpl(const std::string &msg)
     if (logQuiet())
         return;
     std::lock_guard<std::mutex> lock(logMutex());
+    // Keep the "repeated N×" summary adjacent to its message even
+    // when an inform() interleaves.
+    flushWarnRepeatsLocked();
+    lastWarnLine.clear();
     std::fprintf(stderr, "info: %s%s\n", prefix().c_str(), msg.c_str());
 }
 

@@ -8,6 +8,7 @@
 #ifndef PACT_COMMON_LOGGING_HH
 #define PACT_COMMON_LOGGING_HH
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 
@@ -68,6 +69,24 @@ void setLogTag(const std::string &tag);
 
 /** The calling thread's current log tag (empty when unset). */
 const std::string &logTag();
+
+/**
+ * Total warn() lines suppressed as consecutive duplicates. A warn()
+ * identical to the immediately preceding one (tag included) is not
+ * re-printed; when a different message finally arrives, a single
+ * "last message repeated N more times" summary is emitted in its
+ * place. This keeps a per-window warning inside a million-window run
+ * from scrolling everything else away.
+ */
+std::uint64_t warnSuppressed();
+
+/**
+ * Emit any pending "repeated N×" summary now and forget the last
+ * message, so the next warn() always prints. Call between logical
+ * phases (end of a run) or before inspecting warnSuppressed() deltas
+ * in tests.
+ */
+void flushWarnRepeats();
 
 } // namespace pact
 

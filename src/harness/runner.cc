@@ -79,6 +79,7 @@ manifestResult(const RunResult &r)
     }
     m.runtimeCycles = r.runtime;
     m.stats = r.stats.registry;
+    m.dists = r.stats.dists;
     return m;
 }
 
@@ -160,6 +161,8 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
     Engine engine(cfg, bundle.as, &bundle.traces, &policy);
     if (obs && obs->trace)
         engine.setTraceSink(obs->trace);
+    if (obs && obs->events)
+        engine.setEventJournal(obs->events);
 
     return assembleResult(bundle, label, base,
                           driveEngine(engine, cfg, bundle, label, obs));
@@ -193,6 +196,8 @@ Runner::runTenantsWith(const WorkloadBundle &bundle,
     Engine engine(cfg, bundle.as, std::move(specs));
     if (obs && obs->trace)
         engine.setTraceSink(obs->trace);
+    if (obs && obs->events)
+        engine.setEventJournal(obs->events);
 
     RunResult res =
         assembleResult(bundle, label, base,

@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/events.hh"
 #include "obs/export.hh"
 #include "obs/timeseries.hh"
 #include "sim/config.hh"
@@ -66,6 +67,8 @@ struct RunObservers
     obs::TimeSeriesRecorder *timeseries = nullptr;
     /** Collect migration/daemon-tick spans for chrome://tracing. */
     obs::TraceEventSink *trace = nullptr;
+    /** Record the page-lifecycle decision journal (opt-in ring). */
+    obs::EventJournal *events = nullptr;
 };
 
 /**

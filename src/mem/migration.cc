@@ -15,7 +15,7 @@ MigrationEngine::MigrationEngine(TierManager &tm, LruLists &lru,
 {
 }
 
-void
+Cycles
 MigrationEngine::chargeCosts(PageId page, std::uint64_t bytes, TierId src,
                              TierId dst)
 {
@@ -30,6 +30,26 @@ MigrationEngine::chargeCosts(PageId page, std::uint64_t bytes, TierId src,
     const ProcId owner = tm_.meta(page).owner;
     if (owner < pendingPenalty_.size())
         pendingPenalty_[owner] += penalty;
+    const Cycles total = fixed + copy;
+    latDist_.record(static_cast<double>(total));
+    return total;
+}
+
+void
+MigrationEngine::emitEvent(obs::EventKind kind, PageId page, TierId src,
+                           TierId dst, std::uint64_t pages, Cycles latency)
+{
+    obs::PageEvent e;
+    e.now = jNow_;
+    e.kind = kind;
+    e.tenant = jTenant_;
+    e.page = page;
+    e.window = jWindow_;
+    e.srcTier = static_cast<std::uint32_t>(src);
+    e.dstTier = static_cast<std::uint32_t>(dst);
+    e.pages = pages;
+    e.latency = latency;
+    journal_->emit(e);
 }
 
 bool
@@ -49,6 +69,10 @@ MigrationEngine::migrateRegion(PageId page, TierId dst)
         return false;
     }
 
+    if (journal_)
+        emitEvent(obs::EventKind::MigrationStart, page, tm_.tierOf(page),
+                  dst, count, 0);
+
     // Injected contention: the copy aborts mid-flight, paying the same
     // bandwidth/penalty costs as a Nomad transactional abort but
     // moving nothing.
@@ -65,7 +89,10 @@ MigrationEngine::migrateRegion(PageId page, TierId dst)
         if (lru_.tracked(p, tm_))
             lru_.moveTier(p, dst, tm_);
     }
-    chargeCosts(page, count * PageBytes, src, dst);
+    const Cycles charged = chargeCosts(page, count * PageBytes, src, dst);
+    if (journal_)
+        emitEvent(obs::EventKind::MigrationComplete, page, src, dst, count,
+                  charged);
 
     if (dst == TierId::Fast) {
         stats_.promotedOps++;
@@ -97,8 +124,12 @@ MigrationEngine::chargeAbortedCopy(PageId page)
     const bool huge = tm_.meta(page).flags & PageFlags::Huge;
     const std::uint64_t count = huge ? PagesPerHugePage : 1;
     const TierId src = tm_.tierOf(page);
-    chargeCosts(page, count * PageBytes, src, otherTier(src));
+    const Cycles charged =
+        chargeCosts(page, count * PageBytes, src, otherTier(src));
     stats_.failed++;
+    if (journal_)
+        emitEvent(obs::EventKind::MigrationAbort, page, src, otherTier(src),
+                  count, charged);
 }
 
 } // namespace pact

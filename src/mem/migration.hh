@@ -17,6 +17,8 @@
 #include "common/types.hh"
 #include "mem/lru.hh"
 #include "mem/tier_manager.hh"
+#include "obs/events.hh"
+#include "obs/metrics.hh"
 
 namespace pact
 {
@@ -110,6 +112,32 @@ class MigrationEngine
     const MigrationStats &stats() const { return stats_; }
 
     /**
+     * Per-op charged latency distribution (fixed kernel overhead +
+     * copy cycles, aborted attempts included).
+     */
+    const obs::Distribution &latencyDist() const { return latDist_; }
+
+    /**
+     * Attach a provenance journal; nullptr (the default) disables
+     * event emission entirely.
+     */
+    void setJournal(obs::EventJournal *j) { journal_ = j; }
+
+    /**
+     * Timestamp context for emitted events. The engine is the only
+     * clock owner, so it stamps (cycle, tenant, daemon window) here
+     * before every policy tick / fault-path call; migrations triggered
+     * between updates inherit the last stamp (tick resolution).
+     */
+    void
+    setJournalContext(Cycles now, std::uint32_t tenant, std::uint64_t window)
+    {
+        jNow_ = now;
+        jTenant_ = tenant;
+        jWindow_ = window;
+    }
+
+    /**
      * Charge extra policy-machinery stall cycles to a process (e.g.
      * Nomad's transactional bookkeeping on the fault path).
      */
@@ -133,8 +161,11 @@ class MigrationEngine
 
   private:
     bool migrateRegion(PageId page, TierId dst);
-    void chargeCosts(PageId page, std::uint64_t bytes, TierId src,
-                     TierId dst);
+    /** @return total charged cycles (fixed overhead + copy). */
+    Cycles chargeCosts(PageId page, std::uint64_t bytes, TierId src,
+                       TierId dst);
+    void emitEvent(obs::EventKind kind, PageId page, TierId src, TierId dst,
+                   std::uint64_t pages, Cycles latency);
 
     TierManager &tm_;
     LruLists &lru_;
@@ -143,6 +174,11 @@ class MigrationEngine
     FaultPlan *faults_ = nullptr;
     MigrationStats stats_;
     std::vector<Cycles> pendingPenalty_;
+    obs::Distribution latDist_;
+    obs::EventJournal *journal_ = nullptr;
+    Cycles jNow_ = 0;
+    std::uint32_t jTenant_ = 0;
+    std::uint64_t jWindow_ = 0;
 };
 
 } // namespace pact

@@ -1,0 +1,171 @@
+#include "obs/events.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "obs/export.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+const char *
+eventKindName(EventKind k)
+{
+    switch (k) {
+      case EventKind::PebsSample:
+        return "pebs_sample";
+      case EventKind::BinAssign:
+        return "bin_assign";
+      case EventKind::PromoteEnqueue:
+        return "promote_enqueue";
+      case EventKind::DemoteEnqueue:
+        return "demote_enqueue";
+      case EventKind::MigrationStart:
+        return "migration_start";
+      case EventKind::MigrationComplete:
+        return "migration_complete";
+      case EventKind::MigrationAbort:
+        return "migration_abort";
+      case EventKind::DaemonTick:
+        return "daemon_tick";
+    }
+    return "unknown";
+}
+
+EventJournal::EventJournal(std::size_t capacity)
+{
+    panic_if(capacity == 0, "EventJournal: zero capacity");
+    ring_.resize(capacity);
+}
+
+void
+EventJournal::emit(PageEvent e)
+{
+    e.seq = emitted_;
+    ring_[emitted_ % ring_.size()] = e;
+    emitted_++;
+}
+
+std::vector<PageEvent>
+EventJournal::events() const
+{
+    std::vector<PageEvent> out;
+    const std::uint64_t held =
+        std::min<std::uint64_t>(emitted_, ring_.size());
+    out.reserve(held);
+    const std::uint64_t first = emitted_ - held;
+    for (std::uint64_t s = first; s < emitted_; s++)
+        out.push_back(ring_[s % ring_.size()]);
+    return out;
+}
+
+void
+EventJournal::writeJsonl(std::ostream &os) const
+{
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("schema", EventsSchema);
+        w.kv("capacity", static_cast<std::uint64_t>(ring_.size()));
+        w.kv("emitted", emitted_);
+        w.kv("dropped", dropped());
+        w.endObject();
+        os << '\n';
+    }
+    for (const PageEvent &e : events()) {
+        JsonWriter w(os);
+        w.beginObject();
+        w.kv("seq", e.seq);
+        w.kv("now", e.now);
+        w.kv("kind", eventKindName(e.kind));
+        w.kv("tenant", static_cast<std::uint64_t>(e.tenant));
+        w.kv("page", e.page);
+        w.kv("window", e.window);
+        // Payload keys only where they mean something, so the journal
+        // stays compact and a reader can key off presence.
+        switch (e.kind) {
+          case EventKind::PebsSample:
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("latency", e.latency);
+            break;
+          case EventKind::BinAssign:
+            w.kv("pac", e.pac);
+            w.kv("bin", static_cast<std::int64_t>(e.bin));
+            w.kv("mlp", e.mlp);
+            break;
+          case EventKind::PromoteEnqueue:
+          case EventKind::DemoteEnqueue:
+            w.kv("pac", e.pac);
+            w.kv("bin", static_cast<std::int64_t>(e.bin));
+            break;
+          case EventKind::MigrationStart:
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("dst_tier", static_cast<std::uint64_t>(e.dstTier));
+            w.kv("pages", e.pages);
+            break;
+          case EventKind::MigrationComplete:
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("dst_tier", static_cast<std::uint64_t>(e.dstTier));
+            w.kv("pages", e.pages);
+            w.kv("latency", e.latency);
+            break;
+          case EventKind::MigrationAbort:
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("dst_tier", static_cast<std::uint64_t>(e.dstTier));
+            w.kv("pages", e.pages);
+            w.kv("latency", e.latency);
+            break;
+          case EventKind::DaemonTick:
+            w.kv("latency", e.latency);
+            break;
+        }
+        w.endObject();
+        os << '\n';
+    }
+}
+
+void
+EventJournal::mergeIntoTrace(
+    TraceEventSink &sink,
+    const std::function<int(std::uint32_t)> &tidOf) const
+{
+    for (const PageEvent &e : events()) {
+        const double ts = cyclesToUs(e.now);
+        const std::uint32_t tid =
+            static_cast<std::uint32_t>(tidOf(e.tenant));
+        switch (e.kind) {
+          case EventKind::MigrationStart:
+            sink.asyncEvent(true,
+                            e.dstTier == 0 ? "page promote" : "page demote",
+                            "migration", ts, e.page, tid,
+                            {{"page", static_cast<double>(e.page)},
+                             {"pages", static_cast<double>(e.pages)}});
+            break;
+          case EventKind::MigrationComplete:
+            // The engine charges the copy synchronously at `now`; give
+            // the slice its charged width so the lane reads as a
+            // timeline of copy costs.
+            sink.asyncEvent(false,
+                            e.dstTier == 0 ? "page promote" : "page demote",
+                            "migration", cyclesToUs(e.now + e.latency),
+                            e.page, tid);
+            break;
+          case EventKind::MigrationAbort:
+            // Aborts close the open slice too (zero-width when the
+            // fault fired before any copy was charged).
+            sink.asyncEvent(false,
+                            e.dstTier == 0 ? "page promote" : "page demote",
+                            "migration", ts, e.page, tid);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace obs
+
+} // namespace pact

@@ -236,6 +236,27 @@ writeSimConfig(JsonWriter &w, const SimConfig &cfg)
 }
 
 void
+writeDistSnapshot(JsonWriter &w, const DistSnapshot &d)
+{
+    w.beginObject();
+    w.kv("count", d.count);
+    w.kv("sum", d.sum);
+    w.kv("max", d.max);
+    w.kv("p50", d.p50);
+    w.kv("p90", d.p90);
+    w.kv("p99", d.p99);
+    w.key("bins").beginArray();
+    for (const auto &[idx, n] : d.bins) {
+        w.beginArray();
+        w.value(static_cast<std::uint64_t>(idx));
+        w.value(n);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
 writeRunManifest(std::ostream &os, const RunManifest &m)
 {
     JsonWriter w(os);
@@ -281,6 +302,12 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
             w.key("stats").beginObject();
             for (const auto &[k, v] : r.stats)
                 w.kv(k, v);
+            w.endObject();
+            w.key("distributions").beginObject();
+            for (const auto &[k, d] : r.dists) {
+                w.key(k);
+                writeDistSnapshot(w, d);
+            }
             w.endObject();
         } else {
             // A failed run records what was asked and why it died; no
@@ -341,6 +368,24 @@ TraceEventSink::counterEvent(const std::string &name, double ts_us,
 }
 
 void
+TraceEventSink::asyncEvent(bool begin, const std::string &name,
+                           const std::string &cat, double ts_us,
+                           std::uint64_t id, std::uint32_t tid, Args args)
+{
+    if (!admit())
+        return;
+    Event e;
+    e.ph = begin ? 'b' : 'e';
+    e.name = name;
+    e.cat = cat;
+    e.ts = ts_us;
+    e.id = id;
+    e.tid = tid;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
 TraceEventSink::threadName(std::uint32_t tid, const std::string &name)
 {
     threadNames_.emplace_back(tid, name);
@@ -373,6 +418,8 @@ TraceEventSink::write(std::ostream &os) const
         w.kv("ts", e.ts);
         if (e.ph == 'X')
             w.kv("dur", e.dur);
+        if (e.ph == 'b' || e.ph == 'e')
+            w.kv("id", e.id);
         if (e.ph == 'C') {
             w.key("args").beginObject().kv("value", e.value).endObject();
         } else if (!e.args.empty()) {

@@ -19,6 +19,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hh"
 #include "sim/config.hh"
 
 namespace pact
@@ -33,10 +34,16 @@ namespace obs
  * (failed sweep runs are first-class results) plus the "faults" and
  * "audit" config keys. pact.manifest/3 adds the per-result "tenants"
  * array (one object per tenant of a multi-tenant engine; empty for
- * legacy single-daemon runs).
+ * legacy single-daemon runs). pact.manifest/4 adds the per-result
+ * "distributions" object (log-linear histogram stats: sparse bin
+ * counts plus derived count/sum/max/p50/p90/p99). pact.timeseries/2
+ * adds the header "distributions" list and per-row "dist" per-window
+ * summaries. pact.events/1 is the decision-provenance journal JSONL
+ * (header object, then one typed page-lifecycle event per line).
  */
-inline constexpr const char *ManifestSchema = "pact.manifest/3";
-inline constexpr const char *TimeSeriesSchema = "pact.timeseries/1";
+inline constexpr const char *ManifestSchema = "pact.manifest/4";
+inline constexpr const char *TimeSeriesSchema = "pact.timeseries/2";
+inline constexpr const char *EventsSchema = "pact.events/1";
 
 /** Escape a string for embedding inside JSON double quotes. */
 std::string jsonEscape(const std::string &s);
@@ -120,6 +127,8 @@ struct ManifestResult
     std::uint64_t runtimeCycles = 0;
     /** Full registry dump (name-sorted), the authoritative stats. */
     std::vector<std::pair<std::string, double>> stats;
+    /** Distribution snapshots (name-sorted), pact.manifest/4. */
+    std::vector<std::pair<std::string, DistSnapshot>> dists;
 
     /**
      * Whether the run completed. Failed runs carry errorKind/
@@ -154,6 +163,13 @@ struct RunManifest
 /** Write a schema-versioned run manifest as a JSON document. */
 void writeRunManifest(std::ostream &os, const RunManifest &m);
 
+/**
+ * Serialize a DistSnapshot as its canonical JSON object:
+ * {"count":..,"sum":..,"max":..,"p50":..,"p90":..,"p99":..,
+ *  "bins":[[index,count],...]} (sparse, index-ascending).
+ */
+void writeDistSnapshot(JsonWriter &w, const DistSnapshot &d);
+
 /** Serialize a SimConfig as the current JSON object. */
 void writeSimConfig(JsonWriter &w, const SimConfig &cfg);
 
@@ -178,6 +194,16 @@ class TraceEventSink
     /** Counter ('C') event: a named value track over time. */
     void counterEvent(const std::string &name, double ts_us, double value);
 
+    /**
+     * Async ('b'/'e') nestable event pair: slices with the same
+     * (name, id) pair up across time, which is how per-page migration
+     * slices render as one row per in-flight page. @p begin selects
+     * 'b' vs 'e'.
+     */
+    void asyncEvent(bool begin, const std::string &name,
+                    const std::string &cat, double ts_us, std::uint64_t id,
+                    std::uint32_t tid, Args args = {});
+
     /** Label a tid for the trace viewer's track names. */
     void threadName(std::uint32_t tid, const std::string &name);
 
@@ -197,6 +223,7 @@ class TraceEventSink
         double ts = 0.0;
         double dur = 0.0;
         double value = 0.0;
+        std::uint64_t id = 0;
         std::uint32_t tid = 0;
         Args args;
     };

@@ -1,0 +1,392 @@
+#include "obs/json_read.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hh"
+
+namespace pact
+{
+
+namespace obs
+{
+
+bool
+JsonValue::asBool() const
+{
+    throw_config_if(kind_ != Kind::Bool, "json: expected bool");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    throw_config_if(kind_ != Kind::Number, "json: expected number");
+    return num_;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    const double v = asNumber();
+    throw_config_if(v < 0.0 || v != std::floor(v),
+                    "json: expected non-negative integer, got ", v);
+    return static_cast<std::uint64_t>(v);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    throw_config_if(kind_ != Kind::String, "json: expected string");
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::items() const
+{
+    throw_config_if(kind_ != Kind::Array, "json: expected array");
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    throw_config_if(kind_ != Kind::Object, "json: expected object");
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    const JsonValue *v = find(key);
+    throw_config_if(!v, "json: missing key '", key, "'");
+    return *v;
+}
+
+const JsonValue &
+JsonValue::at(std::size_t i) const
+{
+    const auto &a = items();
+    throw_config_if(i >= a.size(), "json: index ", i, " out of range (",
+                    a.size(), " elements)");
+    return a[i];
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue{};
+}
+
+JsonValue
+JsonValue::makeBool(bool b)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = b;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double d)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.num_ = d;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string s)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.str_ = std::move(s);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> items)
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    v.arr_ = std::move(items);
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> members)
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    v.obj_ = std::move(members);
+    return v;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view with a cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    document()
+    {
+        JsonValue v = value();
+        skipWs();
+        throw_config_if(pos_ != text_.size(),
+                        "json: trailing garbage at byte ", pos_);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r')
+                break;
+            pos_++;
+        }
+    }
+
+    char
+    peek()
+    {
+        throw_config_if(pos_ >= text_.size(),
+                        "json: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        throw_config_if(peek() != c, "json: expected '", c, "' at byte ",
+                        pos_, ", got '", text_[pos_], "'");
+        pos_++;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        throw_config_if(text_.substr(pos_, word.size()) != word,
+                        "json: bad literal at byte ", pos_);
+        pos_ += word.size();
+    }
+
+    JsonValue
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return JsonValue::makeString(string());
+          case 't':
+            literal("true");
+            return JsonValue::makeBool(true);
+          case 'f':
+            literal("false");
+            return JsonValue::makeBool(false);
+          case 'n':
+            literal("null");
+            return JsonValue::makeNull();
+          default:
+            return number();
+        }
+    }
+
+    JsonValue
+    object()
+    {
+        expect('{');
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (peek() == '}') {
+            pos_++;
+            return JsonValue::makeObject(std::move(members));
+        }
+        while (true) {
+            skipWs();
+            std::string key = string();
+            skipWs();
+            expect(':');
+            members.emplace_back(std::move(key), value());
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            expect('}');
+            return JsonValue::makeObject(std::move(members));
+        }
+    }
+
+    JsonValue
+    array()
+    {
+        expect('[');
+        std::vector<JsonValue> items;
+        skipWs();
+        if (peek() == ']') {
+            pos_++;
+            return JsonValue::makeArray(std::move(items));
+        }
+        while (true) {
+            items.push_back(value());
+            skipWs();
+            if (peek() == ',') {
+                pos_++;
+                continue;
+            }
+            expect(']');
+            return JsonValue::makeArray(std::move(items));
+        }
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            throw_config_if(pos_ >= text_.size(),
+                            "json: unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            throw_config_if(pos_ >= text_.size(),
+                            "json: unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+              case '"':
+              case '\\':
+              case '/':
+                out.push_back(e);
+                break;
+              case 'b':
+                out.push_back('\b');
+                break;
+              case 'f':
+                out.push_back('\f');
+                break;
+              case 'n':
+                out.push_back('\n');
+                break;
+              case 'r':
+                out.push_back('\r');
+                break;
+              case 't':
+                out.push_back('\t');
+                break;
+              case 'u': {
+                throw_config_if(pos_ + 4 > text_.size(),
+                                "json: truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; i++) {
+                    const char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        throw_config("json: bad \\u escape at byte ",
+                                     pos_ - 1);
+                }
+                // UTF-8 encode the BMP code point (our writers only
+                // escape control characters, all below 0x20).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(
+                        static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                throw_config("json: bad escape '\\", e, "' at byte ",
+                             pos_ - 1);
+            }
+        }
+    }
+
+    JsonValue
+    number()
+    {
+        const std::size_t start = pos_;
+        if (peek() == '-')
+            pos_++;
+        auto digits = [&] {
+            std::size_t n = 0;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                pos_++;
+                n++;
+            }
+            return n;
+        };
+        throw_config_if(digits() == 0, "json: bad number at byte ", start);
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            pos_++;
+            throw_config_if(digits() == 0,
+                            "json: bad number at byte ", start);
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            pos_++;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                pos_++;
+            throw_config_if(digits() == 0,
+                            "json: bad number at byte ", start);
+        }
+        const std::string tok(text_.substr(start, pos_ - start));
+        return JsonValue::makeNumber(std::strtod(tok.c_str(), nullptr));
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+JsonValue
+parseJson(std::string_view text)
+{
+    return Parser(text).document();
+}
+
+} // namespace obs
+
+} // namespace pact

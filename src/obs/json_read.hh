@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal JSON reader for offline artifact tooling (pact-inspect):
+ * parses one JSON document into a DOM tree. Objects preserve key
+ * order (our writers emit canonical ordered keys), numbers are kept
+ * as doubles (every integer our artifacts emit fits a double
+ * exactly), and malformed input throws ConfigError with a byte
+ * offset. This is a consumer for our own canonical artifacts, not a
+ * general-purpose JSON library — \uXXXX escapes outside the BMP and
+ * duplicate-key policing are out of scope.
+ */
+
+#ifndef PACT_OBS_JSON_READ_HH
+#define PACT_OBS_JSON_READ_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pact
+{
+
+namespace obs
+{
+
+/** One parsed JSON value; a tagged tree node. */
+class JsonValue
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Value accessors; throw ConfigError on a kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    /** asNumber() narrowed to a non-negative integral value. */
+    std::uint64_t asU64() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &items() const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Object member by key, or nullptr (non-objects return nullptr). */
+    const JsonValue *find(const std::string &key) const;
+    /** Object member by key; throws ConfigError when missing. */
+    const JsonValue &at(const std::string &key) const;
+    /** Array element; throws ConfigError when out of range. */
+    const JsonValue &at(std::size_t i) const;
+
+    std::size_t
+    size() const
+    {
+        return kind_ == Kind::Array ? arr_.size() : obj_.size();
+    }
+
+    /** Construction (used by the parser and by tests). */
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool b);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string s);
+    static JsonValue makeArray(std::vector<JsonValue> items);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/**
+ * Parse exactly one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). Throws ConfigError with the byte
+ * offset of the first problem.
+ */
+JsonValue parseJson(std::string_view text);
+
+} // namespace obs
+
+} // namespace pact
+
+#endif // PACT_OBS_JSON_READ_HH

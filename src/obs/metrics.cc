@@ -1,6 +1,7 @@
 #include "obs/metrics.hh"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.hh"
 
@@ -33,6 +34,57 @@ validName(const std::string &name)
 }
 
 } // namespace
+
+double
+Distribution::quantileOf(const std::uint64_t *bins, std::uint64_t count,
+                         double q)
+{
+    if (count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the target sample, 1-based: ceil(q * count), clamped to
+    // [1, count]. Integer walk => deterministic for a given bin array.
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    if (rank < 1)
+        rank = 1;
+    if (rank > count)
+        rank = count;
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kNumBins; i++) {
+        seen += bins[i];
+        if (seen >= rank)
+            return binLowerEdge(i);
+    }
+    return binLowerEdge(kNumBins - 1);
+}
+
+double
+Distribution::quantile(double q) const
+{
+    return quantileOf(bins_.data(), count_, q);
+}
+
+DistSnapshot
+DistSnapshot::of(const Distribution &d)
+{
+    DistSnapshot s;
+    s.count = d.count();
+    s.sum = d.sum();
+    s.max = d.max();
+    s.p50 = d.quantile(0.50);
+    s.p90 = d.quantile(0.90);
+    s.p99 = d.quantile(0.99);
+    for (std::size_t i = 0; i < Distribution::kNumBins; i++) {
+        if (d.binCount(i))
+            s.bins.emplace_back(static_cast<std::uint32_t>(i),
+                                d.binCount(i));
+    }
+    return s;
+}
 
 double
 StatRegistry::Entry::sample() const
@@ -96,6 +148,80 @@ StatRegistry::addFn(const std::string &name, StatKind kind,
     e.fn = std::move(fn);
     e.desc = desc;
     insert(std::move(e));
+}
+
+void
+StatRegistry::addDistribution(const std::string &name, const Distribution &d,
+                              const std::string &desc)
+{
+    DistEntry e;
+    e.name = prefix_.empty() ? name : prefix_ + name;
+    e.dist = &d;
+    e.desc = desc;
+    panic_if(!validName(e.name),
+             "StatRegistry: malformed distribution name '", e.name, "'");
+    auto it = std::lower_bound(
+        dists_.begin(), dists_.end(), e.name,
+        [](const DistEntry &a, const std::string &n) { return a.name < n; });
+    panic_if(it != dists_.end() && it->name == e.name,
+             "StatRegistry: duplicate distribution '", e.name, "'");
+    dists_.insert(it, std::move(e));
+}
+
+const StatRegistry::DistEntry *
+StatRegistry::findDist(const std::string &name) const
+{
+    auto it = std::lower_bound(
+        dists_.begin(), dists_.end(), name,
+        [](const DistEntry &a, const std::string &n) { return a.name < n; });
+    if (it == dists_.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+const StatRegistry::DistEntry &
+StatRegistry::getDist(const std::string &name) const
+{
+    const DistEntry *e = findDist(name);
+    panic_if(!e, "StatRegistry: unknown distribution '", name, "'");
+    return *e;
+}
+
+bool
+StatRegistry::hasDist(const std::string &name) const
+{
+    return findDist(name) != nullptr;
+}
+
+std::vector<std::string>
+StatRegistry::distNames() const
+{
+    std::vector<std::string> out;
+    out.reserve(dists_.size());
+    for (const DistEntry &e : dists_)
+        out.push_back(e.name);
+    return out;
+}
+
+const Distribution &
+StatRegistry::distOf(const std::string &name) const
+{
+    return *getDist(name).dist;
+}
+
+const std::string &
+StatRegistry::distDescOf(const std::string &name) const
+{
+    return getDist(name).desc;
+}
+
+void
+StatRegistry::forEachDist(
+    const std::function<void(const std::string &, const Distribution &)> &fn)
+    const
+{
+    for (const DistEntry &e : dists_)
+        fn(e.name, *e.dist);
 }
 
 void

@@ -15,6 +15,9 @@
 #ifndef PACT_OBS_METRICS_HH
 #define PACT_OBS_METRICS_HH
 
+#include <array>
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -53,6 +56,139 @@ class Counter
 
   private:
     std::uint64_t v_ = 0;
+};
+
+/**
+ * A deterministic log-linear histogram cell. The bin layout is *fixed*
+ * at compile time — kSubBits linear sub-bins per power-of-two octave
+ * over exponents [kMinExp, kMaxExp] — so two runs that record the same
+ * values produce bit-identical bin arrays regardless of recording
+ * order, job count, or platform; that is what lets distribution stats
+ * ride in byte-identical artifacts at any PACT_JOBS.
+ *
+ * record() is hot-path safe: a handful of integer ops on the IEEE-754
+ * bit pattern (no frexp/log calls) plus three adds. Quantiles are
+ * derived offline by walking the integer bin counts: quantile(q)
+ * returns the lower edge of the bin holding the ceil(q*count)-th
+ * sample — a deterministic underestimate within one sub-bin (<= 19%
+ * relative error at kSubBits=2). The exact maximum is tracked
+ * separately.
+ *
+ * Bin 0 collects zero, negative, NaN, and underflow values; the last
+ * bin collects overflow. Everything else lands in
+ * 1 + (exp - kMinExp)*4 + sub.
+ */
+class Distribution
+{
+  public:
+    /** Linear sub-bins per octave = 2^kSubBits. */
+    static constexpr int kSubBits = 2;
+    /** Smallest binned exponent: values below 2^-32 underflow to bin 0. */
+    static constexpr int kMinExp = -32;
+    /** Largest binned exponent: values >= 2^64 clamp to the last bin. */
+    static constexpr int kMaxExp = 63;
+    static constexpr std::size_t kNumBins =
+        1 + static_cast<std::size_t>(kMaxExp - kMinExp + 1) * (1u << kSubBits);
+
+    /** Bin index for a value; pure function of the double's bits. */
+    static std::size_t
+    binIndex(double v)
+    {
+        if (!(v > 0.0))
+            return 0; // zero, negative, NaN
+        const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+        const int exp = static_cast<int>((bits >> 52) & 0x7ff) - 1023;
+        if (exp < kMinExp)
+            return 0; // underflow (incl. subnormals)
+        if (exp > kMaxExp)
+            return kNumBins - 1; // overflow (incl. +inf)
+        const std::uint32_t sub =
+            static_cast<std::uint32_t>(bits >> (52 - kSubBits)) &
+            ((1u << kSubBits) - 1);
+        return 1 +
+               (static_cast<std::size_t>(exp - kMinExp) << kSubBits) + sub;
+    }
+
+    /** Lower edge of a bin (bin 0 reports 0). */
+    static double
+    binLowerEdge(std::size_t bin)
+    {
+        if (bin == 0)
+            return 0.0;
+        const std::size_t k = bin - 1;
+        const int exp = kMinExp + static_cast<int>(k >> kSubBits);
+        const double sub =
+            static_cast<double>(k & ((1u << kSubBits) - 1));
+        return std::ldexp(1.0 + sub / (1u << kSubBits), exp);
+    }
+
+    void
+    record(double v)
+    {
+        count_++;
+        sum_ += v;
+        if (v > max_)
+            max_ = v;
+        bins_[binIndex(v)]++;
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    /** Exact maximum recorded value (0 when empty). */
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    const std::uint64_t *bins() const { return bins_.data(); }
+    std::uint64_t binCount(std::size_t i) const { return bins_[i]; }
+
+    /**
+     * Lower edge of the bin containing the ceil(q*count)-th sample
+     * (q in [0,1]); 0 when empty. Deterministic: an integer walk over
+     * the fixed bin layout.
+     */
+    double quantile(double q) const;
+
+    /**
+     * The same quantile walk over an external kNumBins-long bin array
+     * holding @p count samples (per-window delta bins, parsed
+     * artifacts).
+     */
+    static double quantileOf(const std::uint64_t *bins,
+                             std::uint64_t count, double q);
+
+    void
+    reset()
+    {
+        count_ = 0;
+        sum_ = 0.0;
+        max_ = 0.0;
+        bins_.fill(0);
+    }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double max_ = 0.0;
+    std::array<std::uint64_t, kNumBins> bins_{};
+};
+
+/**
+ * A value snapshot of a Distribution: sparse non-empty bins plus the
+ * derived summary, the form in which distributions travel through
+ * RunStats and into manifests/timeseries (copyable, no pointer back
+ * into the engine).
+ */
+struct DistSnapshot
+{
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+    /** Non-empty (binIndex, count) pairs, index-ascending. */
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> bins;
+
+    static DistSnapshot of(const Distribution &d);
 };
 
 /**
@@ -118,6 +254,38 @@ class StatRegistry
                                           double)> &fn) const;
 
     /**
+     * Register a distribution cell. Distributions live in their own
+     * name-sorted list — deliberately *not* part of names()/sampleAll()
+     * — so the scalar stat layout (and every artifact pinned to it,
+     * golden corpus included) is unchanged by registering them. The
+     * active prefix applies the same way as for scalar stats.
+     */
+    void addDistribution(const std::string &name, const Distribution &d,
+                         const std::string &desc = "");
+
+    /** Number of registered distributions. */
+    std::size_t distSize() const { return dists_.size(); }
+
+    bool hasDist(const std::string &name) const;
+
+    /** All registered distribution names, sorted. */
+    std::vector<std::string> distNames() const;
+
+    /** The live cell for a registered distribution; panics when
+     *  unregistered. */
+    const Distribution &distOf(const std::string &name) const;
+
+    /** Description of a registered distribution. */
+    const std::string &distDescOf(const std::string &name) const;
+
+    /**
+     * Visit (name, dist) for every distribution in name-sorted order.
+     */
+    void forEachDist(const std::function<void(const std::string &,
+                                              const Distribution &)> &fn)
+        const;
+
+    /**
      * Push a name prefix: every stat registered until the matching
      * popPrefix() is inserted as "<prefix><name>". This is how one
      * registry hosts several instances of the same component (per-
@@ -144,12 +312,23 @@ class StatRegistry
         double sample() const;
     };
 
+    struct DistEntry
+    {
+        std::string name;
+        const Distribution *dist = nullptr;
+        std::string desc;
+    };
+
     void insert(Entry e);
     const Entry *find(const std::string &name) const;
     const Entry &get(const std::string &name) const;
+    const DistEntry *findDist(const std::string &name) const;
+    const DistEntry &getDist(const std::string &name) const;
 
     /** Name-sorted (insert keeps the order). */
     std::vector<Entry> entries_;
+    /** Name-sorted, separate from entries_ (see addDistribution). */
+    std::vector<DistEntry> dists_;
     /** Concatenation of the pushed prefix stack. */
     std::string prefix_;
     /** Length of prefix_ before each push (for popPrefix). */

@@ -26,6 +26,11 @@ TimeSeriesRecorder::sample(const StatRegistry &reg, Cycles t0, Cycles t1)
         for (const std::string &n : names_)
             kinds_.push_back(reg.kindOf(n));
         prev_.assign(names_.size(), 0.0);
+        distNames_ = reg.distNames();
+        prevBins_.assign(distNames_.size(),
+                         std::vector<std::uint64_t>(
+                             Distribution::kNumBins, 0));
+        prevCount_.assign(distNames_.size(), 0);
 
         JsonWriter w(os_);
         w.beginObject();
@@ -39,6 +44,10 @@ TimeSeriesRecorder::sample(const StatRegistry &reg, Cycles t0, Cycles t1)
                                                         : "gauge");
             w.endObject();
         }
+        w.endArray();
+        w.key("distributions").beginArray();
+        for (const std::string &n : distNames_)
+            w.value(n);
         w.endArray();
         w.endObject();
         os_ << '\n';
@@ -59,6 +68,40 @@ TimeSeriesRecorder::sample(const StatRegistry &reg, Cycles t0, Cycles t1)
                              ? cur[i] - prev_[i]
                              : cur[i];
         w.kv(names_[i], v);
+    }
+    w.endObject();
+    // Per-window distribution shape: delta bins against the previous
+    // sample, summarized as count + derived percentiles. The delta
+    // arrays are integer subtractions of deterministic cumulative
+    // bins, so rows stay byte-identical across job counts.
+    w.key("dist").beginObject();
+    {
+        std::size_t di = 0;
+        std::vector<std::uint64_t> delta(Distribution::kNumBins);
+        panic_if(reg.distSize() != distNames_.size(),
+                 "TimeSeriesRecorder: distribution layout changed "
+                 "mid-run");
+        reg.forEachDist([&](const std::string &n, const Distribution &d) {
+            panic_if(n != distNames_[di],
+                     "TimeSeriesRecorder: distribution layout changed "
+                     "mid-run");
+            const std::uint64_t *bins = d.bins();
+            for (std::size_t b = 0; b < Distribution::kNumBins; b++)
+                delta[b] = bins[b] - prevBins_[di][b];
+            const std::uint64_t count = d.count() - prevCount_[di];
+            w.key(n).beginObject();
+            w.kv("count", count);
+            w.kv("p50",
+                 Distribution::quantileOf(delta.data(), count, 0.50));
+            w.kv("p90",
+                 Distribution::quantileOf(delta.data(), count, 0.90));
+            w.kv("p99",
+                 Distribution::quantileOf(delta.data(), count, 0.99));
+            w.endObject();
+            prevBins_[di].assign(bins, bins + Distribution::kNumBins);
+            prevCount_[di] = d.count();
+            di++;
+        });
     }
     w.endObject();
     w.endObject();

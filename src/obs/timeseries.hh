@@ -59,6 +59,12 @@ class TimeSeriesRecorder
     std::vector<std::string> names_;
     std::vector<StatKind> kinds_;
     std::vector<double> prev_;
+    /** Registered distribution names (layout captured like names_). */
+    std::vector<std::string> distNames_;
+    /** Previous cumulative bin arrays, one kNumBins row per dist. */
+    std::vector<std::vector<std::uint64_t>> prevBins_;
+    /** Previous cumulative counts, aligned with distNames_. */
+    std::vector<std::uint64_t> prevCount_;
 };
 
 /**

@@ -68,6 +68,8 @@ PactPolicy::registerStats(obs::StatRegistry &reg)
                    "candidates skipped while quarantined");
     reg.addCounter("pact.cooling.cooled_pages", cooledPages_,
                    "pages whose PAC was cooled");
+    reg.addDistribution("pact.dist.pac_score", pacDist_,
+                        "post-attribution PAC score per touched page");
 }
 
 void
@@ -119,6 +121,7 @@ PactPolicy::attribute(SimContext &ctx)
     } else {
         mlp = w.mlp(TierId::Slow);
     }
+    lastMlp_ = mlp;
     const double misses = static_cast<double>(
         w.llcLoadMisses[tierIndex(TierId::Slow)]);
     const double S = kEff_ * misses / mlp;
@@ -202,6 +205,7 @@ PactPolicy::attribute(SimContext &ctx)
         e.lastSample = globalSamples_;
         touched_.push_back(page);
         pacMass_ += static_cast<double>(e.pac) - pacBefore;
+        pacDist_.record(static_cast<double>(e.pac));
 
         reservoir_.add(rankValue(e), ctx.rng);
     }
@@ -258,15 +262,38 @@ PactPolicy::migrate(SimContext &ctx)
                      std::greater<>());
     const std::uint32_t cutBin = order[nth];
 
-    std::vector<std::pair<double, PageId>> cands;
+    struct Cand
+    {
+        double rank;
+        PageId page;
+        std::uint32_t bin;
+    };
+    std::vector<Cand> cands;
     for (std::size_t i = 0; i < bins.size(); i++) {
         if (bins[i] >= cutBin)
-            cands.push_back(ranked[i]);
+            cands.push_back({ranked[i].first, ranked[i].second, bins[i]});
     }
     std::sort(cands.begin(), cands.end(),
-              [](const auto &a, const auto &b) { return a.first > b.first; });
+              [](const Cand &a, const Cand &b) { return a.rank > b.rank; });
     if (cands.size() > 4096)
         cands.resize(4096);
+
+    // Provenance: one BinAssign per surviving candidate, carrying the
+    // rank value, bin, and the window's MLP input.
+    if (ctx.journal) {
+        for (const Cand &c : cands) {
+            obs::PageEvent ev;
+            ev.now = ctx.now;
+            ev.kind = obs::EventKind::BinAssign;
+            ev.tenant = ctx.tenant;
+            ev.page = c.page;
+            ev.window = tickNo_;
+            ev.pac = c.rank;
+            ev.bin = static_cast<std::int32_t>(c.bin);
+            ev.mlp = lastMlp_;
+            ctx.journal->emit(ev);
+        }
+    }
 
     // Feed the controller the true top-bin population so it keeps
     // hunting: a starved top bin drives the width up; a degenerate
@@ -307,6 +334,21 @@ PactPolicy::migrate(SimContext &ctx)
         for (const PageId victim : v) {
             if (quarantined(victim) || regionHot(victim))
                 continue;
+            if (ctx.journal) {
+                obs::PageEvent ev;
+                ev.now = ctx.now;
+                ev.kind = obs::EventKind::DemoteEnqueue;
+                ev.tenant = ctx.tenant;
+                ev.page = victim;
+                ev.window = tickNo_;
+                const PacEntry *e = table_.find(victim);
+                if (e) {
+                    ev.pac = static_cast<double>(e->pac);
+                    ev.bin = static_cast<std::int32_t>(
+                        binning_.binOf(rankValue(*e)));
+                }
+                ctx.journal->emit(ev);
+            }
             if (!ctx.mig.demote(victim))
                 return false;
             reason++;
@@ -318,8 +360,8 @@ PactPolicy::migrate(SimContext &ctx)
     const std::uint64_t batchCap = std::min<std::uint64_t>(
         cfg_.promoteBatchCap,
         std::max<std::uint64_t>(64, ctx.tm.fastCapacity() / 8));
-    for (const auto &[rank, page] : cands) {
-        (void)rank;
+    for (const Cand &c : cands) {
+        const PageId page = c.page;
         if (promoted >= batchCap)
             break;
         if (quarantined(page)) {
@@ -346,6 +388,17 @@ PactPolicy::migrate(SimContext &ctx)
         }
         if (ctx.tm.freeFast() < needed)
             break;
+        if (ctx.journal) {
+            obs::PageEvent ev;
+            ev.now = ctx.now;
+            ev.kind = obs::EventKind::PromoteEnqueue;
+            ev.tenant = ctx.tenant;
+            ev.page = page;
+            ev.window = tickNo_;
+            ev.pac = c.rank;
+            ev.bin = static_cast<std::int32_t>(c.bin);
+            ctx.journal->emit(ev);
+        }
         if (ctx.mig.promote(page)) {
             promoted += needed; // cap is denominated in 4KB pages
             const bool wasHuge =

@@ -174,6 +174,8 @@ class PactPolicy : public TieringPolicy
     AdaptiveBinning binning_;
     PmuSnapshot snap_;
     double kEff_ = 0.0;
+    /** MLP estimate of the last attribution window (journal events). */
+    double lastMlp_ = 0.0;
     Cycles lastTickNow_ = 0;
     std::uint64_t lastSlowLines_ = 0;
     std::uint64_t globalSamples_ = 0;
@@ -202,6 +204,8 @@ class PactPolicy : public TieringPolicy
     obs::Counter quarantineSkips_;
     /** Pages whose PAC was cooled (halved or reset). */
     obs::Counter cooledPages_;
+    /** Post-attribution PAC score of every touched page, per window. */
+    obs::Distribution pacDist_;
 };
 
 } // namespace pact

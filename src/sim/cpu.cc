@@ -225,7 +225,7 @@ Cpu::doAccess(const TraceOp &op)
         pmu_.llcLoadMisses[tierIndex(tier)]++;
         pebs_.onLoadMiss(op.vaddr(), tier,
                          static_cast<std::uint32_t>(acc.completion - cycle_),
-                         trace_.proc);
+                         trace_.proc, cycle_);
         lastLoadValid_ = true;
         lastLoadCompletion_ = acc.completion;
         lastLoadTier_ = tier;

@@ -149,6 +149,7 @@ Engine::init()
         for (const Trace *tr : t.spec.traces) {
             t.cpus.push_back(cpus_.size());
             traceOf_.push_back(tr);
+            tenantOf_.push_back(static_cast<std::uint32_t>(i));
             cpus_.push_back(std::make_unique<Cpu>(
                 cfg_, *tr, cache_, tiers, tm_, lru_, t.pmu, t.pebs,
                 hugeMap_, t.spec.policy, chmu_.get()));
@@ -353,6 +354,23 @@ Engine::registerStats()
                [this] { return static_cast<double>(tm_.touchedPages()); },
                "pages materialized so far");
 
+    // Distribution stats: fixed-layout log-linear histograms, kept in
+    // the registry's separate distribution list so the scalar stat
+    // layout (pinned by the golden corpus) is untouched.
+    reg_.addDistribution("engine.dist.tier.fast.latency",
+                         fastTier_.latencyDist(),
+                         "loaded latency per fast-tier demand request");
+    reg_.addDistribution("engine.dist.tier.slow.latency",
+                         slowTier_.latencyDist(),
+                         "loaded latency per slow-tier demand request");
+    reg_.addDistribution("engine.dist.migration.latency",
+                         mig_.latencyDist(),
+                         "charged cycles per migration op (aborts incl.)");
+    reg_.addDistribution("engine.dist.daemon.tick_cycles", tickCyclesDist_,
+                         "copy cycles charged per daemon tick");
+    reg_.addDistribution("engine.dist.daemon.tor_occupancy", torWindowDist_,
+                         "slow-tier TOR occupancy delta per daemon window");
+
     if (faults_) {
         const FaultCounters &fc = faults_->counters();
         reg_.addCounter("faults.migration_aborts", &fc.migrationAborts,
@@ -426,9 +444,34 @@ void
 Engine::setTraceSink(obs::TraceEventSink *sink)
 {
     traceSink_ = sink;
-    if (traceSink_) {
+    if (!traceSink_)
+        return;
+    if (legacy_) {
+        // Historical lane layout, kept exactly so old traces diff.
         traceSink_->threadName(0, "policy daemon");
         traceSink_->threadName(1, "migration copies");
+    } else {
+        // One daemon + one migration lane per tenant, so N tenants
+        // render as N parallel row pairs instead of one shared row.
+        for (std::size_t i = 0; i < tenants_.size(); i++) {
+            const std::string &n = tenants_[i]->spec.name;
+            traceSink_->threadName(static_cast<std::uint32_t>(2 * i),
+                                   n + " daemon");
+            traceSink_->threadName(static_cast<std::uint32_t>(2 * i + 1),
+                                   n + " migration");
+        }
+    }
+}
+
+void
+Engine::setEventJournal(obs::EventJournal *journal)
+{
+    journal_ = journal;
+    mig_.setJournal(journal_);
+    for (std::size_t i = 0; i < tenants_.size(); i++) {
+        tenants_[i]->pebs.setJournal(journal_,
+                                     static_cast<std::uint32_t>(i));
+        tenants_[i]->ctx->journal = journal_;
     }
 }
 
@@ -462,7 +505,8 @@ Engine::chargeCopy(TierId src, TierId dst, std::uint64_t bytes)
     if (traceSink_) {
         traceSink_->completeEvent(
             dst == TierId::Fast ? "promote.copy" : "demote.copy",
-            "migration", obs::cyclesToUs(now_), obs::cyclesToUs(cost), 1,
+            "migration", obs::cyclesToUs(now_), obs::cyclesToUs(cost),
+            migrationLane(currentTenant_),
             {{"bytes", static_cast<double>(bytes)}});
     }
     return cost;
@@ -486,8 +530,18 @@ Engine::runUntil(Cycles until)
 
     while (now_ < until) {
         const Cycles sliceEnd = now_ + cfg_.slice;
-        for (auto &cpu : cpus_)
-            cpu->run(sliceEnd);
+        for (std::size_t i = 0; i < cpus_.size(); i++) {
+            currentTenant_ = tenantOf_[i];
+            // Fault-path migrations (promote-on-fault policies) fire
+            // inside cpu->run; stamp their provenance context at slice
+            // resolution so the journal attributes them correctly.
+            if (journal_) {
+                mig_.setJournalContext(
+                    now_, currentTenant_,
+                    tenants_[currentTenant_]->ticks);
+            }
+            cpus_[i]->run(sliceEnd);
+        }
         now_ = sliceEnd;
 
         if (now_ >= nextTick_) {
@@ -495,26 +549,43 @@ Engine::runUntil(Cycles until)
             // Daemon-window boundary: every tenant's daemon runs, in
             // tenant order, against the shared tier state. Serial and
             // fixed-order, so N-tenant runs stay deterministic.
-            for (auto &t : tenants_) {
+            for (std::size_t ti = 0; ti < tenants_.size(); ti++) {
+                auto &t = tenants_[ti];
                 if (!t->spec.policy)
                     continue;
                 const MigrationStats before = mig_.stats();
+                currentTenant_ = static_cast<std::uint32_t>(ti);
+                if (journal_)
+                    mig_.setJournalContext(now_, currentTenant_,
+                                           t->ticks + 1);
                 t->ctx->now = now_;
                 refreshWrappedPmu(*t);
                 t->spec.policy->tick(*t->ctx);
                 t->ticks++;
                 daemonTicks_++;
                 ticked = true;
+                const MigrationStats &after = mig_.stats();
+                const Cycles tickCopy =
+                    after.copyCycles - before.copyCycles;
+                tickCyclesDist_.record(static_cast<double>(tickCopy));
+                if (journal_) {
+                    obs::PageEvent ev;
+                    ev.now = now_;
+                    ev.kind = obs::EventKind::DaemonTick;
+                    ev.tenant = currentTenant_;
+                    ev.window = t->ticks;
+                    ev.latency = tickCopy;
+                    journal_->emit(ev);
+                }
                 if (traceSink_) {
-                    const MigrationStats &after = mig_.stats();
                     const double ts = obs::cyclesToUs(now_);
                     // The tick's visible extent is the time its
                     // migrations kept the copy engine busy.
                     traceSink_->completeEvent(
                         "daemon.tick", "daemon", ts,
-                        obs::cyclesToUs(after.copyCycles -
-                                        before.copyCycles),
-                        0,
+                        obs::cyclesToUs(tickCopy),
+                        legacy_ ? 0u
+                                : static_cast<std::uint32_t>(2 * ti),
                         {{"tick", static_cast<double>(daemonTicks_)},
                          {"promoted_ops",
                           static_cast<double>(after.promotedOps -
@@ -530,6 +601,16 @@ Engine::runUntil(Cycles until)
                         static_cast<double>(after.promotedOps -
                                             before.promotedOps));
                 }
+            }
+            // Window-shape distribution: how much slow-tier TOR
+            // occupancy (the paper's T1 signal) this window added.
+            {
+                std::uint64_t occ = 0;
+                for (const auto &t : tenants_)
+                    occ += t->pmu.torOccupancy[tierIndex(TierId::Slow)];
+                torWindowDist_.record(
+                    static_cast<double>(occ - lastTorOcc_));
+                lastTorOcc_ = occ;
             }
             if (ticked) {
                 // Application threads absorb migration penalties.
@@ -615,6 +696,9 @@ Engine::snapshot() const
     auto u64 = [&](const char *name) {
         return static_cast<std::uint64_t>(rs.stat(name));
     };
+    reg_.forEachDist([&](const std::string &n, const obs::Distribution &d) {
+        rs.dists.emplace_back(n, obs::DistSnapshot::of(d));
+    });
     rs.pebsEvents = u64("engine.pebs.events");
     rs.pebsDropped = u64("engine.pebs.dropped");
     rs.cacheHits = u64("engine.cache.hits");

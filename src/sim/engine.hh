@@ -100,6 +100,9 @@ struct RunStats
         spans;
     /** Full end-of-run stat registry dump, name-sorted. */
     std::vector<std::pair<std::string, double>> registry;
+    /** Distribution snapshots, name-sorted (separate from `registry`
+     *  so the scalar dump keeps its pinned golden layout). */
+    std::vector<std::pair<std::string, obs::DistSnapshot>> dists;
     /** Per-tenant summaries (empty on the legacy single-policy path). */
     std::vector<Tenant> tenants;
 
@@ -197,9 +200,30 @@ class Engine : public MigrationBackend
     /**
      * Attach a Chrome-trace sink: migration copies and daemon ticks
      * are recorded as trace_event spans. Call before the first
-     * runUntil(); the sink must outlive the engine.
+     * runUntil(); the sink must outlive the engine. Legacy engines
+     * keep the historical two lanes (tid 0 = daemon, 1 = migration);
+     * tenant engines give every tenant its own pair of lanes
+     * (tid 2i = "<name> daemon", 2i+1 = "<name> migration") so
+     * multi-tenant traces don't interleave onto one row.
      */
     void setTraceSink(obs::TraceEventSink *sink);
+
+    /**
+     * Attach a decision-provenance journal: PEBS samples, policy
+     * bin/enqueue decisions, migration start/complete/abort, and
+     * daemon ticks are recorded as typed page events. Opt-in — a null
+     * journal (the default) costs nothing on the hot path. Call
+     * before the first runUntil(); must outlive the engine.
+     */
+    void setEventJournal(obs::EventJournal *journal);
+
+    /** Trace-lane tid of a tenant's migration events (satellite of
+     *  the per-tenant lane scheme; legacy engines use lane 1). */
+    std::uint32_t
+    migrationLane(std::uint32_t tenant) const
+    {
+        return legacy_ ? 1u : 2u * tenant + 1u;
+    }
 
   private:
     /** Everything one tenant owns: counters, sampler, daemon context. */
@@ -263,9 +287,23 @@ class Engine : public MigrationBackend
     std::vector<std::unique_ptr<Cpu>> cpus_;
     /** The trace each core replays (aligned with cpus_). */
     std::vector<const Trace *> traceOf_;
+    /** Owning tenant index of each core (aligned with cpus_). */
+    std::vector<std::uint32_t> tenantOf_;
 
     obs::StatRegistry reg_;
     obs::TraceEventSink *traceSink_ = nullptr;
+    obs::EventJournal *journal_ = nullptr;
+    /** Tenant whose activity migration callbacks attribute to: the
+     *  core being sliced, or the daemon being ticked. */
+    std::uint32_t currentTenant_ = 0;
+
+    // Engine-level distribution cells (registered by registerStats).
+    /** Per daemon tick: copy cycles its migrations charged. */
+    obs::Distribution tickCyclesDist_;
+    /** Per daemon window: slow-tier TOR occupancy integral delta. */
+    obs::Distribution torWindowDist_;
+    /** Aggregate slow-tier TOR occupancy at the last window close. */
+    std::uint64_t lastTorOcc_ = 0;
 
     Cycles now_ = 0;
     Cycles nextTick_ = 0;

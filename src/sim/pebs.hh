@@ -14,6 +14,7 @@
 
 #include "common/types.hh"
 #include "fault/fault.hh"
+#include "obs/events.hh"
 #include "sim/config.hh"
 
 namespace pact
@@ -35,9 +36,11 @@ class PebsSampler
   public:
     explicit PebsSampler(const PebsParams &params);
 
-    /** Report a demand-load LLC miss; may record a sample. */
+    /** Report a demand-load LLC miss; may record a sample. @p now is
+     *  only consumed by the provenance journal (0 when unwired). */
     void
-    onLoadMiss(Addr vaddr, TierId tier, std::uint32_t latency, ProcId proc)
+    onLoadMiss(Addr vaddr, TierId tier, std::uint32_t latency, ProcId proc,
+               Cycles now = 0)
     {
         if (tier == TierId::Fast && !params_.sampleFastTier)
             return;
@@ -55,14 +58,30 @@ class PebsSampler
             return;
         }
         buffer_.push_back({vaddr, latency, tier, proc});
+        if (journal_)
+            emitSample(vaddr, tier, latency, now);
         if (faults_ && faults_->duplicateSample() &&
             buffer_.size() < params_.bufferCap) {
             buffer_.push_back({vaddr, latency, tier, proc});
+            if (journal_)
+                emitSample(vaddr, tier, latency, now);
         }
     }
 
     /** Attach a fault plan (nullptr disables injection). */
     void setFaultPlan(FaultPlan *faults) { faults_ = faults; }
+
+    /**
+     * Attach a provenance journal: every sample that actually lands
+     * in the buffer (post drop/cap, including injected duplicates)
+     * emits a PebsSample event tagged with @p tenant.
+     */
+    void
+    setJournal(obs::EventJournal *j, std::uint32_t tenant)
+    {
+        journal_ = j;
+        tenant_ = tenant;
+    }
 
     /** Move all buffered records out (daemon drain). */
     std::vector<PebsRecord>
@@ -82,8 +101,23 @@ class PebsSampler
     std::size_t pending() const { return buffer_.size(); }
 
   private:
+    void
+    emitSample(Addr vaddr, TierId tier, std::uint32_t latency, Cycles now)
+    {
+        obs::PageEvent e;
+        e.now = now;
+        e.kind = obs::EventKind::PebsSample;
+        e.tenant = tenant_;
+        e.page = pageOf(vaddr);
+        e.srcTier = static_cast<std::uint32_t>(tier);
+        e.latency = latency;
+        journal_->emit(e);
+    }
+
     PebsParams params_;
     FaultPlan *faults_ = nullptr;
+    obs::EventJournal *journal_ = nullptr;
+    std::uint32_t tenant_ = 0;
     std::uint64_t sinceLast_ = 0;
     std::uint64_t events_ = 0;
     std::uint64_t dropped_ = 0;

@@ -11,6 +11,7 @@
 
 #include "common/rng.hh"
 #include "common/types.hh"
+#include "obs/events.hh"
 #include "obs/metrics.hh"
 #include "sim/config.hh"
 #include "sim/pebs.hh"
@@ -45,6 +46,13 @@ struct SimContext
     Chmu *chmu = nullptr;
     /** Live fault-injection plan, when SimConfig::faults enables one. */
     FaultPlan *faults = nullptr;
+    /**
+     * Opt-in decision provenance journal; policies emit
+     * BinAssign/PromoteEnqueue/DemoteEnqueue events into it when
+     * non-null (the engine wires it only when an events artifact was
+     * requested).
+     */
+    obs::EventJournal *journal = nullptr;
     /**
      * Index of the tenant this context belongs to. Each tenant's
      * daemon gets its own context whose pmu/pebs views see only that

@@ -22,6 +22,7 @@ Tier::access(Cycles ready)
     requests_++;
     linesServed_++;
     loadedLatSum_ += acc.completion - ready;
+    latDist_.record(static_cast<double>(acc.completion - ready));
     return acc;
 }
 

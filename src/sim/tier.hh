@@ -13,6 +13,7 @@
 #include <cstdint>
 
 #include "common/types.hh"
+#include "obs/metrics.hh"
 #include "sim/config.hh"
 
 namespace pact
@@ -73,6 +74,9 @@ class Tier
     /** Current bandwidth cursor (for tests). */
     double cursor() const { return nextFree_; }
 
+    /** Loaded-latency distribution over all demand requests. */
+    const obs::Distribution &latencyDist() const { return latDist_; }
+
   private:
     TierId id_;
     TierParams params_;
@@ -81,6 +85,7 @@ class Tier
     std::uint64_t requests_ = 0;
     std::uint64_t loadedLatSum_ = 0;
     std::uint64_t linesServed_ = 0;
+    obs::Distribution latDist_;
 };
 
 } // namespace pact

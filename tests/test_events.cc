@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Decision provenance journal tests: ring semantics (seq stamping,
+ * overwrite-oldest, dropped accounting), the pact.events/1 JSONL
+ * shape, trace merging, opt-in wiring through the engine, and the
+ * determinism + chain-completeness guarantees the offline explain
+ * tooling depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/runner.hh"
+#include "obs/events.hh"
+#include "obs/export.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+using obs::EventJournal;
+using obs::EventKind;
+using obs::PageEvent;
+
+namespace
+{
+
+PageEvent
+mkEvent(EventKind kind, std::uint64_t page, std::uint64_t now = 0)
+{
+    PageEvent e;
+    e.kind = kind;
+    e.page = page;
+    e.now = now;
+    return e;
+}
+
+} // namespace
+
+TEST(EventJournal, StampsSequenceNumbers)
+{
+    EventJournal j(8);
+    for (int i = 0; i < 3; i++)
+        j.emit(mkEvent(EventKind::PebsSample, 100 + i));
+    const auto events = j.events();
+    ASSERT_EQ(events.size(), 3u);
+    for (std::uint64_t i = 0; i < 3; i++) {
+        EXPECT_EQ(events[i].seq, i);
+        EXPECT_EQ(events[i].page, 100 + i);
+    }
+    EXPECT_EQ(j.emitted(), 3u);
+    EXPECT_EQ(j.dropped(), 0u);
+}
+
+TEST(EventJournal, RingOverwritesOldest)
+{
+    EventJournal j(4);
+    for (std::uint64_t i = 0; i < 6; i++)
+        j.emit(mkEvent(EventKind::BinAssign, i));
+    EXPECT_EQ(j.emitted(), 6u);
+    EXPECT_EQ(j.dropped(), 2u);
+    const auto events = j.events();
+    ASSERT_EQ(events.size(), 4u);
+    // Oldest-first: pages 2..5 survive, seq matches emission order.
+    for (std::uint64_t i = 0; i < 4; i++) {
+        EXPECT_EQ(events[i].page, i + 2);
+        EXPECT_EQ(events[i].seq, i + 2);
+    }
+}
+
+TEST(EventJournal, JsonlHeaderAndPayloadKeys)
+{
+    EventJournal j(16);
+    PageEvent s = mkEvent(EventKind::PebsSample, 7, 1000);
+    s.srcTier = 1;
+    s.latency = 300;
+    j.emit(s);
+    PageEvent b = mkEvent(EventKind::BinAssign, 7, 2000);
+    b.pac = 3.5;
+    b.bin = 2;
+    b.mlp = 1.25;
+    j.emit(b);
+    PageEvent m = mkEvent(EventKind::MigrationComplete, 7, 3000);
+    m.srcTier = 1;
+    m.dstTier = 0;
+    m.pages = 1;
+    m.latency = 4200;
+    j.emit(m);
+
+    std::ostringstream os;
+    j.writeJsonl(os);
+    const std::string out = os.str();
+
+    EXPECT_NE(out.find("\"schema\":\"pact.events/1\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"capacity\":16"), std::string::npos);
+    EXPECT_NE(out.find("\"emitted\":3"), std::string::npos);
+    EXPECT_NE(out.find("\"dropped\":0"), std::string::npos);
+    // Per-kind payload keys: samples carry tier+latency, bin
+    // assignments carry the policy inputs, migrations the charge.
+    EXPECT_NE(out.find("\"kind\":\"pebs_sample\",\"tenant\":0,"
+                       "\"page\":7,\"window\":0,\"src_tier\":1,"
+                       "\"latency\":300"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"kind\":\"bin_assign\""), std::string::npos);
+    EXPECT_NE(out.find("\"pac\":3.5,\"bin\":2,\"mlp\":1.25"),
+              std::string::npos);
+    EXPECT_NE(out.find("\"kind\":\"migration_complete\""),
+              std::string::npos);
+    // Header + 3 events = 4 lines.
+    std::size_t lines = 0;
+    for (char c : out)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 4u);
+}
+
+TEST(EventJournal, MergeIntoTraceClosesSlices)
+{
+    EventJournal j(16);
+    PageEvent start = mkEvent(EventKind::MigrationStart, 42, 1000);
+    start.srcTier = 1;
+    start.dstTier = 0;
+    start.pages = 1;
+    start.tenant = 1;
+    j.emit(start);
+    PageEvent done = mkEvent(EventKind::MigrationComplete, 42, 1000);
+    done.srcTier = 1;
+    done.dstTier = 0;
+    done.pages = 1;
+    done.latency = 2000;
+    done.tenant = 1;
+    j.emit(done);
+
+    obs::TraceEventSink sink;
+    j.mergeIntoTrace(sink,
+                     [](std::uint32_t tenant) { return 2 * tenant + 1; });
+    EXPECT_EQ(sink.size(), 2u);
+
+    std::ostringstream os;
+    sink.write(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"ph\":\"b\""), std::string::npos);
+    EXPECT_NE(out.find("\"ph\":\"e\""), std::string::npos);
+    EXPECT_NE(out.find("\"name\":\"page promote\""), std::string::npos);
+    EXPECT_NE(out.find("\"id\":42"), std::string::npos);
+    EXPECT_NE(out.find("\"tid\":3"), std::string::npos);
+}
+
+namespace
+{
+
+/** One journaled fault-injected run; returns the JSONL bytes. */
+std::string
+journaledRun(bool tenants)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared(
+        tenants ? "masim-coloc" : "silo", opt);
+    SimConfig cfg;
+    cfg.faults = "migabort:p=0.2";
+    Runner runner(cfg);
+    EventJournal journal;
+    RunObservers observers;
+    observers.events = &journal;
+    if (tenants)
+        runner.runTenants(*bundle, "PACT", 0.5, &observers);
+    else
+        runner.run(*bundle, "PACT", Runner::ratioShare(1, 2),
+                   &observers);
+    EXPECT_GT(journal.emitted(), 0u);
+    std::ostringstream os;
+    journal.writeJsonl(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(EventJournal, EngineRunIsJournaledAndDeterministic)
+{
+    const std::string a = journaledRun(false);
+    const std::string b = journaledRun(false);
+    EXPECT_EQ(a, b) << "journal bytes diverged between identical runs";
+
+    // The journal covers the whole decision pipeline.
+    for (const char *kind :
+         {"pebs_sample", "bin_assign", "promote_enqueue",
+          "migration_start", "migration_complete", "migration_abort",
+          "daemon_tick"}) {
+        EXPECT_NE(a.find(std::string("\"kind\":\"") + kind + "\""),
+                  std::string::npos)
+            << kind << " missing from a fault-injected PACT run";
+    }
+}
+
+TEST(EventJournal, PromotedPageHasFullProvenanceChain)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
+    SimConfig cfg;
+    cfg.faults = "migabort:p=0.2";
+    Runner runner(cfg);
+    EventJournal journal;
+    RunObservers observers;
+    observers.events = &journal;
+    const RunResult r =
+        runner.runTenants(*bundle, "PACT", 0.5, &observers);
+    ASSERT_EQ(r.tenants.size(), 2u);
+
+    // Multi-tenant lanes are stamped: both tenants appear.
+    std::set<std::uint32_t> lanes;
+    std::map<std::uint64_t, std::set<EventKind>> byPage;
+    for (const PageEvent &e : journal.events()) {
+        lanes.insert(e.tenant);
+        if (e.kind == EventKind::BinAssign ||
+            e.kind == EventKind::PromoteEnqueue ||
+            (e.dstTier == 0 && (e.kind == EventKind::MigrationStart ||
+                                e.kind == EventKind::MigrationComplete)))
+            byPage[e.page].insert(e.kind);
+    }
+    EXPECT_GE(lanes.size(), 2u) << "events never left tenant lane 0";
+
+    bool full = false;
+    for (const auto &[page, kinds] : byPage) {
+        full = kinds.count(EventKind::BinAssign) &&
+               kinds.count(EventKind::PromoteEnqueue) &&
+               kinds.count(EventKind::MigrationStart) &&
+               kinds.count(EventKind::MigrationComplete);
+        if (full)
+            break;
+    }
+    EXPECT_TRUE(full)
+        << "no promoted page retained bin->enqueue->start->complete";
+}
+
+TEST(EventJournal, JournalIsOptIn)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("silo", opt);
+    Runner runner;
+    // No events observer: the engine must not require a journal.
+    const RunResult r =
+        runner.run(*bundle, "PACT", Runner::ratioShare(1, 2));
+    EXPECT_GT(r.stats.promotions(), 0u);
+}

@@ -75,6 +75,63 @@ TEST(Logging, ConcurrentWarnsDoNotRace)
     setLogQuiet(was);
 }
 
+TEST(Logging, ConsecutiveDuplicateWarnsAreSuppressed)
+{
+    const bool was = logQuiet();
+    setLogQuiet(false);
+    flushWarnRepeats(); // forget any earlier test's last message
+
+    const std::uint64_t before = warnSuppressed();
+    warn("dedup-me");
+    warn("dedup-me");
+    warn("dedup-me");
+    EXPECT_EQ(warnSuppressed() - before, 2u)
+        << "identical consecutive warns must print once";
+    // A different message flushes the pending "repeated 2 more times"
+    // summary and prints normally.
+    warn("something else");
+    EXPECT_EQ(warnSuppressed() - before, 2u);
+    // The original message prints again after an intervening one (the
+    // dedup window is consecutive-only, not global).
+    warn("dedup-me");
+    EXPECT_EQ(warnSuppressed() - before, 2u);
+
+    flushWarnRepeats();
+    setLogQuiet(was);
+}
+
+TEST(Logging, FlushResetsDedupWindow)
+{
+    const bool was = logQuiet();
+    setLogQuiet(false);
+    flushWarnRepeats();
+
+    const std::uint64_t before = warnSuppressed();
+    warn("boundary message");
+    flushWarnRepeats(); // e.g. a run boundary
+    warn("boundary message");
+    EXPECT_EQ(warnSuppressed() - before, 0u)
+        << "flush must forget the last message";
+
+    flushWarnRepeats();
+    setLogQuiet(was);
+}
+
+TEST(LoggingDeath, RepeatedWarnsEmitSummaryLine)
+{
+    EXPECT_DEATH(
+        {
+            setLogQuiet(false);
+            flushWarnRepeats();
+            warn("spam line");
+            warn("spam line");
+            warn("spam line");
+            warn("different line");
+            std::abort();
+        },
+        "warn: last message repeated 2 more times");
+}
+
 TEST(LoggingDeath, TaggedWarnCarriesPrefix)
 {
     EXPECT_DEATH(

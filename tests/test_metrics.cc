@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -150,6 +151,158 @@ TEST(StatRegistryDeath, UnknownNamePanicsOnRead)
 {
     obs::StatRegistry reg;
     EXPECT_DEATH(reg.value("no.such"), "no.such");
+}
+
+TEST(Distribution, BinIndexHandlesEdgeCases)
+{
+    using D = obs::Distribution;
+    // Bin 0 collects everything that is not a positive normal value
+    // in range: zero, negatives, NaN, and underflow below 2^kMinExp.
+    EXPECT_EQ(D::binIndex(0.0), 0u);
+    EXPECT_EQ(D::binIndex(-1.0), 0u);
+    EXPECT_EQ(D::binIndex(std::nan("")), 0u);
+    EXPECT_EQ(D::binIndex(std::ldexp(1.0, D::kMinExp - 1)), 0u);
+    EXPECT_EQ(D::binIndex(5e-324), 0u); // smallest subnormal
+    // The last bin collects overflow past 2^(kMaxExp+1), incl. +inf.
+    EXPECT_EQ(D::binIndex(std::ldexp(1.0, D::kMaxExp + 1)),
+              D::kNumBins - 1);
+    EXPECT_EQ(D::binIndex(std::numeric_limits<double>::infinity()),
+              D::kNumBins - 1);
+    // In-range extremes stay in range.
+    EXPECT_EQ(D::binIndex(std::ldexp(1.0, D::kMinExp)), 1u);
+    EXPECT_LT(D::binIndex(std::ldexp(1.75, D::kMaxExp)), D::kNumBins);
+}
+
+TEST(Distribution, BinIndexPlacesSubBins)
+{
+    using D = obs::Distribution;
+    // One octave holds 2^kSubBits linear sub-bins: [1,2) splits at
+    // 1.25/1.5/1.75, and 2.0 starts the next octave.
+    const std::size_t one = D::binIndex(1.0);
+    EXPECT_EQ(D::binIndex(1.1), one);
+    EXPECT_EQ(D::binIndex(1.25), one + 1);
+    EXPECT_EQ(D::binIndex(1.5), one + 2);
+    EXPECT_EQ(D::binIndex(1.75), one + 3);
+    EXPECT_EQ(D::binIndex(2.0), one + 4);
+    EXPECT_EQ(D::binIndex(4.0), one + 8);
+}
+
+TEST(Distribution, BinLowerEdgeRoundTrips)
+{
+    using D = obs::Distribution;
+    EXPECT_DOUBLE_EQ(D::binLowerEdge(0), 0.0);
+    EXPECT_DOUBLE_EQ(D::binLowerEdge(D::binIndex(1.0)), 1.0);
+    EXPECT_DOUBLE_EQ(D::binLowerEdge(D::binIndex(1.5)), 1.5);
+    // Every bin's lower edge maps back to that bin: the edges are the
+    // exact representative values the quantile walk reports.
+    for (std::size_t b = 1; b < D::kNumBins; b++)
+        EXPECT_EQ(D::binIndex(D::binLowerEdge(b)), b) << "bin " << b;
+}
+
+TEST(Distribution, RecordsSummaryAndQuantiles)
+{
+    obs::Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0); // empty
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+
+    for (int i = 0; i < 50; i++)
+        d.record(1.0);
+    for (int i = 0; i < 50; i++)
+        d.record(4.0);
+    EXPECT_EQ(d.count(), 100u);
+    EXPECT_DOUBLE_EQ(d.sum(), 250.0);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0); // exact, not an edge
+    EXPECT_EQ(d.binCount(obs::Distribution::binIndex(1.0)), 50u);
+    EXPECT_EQ(d.binCount(obs::Distribution::binIndex(4.0)), 50u);
+    // The 50th sample is the last 1.0; the 51st is the first 4.0.
+    EXPECT_DOUBLE_EQ(d.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.51), 4.0);
+    EXPECT_DOUBLE_EQ(d.quantile(0.99), 4.0);
+    // quantileOf walks an external bin array identically.
+    EXPECT_DOUBLE_EQ(
+        obs::Distribution::quantileOf(d.bins(), d.count(), 0.5), 1.0);
+    EXPECT_DOUBLE_EQ(
+        obs::Distribution::quantileOf(d.bins(), d.count(), 0.99), 4.0);
+
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_EQ(d.binCount(obs::Distribution::binIndex(1.0)), 0u);
+}
+
+TEST(Distribution, SnapshotIsSparseAndSummarized)
+{
+    obs::Distribution d;
+    for (int i = 0; i < 9; i++)
+        d.record(2.0);
+    d.record(16.0);
+
+    const obs::DistSnapshot s = obs::DistSnapshot::of(d);
+    EXPECT_EQ(s.count, 10u);
+    EXPECT_DOUBLE_EQ(s.sum, 34.0);
+    EXPECT_DOUBLE_EQ(s.max, 16.0);
+    EXPECT_DOUBLE_EQ(s.p50, 2.0);
+    EXPECT_DOUBLE_EQ(s.p90, 2.0);
+    EXPECT_DOUBLE_EQ(s.p99, 16.0);
+    // Only the two occupied bins travel, index-ascending.
+    ASSERT_EQ(s.bins.size(), 2u);
+    EXPECT_EQ(s.bins[0].first, obs::Distribution::binIndex(2.0));
+    EXPECT_EQ(s.bins[0].second, 9u);
+    EXPECT_EQ(s.bins[1].first, obs::Distribution::binIndex(16.0));
+    EXPECT_EQ(s.bins[1].second, 1u);
+}
+
+TEST(StatRegistry, DistributionsLiveInTheirOwnList)
+{
+    obs::StatRegistry reg;
+    std::uint64_t raw = 0;
+    reg.addCounter("scalar.x", &raw);
+    obs::Distribution lat, pac;
+    reg.addDistribution("zeta.latency", lat, "migration latency");
+    {
+        obs::StatPrefix guard(reg, "tenant0.");
+        reg.addDistribution("pac_score", pac);
+    }
+
+    // Scalar layout is untouched — that is what keeps the golden
+    // corpus and pinned artifacts byte-identical.
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.names(), std::vector<std::string>{"scalar.x"});
+    EXPECT_FALSE(reg.has("zeta.latency"));
+
+    EXPECT_EQ(reg.distSize(), 2u);
+    EXPECT_TRUE(reg.hasDist("zeta.latency"));
+    EXPECT_TRUE(reg.hasDist("tenant0.pac_score"));
+    EXPECT_FALSE(reg.hasDist("pac_score")); // prefix applied
+    const std::vector<std::string> want = {"tenant0.pac_score",
+                                           "zeta.latency"};
+    EXPECT_EQ(reg.distNames(), want);
+    EXPECT_EQ(reg.distDescOf("zeta.latency"), "migration latency");
+
+    // The registry reads the live cell, not a copy.
+    lat.record(3.0);
+    EXPECT_EQ(reg.distOf("zeta.latency").count(), 1u);
+
+    std::vector<std::string> visited;
+    reg.forEachDist(
+        [&](const std::string &n, const obs::Distribution &dist) {
+            visited.push_back(n);
+            if (n == "zeta.latency")
+                EXPECT_EQ(dist.count(), 1u);
+        });
+    EXPECT_EQ(visited, want);
+}
+
+TEST(StatRegistryDeath, DuplicateDistributionPanics)
+{
+    obs::StatRegistry reg;
+    obs::Distribution d;
+    reg.addDistribution("dup.dist", d);
+    EXPECT_DEATH(reg.addDistribution("dup.dist", d), "dup.dist");
+    EXPECT_DEATH(reg.distOf("no.such.dist"), "no.such.dist");
 }
 
 TEST(JsonWriter, NumbersAreCanonical)

@@ -179,13 +179,71 @@ TEST(Multicore, TwoTenantManifestBytesAreJobInvariant)
     const std::string wide = manifestBytes(cfg, twoTenantRun("4"));
     const std::string again = manifestBytes(cfg, twoTenantRun("4"));
 
-    EXPECT_NE(serial.find("\"schema\":\"pact.manifest/3\""),
+    EXPECT_NE(serial.find("\"schema\":\"pact.manifest/4\""),
               std::string::npos);
     EXPECT_NE(serial.find("\"tenants\":["), std::string::npos);
     EXPECT_NE(serial.find("\"tenant0\""), std::string::npos);
     EXPECT_NE(serial.find("\"tenant1\""), std::string::npos);
+    EXPECT_NE(serial.find("\"distributions\":{"), std::string::npos);
+    EXPECT_NE(serial.find("\"engine.dist.migration.latency\""),
+              std::string::npos);
     EXPECT_EQ(serial, wide) << "PACT_JOBS leaked into the simulation";
     EXPECT_EQ(wide, again) << "repeat run diverged";
+}
+
+namespace
+{
+
+/** One two-tenant run recorded through the TimeSeriesRecorder. */
+std::string
+twoTenantTimeSeries(const char *jobs)
+{
+    setenv("PACT_JOBS", jobs, 1);
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const WorkloadBundle bundle = makeWorkload("masim-coloc", opt);
+    Runner runner;
+    std::ostringstream os;
+    obs::TimeSeriesRecorder rec(os, runner.config().daemonPeriod);
+    RunObservers observers;
+    observers.timeseries = &rec;
+    runner.runTenants(bundle, "PACT", 0.5, &observers);
+    EXPECT_GT(rec.rows(), 0u);
+    return os.str();
+}
+
+} // namespace
+
+/**
+ * (b') The per-window recorder on the multi-tenant path: the header
+ * layout carries every tenant's stat subtree, rows parse against it,
+ * and the whole JSONL stream is byte-identical at PACT_JOBS=1 vs =4.
+ */
+TEST(Multicore, TwoTenantTimeSeriesBytesAreJobInvariant)
+{
+    const EnvGuard guard("PACT_JOBS");
+    const EnvGuard cacheGuard("PACT_WORKLOAD_CACHE");
+    const EnvGuard storeGuard("PACT_TRACE_DIR");
+    unsetenv("PACT_TRACE_DIR");
+
+    const std::string serial = twoTenantTimeSeries("1");
+    const std::string wide = twoTenantTimeSeries("4");
+
+    // Header names both tenants' stat subtrees and the distribution
+    // list (pact.timeseries/2).
+    EXPECT_NE(serial.find("\"schema\":\"pact.timeseries/2\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"tenant0.pact.ticks\""), std::string::npos);
+    EXPECT_NE(serial.find("\"tenant1.pact.ticks\""), std::string::npos);
+    EXPECT_NE(serial.find("\"distributions\":["), std::string::npos);
+    EXPECT_NE(serial.find("\"tenant0.pact.dist.pac_score\""),
+              std::string::npos);
+    EXPECT_NE(serial.find("\"tenant1.pact.dist.pac_score\""),
+              std::string::npos);
+    // Rows carry the per-window distribution summaries.
+    EXPECT_NE(serial.find("\"dist\":{"), std::string::npos);
+    EXPECT_EQ(serial, wide)
+        << "PACT_JOBS leaked into the time-series stream";
 }
 
 /**
