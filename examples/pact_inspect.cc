@@ -15,7 +15,9 @@
  * "explain" reconstructs the full decision chain for one page from a
  * pact.events/1 journal: every PEBS sample, the bin the policy put it
  * in (with the PAC score and MLP that drove the choice), the enqueue,
- * and the migration outcome — including fault-injected aborts.
+ * and the migration outcome — including the transaction lifecycle
+ * (txn_prepare/txn_abort with its reason and attempt, txn_retry, and
+ * the eventual txn_commit) under fault injection.
  */
 
 #include <algorithm>
@@ -57,7 +59,9 @@ usage()
         "      only changed stats unless --all\n"
         "  pact_inspect explain <events.jsonl> <page>\n"
         "  pact_inspect --explain <page> <events.jsonl>\n"
-        "      reconstruct one page's decision provenance chain\n");
+        "      reconstruct one page's decision provenance chain,\n"
+        "      including its migration-transaction lifecycle\n"
+        "      (abort reason, retry attempts, commit)\n");
 }
 
 std::string
@@ -421,6 +425,10 @@ cmdExplain(const std::string &path, std::uint64_t page)
         }
         if (const JsonValue *v = e.find("pages"))
             add("pages=" + fmt(v->asNumber(), "%.0f"));
+        if (const JsonValue *v = e.find("reason"))
+            add("reason=" + v->asString());
+        if (const JsonValue *v = e.find("attempt"))
+            add("attempt=" + fmt(v->asNumber(), "%.0f"));
         if (const JsonValue *v = e.find("latency"))
             add("latency=" + fmt(v->asNumber(), "%.0f"));
         t.row()

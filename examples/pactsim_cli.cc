@@ -41,7 +41,10 @@ usage()
     std::printf(
         "pactsim: tiered-memory simulation driver\n"
         "  --workload <name>   workload (default bc-kron)\n"
-        "  --policy <name>     tiering policy (default PACT)\n"
+        "  --policy <name>     tiering policy (default PACT); a +admit\n"
+        "                      suffix (e.g. PACT+admit) adds migration\n"
+        "                      admission control learned from recent\n"
+        "                      transaction outcomes\n"
         "  --ratio <f:s>       fast:slow tier ratio (default 1:1)\n"
         "  --scale <x>         footprint scale factor (default 1.0)\n"
         "  --thp               allocate with transparent huge pages\n"
@@ -49,7 +52,14 @@ usage()
         "  --period <cycles>   daemon period (default 1000000)\n"
         "  --seed <n>          RNG seed (default 42)\n"
         "  --faults <spec>     deterministic fault injection, e.g.\n"
-        "                      migabort:p=0.1;pebsdrop:p=0.05\n"
+        "                      migabort:p=0.1;pebsdrop:p=0.05. Kinds:\n"
+        "                      migabort, midabort[,at=], dirty,\n"
+        "                      tierfail, stall[,periods=],\n"
+        "                      pebsstarve[,len=], pebsdrop, pebsdup,\n"
+        "                      wrap:bits=, jitter:frac=\n"
+        "  --retries <n>       max migration-transaction retries after\n"
+        "                      a retryable abort (default 2; 0 = give\n"
+        "                      up on first abort)\n"
         "  --audit             run the invariant auditor every window\n"
         "  --trace-dir [dir]   persist generated traces and warm-start\n"
         "                      from them (zero-copy) [.pact-traces]\n"
@@ -205,6 +215,9 @@ cliMain(int argc, char **argv)
             cfg.seed = opt.seed;
         } else if (arg == "--faults") {
             cfg.faults = next();
+        } else if (arg == "--retries") {
+            cfg.migration.txnMaxRetries =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
         } else if (arg == "--audit") {
             cfg.audit = true;
         } else if (arg == "--trace-dir") {

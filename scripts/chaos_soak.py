@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Chaos soak harness over the policy x workload x fault matrix.
+
+Drives the bench/chaos binary — hundreds of seeded randomized fault
+schedules through runManyOutcomes() with the invariant auditor always
+on — twice, at PACT_JOBS=1 and PACT_JOBS=4, then asserts:
+
+  * both passes exit zero: every run survived (migrations may abort,
+    retry, or be rejected by admission control, but no run may die
+    with an InvariantError, wedge past PACT_RUN_TIMEOUT_MS, or leak a
+    foreign exception);
+  * the survivor manifests are byte-identical across job counts (the
+    determinism guarantee extends to fault-injected sweeps);
+  * the manifest parses, every result row is ok, and the transaction
+    ledger balances per result (committed + aborted - retries ==
+    prepared).
+
+Pure standard library; wired into the build as the chaos_smoke ctest
+entry (small matrix) and driven at full scale by check_chaos.sh.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+failures = []
+
+
+def check(cond, msg):
+    if cond:
+        print(f"  ok: {msg}")
+    else:
+        print(f"  FAIL: {msg}")
+        failures.append(msg)
+
+
+def run_chaos(args, out, jobs):
+    env = dict(os.environ, PACT_JOBS=str(jobs),
+               PACT_RUN_TIMEOUT_MS=str(args.timeout_ms),
+               PACT_SCALE=str(args.scale))
+    cmd = [
+        args.chaos,
+        "--schedules", str(args.schedules),
+        "--policies", args.policies,
+        "--workloads", args.workloads,
+        "--seed", str(args.seed),
+        "--out", str(out),
+    ]
+    print(f"+ PACT_JOBS={jobs} PACT_SCALE={args.scale} {' '.join(cmd)}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    tail = "\n".join(proc.stdout.splitlines()[-12:])
+    print("\n".join("  | " + l for l in tail.splitlines()))
+    check(proc.returncode == 0,
+          f"PACT_JOBS={jobs} soak exited zero (all runs survived)")
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+
+
+def validate_soak_manifest(path, args):
+    print(f"manifest: {path.name}")
+    doc = json.loads(path.read_text())
+    results = doc.get("results", [])
+    check(len(results) == args.schedules,
+          f"one result per schedule ({len(results)})")
+    check(all(r.get("ok") is True for r in results),
+          "every result row is ok (zero invariant violations / wedges)")
+    policies = {r.get("policy") for r in results}
+    workloads = {r.get("workload") for r in results}
+    check(policies == set(args.policies.split(",")),
+          f"all policies covered ({sorted(policies)})")
+    check(len(workloads) == len(args.workloads.split(",")),
+          f"all workloads covered ({sorted(workloads)})")
+    check(doc.get("config", {}).get("audit") is True,
+          "the invariant auditor was on")
+    ledger_ok = True
+    txn_totals = dict.fromkeys(
+        ("prepared", "committed", "aborted", "retries",
+         "admission_rejected"), 0)
+    for r in results:
+        txn = r.get("txn", {})
+        if not isinstance(txn, dict):
+            ledger_ok = False
+            continue
+        for k in txn_totals:
+            txn_totals[k] += txn.get(k, 0)
+        ledger_ok = ledger_ok and (
+            txn.get("committed", 0) + txn.get("aborted", 0) -
+            txn.get("retries", 0) == txn.get("prepared", -1))
+    check(ledger_ok, "per-result txn ledgers balance")
+    check(txn_totals["aborted"] > 0 and txn_totals["retries"] > 0,
+          "the soak exercised aborts and retries "
+          f"({txn_totals['aborted']} aborts, "
+          f"{txn_totals['retries']} retries)")
+    print("  txn totals: " +
+          " ".join(f"{k}={v}" for k, v in txn_totals.items()))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--chaos", required=True,
+                    help="path to the bench/chaos binary")
+    ap.add_argument("--schedules", type=int, default=200)
+    ap.add_argument("--policies", default="PACT,TPP,Memtis")
+    ap.add_argument("--workloads", default="gups,silo,masim-coloc")
+    ap.add_argument("--seed", type=int, default=42)
+    ap.add_argument("--scale", default="0.05",
+                    help="workload scale (PACT_SCALE for both passes)")
+    ap.add_argument("--timeout-ms", type=int, default=120000,
+                    help="per-run watchdog (PACT_RUN_TIMEOUT_MS)")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="pact-chaos-") as tmp:
+        tmp = pathlib.Path(tmp)
+        m1, m4 = tmp / "chaos.j1.json", tmp / "chaos.j4.json"
+        run_chaos(args, m1, 1)
+        run_chaos(args, m4, 4)
+        if not failures:
+            print("determinism: PACT_JOBS=1 vs PACT_JOBS=4")
+            check(m1.read_bytes() == m4.read_bytes(),
+                  "survivor manifests byte-identical across job counts")
+            validate_soak_manifest(m1, args)
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed")
+        return 1
+    print(f"\nchaos soak clean: {args.schedules} schedules x "
+          f"({args.policies}) x ({args.workloads})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,16 +26,20 @@ if ! ${CXX:-c++} -fsanitize=address,undefined "$probe/t.cc" \
 fi
 
 cmake -B "$build" -S "$repo" -DPACT_SANITIZE=address
-cmake --build "$build" -j --target test_robustness test_pool \
+cmake --build "$build" -j --target test_robustness test_txn test_pool \
     test_trace_store test_multicore
 
 # halt_on_error so the first report fails the script rather than
 # scrolling past; the robustness tests drive every fault class plus
-# the exception-capturing sweep, test_pool the parallel machinery,
-# test_trace_store the mmap lifetime (shared mappings, munmap on last
-# release) and the corrupt-file fallback paths.
+# the exception-capturing sweep, test_txn the transactional migration
+# state machine (shadow copies, rollback, retry, admission control),
+# test_pool the parallel machinery, test_trace_store the mmap lifetime
+# (shared mappings, munmap on last release) and the corrupt-file
+# fallback paths.
 ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
     "$build/tests/test_robustness"
+ASAN_OPTIONS="halt_on_error=1" UBSAN_OPTIONS="halt_on_error=1" \
+    "$build/tests/test_txn"
 PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \
     UBSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
 PACT_JOBS=4 ASAN_OPTIONS="halt_on_error=1" \

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Full chaos soak: >= 200 seeded randomized fault schedules over the
+# PACT,TPP,Memtis x gups,silo,masim-coloc matrix with the invariant
+# auditor always on, at PACT_JOBS=1 and =4, asserting zero invariant
+# violations, zero wedges, and byte-identical survivor manifests
+# (scripts/chaos_soak.py does the checking). The chaos_smoke ctest
+# entry runs the same pipeline on a small matrix; this script is the
+# acceptance-scale run for CI's long lane.
+#
+# Usage: scripts/check_chaos.sh [build-dir] [schedules]
+#        (defaults: build, 200)
+set -eu
+
+repo=$(cd "$(dirname "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+schedules=${2:-200}
+
+cmake -B "$build" -S "$repo"
+cmake --build "$build" -j --target chaos
+
+python3 "$repo/scripts/chaos_soak.py" \
+    --chaos "$build/bench/chaos" \
+    --schedules "$schedules" \
+    --policies PACT,TPP,Memtis \
+    --workloads gups,silo,masim-coloc \
+    --scale 0.05
+
+echo "check_chaos: clean"

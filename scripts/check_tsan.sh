@@ -25,15 +25,18 @@ if ! ${CXX:-c++} -fsanitize=thread "$probe/t.cc" -o "$probe/t" \
 fi
 
 cmake -B "$build" -S "$repo" -DPACT_SANITIZE=thread
-cmake --build "$build" -j --target test_pool test_harness \
+cmake --build "$build" -j --target test_pool test_harness test_txn \
     test_trace_store test_multicore
 
 # The pool tests force multi-threaded schedules themselves; PACT_JOBS=4
 # additionally routes every default-jobs code path through the pool.
 # test_trace_store adds parallel trace generation and concurrent
-# zero-copy warm loads sharing one mapping.
+# zero-copy warm loads sharing one mapping. test_txn drives the
+# transactional migration paths, including fault-injected engine runs
+# that fan out through the pool.
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_pool"
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_harness"
+PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" "$build/tests/test_txn"
 PACT_JOBS=4 TSAN_OPTIONS="halt_on_error=1" \
     "$build/tests/test_trace_store"
 

@@ -6,8 +6,9 @@ flags, then checks:
 
   * the run manifest parses, carries the expected schema tag, the full
     simulator config, a non-empty stat dump per result, a well-formed
-    per-result "tenants" array, and well-formed per-result
-    "distributions" snapshots (pact.manifest/4);
+    per-result "tenants" array, well-formed per-result
+    "distributions" snapshots, and a per-result "txn" outcome block
+    (pact.manifest/5);
   * a poisoned sweep (one unknown policy name among good ones)
     completes, records a structured error for the failed run, keeps
     every surviving result, and stays byte-identical across job
@@ -55,7 +56,7 @@ import subprocess
 import sys
 import tempfile
 
-MANIFEST_SCHEMA = "pact.manifest/4"
+MANIFEST_SCHEMA = "pact.manifest/5"
 TIMESERIES_SCHEMA = "pact.timeseries/2"
 EVENTS_SCHEMA = "pact.events/1"
 BENCH_PERF_SCHEMA = "pact.bench_perf/1"
@@ -64,8 +65,14 @@ DIST_NUM_BINS = 1 + (63 - (-32) + 1) * 4
 EVENT_KINDS = {
     "pebs_sample", "bin_assign", "promote_enqueue", "demote_enqueue",
     "migration_start", "migration_complete", "migration_abort",
-    "daemon_tick",
+    "daemon_tick", "txn_prepare", "txn_retry", "txn_commit",
+    "txn_abort", "txn_admit_reject",
 }
+# Per-result migration-transaction outcome counters (pact.manifest/5).
+TXN_KEYS = ("prepared", "committed", "aborted", "retries", "exhausted",
+            "admission_rejected", "wasted_copy_cycles", "backoff_cycles")
+# txn_abort reason vocabulary (obs::TxnAbortReason).
+TXN_ABORT_REASONS = {"contention", "mid_copy", "dirty", "write_fail"}
 TRACE_STORE_MAGIC = b"PACTTRC1"
 TRACE_STORE_VERSION = 1
 
@@ -140,6 +147,9 @@ def validate_manifest(path):
         check(key in cfg, f"config carries {key}")
     for key in ("faults", "audit"):
         check(key in cfg, f"config carries {key}")
+    mig_cfg = cfg.get("migration", {})
+    for key in ("disabled", "txn_max_retries", "txn_backoff_cycles"):
+        check(key in mig_cfg, f"migration config carries {key}")
     results = doc.get("results", [])
     check(len(results) >= 1, "at least one result")
     for r in results:
@@ -183,6 +193,21 @@ def validate_manifest(path):
                   "engine distribution hierarchy present")
             for name, d in dists.items():
                 validate_distribution(name, d)
+        # pact.manifest/5: every ok result carries migration-txn
+        # outcome counters, consistent with each other.
+        txn = r.get("txn")
+        check(isinstance(txn, dict), "result carries a txn object")
+        if isinstance(txn, dict):
+            check(all(isinstance(txn.get(k), int) and txn[k] >= 0
+                      for k in TXN_KEYS),
+                  "txn counters present and non-negative")
+            check(sorted(txn.keys()) == sorted(TXN_KEYS),
+                  "txn object carries exactly the schema keys")
+            if all(isinstance(txn.get(k), int) for k in TXN_KEYS):
+                check(txn["committed"] + txn["aborted"] -
+                      txn["retries"] == txn["prepared"],
+                      "txn ledger balances "
+                      "(committed + aborted - retries == prepared)")
 
 
 def validate_distribution(name, d):
@@ -576,6 +601,11 @@ EVENT_PAYLOAD = {
     "migration_complete": ("src_tier", "dst_tier", "pages", "latency"),
     "migration_abort": ("src_tier", "dst_tier", "pages", "latency"),
     "daemon_tick": ("latency",),
+    "txn_prepare": ("src_tier", "dst_tier", "pages"),
+    "txn_retry": ("attempt", "latency"),
+    "txn_commit": ("attempt", "latency"),
+    "txn_abort": ("reason", "attempt", "src_tier", "dst_tier", "pages"),
+    "txn_admit_reject": ("src_tier", "dst_tier", "pages"),
 }
 
 
@@ -622,6 +652,15 @@ def validate_events_journal(path):
         check(needed in kinds, f"journal contains {needed} events")
     check("migration_abort" in kinds,
           "fault injection produced migration aborts")
+    # Transaction lifecycle events ride every migration; the retryable
+    # fault classes must leave retries in the journal.
+    for needed in ("txn_prepare", "txn_commit", "txn_abort", "txn_retry"):
+        check(needed in kinds, f"journal contains {needed} events")
+    reasons = {e.get("reason") for e in events
+               if e.get("kind") == "txn_abort"}
+    check(reasons and reasons <= TXN_ABORT_REASONS,
+          f"txn_abort reasons drawn from the known vocabulary "
+          f"({sorted(reasons)})")
     tenants = {e.get("tenant") for e in events}
     check(len(tenants) >= 2, "events span multiple tenant lanes")
     return events
@@ -635,6 +674,20 @@ def find_provenance_page(events):
     by_page = {}
     for e in events:
         if e.get("kind") in needed and e.get("dst_tier", 0) == 0:
+            by_page.setdefault(e["page"], set()).add(e["kind"])
+    for page, kinds in sorted(by_page.items()):
+        if kinds == needed:
+            return page
+    return None
+
+
+def find_retried_page(events):
+    """A page whose migration aborted, retried, and then committed —
+    the full transactional recovery arc in one provenance chain."""
+    needed = {"txn_abort", "txn_retry", "txn_commit"}
+    by_page = {}
+    for e in events:
+        if e.get("kind") in needed:
             by_page.setdefault(e["page"], set()).add(e["kind"])
     for page, kinds in sorted(by_page.items()):
         if kinds == needed:
@@ -669,12 +722,27 @@ def validate_inspect_e2e(inspect, manifest, events_path, page):
           f"--explain reconstructs page {page}'s provenance chain")
 
 
+def validate_inspect_txn(inspect, events_path, page):
+    """--explain on an aborted-then-retried page must render the
+    transaction lifecycle: the abort with its reason, the retry with
+    its attempt count, and the eventual commit."""
+    rc, out = run_inspect(inspect, ["--explain", page, events_path])
+    arc_ok = all(k in out for k in
+                 ("txn_abort", "txn_retry", "txn_commit", "reason=",
+                  "attempt="))
+    check(rc == 0 and arc_ok,
+          f"--explain renders page {page}'s abort/retry/commit arc")
+
+
 def validate_events_e2e(cli, inspect, tmp, scale):
     """The decision-provenance pipeline end to end: fault-injected
     multi-tenant run, journal schema, jobs byte-identity, and the
     pact_inspect reader over the results."""
     n = 4
-    faults = "migabort:p=0.2"
+    # Contention (non-retryable) plus mid-copy aborts (retryable), so
+    # the journal carries both the legacy abort arc and the
+    # transactional abort/retry/commit arc.
+    faults = "migabort:p=0.2;midabort:p=0.3,at=0.5"
     m1, e1 = run_events_cli(cli, tmp, 1, n, scale, faults)
     m4, e4 = run_events_cli(cli, tmp, 4, n, scale, faults)
 
@@ -688,8 +756,13 @@ def validate_events_e2e(cli, inspect, tmp, scale):
     page = find_provenance_page(events)
     check(page is not None,
           "a promoted page retains its full provenance chain")
+    retried = find_retried_page(events)
+    check(retried is not None,
+          "an aborted-then-retried page retains its transaction arc")
     if inspect and page is not None:
         validate_inspect_e2e(inspect, m1, e1, page)
+    if inspect and retried is not None:
+        validate_inspect_txn(inspect, e1, retried)
 
 
 def main():

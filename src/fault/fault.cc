@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/error.hh"
@@ -26,24 +27,85 @@ split(const std::string &text, char sep)
     return out;
 }
 
-/** Parse "<key>=<double>" enforcing [lo, hi]; clause names the error. */
-double
-parseParam(const std::string &clause, const std::string &body,
-           const std::string &key, double lo, double hi)
+/** One clause's comma-separated "key=value" params, consumption-tracked
+ *  so unknown keys can be reported after the known ones are taken. */
+class ParamSet
 {
-    const std::string want = key + "=";
-    throw_config_if(body.compare(0, want.size(), want) != 0,
-                    "fault clause '", clause, "': expected ", key,
-                    "=<value>");
-    const std::string value = body.substr(want.size());
-    char *end = nullptr;
-    const double v = std::strtod(value.c_str(), &end);
-    throw_config_if(value.empty() || end != value.c_str() + value.size(),
-                    "fault clause '", clause, "': bad number '", value, "'");
-    throw_config_if(v < lo || v > hi, "fault clause '", clause, "': ", key,
-                    " must be in [", lo, ", ", hi, "], got ", v);
-    return v;
-}
+  public:
+    ParamSet(const std::string &clause, const std::string &body)
+        : clause_(clause)
+    {
+        throw_config_if(body.empty(), "fault clause '", clause_,
+                        "': expected <name>:<param>=<value>");
+        for (const std::string &piece : split(body, ',')) {
+            const auto eq = piece.find('=');
+            throw_config_if(eq == std::string::npos || eq == 0 ||
+                                eq + 1 == piece.size(),
+                            "fault clause '", clause_, "': bad parameter '",
+                            piece, "' (expected <key>=<value>)");
+            const std::string key = piece.substr(0, eq);
+            for (const auto &prev : params_)
+                throw_config_if(prev.first == key, "fault clause '",
+                                clause_, "': duplicate parameter '", key,
+                                "'");
+            params_.emplace_back(key, piece.substr(eq + 1));
+        }
+        taken_.assign(params_.size(), false);
+    }
+
+    /** Parse a named double in [lo, hi]; @p deflt when absent (only
+     *  required params pass required=true). */
+    double take(const std::string &key, double lo, double hi,
+                bool required, double deflt = 0.0)
+    {
+        for (std::size_t i = 0; i < params_.size(); i++) {
+            if (params_[i].first != key)
+                continue;
+            taken_[i] = true;
+            const std::string &value = params_[i].second;
+            char *end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            throw_config_if(end != value.c_str() + value.size(),
+                            "fault clause '", clause_, "': bad number '",
+                            value, "' for ", key);
+            throw_config_if(v < lo || v > hi, "fault clause '", clause_,
+                            "': ", key, " must be in [", lo, ", ", hi,
+                            "], got ", v);
+            return v;
+        }
+        throw_config_if(required, "fault clause '", clause_,
+                        "': expected ", key, "=<value>");
+        return deflt;
+    }
+
+    /** take() constrained to an integer value. */
+    unsigned takeInt(const std::string &key, double lo, double hi,
+                     bool required, unsigned deflt = 0)
+    {
+        const double v =
+            take(key, lo, hi, required, static_cast<double>(deflt));
+        throw_config_if(v != static_cast<double>(
+                                 static_cast<unsigned long long>(v)),
+                        "fault clause '", clause_, "': ", key,
+                        " must be an integer");
+        return static_cast<unsigned>(v);
+    }
+
+    /** Reject any param no take*() call consumed. */
+    void finish() const
+    {
+        for (std::size_t i = 0; i < params_.size(); i++)
+            throw_config_if(!taken_[i], "fault clause '", clause_,
+                            "': unknown parameter '", params_[i].first,
+                            "'");
+    }
+
+  private:
+    const std::string &clause_;
+    std::vector<std::pair<std::string, std::string>> params_;
+    std::vector<bool> taken_; ///< parallel to params_: consumed by take*()
+
+};
 
 } // namespace
 
@@ -56,26 +118,38 @@ parseFaultSpec(const std::string &text)
         throw_config_if(colon == std::string::npos, "fault clause '",
                         clause, "': expected <name>:<param>=<value>");
         const std::string name = clause.substr(0, colon);
-        const std::string body = clause.substr(colon + 1);
+        ParamSet params(clause, clause.substr(colon + 1));
         if (name == "migabort") {
-            spec.migAbortP = parseParam(clause, body, "p", 0.0, 1.0);
+            spec.migAbortP = params.take("p", 0.0, 1.0, true);
         } else if (name == "pebsdrop") {
-            spec.pebsDropP = parseParam(clause, body, "p", 0.0, 1.0);
+            spec.pebsDropP = params.take("p", 0.0, 1.0, true);
         } else if (name == "pebsdup") {
-            spec.pebsDupP = parseParam(clause, body, "p", 0.0, 1.0);
+            spec.pebsDupP = params.take("p", 0.0, 1.0, true);
         } else if (name == "wrap") {
-            const double bits = parseParam(clause, body, "bits", 1.0, 63.0);
-            throw_config_if(bits != static_cast<double>(
-                                        static_cast<unsigned>(bits)),
-                            "fault clause '", clause,
-                            "': bits must be an integer");
-            spec.wrapBits = static_cast<unsigned>(bits);
+            spec.wrapBits = params.takeInt("bits", 1.0, 63.0, true);
         } else if (name == "jitter") {
-            spec.jitterFrac = parseParam(clause, body, "frac", 0.0, 0.99);
+            spec.jitterFrac = params.take("frac", 0.0, 0.99, true);
+        } else if (name == "midabort") {
+            spec.midAbortP = params.take("p", 0.0, 1.0, true);
+            spec.midAbortAt = params.take("at", 0.0, 1.0, false, 0.5);
+        } else if (name == "dirty") {
+            spec.dirtyP = params.take("p", 0.0, 1.0, true);
+        } else if (name == "tierfail") {
+            spec.tierFailP = params.take("p", 0.0, 1.0, true);
+        } else if (name == "stall") {
+            spec.stallP = params.take("p", 0.0, 1.0, true);
+            spec.stallPeriods =
+                params.takeInt("periods", 1.0, 64.0, false, 1);
+        } else if (name == "pebsstarve") {
+            spec.starveP = params.take("p", 0.0, 1.0, true);
+            spec.starveLen =
+                params.takeInt("len", 1.0, 65536.0, false, 32);
         } else {
             throw_config("unknown fault class '", name, "' (expected ",
-                         "migabort, pebsdrop, pebsdup, wrap, or jitter)");
+                         "migabort, midabort, dirty, tierfail, stall, ",
+                         "pebsstarve, pebsdrop, pebsdup, wrap, or jitter)");
         }
+        params.finish();
     }
     return spec;
 }
@@ -83,8 +157,15 @@ parseFaultSpec(const std::string &text)
 FaultPlan::FaultPlan(const FaultSpec &spec, std::uint64_t seed)
     : spec_(spec),
       // Decorrelate the fault stream from every other consumer of the
-      // run seed (engine RNG is seed ^ 0x5bd1e995).
-      rng_(seed ^ 0xfa417ab5u)
+      // run seed (engine RNG is seed ^ 0x5bd1e995). The per-class
+      // streams below use fixed odd constants so class schedules are
+      // mutually independent.
+      rng_(seed ^ 0xfa417ab5u),
+      midRng_(seed ^ 0x9e3779b9u),
+      dirtyRng_(seed ^ 0x85ebca6bu),
+      tierFailRng_(seed ^ 0xc2b2ae35u),
+      stallRng_(seed ^ 0x27d4eb2fu),
+      starveRng_(seed ^ 0x165667b1u)
 {
     if (spec_.wrapBits > 0 && spec_.wrapBits < 64)
         wrapMask_ = (1ull << spec_.wrapBits) - 1;
@@ -146,6 +227,69 @@ FaultPlan::jitterPeriod(Cycles nominal)
         static_cast<double>(nominal) * (1.0 + skew));
     counters_.jitteredWindows++;
     return jittered < 1 ? Cycles(1) : static_cast<Cycles>(jittered);
+}
+
+bool
+FaultPlan::midCopyAbort()
+{
+    if (spec_.midAbortP <= 0.0)
+        return false;
+    if (!midRng_.chance(spec_.midAbortP))
+        return false;
+    counters_.midCopyAborts++;
+    return true;
+}
+
+bool
+FaultPlan::dirtyDuringCopy()
+{
+    if (spec_.dirtyP <= 0.0)
+        return false;
+    if (!dirtyRng_.chance(spec_.dirtyP))
+        return false;
+    counters_.dirtyConflicts++;
+    return true;
+}
+
+bool
+FaultPlan::tierWriteFailure()
+{
+    if (spec_.tierFailP <= 0.0)
+        return false;
+    if (!tierFailRng_.chance(spec_.tierFailP))
+        return false;
+    counters_.tierWriteFailures++;
+    return true;
+}
+
+Cycles
+FaultPlan::daemonStall(Cycles nominal)
+{
+    if (spec_.stallP <= 0.0 || nominal == 0)
+        return Cycles(0);
+    if (!stallRng_.chance(spec_.stallP))
+        return Cycles(0);
+    counters_.daemonStalls++;
+    return static_cast<Cycles>(nominal) *
+           static_cast<Cycles>(spec_.stallPeriods);
+}
+
+bool
+FaultPlan::starveSample()
+{
+    if (spec_.starveP <= 0.0)
+        return false;
+    if (starveLeft_ > 0) {
+        starveLeft_--;
+        counters_.pebsStarved++;
+        return true;
+    }
+    if (!starveRng_.chance(spec_.starveP))
+        return false;
+    counters_.starveBursts++;
+    counters_.pebsStarved++;
+    starveLeft_ = spec_.starveLen - 1;
+    return true;
 }
 
 std::string

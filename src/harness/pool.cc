@@ -42,8 +42,10 @@ runMany(Runner &runner, const std::vector<RunSpec> &specs, unsigned jobs)
             // Narrow the thread's log tag to the run for its duration.
             const LogTagScope tag(s.bundle->name + "/" + s.policy);
             out[i] = s.tenants
-                         ? runner.runTenants(*s.bundle, s.policy, s.share)
-                         : runner.run(*s.bundle, s.policy, s.share);
+                         ? runner.runTenants(*s.bundle, s.policy, s.share,
+                                             nullptr, &s.mods)
+                         : runner.run(*s.bundle, s.policy, s.share,
+                                      nullptr, &s.mods);
         },
         jobs);
     return out;
@@ -65,8 +67,10 @@ runManyOutcomes(Runner &runner, const std::vector<RunSpec> &specs,
             try {
                 o.result =
                     s.tenants
-                        ? runner.runTenants(*s.bundle, s.policy, s.share)
-                        : runner.run(*s.bundle, s.policy, s.share);
+                        ? runner.runTenants(*s.bundle, s.policy, s.share,
+                                            nullptr, &s.mods)
+                        : runner.run(*s.bundle, s.policy, s.share,
+                                     nullptr, &s.mods);
                 o.ok = true;
             } catch (const SimError &e) {
                 o.error = {e.kind(), e.what()};

@@ -37,6 +37,20 @@ struct RunSpec
      * tiers, instead of one daemon over all traces.
      */
     bool tenants = false;
+    /**
+     * Per-spec config overrides (fault plan, seed) layered over the
+     * runner's base config — how the chaos harness gives every spec
+     * its own randomized-but-seeded fault schedule.
+     */
+    RunOverrides mods;
+
+    RunSpec() = default;
+    RunSpec(const WorkloadBundle *b, std::string p, double s = 0.5,
+            bool t = false, RunOverrides m = {})
+        : bundle(b), policy(std::move(p)), share(s), tenants(t),
+          mods(std::move(m))
+    {
+    }
 };
 
 /**

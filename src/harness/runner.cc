@@ -80,11 +80,34 @@ manifestResult(const RunResult &r)
     m.runtimeCycles = r.runtime;
     m.stats = r.stats.registry;
     m.dists = r.stats.dists;
+    m.txn.prepared = r.stats.txn.prepared;
+    m.txn.committed = r.stats.txn.committed;
+    m.txn.aborted = r.stats.txn.aborted;
+    m.txn.retries = r.stats.txn.retries;
+    m.txn.exhausted = r.stats.txn.exhausted;
+    m.txn.admissionRejected = r.stats.txn.admissionRejected;
+    m.txn.wastedCopyCycles =
+        static_cast<std::uint64_t>(r.stats.txn.wastedCopyCycles);
+    m.txn.backoffCycles =
+        static_cast<std::uint64_t>(r.stats.txn.backoffCycles);
     return m;
 }
 
 namespace
 {
+
+/** The per-run config: base + capacity + any per-spec overrides. */
+SimConfig
+overriddenConfig(SimConfig cfg, const RunOverrides *mods)
+{
+    if (!mods)
+        return cfg;
+    if (!mods->faults.empty())
+        cfg.faults = mods->faults;
+    if (mods->seed != 0)
+        cfg.seed = mods->seed;
+    return cfg;
+}
 
 /**
  * Drive a constructed engine to completion under the observer and
@@ -152,11 +175,11 @@ assembleResult(const WorkloadBundle &bundle, const std::string &label,
 RunResult
 Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
                 double fast_share, const std::string &label,
-                const RunObservers *obs)
+                const RunObservers *obs, const RunOverrides *mods)
 {
     const std::vector<Cycles> base = baseline(bundle);
 
-    SimConfig cfg = cfg_;
+    SimConfig cfg = overriddenConfig(cfg_, mods);
     cfg.fastCapacityPages = capacityPages(bundle, fast_share);
     Engine engine(cfg, bundle.as, &bundle.traces, &policy);
     if (obs && obs->trace)
@@ -171,7 +194,8 @@ Runner::runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
 RunResult
 Runner::runTenantsWith(const WorkloadBundle &bundle,
                        const PolicyFactory &factory, double fast_share,
-                       const std::string &label, const RunObservers *obs)
+                       const std::string &label, const RunObservers *obs,
+                       const RunOverrides *mods)
 {
     throw_config_if(bundle.traces.empty(),
                     "runTenantsWith: bundle has no traces");
@@ -191,7 +215,7 @@ Runner::runTenantsWith(const WorkloadBundle &bundle,
         specs.push_back(std::move(s));
     }
 
-    SimConfig cfg = cfg_;
+    SimConfig cfg = overriddenConfig(cfg_, mods);
     cfg.fastCapacityPages = capacityPages(bundle, fast_share);
     Engine engine(cfg, bundle.as, std::move(specs));
     if (obs && obs->trace)
@@ -226,7 +250,7 @@ Runner::runTenantsWith(const WorkloadBundle &bundle,
 RunResult
 Runner::runTenants(const WorkloadBundle &bundle,
                    const std::string &policy_name, double fast_share,
-                   const RunObservers *obs)
+                   const RunObservers *obs, const RunOverrides *mods)
 {
     // Soar's offline profiling pass models a whole-machine plan; a
     // per-tenant instance would silently plan against the other
@@ -235,12 +259,13 @@ Runner::runTenants(const WorkloadBundle &bundle,
                     "runTenants: Soar is single-tenant only");
     return runTenantsWith(
         bundle, [&](std::size_t) { return makePolicy(policy_name); },
-        fast_share, policy_name, obs);
+        fast_share, policy_name, obs, mods);
 }
 
 RunResult
 Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
-            double fast_share, const RunObservers *obs)
+            double fast_share, const RunObservers *obs,
+            const RunOverrides *mods)
 {
     auto policy = makePolicy(policy_name);
 
@@ -253,7 +278,7 @@ Runner::run(const WorkloadBundle &bundle, const std::string &policy_name,
             soarPlan(prof, capacityPages(bundle, fast_share)));
     }
 
-    return runWith(bundle, *policy, fast_share, policy_name, obs);
+    return runWith(bundle, *policy, fast_share, policy_name, obs, mods);
 }
 
 std::uint64_t

@@ -58,6 +58,22 @@ struct RunResult
 obs::ManifestResult manifestResult(const RunResult &r);
 
 /**
+ * Per-run config overrides applied on top of the Runner's base config
+ * (the chaos harness uses these to give every spec its own fault plan
+ * and seed). The DRAM-only baseline is never affected: it stays
+ * fault-free and its runtime is seed-independent (NoTier makes no
+ * randomized decisions), so overridden runs still normalize against
+ * the shared cached baseline.
+ */
+struct RunOverrides
+{
+    /** Fault spec for this run ("" = keep the base config's). */
+    std::string faults;
+    /** Run seed (0 = keep the base config's). */
+    std::uint64_t seed = 0;
+};
+
+/**
  * Optional observers attached to a measured run (never the DRAM-only
  * baseline). Both must outlive the run call.
  */
@@ -104,12 +120,14 @@ class Runner
      */
     RunResult run(const WorkloadBundle &bundle,
                   const std::string &policy_name, double fast_share,
-                  const RunObservers *obs = nullptr);
+                  const RunObservers *obs = nullptr,
+                  const RunOverrides *mods = nullptr);
 
     /** Run under a caller-constructed policy instance. */
     RunResult runWith(const WorkloadBundle &bundle, TieringPolicy &policy,
                       double fast_share, const std::string &label,
-                      const RunObservers *obs = nullptr);
+                      const RunObservers *obs = nullptr,
+                      const RunOverrides *mods = nullptr);
 
     /** Builds tenant @p i's policy daemon (nullptr = no daemon). */
     using PolicyFactory =
@@ -125,13 +143,15 @@ class Runner
      */
     RunResult runTenants(const WorkloadBundle &bundle,
                          const std::string &policy_name, double fast_share,
-                         const RunObservers *obs = nullptr);
+                         const RunObservers *obs = nullptr,
+                         const RunOverrides *mods = nullptr);
 
     /** Multi-tenant run with caller-built per-tenant policies. */
     RunResult runTenantsWith(const WorkloadBundle &bundle,
                              const PolicyFactory &factory,
                              double fast_share, const std::string &label,
-                             const RunObservers *obs = nullptr);
+                             const RunObservers *obs = nullptr,
+                             const RunOverrides *mods = nullptr);
 
     /** Fast-share for a paper-style fast:slow ratio. */
     static double

@@ -6,6 +6,27 @@
  * kernel overhead (page locking, TLB shootdown) to the owning process.
  * This is what makes over-migrating policies (TPP) pay the costs the
  * paper observes.
+ *
+ * Every migration runs as an explicit transaction (the Nomad model):
+ *
+ *   Prepared -> Copying -> Validating -> Committed
+ *                  |            |
+ *                  v            v
+ *               Aborted      Aborted   (bounded retry w/ backoff)
+ *
+ * Prepare reserves a non-exclusive shadow region on the destination
+ * tier (TierManager::beginShadow — the page transiently exists in both
+ * tiers; reads keep hitting the committed copy). The copy can abort
+ * from injected contention, a transient destination write failure, or
+ * a mid-copy abort at a chosen progress fraction; validation aborts
+ * when the page dirtied during the copy. Aborts roll back by dropping
+ * the shadow reservation — committed residency, LRU membership, and
+ * capacity accounting never changed, so rollback restores the
+ * pre-migration state exactly. Retryable aborts re-arm up to
+ * txnMaxRetries times with deterministic exponential backoff charged
+ * to the migration daemon (never to application timing). With no
+ * fault plan attached the transaction commits first-try with costs
+ * bit-identical to the pre-transactional engine.
  */
 
 #ifndef PACT_MEM_MIGRATION_HH
@@ -56,6 +77,19 @@ struct MigrationConfig
      * thread and the other worker threads keep executing.
      */
     double appPenaltyFraction = 0.25;
+    /**
+     * Disable migrations entirely: promote()/demote() return false
+     * without charging anything (the rollback-equivalence baseline).
+     */
+    bool disabled = false;
+    /** Retries after a retryable transaction abort (0 = fail fast). */
+    unsigned txnMaxRetries = 2;
+    /**
+     * Daemon-side backoff before retry attempt k (1-based):
+     * txnBackoffCycles << (k-1). Charged to migration.txn.backoff_cycles
+     * only — application timing is unaffected by backoff.
+     */
+    Cycles txnBackoffCycles = 2000;
 };
 
 /** Aggregate migration statistics. */
@@ -68,6 +102,43 @@ struct MigrationStats
     std::uint64_t failed = 0;
     Cycles copyCycles = 0;
     Cycles appPenaltyCycles = 0;
+};
+
+/** Transaction-level migration statistics (migration.txn.* stats). */
+struct MigrationTxnStats
+{
+    std::uint64_t prepared = 0;   ///< transactions opened
+    std::uint64_t committed = 0;  ///< reached Committed
+    std::uint64_t aborted = 0;    ///< attempts that aborted
+    std::uint64_t retries = 0;    ///< aborted attempts that re-armed
+    std::uint64_t exhausted = 0;  ///< transactions that ran out of retries
+    std::uint64_t admissionRejected = 0; ///< gated before Prepared
+    std::uint64_t abortContention = 0;   ///< whole-copy contention aborts
+    std::uint64_t abortMidCopy = 0;      ///< mid-copy aborts
+    std::uint64_t abortDirty = 0;        ///< dirtied-during-copy aborts
+    std::uint64_t abortWriteFail = 0;    ///< destination write failures
+    Cycles wastedCopyCycles = 0;  ///< cycles charged by aborted attempts
+    Cycles backoffCycles = 0;     ///< daemon-side retry backoff
+};
+
+/**
+ * TierBPF-style admission gate: consult recent transaction outcomes
+ * and reject migrations predicted not to pay off. The gate arms once
+ * minSamples outcomes are on record and then rejects promotions while
+ * the windowed abort rate or wasted-bandwidth fraction exceeds its
+ * bound. Demotions are never gated (rejecting them could wedge
+ * fast-tier capacity).
+ */
+struct AdmissionConfig
+{
+    /** Sliding outcome-window length. */
+    unsigned window = 64;
+    /** Outcomes required before the gate arms. */
+    unsigned minSamples = 16;
+    /** Reject while aborted/window exceeds this. */
+    double maxAbortRate = 0.5;
+    /** Reject while wasted/(useful+wasted) copy cycles exceeds this. */
+    double maxWasteFrac = 0.5;
 };
 
 /**
@@ -83,7 +154,8 @@ class MigrationEngine
 
     /**
      * Promote a page (or its whole huge region) to the fast tier.
-     * Fails when the fast tier lacks free space.
+     * Fails when the fast tier lacks free space, admission control
+     * rejects, or the transaction exhausts its retries.
      * @return true when the page moved.
      */
     bool promote(PageId page);
@@ -96,20 +168,35 @@ class MigrationEngine
 
     /**
      * Account the cost of a migration attempt that aborted mid-copy
-     * (Nomad's transactional migration retries). Consumes bandwidth
-     * and penalty but moves nothing.
+     * (Nomad's policy-level transactional migration retries: the
+     * shadow dirtied under the copy). Consumes bandwidth and penalty
+     * but moves nothing; counts as a dirty-conflict abort in the
+     * transaction stats.
      */
     void chargeAbortedCopy(PageId page);
 
     /**
-     * Attach a fault plan: migrations then abort mid-copy (through the
-     * same cost path as Nomad's transactional aborts) whenever the
-     * plan says so. nullptr disables injection.
+     * Attach a fault plan: transactions then abort (contention,
+     * write failure, mid-copy, dirty validation) whenever the plan
+     * says so. nullptr disables injection.
      */
     void setFaultPlan(FaultPlan *faults) { faults_ = faults; }
 
+    /**
+     * Arm the admission gate for one tenant's migrations. Outcome
+     * history is engine-wide; the gate checks it only for migrations
+     * issued while the stamped context names an armed tenant.
+     */
+    void enableAdmission(std::uint32_t tenant, const AdmissionConfig &cfg);
+
+    /** Whether the admission gate is armed for @p tenant. */
+    bool admissionEnabled(std::uint32_t tenant) const;
+
     /** Migration statistics so far. */
     const MigrationStats &stats() const { return stats_; }
+
+    /** Transaction-level statistics so far. */
+    const MigrationTxnStats &txnStats() const { return txnStats_; }
 
     /**
      * Per-op charged latency distribution (fixed kernel overhead +
@@ -124,10 +211,11 @@ class MigrationEngine
     void setJournal(obs::EventJournal *j) { journal_ = j; }
 
     /**
-     * Timestamp context for emitted events. The engine is the only
-     * clock owner, so it stamps (cycle, tenant, daemon window) here
-     * before every policy tick / fault-path call; migrations triggered
-     * between updates inherit the last stamp (tick resolution).
+     * Timestamp context for emitted events and for admission-gate
+     * tenancy. The engine is the only clock owner, so it stamps
+     * (cycle, tenant, daemon window) here before every policy tick /
+     * fault-path call; migrations triggered between updates inherit
+     * the last stamp (tick resolution).
      */
     void
     setJournalContext(Cycles now, std::uint32_t tenant, std::uint64_t window)
@@ -160,12 +248,33 @@ class MigrationEngine
     }
 
   private:
+    /** One finished transaction for the admission window. */
+    struct TxnOutcome
+    {
+        bool committed;
+        Cycles useful; ///< cycles charged by the committed copy
+        Cycles wasted; ///< cycles charged by aborted attempts
+    };
+
     bool migrateRegion(PageId page, TierId dst);
     /** @return total charged cycles (fixed overhead + copy). */
     Cycles chargeCosts(PageId page, std::uint64_t bytes, TierId src,
                        TierId dst);
+    /**
+     * Charge an aborted attempt: @p bytes of copy bandwidth plus,
+     * when @p include_fixed, the fixed kernel overhead. Charges
+     * nothing at all (no penalty, no latency sample) when both are
+     * zero — an abort before any work started is free.
+     */
+    Cycles chargeWasted(PageId page, std::uint64_t bytes, TierId src,
+                        TierId dst, bool include_fixed);
+    bool admissionRejects() const;
+    void recordOutcome(bool committed, Cycles useful, Cycles wasted);
     void emitEvent(obs::EventKind kind, PageId page, TierId src, TierId dst,
                    std::uint64_t pages, Cycles latency);
+    void emitTxnEvent(obs::EventKind kind, PageId page, TierId src,
+                      TierId dst, std::uint64_t pages, Cycles latency,
+                      unsigned attempt, obs::TxnAbortReason reason);
 
     TierManager &tm_;
     LruLists &lru_;
@@ -173,6 +282,14 @@ class MigrationEngine
     MigrationConfig cfg_;
     FaultPlan *faults_ = nullptr;
     MigrationStats stats_;
+    MigrationTxnStats txnStats_;
+    AdmissionConfig admitCfg_;
+    /** Per-tenant admission-gate arm bits (indexed by tenant id). */
+    std::vector<bool> admitTenants_;
+    /** Sliding window of recent transaction outcomes (engine-wide). */
+    std::vector<TxnOutcome> outcomes_;
+    std::size_t outcomeNext_ = 0;
+    std::size_t outcomeCount_ = 0;
     std::vector<Cycles> pendingPenalty_;
     obs::Distribution latDist_;
     obs::EventJournal *journal_ = nullptr;

@@ -90,6 +90,46 @@ TierManager::place(PageId page, TierId tier)
     m.tier = static_cast<std::uint8_t>(tier);
 }
 
+bool
+TierManager::beginShadow(PageId base, std::uint64_t pages, TierId dst)
+{
+    panic_if(pages == 0, "beginShadow: empty region at page ", base);
+    if (dst == TierId::Fast && freeFast() < pages)
+        return false;
+    shadowUsed_[tierIndex(dst)] += pages;
+    openShadows_.push_back({base, pages, dst});
+    return true;
+}
+
+void
+TierManager::releaseShadow(PageId base, std::uint64_t pages, TierId dst,
+                           const char *what)
+{
+    for (auto it = openShadows_.begin(); it != openShadows_.end(); ++it) {
+        if (it->base != base || it->pages != pages || it->dst != dst)
+            continue;
+        panic_if(shadowUsed_[tierIndex(dst)] < pages,
+                 what, ": shadow accounting underflow at page ", base);
+        shadowUsed_[tierIndex(dst)] -= pages;
+        openShadows_.erase(it);
+        return;
+    }
+    panic(what, ": no open shadow region at page ", base, " (", pages,
+          " pages, dst tier ", static_cast<unsigned>(dst), ")");
+}
+
+void
+TierManager::commitShadow(PageId base, std::uint64_t pages, TierId dst)
+{
+    releaseShadow(base, pages, dst, "commitShadow");
+}
+
+void
+TierManager::abortShadow(PageId base, std::uint64_t pages, TierId dst)
+{
+    releaseShadow(base, pages, dst, "abortShadow");
+}
+
 void
 TierManager::setFirstTouchOverride(PageId page, TierId tier)
 {
@@ -147,10 +187,27 @@ TierManager::auditConsistency() const
     throw_invariant_if(huge != hugeCount_,
                        "audit: huge-page count mismatch: ", huge,
                        " counted vs ", hugeCount_, " recorded");
-    throw_invariant_if(used_[tierIndex(TierId::Fast)] > fastCapacity_,
+    // Audits run at transaction-quiescent points, so an open shadow
+    // region is residue a committed or aborted transaction failed to
+    // release.
+    throw_invariant_if(!openShadows_.empty(),
+                       "audit: ", openShadows_.size(),
+                       " migration-transaction shadow region(s) left "
+                       "open (first at page ", openShadows_.front().base,
+                       ", ", openShadows_.front().pages, " pages)");
+    for (unsigned t = 0; t < NumTiers; t++) {
+        throw_invariant_if(shadowUsed_[t] != 0,
+                           "audit: tier ", t, " carries ", shadowUsed_[t],
+                           " shadow-reserved frames with no open shadow "
+                           "region");
+    }
+    throw_invariant_if(used_[tierIndex(TierId::Fast)] +
+                               shadowUsed_[tierIndex(TierId::Fast)] >
+                           fastCapacity_,
                        "audit: fast tier over capacity: ",
-                       used_[tierIndex(TierId::Fast)], " used vs ",
-                       fastCapacity_, " capacity");
+                       used_[tierIndex(TierId::Fast)], " used + ",
+                       shadowUsed_[tierIndex(TierId::Fast)],
+                       " shadow-reserved vs ", fastCapacity_, " capacity");
 }
 
 } // namespace pact

@@ -121,16 +121,51 @@ class TierManager
     void setFirstTouchOverride(PageId page, TierId tier);
     void clearFirstTouchOverrides();
 
-    /** Pages currently resident in a tier. */
+    /** Pages currently resident in a tier (committed copies only). */
     std::uint64_t used(TierId t) const { return used_[tierIndex(t)]; }
 
-    /** Free pages remaining in the fast tier. */
+    /**
+     * Free pages remaining in the fast tier. Open migration-transaction
+     * shadow copies on the fast tier count against the capacity — the
+     * destination frames are physically occupied while the copy is in
+     * flight, even though the committed residency has not moved yet.
+     */
     std::uint64_t
     freeFast() const
     {
-        const std::uint64_t u = used_[tierIndex(TierId::Fast)];
+        const std::uint64_t u = used_[tierIndex(TierId::Fast)] +
+                                shadowUsed_[tierIndex(TierId::Fast)];
         return u >= fastCapacity_ ? 0 : fastCapacity_ - u;
     }
+
+    /**
+     * Open a non-exclusive (Nomad-style) transactional shadow region:
+     * @p pages frames on @p dst are reserved for an in-flight copy of
+     * [base, base+pages) while the committed copies stay on the source
+     * tier. Reads keep hitting the committed copy; commitShadow() /
+     * abortShadow() must release the region before the next audit
+     * point. Returns false (and reserves nothing) when @p dst is the
+     * fast tier and the frames don't fit.
+     */
+    bool beginShadow(PageId base, std::uint64_t pages, TierId dst);
+
+    /** Release a shadow region after the copy committed (the caller
+     *  re-homes the pages with place() itself). */
+    void commitShadow(PageId base, std::uint64_t pages, TierId dst);
+
+    /** Release a shadow region after an abort; committed state is
+     *  untouched, so rollback is just dropping the reservation. */
+    void abortShadow(PageId base, std::uint64_t pages, TierId dst);
+
+    /** Shadow-reserved frames currently open on a tier. */
+    std::uint64_t
+    shadowUsed(TierId t) const
+    {
+        return shadowUsed_[tierIndex(t)];
+    }
+
+    /** Open shadow regions (in-flight migration transactions). */
+    std::uint64_t openShadows() const { return openShadows_.size(); }
 
     /** Fast-tier capacity in pages. */
     std::uint64_t fastCapacity() const { return fastCapacity_; }
@@ -151,20 +186,40 @@ class TierManager
      * Full-consistency audit (PACT_AUDIT=1): recounts the page array
      * and checks that every touched page sits in exactly one valid
      * tier, per-tier residency matches the used() accounting, touched
-     * and huge counts are conserved, fast-tier usage respects the
-     * capacity, and Shadowed implies fast residency. O(totalPages);
-     * throws InvariantError with a dump of the first violation.
+     * and huge counts are conserved, fast-tier usage (including any
+     * shadow-reserved frames) respects the capacity, and Shadowed
+     * implies fast residency. Audits run at transaction-quiescent
+     * points (daemon-window boundaries, end of run), so any open
+     * migration-transaction shadow is leaked residue and a violation:
+     * committed + aborted transactions must both leave zero shadows.
+     * O(totalPages); throws InvariantError with a dump of the first
+     * violation.
      */
     void auditConsistency() const;
 
   private:
+    /** One open migration-transaction shadow reservation. */
+    struct ShadowRegion
+    {
+        PageId base;
+        std::uint64_t pages;
+        TierId dst;
+    };
+
     void materialize(PageId page, ProcId proc, bool huge, TierId tier);
+    void releaseShadow(PageId base, std::uint64_t pages, TierId dst,
+                       const char *what);
 
     std::vector<PageMeta> meta_;
     /** Optional per-page first-touch override tier (0xff = none). */
     std::vector<std::uint8_t> firstTouchOverride_;
     std::uint64_t fastCapacity_;
     std::array<std::uint64_t, NumTiers> used_ = {0, 0};
+    /** Frames reserved by open shadow regions, per tier. */
+    std::array<std::uint64_t, NumTiers> shadowUsed_ = {0, 0};
+    /** Open shadow regions; tiny (migrations are synchronous today,
+     *  so at most one is open outside targeted unit tests). */
+    std::vector<ShadowRegion> openShadows_;
     std::uint64_t touchedCount_ = 0;
     std::uint64_t hugeCount_ = 0;
 };

@@ -31,6 +31,34 @@ eventKindName(EventKind k)
         return "migration_abort";
       case EventKind::DaemonTick:
         return "daemon_tick";
+      case EventKind::TxnPrepare:
+        return "txn_prepare";
+      case EventKind::TxnRetry:
+        return "txn_retry";
+      case EventKind::TxnCommit:
+        return "txn_commit";
+      case EventKind::TxnAbort:
+        return "txn_abort";
+      case EventKind::TxnAdmitReject:
+        return "txn_admit_reject";
+    }
+    return "unknown";
+}
+
+const char *
+txnAbortReasonName(TxnAbortReason r)
+{
+    switch (r) {
+      case TxnAbortReason::None:
+        return "none";
+      case TxnAbortReason::Contention:
+        return "contention";
+      case TxnAbortReason::MidCopy:
+        return "mid_copy";
+      case TxnAbortReason::Dirty:
+        return "dirty";
+      case TxnAbortReason::WriteFail:
+        return "write_fail";
     }
     return "unknown";
 }
@@ -119,6 +147,31 @@ EventJournal::writeJsonl(std::ostream &os) const
             w.kv("latency", e.latency);
             break;
           case EventKind::DaemonTick:
+            w.kv("latency", e.latency);
+            break;
+          case EventKind::TxnPrepare:
+          case EventKind::TxnAdmitReject:
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("dst_tier", static_cast<std::uint64_t>(e.dstTier));
+            w.kv("pages", e.pages);
+            break;
+          case EventKind::TxnAbort:
+            w.kv("reason", txnAbortReasonName(e.reason));
+            w.kv("attempt", static_cast<std::uint64_t>(e.attempt));
+            w.kv("src_tier", static_cast<std::uint64_t>(e.srcTier));
+            w.kv("dst_tier", static_cast<std::uint64_t>(e.dstTier));
+            w.kv("pages", e.pages);
+            break;
+          case EventKind::TxnRetry:
+            // latency carries the deterministic backoff charged to the
+            // daemon before this attempt re-armed.
+            w.kv("attempt", static_cast<std::uint64_t>(e.attempt));
+            w.kv("latency", e.latency);
+            break;
+          case EventKind::TxnCommit:
+            // attempt counts retries consumed before the commit (0 =
+            // first-try commit); latency is the committed copy cost.
+            w.kv("attempt", static_cast<std::uint64_t>(e.attempt));
             w.kv("latency", e.latency);
             break;
         }

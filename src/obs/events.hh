@@ -2,11 +2,12 @@
  * @file
  * Decision provenance journal: an opt-in, bounded ring of typed
  * page-lifecycle events — PEBS sample, binning decision, promote/
- * demote enqueue, migration start/complete/abort, daemon tick — each
- * stamped with the cycle, tenant, page, and the policy inputs (PAC
- * score, bin, MLP, daemon window) that drove the decision. Together
- * they answer "why was this page promoted?" offline, which aggregate
- * counters cannot.
+ * demote enqueue, migration start/complete/abort, the transactional
+ * migration lifecycle (prepare/retry/commit/abort with reason), daemon
+ * tick — each stamped with the cycle, tenant, page, and the policy
+ * inputs (PAC score, bin, MLP, daemon window) that drove the decision.
+ * Together they answer "why was this page promoted?" offline, which
+ * aggregate counters cannot.
  *
  * The journal is off by default (no journal pointer wired = zero
  * cost beyond a null check at each emit site) and deterministic when
@@ -45,9 +46,30 @@ enum class EventKind : std::uint8_t
     MigrationComplete,///< copy committed (latency = charged cycles)
     MigrationAbort,   ///< copy aborted (fault injection)
     DaemonTick,       ///< a policy daemon window closed (page = 0)
+    TxnPrepare,       ///< migration transaction opened (shadow copy)
+    TxnRetry,         ///< aborted attempt re-armed after backoff
+    TxnCommit,        ///< transaction validated and committed
+    TxnAbort,         ///< attempt aborted (reason + attempt number)
+    TxnAdmitReject,   ///< admission control rejected the migration
 };
 
 const char *eventKindName(EventKind k);
+
+/**
+ * Why a migration transaction attempt aborted. Lives here (not in
+ * mem/) because the journal schema serializes the reason names and
+ * obs sits below mem in the library stack.
+ */
+enum class TxnAbortReason : std::uint8_t
+{
+    None,       ///< not aborted
+    Contention, ///< whole-copy contention abort (legacy migabort)
+    MidCopy,    ///< aborted mid-copy at an injected progress fraction
+    Dirty,      ///< page written during the copy; validation failed
+    WriteFail,  ///< transient destination-tier write failure
+};
+
+const char *txnAbortReasonName(TxnAbortReason r);
 
 /** One journal record. Unused payload fields stay 0. */
 struct PageEvent
@@ -65,6 +87,8 @@ struct PageEvent
     std::uint32_t dstTier = 0; ///< migration destination tier
     std::uint64_t latency = 0; ///< migration charged cycles (Complete)
     std::uint64_t pages = 0;   ///< pages moved (migration events)
+    std::uint32_t attempt = 0; ///< transaction attempt number (txn_*)
+    TxnAbortReason reason = TxnAbortReason::None; ///< abort reason
 };
 
 /**

@@ -224,6 +224,11 @@ writeSimConfig(JsonWriter &w, const SimConfig &cfg)
     w.kv("fixed_cycles_huge",
          static_cast<std::uint64_t>(cfg.migration.fixedCyclesHuge));
     w.kv("app_penalty_fraction", cfg.migration.appPenaltyFraction);
+    w.kv("disabled", cfg.migration.disabled);
+    w.kv("txn_max_retries",
+         static_cast<std::uint64_t>(cfg.migration.txnMaxRetries));
+    w.kv("txn_backoff_cycles",
+         static_cast<std::uint64_t>(cfg.migration.txnBackoffCycles));
     w.endObject();
     w.kv("fast_capacity_pages", cfg.fastCapacityPages);
     w.kv("daemon_period_cycles", static_cast<std::uint64_t>(cfg.daemonPeriod));
@@ -299,6 +304,16 @@ writeRunManifest(std::ostream &os, const RunManifest &m)
             }
             w.endArray();
             w.kv("runtime_cycles", r.runtimeCycles);
+            w.key("txn").beginObject();
+            w.kv("prepared", r.txn.prepared);
+            w.kv("committed", r.txn.committed);
+            w.kv("aborted", r.txn.aborted);
+            w.kv("retries", r.txn.retries);
+            w.kv("exhausted", r.txn.exhausted);
+            w.kv("admission_rejected", r.txn.admissionRejected);
+            w.kv("wasted_copy_cycles", r.txn.wastedCopyCycles);
+            w.kv("backoff_cycles", r.txn.backoffCycles);
+            w.endObject();
             w.key("stats").beginObject();
             for (const auto &[k, v] : r.stats)
                 w.kv(k, v);

@@ -36,12 +36,16 @@ namespace obs
  * array (one object per tenant of a multi-tenant engine; empty for
  * legacy single-daemon runs). pact.manifest/4 adds the per-result
  * "distributions" object (log-linear histogram stats: sparse bin
- * counts plus derived count/sum/max/p50/p90/p99). pact.timeseries/2
+ * counts plus derived count/sum/max/p50/p90/p99). pact.manifest/5
+ * adds the per-result "txn" object (migration-transaction outcome
+ * counts: committed/aborted/retried/exhausted/rejected-by-admission
+ * plus wasted copy cycles) and the migration config's disabled/
+ * txn_max_retries/txn_backoff_cycles keys. pact.timeseries/2
  * adds the header "distributions" list and per-row "dist" per-window
  * summaries. pact.events/1 is the decision-provenance journal JSONL
  * (header object, then one typed page-lifecycle event per line).
  */
-inline constexpr const char *ManifestSchema = "pact.manifest/4";
+inline constexpr const char *ManifestSchema = "pact.manifest/5";
 inline constexpr const char *TimeSeriesSchema = "pact.timeseries/2";
 inline constexpr const char *EventsSchema = "pact.events/1";
 
@@ -129,6 +133,20 @@ struct ManifestResult
     std::vector<std::pair<std::string, double>> stats;
     /** Distribution snapshots (name-sorted), pact.manifest/4. */
     std::vector<std::pair<std::string, DistSnapshot>> dists;
+
+    /** Migration-transaction outcome counts, pact.manifest/5. */
+    struct Txn
+    {
+        std::uint64_t prepared = 0;
+        std::uint64_t committed = 0;
+        std::uint64_t aborted = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t exhausted = 0;
+        std::uint64_t admissionRejected = 0;
+        std::uint64_t wastedCopyCycles = 0;
+        std::uint64_t backoffCycles = 0;
+    };
+    Txn txn;
 
     /**
      * Whether the run completed. Failed runs carry errorKind/

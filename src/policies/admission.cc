@@ -1,0 +1,57 @@
+#include "policies/admission.hh"
+
+#include "common/logging.hh"
+
+namespace pact
+{
+
+AdmissionPolicy::AdmissionPolicy(std::unique_ptr<TieringPolicy> inner,
+                                 const AdmissionConfig &cfg)
+    : inner_(std::move(inner)), cfg_(cfg)
+{
+    panic_if(!inner_, "AdmissionPolicy: null inner policy");
+    name_ = std::string(inner_->name()) + "+admit";
+}
+
+void
+AdmissionPolicy::start(SimContext &ctx)
+{
+    // Arm the engine-side gate for this tenant before the wrapped
+    // policy issues its first migration. The outcome window is shared
+    // engine-wide; the gate only judges migrations stamped with an
+    // armed tenant.
+    ctx.mig.enableAdmission(ctx.tenant, cfg_);
+    inner_->start(ctx);
+}
+
+void
+AdmissionPolicy::registerStats(obs::StatRegistry &reg)
+{
+    inner_->registerStats(reg);
+}
+
+void
+AdmissionPolicy::tick(SimContext &ctx)
+{
+    inner_->tick(ctx);
+}
+
+void
+AdmissionPolicy::audit(const SimContext &ctx) const
+{
+    inner_->audit(ctx);
+}
+
+void
+AdmissionPolicy::finish(SimContext &ctx)
+{
+    inner_->finish(ctx);
+}
+
+void
+AdmissionPolicy::onHintFault(PageId page, ProcId proc)
+{
+    inner_->onHintFault(page, proc);
+}
+
+} // namespace pact

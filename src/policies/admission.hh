@@ -1,0 +1,48 @@
+/**
+ * @file
+ * TierBPF-style admission-control mixin: wraps any tiering policy and
+ * arms the migration engine's admission gate for the wrapped policy's
+ * tenant. The gate watches recent migration-transaction outcomes
+ * (abort rate, wasted-bandwidth fraction over a sliding window) and
+ * rejects promotions predicted not to pay off; the wrapped policy is
+ * otherwise untouched — its ticks, stats, and hint-fault handling all
+ * delegate straight through. Request it as "<base>+admit" in any
+ * policy name (e.g. "PACT+admit", "TPP+admit").
+ */
+
+#ifndef PACT_POLICIES_ADMISSION_HH
+#define PACT_POLICIES_ADMISSION_HH
+
+#include <memory>
+#include <string>
+
+#include "mem/migration.hh"
+#include "sim/policy_iface.hh"
+
+namespace pact
+{
+
+class AdmissionPolicy : public TieringPolicy
+{
+  public:
+    /** @param inner The wrapped policy; must not be null. */
+    AdmissionPolicy(std::unique_ptr<TieringPolicy> inner,
+                    const AdmissionConfig &cfg = AdmissionConfig{});
+
+    const char *name() const override { return name_.c_str(); }
+    void start(SimContext &ctx) override;
+    void registerStats(obs::StatRegistry &reg) override;
+    void tick(SimContext &ctx) override;
+    void audit(const SimContext &ctx) const override;
+    void finish(SimContext &ctx) override;
+    void onHintFault(PageId page, ProcId proc) override;
+
+  private:
+    std::unique_ptr<TieringPolicy> inner_;
+    AdmissionConfig cfg_;
+    std::string name_;
+};
+
+} // namespace pact
+
+#endif // PACT_POLICIES_ADMISSION_HH

@@ -3,6 +3,7 @@
 #include "common/error.hh"
 #include "common/logging.hh"
 #include "pact/pact_policy.hh"
+#include "policies/admission.hh"
 #include "policies/alto.hh"
 #include "policies/colloid.hh"
 #include "policies/freq_policy.hh"
@@ -19,6 +20,15 @@ namespace pact
 std::unique_ptr<TieringPolicy>
 makePolicy(const std::string &name)
 {
+    // "<base>+admit" wraps any base policy in the TierBPF-style
+    // admission gate (recursion lets knobbed bases compose too).
+    const std::string admitSuffix = "+admit";
+    if (name.size() > admitSuffix.size() &&
+        name.compare(name.size() - admitSuffix.size(), admitSuffix.size(),
+                     admitSuffix) == 0) {
+        return std::make_unique<AdmissionPolicy>(
+            makePolicy(name.substr(0, name.size() - admitSuffix.size())));
+    }
     if (name == "NoTier")
         return std::make_unique<NoTierPolicy>();
     if (name == "TPP")

@@ -68,6 +68,14 @@ SimConfig::validate() const
                         migration.appPenaltyFraction > 1.0,
                     "SimConfig.migration.appPenaltyFraction must be in "
                     "[0, 1], got ", migration.appPenaltyFraction);
+    throw_config_if(migration.txnMaxRetries > 16,
+                    "SimConfig.migration.txnMaxRetries must be <= 16 "
+                    "(backoff is txnBackoffCycles << retry), got ",
+                    migration.txnMaxRetries);
+    throw_config_if(migration.txnBackoffCycles >
+                        (Cycles(1) << 40),
+                    "SimConfig.migration.txnBackoffCycles is "
+                    "implausibly large, got ", migration.txnBackoffCycles);
 
     throw_config_if(daemonPeriod == 0,
                     "SimConfig.daemonPeriod must be >= 1 cycle, got 0");

@@ -331,6 +331,35 @@ Engine::registerStats()
                     &ms.appPenaltyCycles,
                     "migration stall charged to applications");
 
+    const MigrationTxnStats &ts = mig_.txnStats();
+    reg_.addCounter("engine.migration.txn.prepared", &ts.prepared,
+                    "migration transactions opened");
+    reg_.addCounter("engine.migration.txn.committed", &ts.committed,
+                    "migration transactions committed");
+    reg_.addCounter("engine.migration.txn.aborted", &ts.aborted,
+                    "aborted transaction attempts");
+    reg_.addCounter("engine.migration.txn.retries", &ts.retries,
+                    "aborted attempts that re-armed");
+    reg_.addCounter("engine.migration.txn.exhausted", &ts.exhausted,
+                    "transactions that ran out of retries");
+    reg_.addCounter("engine.migration.txn.admission_rejected",
+                    &ts.admissionRejected,
+                    "migrations rejected by admission control");
+    reg_.addCounter("engine.migration.txn.abort_contention",
+                    &ts.abortContention, "whole-copy contention aborts");
+    reg_.addCounter("engine.migration.txn.abort_mid_copy",
+                    &ts.abortMidCopy, "mid-copy aborts");
+    reg_.addCounter("engine.migration.txn.abort_dirty", &ts.abortDirty,
+                    "dirtied-during-copy validation aborts");
+    reg_.addCounter("engine.migration.txn.abort_write_fail",
+                    &ts.abortWriteFail,
+                    "transient destination write failures");
+    reg_.addCounter("engine.migration.txn.wasted_copy_cycles",
+                    &ts.wastedCopyCycles,
+                    "cycles charged by aborted attempts");
+    reg_.addCounter("engine.migration.txn.backoff_cycles",
+                    &ts.backoffCycles, "daemon-side retry backoff");
+
     Tier *tiers[NumTiers] = {&fastTier_, &slowTier_};
     for (unsigned t = 0; t < NumTiers; t++) {
         const std::string p = std::string("engine.tier.") + tierName[t];
@@ -381,6 +410,18 @@ Engine::registerStats()
                         "injected PEBS sample duplicates");
         reg_.addCounter("faults.jittered_windows", &fc.jitteredWindows,
                         "daemon windows with injected jitter");
+        reg_.addCounter("faults.mid_copy_aborts", &fc.midCopyAborts,
+                        "injected mid-copy transaction aborts");
+        reg_.addCounter("faults.dirty_conflicts", &fc.dirtyConflicts,
+                        "injected dirty-during-copy conflicts");
+        reg_.addCounter("faults.tier_write_failures", &fc.tierWriteFailures,
+                        "injected transient tier write failures");
+        reg_.addCounter("faults.daemon_stalls", &fc.daemonStalls,
+                        "injected daemon crash-and-restart stalls");
+        reg_.addCounter("faults.pebs_starved", &fc.pebsStarved,
+                        "PEBS samples lost to starvation bursts");
+        reg_.addCounter("faults.starve_bursts", &fc.starveBursts,
+                        "injected PEBS starvation bursts");
     }
 }
 
@@ -534,17 +575,26 @@ Engine::runUntil(Cycles until)
             currentTenant_ = tenantOf_[i];
             // Fault-path migrations (promote-on-fault policies) fire
             // inside cpu->run; stamp their provenance context at slice
-            // resolution so the journal attributes them correctly.
-            if (journal_) {
-                mig_.setJournalContext(
-                    now_, currentTenant_,
-                    tenants_[currentTenant_]->ticks);
-            }
+            // resolution so the journal attributes them correctly and
+            // the admission gate knows whose migration it is judging.
+            mig_.setJournalContext(now_, currentTenant_,
+                                   tenants_[currentTenant_]->ticks);
             cpus_[i]->run(sliceEnd);
         }
         now_ = sliceEnd;
 
         if (now_ >= nextTick_) {
+            // Injected daemon stall: the daemon crashed and restarts
+            // `stall` cycles later, so this window's ticks (and the
+            // audit that rides on them) never run. Migration penalties
+            // stay queued until the restarted daemon's next window.
+            const Cycles stall =
+                faults_ ? faults_->daemonStall(cfg_.daemonPeriod)
+                        : Cycles(0);
+            if (stall > 0) {
+                nextTick_ += stall + nextPeriod();
+                continue;
+            }
             bool ticked = false;
             // Daemon-window boundary: every tenant's daemon runs, in
             // tenant order, against the shared tier state. Serial and
@@ -555,9 +605,8 @@ Engine::runUntil(Cycles until)
                     continue;
                 const MigrationStats before = mig_.stats();
                 currentTenant_ = static_cast<std::uint32_t>(ti);
-                if (journal_)
-                    mig_.setJournalContext(now_, currentTenant_,
-                                           t->ticks + 1);
+                mig_.setJournalContext(now_, currentTenant_,
+                                       t->ticks + 1);
                 t->ctx->now = now_;
                 refreshWrappedPmu(*t);
                 t->spec.policy->tick(*t->ctx);
@@ -684,6 +733,7 @@ Engine::snapshot() const
     }
     rs.pmu = aggregatePmu();
     rs.migration = mig_.stats();
+    rs.txn = mig_.txnStats();
 
     // The scalar counters are a view over the registry: one dump
     // supplies both the named fields below and the full artifact

@@ -90,6 +90,8 @@ struct RunStats
     /** Final PMU counter values (summed over all tenants). */
     Pmu pmu;
     MigrationStats migration;
+    /** Migration-transaction outcome counts (manifest schema 5). */
+    MigrationTxnStats txn;
     std::uint64_t pebsEvents = 0;
     std::uint64_t pebsDropped = 0;
     std::uint64_t cacheHits = 0;

@@ -48,9 +48,13 @@ class PebsSampler
         if (++sinceLast_ < params_.rate)
             return;
         sinceLast_ = 0;
-        // Injected sampling faults: a drop silently loses the sample
-        // (the hardware never delivered it), a duplicate records it
-        // twice (double attribution) if the buffer has room.
+        // Injected sampling faults: a starvation burst swallows whole
+        // runs of consecutive samples (empty token bucket), a drop
+        // silently loses one sample (the hardware never delivered it),
+        // a duplicate records it twice (double attribution) if the
+        // buffer has room.
+        if (faults_ && faults_->starveSample())
+            return;
         if (faults_ && faults_->dropSample())
             return;
         if (buffer_.size() >= params_.bufferCap) {

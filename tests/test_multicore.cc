@@ -179,7 +179,7 @@ TEST(Multicore, TwoTenantManifestBytesAreJobInvariant)
     const std::string wide = manifestBytes(cfg, twoTenantRun("4"));
     const std::string again = manifestBytes(cfg, twoTenantRun("4"));
 
-    EXPECT_NE(serial.find("\"schema\":\"pact.manifest/4\""),
+    EXPECT_NE(serial.find("\"schema\":\"pact.manifest/5\""),
               std::string::npos);
     EXPECT_NE(serial.find("\"tenants\":["), std::string::npos);
     EXPECT_NE(serial.find("\"tenant0\""), std::string::npos);

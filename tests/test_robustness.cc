@@ -230,6 +230,80 @@ TEST(FaultSpec, RejectsMalformedClauses)
     EXPECT_THROW(parseFaultSpec("jitter:frac=1.0"), ConfigError);
 }
 
+TEST(FaultSpec, ParsesExtendedGrammar)
+{
+    const FaultSpec s = parseFaultSpec(
+        "midabort:p=0.4,at=0.75;dirty:p=0.3;tierfail:p=0.2;"
+        "stall:p=0.1,periods=8;pebsstarve:p=0.05,len=128");
+    EXPECT_EQ(s.midAbortP, 0.4);
+    EXPECT_EQ(s.midAbortAt, 0.75);
+    EXPECT_EQ(s.dirtyP, 0.3);
+    EXPECT_EQ(s.tierFailP, 0.2);
+    EXPECT_EQ(s.stallP, 0.1);
+    EXPECT_EQ(s.stallPeriods, 8u);
+    EXPECT_EQ(s.starveP, 0.05);
+    EXPECT_EQ(s.starveLen, 128u);
+    EXPECT_TRUE(s.any());
+}
+
+TEST(FaultSpec, OptionalParamsDefault)
+{
+    const FaultSpec s =
+        parseFaultSpec("midabort:p=1;stall:p=1;pebsstarve:p=1");
+    EXPECT_EQ(s.midAbortAt, 0.5);
+    EXPECT_EQ(s.stallPeriods, 1u);
+    EXPECT_EQ(s.starveLen, 32u);
+}
+
+TEST(FaultSpec, RejectsMalformedExtendedClauses)
+{
+    // Required p missing.
+    EXPECT_THROW(parseFaultSpec("midabort:at=0.5"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("stall:periods=2"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("pebsstarve:len=8"), ConfigError);
+    // Out-of-range params.
+    EXPECT_THROW(parseFaultSpec("midabort:p=1,at=1.5"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("midabort:p=1,at=-0.1"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("stall:p=1,periods=0"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("stall:p=1,periods=65"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("stall:p=1,periods=2.5"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("pebsstarve:p=1,len=0"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("pebsstarve:p=1,len=65537"), ConfigError);
+    // Malformed parameter syntax.
+    EXPECT_THROW(parseFaultSpec("dirty:p=1,p=1"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("dirty:p=1,q=2"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("dirty:=1"), ConfigError);
+    EXPECT_THROW(parseFaultSpec("dirty:p="), ConfigError);
+    EXPECT_THROW(parseFaultSpec("tierfail:p"), ConfigError);
+}
+
+TEST(FaultSpec, DiagnosticsNameTheOffendingToken)
+{
+    const auto expectNames = [](const std::string &spec,
+                                const char *token) {
+        try {
+            parseFaultSpec(spec);
+            FAIL() << "expected ConfigError naming " << token << " for '"
+                   << spec << "'";
+        } catch (const ConfigError &e) {
+            EXPECT_NE(std::string(e.what()).find(token),
+                      std::string::npos)
+                << spec << " -> " << e.what();
+        }
+    };
+    // Unknown class: names the class and lists the vocabulary.
+    expectNames("gremlin:p=0.5", "gremlin");
+    expectNames("gremlin:p=0.5", "pebsstarve");
+    // Unknown / duplicate parameter: names the key and the clause.
+    expectNames("midabort:p=1,frac=0.5", "frac");
+    expectNames("stall:p=1,p=1", "duplicate parameter 'p'");
+    // Bad number: quotes the exact token that failed to parse.
+    expectNames("dirty:p=0.5x", "0.5x");
+    // Out of range: names the bound and the value.
+    expectNames("midabort:p=1,at=2", "at");
+    expectNames("pebsstarve:p=1,len=99999", "len");
+}
+
 // ---------------------------------------------------------------------
 // Fault schedule determinism
 // ---------------------------------------------------------------------
@@ -267,6 +341,67 @@ TEST(FaultPlan, DisabledClassesConsumeNoRandomness)
     }
     EXPECT_EQ(dropsWrap.wrapMask(), 0xffffull);
     EXPECT_EQ(drops.wrapMask(), ~0ull);
+}
+
+TEST(FaultPlan, NewClassStreamsAreDecorrelatedFromLegacy)
+{
+    // Enabling every post-v1 class must leave the legacy drop schedule
+    // bit-identical: the new classes draw from private streams.
+    FaultPlan legacy(parseFaultSpec("pebsdrop:p=0.5"), 77);
+    FaultPlan mixed(parseFaultSpec("pebsdrop:p=0.5;midabort:p=0.5;"
+                                   "dirty:p=0.5;tierfail:p=0.5;"
+                                   "stall:p=0.5;pebsstarve:p=0.5,len=2"),
+                    77);
+    for (int i = 0; i < 2048; i++) {
+        // Interleave new-class draws between legacy draws: they must
+        // not perturb the legacy stream.
+        mixed.midCopyAbort();
+        mixed.dirtyDuringCopy();
+        mixed.tierWriteFailure();
+        mixed.daemonStall(1000);
+        mixed.starveSample();
+        EXPECT_EQ(legacy.dropSample(), mixed.dropSample());
+    }
+}
+
+TEST(FaultPlan, NewClassStreamsAreMutuallyIndependent)
+{
+    // Each class's schedule is a function of (spec, seed) alone: the
+    // mid-copy stream with only midabort enabled matches the mid-copy
+    // stream with every sibling class drawing in between.
+    FaultPlan solo(parseFaultSpec("midabort:p=0.5"), 191);
+    FaultPlan mixed(parseFaultSpec("midabort:p=0.5;dirty:p=0.5;"
+                                   "tierfail:p=0.5;stall:p=0.5"),
+                    191);
+    for (int i = 0; i < 2048; i++) {
+        mixed.dirtyDuringCopy();
+        mixed.tierWriteFailure();
+        mixed.daemonStall(500);
+        EXPECT_EQ(solo.midCopyAbort(), mixed.midCopyAbort());
+    }
+    EXPECT_EQ(solo.counters().midCopyAborts,
+              mixed.counters().midCopyAborts);
+    EXPECT_GT(solo.counters().midCopyAborts, 0u);
+}
+
+TEST(FaultPlan, StallReturnsWholeNominalPeriods)
+{
+    FaultPlan plan(parseFaultSpec("stall:p=1,periods=4"), 5);
+    EXPECT_EQ(plan.daemonStall(1000), 4000u);
+    EXPECT_EQ(plan.daemonStall(0), 0u); // degenerate window: no stall
+    FaultPlan off(parseFaultSpec("midabort:p=1"), 5);
+    EXPECT_EQ(off.daemonStall(1000), 0u);
+    EXPECT_EQ(plan.counters().daemonStalls, 1u);
+}
+
+TEST(FaultPlan, StarvationBurstsDropWholeRuns)
+{
+    FaultPlan plan(parseFaultSpec("pebsstarve:p=1,len=4"), 13);
+    for (int i = 0; i < 8; i++)
+        EXPECT_TRUE(plan.starveSample());
+    // 8 starved samples = 2 bursts of 4; only the triggers drew.
+    EXPECT_EQ(plan.counters().pebsStarved, 8u);
+    EXPECT_EQ(plan.counters().starveBursts, 2u);
 }
 
 // ---------------------------------------------------------------------
@@ -307,6 +442,71 @@ TEST_F(RobustnessTest, WrapAndJitterRunsCompleteAndCount)
     EXPECT_GT(r.runtime, 0u);
     EXPECT_GT(r.stats.stat("faults.jittered_windows"), 0.0);
     EXPECT_GT(r.stats.daemonTicks, 0u);
+}
+
+TEST_F(RobustnessTest, CopyFaultsSurfaceAsTxnAbortsAndRetries)
+{
+    SimConfig cfg;
+    cfg.faults = "midabort:p=0.4;dirty:p=0.2;tierfail:p=0.2";
+    Runner run(cfg);
+    const WorkloadBundle b = tinyBundle();
+    const RunResult r = run.run(b, "PACT", 0.4);
+    EXPECT_GT(r.stats.stat("faults.mid_copy_aborts"), 0.0);
+    EXPECT_GT(r.stats.txn.aborted, 0u);
+    EXPECT_GT(r.stats.txn.retries, 0u);
+    EXPECT_GT(r.stats.txn.committed, 0u); // retries actually recover
+    EXPECT_GT(r.stats.txn.backoffCycles, 0u);
+    // The transaction ledger balances even under mixed fault classes.
+    EXPECT_EQ(r.stats.txn.committed + r.stats.txn.aborted -
+                  r.stats.txn.retries,
+              r.stats.txn.prepared);
+}
+
+TEST_F(RobustnessTest, StallAndStarveRunsCompleteAndCount)
+{
+    SimConfig cfg;
+    cfg.faults = "stall:p=0.3,periods=4;pebsstarve:p=0.005,len=64";
+    Runner run(cfg);
+    const WorkloadBundle b = tinyBundle();
+    const RunResult r = run.run(b, "PACT", 0.4);
+    EXPECT_GT(r.runtime, 0u);
+    EXPECT_GT(r.stats.stat("faults.daemon_stalls"), 0.0);
+    EXPECT_GT(r.stats.stat("faults.pebs_starved"), 0.0);
+    EXPECT_GT(r.stats.stat("faults.starve_bursts"), 0.0);
+    // Stalled windows delay ticks, they don't lose them forever.
+    EXPECT_GT(r.stats.daemonTicks, 0u);
+}
+
+TEST_F(RobustnessTest, AdmitSuffixGatesUnprofitableMigrations)
+{
+    // Under a persistent abort storm the +admit wrapper should learn
+    // to reject promotions, cutting wasted copy bandwidth relative to
+    // blind retry.
+    SimConfig cfg;
+    cfg.faults = "dirty:p=0.9";
+    const WorkloadBundle b = tinyBundle();
+    Runner blind(cfg), gated(cfg);
+    const RunResult base = blind.run(b, "PACT", 0.4);
+    const RunResult admit = gated.run(b, "PACT+admit", 0.4);
+    EXPECT_GT(admit.stats.txn.admissionRejected, 0u);
+    EXPECT_EQ(base.stats.txn.admissionRejected, 0u);
+    EXPECT_LT(admit.stats.txn.wastedCopyCycles,
+              base.stats.txn.wastedCopyCycles);
+}
+
+TEST_F(RobustnessTest, AdmitSuffixIsInertWithoutFaults)
+{
+    // Faults off: the gate never arms, so PACT+admit must reproduce
+    // PACT's end-to-end timing exactly.
+    const WorkloadBundle b = tinyBundle();
+    Runner plain, gated;
+    const RunResult base = plain.run(b, "PACT", 0.4);
+    const RunResult admit = gated.run(b, "PACT+admit", 0.4);
+    EXPECT_EQ(admit.stats.txn.admissionRejected, 0u);
+    EXPECT_EQ(base.runtime, admit.runtime);
+    EXPECT_EQ(base.stats.procCycles, admit.stats.procCycles);
+    EXPECT_EQ(base.stats.migration.promotedOps,
+              admit.stats.migration.promotedOps);
 }
 
 TEST_F(RobustnessTest, FaultedSweepIsDeterministicAcrossJobCounts)

@@ -1,0 +1,480 @@
+/**
+ * @file
+ * Transactional-migration tests: the per-migration state machine
+ * (Prepared -> Copying -> Validating -> Committed | Aborted), shadow-
+ * copy accounting and rollback, bounded retry with deterministic
+ * backoff, the admission gate, and the engine-level guarantee that a
+ * 100%-forced-abort run leaves tier occupancy, LRU state, and tenant
+ * stat trees identical to a migrations-disabled run.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hh"
+#include "fault/fault.hh"
+#include "mem/lru.hh"
+#include "mem/migration.hh"
+#include "mem/tier_manager.hh"
+#include "policies/registry.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+class MockBackend : public MigrationBackend
+{
+  public:
+    Cycles
+    chargeCopy(TierId src, TierId dst, std::uint64_t bytes) override
+    {
+        calls++;
+        lastBytes = bytes;
+        (void)src;
+        (void)dst;
+        return costPerCopy;
+    }
+
+    int calls = 0;
+    std::uint64_t lastBytes = 0;
+    Cycles costPerCopy = 1000;
+};
+
+struct Fixture
+{
+    explicit Fixture(std::uint64_t pages = 10, std::uint64_t fast_cap = 5,
+                     MigrationConfig cfg = {})
+        : tm(pages, fast_cap), lru(pages), mig(tm, lru, backend, cfg, 2)
+    {
+    }
+
+    /** Materialize @p page on the slow tier, LRU-listed. */
+    void
+    slowPage(PageId page)
+    {
+        tm.setFirstTouchOverride(page, TierId::Slow);
+        tm.touch(page, 0, false);
+        lru.insert(page, TierId::Slow, tm);
+    }
+
+    void
+    attach(const std::string &spec, std::uint64_t seed = 1)
+    {
+        plan = FaultPlan::fromSpec(spec, seed);
+        mig.setFaultPlan(plan.get());
+    }
+
+    TierManager tm;
+    LruLists lru;
+    MockBackend backend;
+    MigrationEngine mig;
+    std::unique_ptr<FaultPlan> plan;
+};
+
+/** Find a seed whose mid-copy stream draws (abort, pass) first. */
+std::uint64_t
+abortThenPassSeed(const std::string &spec)
+{
+    for (std::uint64_t seed = 1; seed < 10000; seed++) {
+        FaultPlan probe(parseFaultSpec(spec), seed);
+        if (probe.midCopyAbort() && !probe.midCopyAbort())
+            return seed;
+    }
+    ADD_FAILURE() << "no abort-then-pass seed under 10000";
+    return 0;
+}
+
+} // namespace
+
+TEST(Txn, FaultFreeCommitIsFirstTry)
+{
+    Fixture f;
+    f.slowPage(0);
+    EXPECT_TRUE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.prepared, 1u);
+    EXPECT_EQ(t.committed, 1u);
+    EXPECT_EQ(t.aborted, 0u);
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_EQ(t.wastedCopyCycles, 0u);
+    EXPECT_EQ(t.backoffCycles, 0u);
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Fast);
+    EXPECT_EQ(f.tm.openShadows(), 0u);
+    EXPECT_NO_THROW(f.tm.auditConsistency());
+}
+
+TEST(Txn, ContentionAbortIsNotRetried)
+{
+    Fixture f;
+    f.slowPage(0);
+    f.attach("migabort:p=1");
+    EXPECT_FALSE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.prepared, 1u);
+    EXPECT_EQ(t.aborted, 1u);
+    EXPECT_EQ(t.abortContention, 1u);
+    EXPECT_EQ(t.retries, 0u);
+    EXPECT_EQ(t.exhausted, 0u); // non-retryable, not "ran out"
+    // Legacy abort semantics: the whole copy plus fixed overhead is
+    // wasted, exactly the pre-transactional cost model.
+    EXPECT_EQ(f.backend.calls, 1);
+    EXPECT_GT(t.wastedCopyCycles, 0u);
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+    EXPECT_NO_THROW(f.tm.auditConsistency());
+}
+
+TEST(Txn, RetryExhaustionRollsBackExactly)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 2;
+    cfg.txnBackoffCycles = 1000;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    const std::uint64_t freeBefore = f.tm.freeFast();
+    const std::uint64_t slowUsed = f.tm.used(TierId::Slow);
+    f.attach("midabort:p=1,at=0.5");
+
+    EXPECT_FALSE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.prepared, 1u);
+    EXPECT_EQ(t.aborted, 3u); // initial attempt + 2 retries
+    EXPECT_EQ(t.abortMidCopy, 3u);
+    EXPECT_EQ(t.retries, 2u);
+    EXPECT_EQ(t.exhausted, 1u);
+    EXPECT_EQ(t.committed, 0u);
+    // Deterministic exponential backoff: 1000 + 2000.
+    EXPECT_EQ(t.backoffCycles, 3000u);
+    // Rollback restored everything: occupancy, LRU, shadow residue.
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+    EXPECT_EQ(f.tm.freeFast(), freeBefore);
+    EXPECT_EQ(f.tm.used(TierId::Slow), slowUsed);
+    EXPECT_TRUE(f.lru.tracked(0, f.tm));
+    EXPECT_EQ(f.lru.activeSize(TierId::Slow), 1u);
+    EXPECT_EQ(f.tm.openShadows(), 0u);
+    EXPECT_EQ(f.tm.shadowUsed(TierId::Fast), 0u);
+    EXPECT_NO_THROW(f.tm.auditConsistency());
+}
+
+TEST(Txn, AbortThenRetryCommits)
+{
+    const std::string spec = "midabort:p=0.5,at=0.5";
+    const std::uint64_t seed = abortThenPassSeed(spec);
+    ASSERT_NE(seed, 0u);
+    Fixture f;
+    f.slowPage(0);
+    f.attach(spec, seed);
+
+    EXPECT_TRUE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.prepared, 1u);
+    EXPECT_EQ(t.aborted, 1u);
+    EXPECT_EQ(t.retries, 1u);
+    EXPECT_EQ(t.committed, 1u);
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Fast);
+    EXPECT_EQ(f.mig.stats().promotedOps, 1u);
+    EXPECT_NO_THROW(f.tm.auditConsistency());
+}
+
+TEST(Txn, MidCopyAbortAtZeroIsObservablyFree)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    f.attach("midabort:p=1,at=0");
+
+    EXPECT_FALSE(f.mig.promote(0));
+    EXPECT_EQ(f.mig.txnStats().aborted, 1u);
+    // Progress 0: no bandwidth moved, no fixed overhead, no penalty,
+    // no latency sample — the abort is invisible to timing.
+    EXPECT_EQ(f.backend.calls, 0);
+    EXPECT_EQ(f.mig.stats().copyCycles, 0u);
+    EXPECT_EQ(f.mig.stats().appPenaltyCycles, 0u);
+    EXPECT_EQ(f.mig.txnStats().wastedCopyCycles, 0u);
+    EXPECT_EQ(f.mig.latencyDist().count(), 0u);
+    EXPECT_EQ(f.mig.drainPenalty(0), 0u);
+}
+
+TEST(Txn, MidCopyAbortChargesProgressFraction)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    f.attach("midabort:p=1,at=0.25");
+
+    EXPECT_FALSE(f.mig.promote(0));
+    EXPECT_EQ(f.backend.calls, 1);
+    EXPECT_EQ(f.backend.lastBytes, PageBytes / 4);
+}
+
+TEST(Txn, WriteFailureWastesFixedOverheadOnly)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    f.attach("tierfail:p=1");
+
+    EXPECT_FALSE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.abortWriteFail, 1u);
+    // Failed before any data moved: no copy bandwidth, just the
+    // kernel overhead of the attempted move.
+    EXPECT_EQ(f.backend.calls, 0);
+    EXPECT_EQ(t.wastedCopyCycles, MigrationConfig{}.fixedCycles4k);
+}
+
+TEST(Txn, DirtyValidationWastesFullCopy)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    f.attach("dirty:p=1");
+
+    EXPECT_FALSE(f.mig.promote(0));
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.abortDirty, 1u);
+    EXPECT_EQ(f.backend.calls, 1);
+    EXPECT_EQ(f.backend.lastBytes, PageBytes);
+    EXPECT_EQ(t.wastedCopyCycles,
+              f.backend.costPerCopy + MigrationConfig{}.fixedCycles4k);
+}
+
+TEST(Txn, HugeRegionRollbackRestoresWholeRegion)
+{
+    const std::uint64_t pages = 2 * PagesPerHugePage;
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(pages, pages, cfg);
+    for (PageId p = 0; p < PagesPerHugePage; p++)
+        f.tm.setFirstTouchOverride(p, TierId::Slow);
+    f.tm.touch(0, 0, true);
+    f.attach("dirty:p=1");
+
+    EXPECT_FALSE(f.mig.promote(PagesPerHugePage / 3));
+    EXPECT_EQ(f.tm.used(TierId::Slow), PagesPerHugePage);
+    EXPECT_EQ(f.tm.used(TierId::Fast), 0u);
+    EXPECT_EQ(f.tm.openShadows(), 0u);
+    EXPECT_EQ(f.backend.lastBytes, HugePageBytes);
+    EXPECT_NO_THROW(f.tm.auditConsistency());
+}
+
+TEST(Txn, ShadowReservationCountsAgainstFastCapacity)
+{
+    TierManager tm(10, 2);
+    tm.touch(0, 0, false); // 1 of 2 fast frames used
+    EXPECT_EQ(tm.freeFast(), 1u);
+    EXPECT_TRUE(tm.beginShadow(5, 1, TierId::Fast));
+    EXPECT_EQ(tm.freeFast(), 0u);
+    EXPECT_EQ(tm.shadowUsed(TierId::Fast), 1u);
+    // No room for a second shadow.
+    EXPECT_FALSE(tm.beginShadow(6, 1, TierId::Fast));
+    tm.abortShadow(5, 1, TierId::Fast);
+    EXPECT_EQ(tm.freeFast(), 1u);
+    EXPECT_EQ(tm.shadowUsed(TierId::Fast), 0u);
+    EXPECT_EQ(tm.openShadows(), 0u);
+}
+
+TEST(Txn, AuditRejectsOpenShadowResidue)
+{
+    TierManager tm(10, 5);
+    tm.touch(0, 0, false);
+    EXPECT_NO_THROW(tm.auditConsistency());
+    EXPECT_TRUE(tm.beginShadow(3, 1, TierId::Fast));
+    // A quiescent-point audit must flag the un-released reservation.
+    EXPECT_THROW(tm.auditConsistency(), InvariantError);
+    tm.commitShadow(3, 1, TierId::Fast);
+    EXPECT_NO_THROW(tm.auditConsistency());
+}
+
+TEST(Txn, AdmissionGateRejectsAfterAbortStorm)
+{
+    MigrationConfig cfg;
+    cfg.txnMaxRetries = 0;
+    Fixture f(20, 10, cfg);
+    AdmissionConfig admit;
+    admit.window = 8;
+    admit.minSamples = 4;
+    admit.maxAbortRate = 0.4;
+    f.mig.enableAdmission(0, admit);
+    EXPECT_TRUE(f.mig.admissionEnabled(0));
+    EXPECT_FALSE(f.mig.admissionEnabled(1));
+
+    // Four aborted transactions arm the gate at 100% abort rate.
+    f.attach("dirty:p=1");
+    for (PageId p = 0; p < 4; p++) {
+        f.slowPage(p);
+        EXPECT_FALSE(f.mig.promote(p));
+    }
+    EXPECT_EQ(f.mig.txnStats().aborted, 4u);
+
+    // Faults gone, but the gate now predicts promotions unprofitable.
+    f.mig.setFaultPlan(nullptr);
+    f.slowPage(5);
+    EXPECT_FALSE(f.mig.promote(5));
+    EXPECT_EQ(f.mig.txnStats().admissionRejected, 1u);
+    EXPECT_EQ(f.tm.tierOf(5), TierId::Slow);
+
+    // Demotions are never gated (rejecting them could wedge the fast
+    // tier), and un-armed tenants bypass the gate entirely.
+    f.tm.touch(10, 0, false);
+    f.lru.insert(10, TierId::Fast, f.tm);
+    EXPECT_TRUE(f.mig.demote(10));
+    f.mig.setJournalContext(0, 1, 0);
+    EXPECT_TRUE(f.mig.promote(5));
+}
+
+TEST(Txn, AdmissionGateStaysOpenWithoutSamples)
+{
+    Fixture f;
+    AdmissionConfig admit;
+    f.mig.enableAdmission(0, admit);
+    // No outcomes on record: the gate must not reject (faults-off
+    // runs keep their golden behavior).
+    f.slowPage(0);
+    EXPECT_TRUE(f.mig.promote(0));
+    EXPECT_EQ(f.mig.txnStats().admissionRejected, 0u);
+}
+
+TEST(Txn, DisabledEngineDoesNothing)
+{
+    MigrationConfig cfg;
+    cfg.disabled = true;
+    Fixture f(10, 5, cfg);
+    f.slowPage(0);
+    EXPECT_FALSE(f.mig.promote(0));
+    f.mig.chargeAbortedCopy(0);
+    EXPECT_EQ(f.mig.txnStats().prepared, 0u);
+    EXPECT_EQ(f.mig.stats().failed, 0u);
+    EXPECT_EQ(f.backend.calls, 0);
+    EXPECT_EQ(f.tm.tierOf(0), TierId::Slow);
+}
+
+TEST(Txn, ChargeAbortedCopyBalancesLedger)
+{
+    Fixture f;
+    f.slowPage(0);
+    f.mig.chargeAbortedCopy(0);
+    const MigrationTxnStats &t = f.mig.txnStats();
+    EXPECT_EQ(t.prepared, 1u);
+    EXPECT_EQ(t.aborted, 1u);
+    EXPECT_EQ(t.abortDirty, 1u);
+    EXPECT_EQ(t.committed + t.aborted - t.retries, t.prepared);
+    EXPECT_GT(t.wastedCopyCycles, 0u);
+    EXPECT_EQ(f.mig.stats().failed, 1u);
+}
+
+TEST(Txn, ConfigRejectsUnboundedRetry)
+{
+    SimConfig cfg;
+    cfg.migration.txnMaxRetries = 17;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+    cfg.migration.txnMaxRetries = 16;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+namespace
+{
+
+/** Page-table digest: (tier, flags) per page + occupancy. */
+std::vector<std::uint64_t>
+pageState(Engine &engine)
+{
+    TierManager &tm = engine.tierManager();
+    std::vector<std::uint64_t> out;
+    out.push_back(tm.used(TierId::Fast));
+    out.push_back(tm.used(TierId::Slow));
+    for (PageId p = 0; p < tm.totalPages(); p++) {
+        if (!tm.touched(p))
+            continue;
+        out.push_back(p);
+        out.push_back(static_cast<std::uint64_t>(tm.tierOf(p)));
+        out.push_back(tm.meta(p).flags);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(Txn, ForcedAbortRunMatchesDisabledRun)
+{
+    // The golden-style rollback guarantee: when every transaction
+    // force-aborts at progress 0 (observably free), the run must be
+    // indistinguishable — tier occupancy, per-page LRU flags, and
+    // every tenant<i>.* stat — from a run with migrations disabled.
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
+
+    SimConfig forced;
+    forced.faults = "midabort:p=1,at=0";
+    SimConfig disabled;
+    disabled.migration.disabled = true;
+
+    auto drive = [&](const SimConfig &cfg, RunStats &stats,
+                     std::vector<std::uint64_t> &pages) {
+        SimConfig c = cfg;
+        c.fastCapacityPages = bundle->rssPages() / 2;
+        c.audit = true;
+        std::vector<std::unique_ptr<TieringPolicy>> policies;
+        std::vector<TenantSpec> specs;
+        for (std::size_t i = 0; i < bundle->traces.size(); i++) {
+            policies.push_back(makePolicy("PACT"));
+            TenantSpec s;
+            s.traces.push_back(&bundle->traces[i]);
+            s.policy = policies.back().get();
+            specs.push_back(std::move(s));
+        }
+        Engine engine(c, bundle->as, std::move(specs));
+        stats = engine.run();
+        EXPECT_EQ(engine.tierManager().openShadows(), 0u);
+        EXPECT_NO_THROW(engine.tierManager().auditConsistency());
+        pages = pageState(engine);
+    };
+
+    RunStats forcedStats, disabledStats;
+    std::vector<std::uint64_t> forcedPages, disabledPages;
+    drive(forced, forcedStats, forcedPages);
+    drive(disabled, disabledStats, disabledPages);
+
+    // The forced run really did attempt and abort migrations.
+    EXPECT_GT(forcedStats.txn.prepared, 0u);
+    EXPECT_EQ(forcedStats.txn.committed, 0u);
+    EXPECT_EQ(forcedStats.txn.aborted,
+              forcedStats.txn.prepared + forcedStats.txn.retries);
+    EXPECT_EQ(disabledStats.txn.prepared, 0u);
+
+    // Identical end state: occupancy, page tiers, LRU flags.
+    EXPECT_EQ(forcedPages, disabledPages);
+
+    // Identical tenant stat trees, value for value.
+    auto tenantStats = [](const RunStats &s) {
+        std::vector<std::pair<std::string, double>> out;
+        for (const auto &kv : s.registry) {
+            if (kv.first.rfind("tenant", 0) == 0)
+                out.push_back(kv);
+        }
+        return out;
+    };
+    const auto ft = tenantStats(forcedStats);
+    const auto dt = tenantStats(disabledStats);
+    ASSERT_FALSE(ft.empty());
+    ASSERT_EQ(ft.size(), dt.size());
+    for (std::size_t i = 0; i < ft.size(); i++) {
+        EXPECT_EQ(ft[i].first, dt[i].first);
+        EXPECT_EQ(ft[i].second, dt[i].second)
+            << "stat " << ft[i].first << " diverged";
+    }
+
+    // And identical application timing.
+    ASSERT_EQ(forcedStats.procCycles.size(),
+              disabledStats.procCycles.size());
+    for (std::size_t p = 0; p < forcedStats.procCycles.size(); p++)
+        EXPECT_EQ(forcedStats.procCycles[p], disabledStats.procCycles[p]);
+}
