@@ -27,11 +27,21 @@ which runs a tiny configuration and only checks the artifact schema
 (scripts/validate_artifacts.py --bench-json).
 
 Regression gate: --check <baseline-label> skips running anything and
-instead compares the artifact's *latest* entry against the named
-baseline entry, exiting non-zero if any benchmark's items_per_second
-regressed by more than --threshold percent (default 10):
+instead compares the artifact's *latest* entry against the best prior
+result per benchmark — the highest items_per_second any earlier entry
+recorded for that benchmark, and never less than the named baseline
+entry — exiting non-zero if any benchmark regressed by more than
+--threshold percent (default 10):
 
     scripts/bench_perf.py --check pr6-multicore
+
+Comparing against the per-benchmark best (not just the named label)
+closes the ratchet-decay hole: a PR that regresses a benchmark an
+intermediate entry had improved would otherwise pass by picking the
+older, slower label as its baseline.
+
+--self-test exercises the gate against synthetic trajectories (no
+benchmark binary needed) and exits non-zero on any logic regression.
 
 Pure standard library.
 """
@@ -129,14 +139,41 @@ def print_comparison(prev, cur):
               f"{b['items_per_second'] / 1e6:8.2f} Mops/s   {ratio:.2f}x")
 
 
-def check_regression(path, baseline_label, threshold_pct):
-    """Gate the latest entry against a named baseline entry.
+def best_prior(entries, base, name):
+    """Best items_per_second any prior entry recorded for @name.
 
-    Returns the process exit code: 0 when every benchmark common to
-    both entries is within threshold_pct of the baseline's
-    items_per_second, 1 when any regressed further. Benchmarks present
-    in only one entry are reported but do not fail the gate (the set
-    evolves across PRs).
+    Candidates are every entry except the latest, plus the named
+    baseline entry itself (so a one-entry artifact self-compares at
+    ratio 1.0, the bench_perf_check smoke contract). Returns
+    (value, label) or (None, None) when no candidate has the bench.
+    """
+    candidates = list(entries[:-1])
+    if all(e is not base for e in candidates):
+        candidates.append(base)
+    best_v, best_label = None, None
+    for e in candidates:
+        b = e.get("benchmarks", {}).get(name)
+        if not b or not b.get("items_per_second"):
+            continue
+        v = b["items_per_second"]
+        if best_v is None or v > best_v:
+            best_v, best_label = v, e.get("label")
+    return best_v, best_label
+
+
+def check_regression(path, baseline_label, threshold_pct):
+    """Gate the latest entry against the best prior entry per bench.
+
+    The named baseline must exist (it anchors the trajectory and is
+    always a comparison candidate), but each benchmark is judged
+    against the *best* items_per_second any prior entry recorded for
+    it — a regression vs an intermediate improvement fails the gate
+    even if the older named label would have let it pass.
+
+    Returns the process exit code: 0 when every benchmark of the
+    latest entry is within threshold_pct of its best prior result, 1
+    when any regressed further. Benchmarks with no prior result are
+    reported but do not fail the gate (the set evolves across PRs).
     """
     if not path.exists():
         sys.exit(f"{path}: no artifact to check")
@@ -150,31 +187,117 @@ def check_regression(path, baseline_label, threshold_pct):
                  f"(have: {', '.join(sorted(by_label))})")
     cur = doc["entries"][-1]
 
-    print(f"check: {cur['label']} vs baseline {base['label']} "
-          f"(threshold {threshold_pct:.0f}%)")
+    print(f"check: {cur['label']} vs best prior entry per benchmark "
+          f"(anchor {base['label']}, threshold {threshold_pct:.0f}%)")
     regressions = []
+    prior_names = set()
+    for e in doc["entries"][:-1] + [base]:
+        prior_names.update(e.get("benchmarks", {}))
     width = max((len(n) for n in cur["benchmarks"]), default=10)
     for name, b in sorted(cur["benchmarks"].items()):
-        p = base["benchmarks"].get(name)
-        if not p or not p.get("items_per_second"):
-            print(f"  {name:<{width}}  (not in baseline; skipped)")
+        best_v, best_label = best_prior(doc["entries"], base, name)
+        if not best_v:
+            print(f"  {name:<{width}}  (no prior entry; skipped)")
             continue
-        ratio = b["items_per_second"] / p["items_per_second"]
-        verdict = "ok"
+        ratio = b["items_per_second"] / best_v
+        verdict = f"ok          (best: {best_label})"
         if ratio < 1.0 - threshold_pct / 100.0:
-            verdict = "REGRESSED"
+            verdict = f"REGRESSED vs {best_label}"
             regressions.append(name)
-        print(f"  {name:<{width}}  {p['items_per_second'] / 1e6:8.2f} -> "
+        print(f"  {name:<{width}}  {best_v / 1e6:8.2f} -> "
               f"{b['items_per_second'] / 1e6:8.2f} Mops/s   "
               f"{ratio:.3f}x  {verdict}")
-    for name in sorted(set(base["benchmarks"]) - set(cur["benchmarks"])):
+    for name in sorted(prior_names - set(cur["benchmarks"])):
         print(f"  {name:<{width}}  (dropped since baseline; skipped)")
     if regressions:
         print(f"FAIL: {len(regressions)} benchmark(s) regressed >"
-              f"{threshold_pct:.0f}% vs {base['label']}: "
+              f"{threshold_pct:.0f}% vs their best prior entry: "
               f"{', '.join(regressions)}")
         return 1
     print("ok: no benchmark regressed beyond the threshold")
+    return 0
+
+
+def self_test():
+    """Unit-test the gate logic against synthetic artifacts.
+
+    Covers the ratchet-decay hole directly: a latest entry that beats
+    the named baseline but regresses vs an intermediate best must
+    fail, and the same trajectory within threshold must pass.
+    """
+    import tempfile
+
+    def artifact(tmpdir, entries):
+        p = pathlib.Path(tmpdir) / "bench.json"
+        p.write_text(json.dumps({"schema": SCHEMA, "entries": entries}))
+        return p
+
+    def entry(label, **ops):
+        return {"label": label, "benchmarks": {
+            n: {"items_per_second": v * 1e6, "real_time_ms": 1.0,
+                "iterations": 1} for n, v in ops.items()}}
+
+    failures = []
+
+    def expect(desc, got, want):
+        tag = "ok" if got == want else "FAIL"
+        print(f"  {tag}: {desc} (exit {got}, want {want})")
+        if got != want:
+            failures.append(desc)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Fast-then-slow: latest (120) beats the named seed (100) but
+        # regresses >10% vs the intermediate best (150). The old
+        # named-label-only gate passed this; the best-prior gate must
+        # not.
+        p = artifact(tmp, [entry("seed", engineRun=100),
+                           entry("mid", engineRun=150),
+                           entry("latest", engineRun=120)])
+        expect("regression vs intermediate best fails even when the "
+               "named baseline would pass",
+               check_regression(p, "seed", 10.0), 1)
+
+        # Same trajectory, latest within threshold of the best.
+        p = artifact(tmp, [entry("seed", engineRun=100),
+                           entry("mid", engineRun=150),
+                           entry("latest", engineRun=145)])
+        expect("within threshold of the best prior entry passes",
+               check_regression(p, "seed", 10.0), 0)
+
+        # Strictly worse than the named baseline still fails.
+        p = artifact(tmp, [entry("seed", engineRun=100),
+                           entry("latest", engineRun=50)])
+        expect("regression vs the named baseline fails",
+               check_regression(p, "seed", 10.0), 1)
+
+        # One-entry self-compare (the bench_perf_check smoke): the
+        # latest entry is the named baseline, ratio exactly 1.0.
+        p = artifact(tmp, [entry("smoke", engineRun=100)])
+        expect("single-entry self-compare passes at ratio 1.0",
+               check_regression(p, "smoke", 10.0), 0)
+
+        # A brand-new benchmark with no prior result is reported but
+        # never gates.
+        p = artifact(tmp, [entry("seed", engineRun=100),
+                           entry("latest", engineRun=100,
+                                 engineParallel=1)])
+        expect("benchmark with no prior entry is skipped",
+               check_regression(p, "seed", 10.0), 0)
+
+        # An unknown baseline label is a hard usage error.
+        p = artifact(tmp, [entry("seed", engineRun=100)])
+        try:
+            check_regression(p, "nope", 10.0)
+            expect("unknown baseline label exits non-zero", 0, 2)
+        except SystemExit as e:
+            expect("unknown baseline label exits non-zero",
+                   0 if isinstance(e.code, int) and e.code == 0 else 1,
+                   1)
+
+    if failures:
+        print(f"self-test FAILED: {len(failures)} case(s)")
+        return 1
+    print("self-test ok")
     return 0
 
 
@@ -186,8 +309,12 @@ def main():
                     help="entry label, e.g. 'seed' or 'after-pr4'")
     ap.add_argument("--check", metavar="BASELINE_LABEL",
                     help="compare the artifact's latest entry against "
-                         "this baseline entry instead of running; exit "
-                         "1 on any >threshold regression")
+                         "the best prior entry per benchmark (anchored "
+                         "by this baseline label) instead of running; "
+                         "exit 1 on any >threshold regression")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the regression-gate unit tests against "
+                         "synthetic artifacts and exit")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="--check regression threshold in percent "
                          "(default 10)")
@@ -204,6 +331,8 @@ def main():
                          "anyway (tagged build_type=debug; smoke runs)")
     args = ap.parse_args()
 
+    if args.self_test:
+        return self_test()
     if args.check:
         return check_regression(pathlib.Path(args.out), args.check,
                                 args.threshold)

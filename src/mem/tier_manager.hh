@@ -18,8 +18,15 @@
 namespace pact
 {
 
-/** Packed per-page metadata (8 bytes/page). */
-struct PageMeta
+/**
+ * Packed per-page metadata (8 bytes/page). 8-byte alignment makes the
+ * whole record a single lock-free std::atomic_ref unit, which the
+ * parallel engine relies on: a speculating core that has claimed a
+ * page updates its meta with one relaxed 8-byte store, and foreign
+ * prefetch probes read it with one relaxed 8-byte load, so cross-core
+ * meta access is tear-free without any per-page lock.
+ */
+struct alignas(8) PageMeta
 {
     /** Compressed last-access timestamp (cycle >> 10). */
     std::uint32_t lastAccess = 0;
@@ -120,6 +127,34 @@ class TierManager
     /** Force the first-touch preference (Soar static placement). */
     void setFirstTouchOverride(PageId page, TierId tier);
     void clearFirstTouchOverrides();
+
+    /** First-touch preference of a page (0xff = none). Overrides only
+     *  change at daemon-window boundaries, so the parallel engine's
+     *  speculating cores may read them without synchronization. */
+    std::uint8_t
+    firstTouchOverride(PageId page) const
+    {
+        return firstTouchOverride_[page];
+    }
+
+    /**
+     * Adopt the capacity accounting of first-touch materializations a
+     * committed speculative window already wrote into the page array
+     * in place (Touched/Huge flags, tier, owner). Counter-only: the
+     * per-page state must already be final, and auditConsistency()
+     * still has to hold afterwards — the parallel engine guarantees
+     * both by construction (sole-writer page claims + replay
+     * validation) before calling this.
+     */
+    void
+    adoptSpeculative(std::uint64_t fast_pages, std::uint64_t slow_pages,
+                     std::uint64_t huge_pages)
+    {
+        used_[tierIndex(TierId::Fast)] += fast_pages;
+        used_[tierIndex(TierId::Slow)] += slow_pages;
+        touchedCount_ += fast_pages + slow_pages;
+        hugeCount_ += huge_pages;
+    }
 
     /** Pages currently resident in a tier (committed copies only). */
     std::uint64_t used(TierId t) const { return used_[tierIndex(t)]; }

@@ -1,0 +1,465 @@
+/**
+ * @file
+ * Parallel intra-run execution: each core's CPU model runs one epoch
+ * (a daemon window, capped in slices) on its own thread against
+ * private copies of the shared LLC and tier token buckets, logging
+ * every shared-state interaction. At the epoch barrier the logs are
+ * replayed serially in slice-major/core-minor program order against
+ * the true shared structures and validated outcome-by-outcome; any
+ * divergence (cross-core page conflict, cache set interference, tier
+ * bandwidth coupling, hint faults, first-touch budget exhaustion)
+ * rolls the whole window back and re-runs it on the serial path. The
+ * serial engine therefore remains the oracle: committed windows are
+ * byte-identical to it by construction, and aborted windows are
+ * byte-identical to it by fallback.
+ *
+ * Cross-core safety uses a claim-first protocol: the first core to
+ * access a page in a window CASes an epoch-tagged ownership word and
+ * becomes the page's sole writer; all speculative PageMeta updates on
+ * claimed pages are single relaxed 8-byte atomic stores (PageMeta is
+ * alignas(8)), with the pre-window value saved for rollback. Foreign
+ * pages are only ever probed (prefetch targets) through relaxed
+ * atomic loads, and every probe is cross-checked against the
+ * ownership words at the barrier. Epoch tags make stale claims from
+ * prior windows self-invalidating, so the ownership array is never
+ * cleared.
+ */
+
+#ifndef PACT_SIM_PARALLEL_HH
+#define PACT_SIM_PARALLEL_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/pool.hh"
+#include "common/types.hh"
+#include "mem/tier_manager.hh"
+#include "sim/cache.hh"
+#include "sim/cpu.hh"
+#include "sim/pmu.hh"
+#include "sim/tier.hh"
+
+namespace pact
+{
+
+class Engine;
+
+/**
+ * One logged shared-state interaction: everything a single
+ * Cpu::doAccess observed from (or would have applied to) the shared
+ * LLC and tiers. 40 bytes; the barrier replays these in serial order.
+ * Completion times are not stored — a tier's completion is always
+ * start + its unloaded latency, and the replay recomputes it.
+ */
+struct SpecOp
+{
+    Addr vaddr = 0;
+    /** Core clock at the LLC lookup (= the prefetch charge time). */
+    Cycles accessCycle = 0;
+    /** Core clock when the demand miss issued to its tier. */
+    Cycles ready = 0;
+    /** Speculative TierAccess::start the private tier returned. */
+    Cycles start = 0;
+    /** Prefetch burst length the private LLC requested (0 = none). */
+    std::uint32_t prefetchLines = 0;
+    std::uint8_t flags = 0;
+    /** tierIndex of the demand miss target (miss ops only). */
+    std::uint8_t missTier = 0;
+    /** tierIndex charged for the prefetch burst (PrefetchCharged). */
+    std::uint8_t prefetchTier = 0;
+    /** tierIndex of the LRU insertion (LruInsert ops only). */
+    std::uint8_t lruTier = 0;
+};
+
+namespace SpecOpFlags
+{
+constexpr std::uint8_t Hit = 1 << 0;
+constexpr std::uint8_t Load = 1 << 1;
+/** This access first-listed its page (replayed as insertCommitted). */
+constexpr std::uint8_t LruInsert = 1 << 2;
+/** The prefetch burst hit a mapped page and consumed bandwidth. */
+constexpr std::uint8_t PrefetchCharged = 1 << 3;
+} // namespace SpecOpFlags
+
+/** Why a speculative window had to fall back to the serial path. */
+enum class SpecAbort : std::uint8_t
+{
+    None = 0,
+    /** Two cores touched the same page inside one window. */
+    ClaimConflict,
+    /** A prefetch probed a page another core claimed. */
+    ProbeConflict,
+    /** An access trapped on a policy-armed hint fault. */
+    HintFault,
+    /** First-touch fast-tier sub-budget exhausted mid-window. */
+    Budget,
+    /** All primaries finished before the window's last slice (the
+     *  serial engine would have stopped earlier). */
+    Overrun,
+    /** Per-core op log hit its memory cap. */
+    LogOverflow,
+    /** Barrier replay outcome diverged from the speculation. */
+    Validation,
+};
+constexpr unsigned NumSpecAborts = 8;
+
+/**
+ * Per-core speculation session: the claim/undo/log state one worker
+ * thread mutates while its Cpu runs an epoch detached from the shared
+ * structures. Owned and reset per window by ParallelExec; the Cpu hot
+ * path talks to it through the inline methods below.
+ */
+class SpecSession
+{
+  public:
+    /** Rewire and clear for a new window (capacity is kept). */
+    void
+    reset(TierManager *tm, std::atomic<std::uint64_t> *own,
+          std::uint64_t epoch, unsigned core, std::uint64_t free_fast_start,
+          std::uint64_t fast_budget, std::size_t op_cap)
+    {
+        tm_ = tm;
+        own_ = own;
+        epoch_ = epoch;
+        ownTag_ = (epoch << 8) | (core + 1);
+        freeFastStart_ = free_fast_start;
+        fastBudget_ = fast_budget;
+        opCap_ = op_cap;
+        ops.clear();
+        sliceOpEnd.clear();
+        probes.clear();
+        undo.clear();
+        fastTouches = slowTouches = hugeTouches = 0;
+        firstDoneSlice = -1;
+        abort_ = SpecAbort::None;
+    }
+
+    /** True once any abort condition fired (checked on the Cpu hot
+     *  path after every meta resolve and op log). */
+    bool failed() const { return abort_ != SpecAbort::None; }
+    SpecAbort abortReason() const { return abort_; }
+    void fail(SpecAbort why) { abort_ = why; }
+
+    /**
+     * The speculative twin of Cpu::doAccess's fused meta block: claim
+     * the page, materialize on first touch (against this core's
+     * fast-tier sub-budget), update the policy-visible bits, and
+     * report whether the access must log an LRU insertion. On any
+     * abort condition the session fails and the returned tier is
+     * meaningless (the window is discarded).
+     */
+    TierId
+    resolveMeta(PageId page, ProcId proc, bool huge, Cycles cycle,
+                bool &lru_insert)
+    {
+        lru_insert = false;
+        if (page >= tm_->totalPages()) {
+            // The serial path panics in touch(); let the fallback
+            // reproduce that exactly rather than racing to it here.
+            fail(SpecAbort::ClaimConflict);
+            return TierId::Fast;
+        }
+        if (!claim(page)) {
+            fail(SpecAbort::ClaimConflict);
+            return TierId::Fast;
+        }
+        PageMeta m = loadMeta(page);
+        TierId tier;
+        if (m.flags & PageFlags::Touched) {
+            tier = static_cast<TierId>(m.tier);
+        } else {
+            tier = specTouch(page, proc, huge);
+            if (failed())
+                return TierId::Fast;
+            m = loadMeta(page);
+        }
+        if (m.flags & PageFlags::HintArmed) {
+            // The policy armed a hint fault: servicing it would call
+            // back into shared policy/migration state mid-slice.
+            fail(SpecAbort::HintFault);
+            return TierId::Fast;
+        }
+        if (!(m.flags & PageFlags::LruListed)) {
+            lru_insert = true;
+            // Same bits LruLists::insert publishes (active list head
+            // of `tier`); the barrier replays the list splice.
+            m.flags = static_cast<std::uint8_t>(
+                (m.flags & ~PageFlags::LruMask) | PageFlags::LruListed |
+                (tierIndex(tier) ? PageFlags::LruSlow : 0));
+        }
+        m.flags |= PageFlags::Referenced;
+        m.lastAccess = static_cast<std::uint32_t>(cycle >> 10);
+        if (m.shortFreq < 0xff)
+            m.shortFreq++;
+        storeMeta(page, m);
+        return tier;
+    }
+
+    /**
+     * Prefetch-target probe: tear-free read of a possibly foreign
+     * page's meta. Recorded so the barrier can reject the window if
+     * any probed page was claimed by another core (the serial value
+     * at the probe's program point would then be unknowable).
+     */
+    bool
+    probeTouched(PageId page, TierId &tier)
+    {
+        probes.push_back(page);
+        const PageMeta m = loadMeta(page);
+        tier = static_cast<TierId>(m.tier);
+        return (m.flags & PageFlags::Touched) != 0;
+    }
+
+    /** Append one access record (fails the window on overflow). */
+    void
+    log(const SpecOp &op)
+    {
+        if (ops.size() >= opCap_) {
+            fail(SpecAbort::LogOverflow);
+            return;
+        }
+        ops.push_back(op);
+    }
+
+    std::uint64_t ownTag() const { return ownTag_; }
+
+    /** Shared-interaction log, one record per cache access. */
+    std::vector<SpecOp> ops;
+    /** ops.size() after each completed slice (replay interleaving). */
+    std::vector<std::uint32_t> sliceOpEnd;
+    /** Prefetch-probed pages (barrier ownership cross-check). */
+    std::vector<PageId> probes;
+    /** Pre-claim meta of every page this core claimed (rollback). */
+    std::vector<std::pair<PageId, PageMeta>> undo;
+    /** First-touch tallies to fold into TierManager on commit. */
+    std::uint64_t fastTouches = 0;
+    std::uint64_t slowTouches = 0;
+    std::uint64_t hugeTouches = 0;
+    /** Slice index this core's trace first reported done (-1 never). */
+    int firstDoneSlice = -1;
+
+  private:
+    PageMeta
+    loadMeta(PageId page) const
+    {
+        return std::atomic_ref<PageMeta>(tm_->meta(page))
+            .load(std::memory_order_relaxed);
+    }
+
+    void
+    storeMeta(PageId page, PageMeta m)
+    {
+        std::atomic_ref<PageMeta>(tm_->meta(page))
+            .store(m, std::memory_order_relaxed);
+    }
+
+    /**
+     * Claim sole window ownership of a page. First claim saves the
+     * pre-window meta for rollback; a word already tagged with this
+     * epoch by another core is a conflict. Stale-epoch words are
+     * simply overwritten (no per-window clearing).
+     */
+    bool
+    claim(PageId page)
+    {
+        std::atomic<std::uint64_t> &w = own_[page];
+        std::uint64_t cur = w.load(std::memory_order_relaxed);
+        if (cur == ownTag_)
+            return true;
+        if ((cur >> 8) == epoch_)
+            return false;
+        if (!w.compare_exchange_strong(cur, ownTag_,
+                                       std::memory_order_relaxed))
+            return false; // another core won the race
+        undo.emplace_back(page, loadMeta(page));
+        return true;
+    }
+
+    void
+    materializeSpec(PageId page, ProcId proc, bool huge, TierId tier)
+    {
+        PageMeta m = loadMeta(page);
+        m.flags |= PageFlags::Touched;
+        if (huge) {
+            m.flags |= PageFlags::Huge;
+            hugeTouches++;
+        }
+        m.tier = static_cast<std::uint8_t>(tier);
+        m.owner = static_cast<std::uint8_t>(proc);
+        storeMeta(page, m);
+        if (tier == TierId::Fast)
+            fastTouches++;
+        else
+            slowTouches++;
+    }
+
+    /**
+     * TierManager::touch for a speculating core. The global freeFast()
+     * sequence is unknowable mid-window, so grants run against this
+     * core's sub-budget: since the sub-budgets sum to at most the
+     * window-start free count and freeFast only shrinks within a
+     * window (migrations and shadows are barrier-only), every in-
+     * budget grant is one the serial engine would also have made; an
+     * out-of-budget want-fast touch aborts rather than guess.
+     */
+    TierId
+    specTouch(PageId page, ProcId proc, bool huge)
+    {
+        const std::uint8_t ov = tm_->firstTouchOverride(page);
+        // Override-to-fast and default placement share one decision:
+        // fast iff freeFast() > 0 at the serial access point.
+        const bool wantFast =
+            ov == 0xff || static_cast<TierId>(ov) == TierId::Fast;
+        TierId tier = TierId::Slow;
+        if (huge) {
+            if (wantFast && freeFastStart_ >= PagesPerHugePage) {
+                if (fastBudget_ < PagesPerHugePage) {
+                    fail(SpecAbort::Budget);
+                    return TierId::Fast;
+                }
+                fastBudget_ -= PagesPerHugePage;
+                tier = TierId::Fast;
+            }
+            // wantFast with freeFastStart_ < 2MB: the serial path's
+            // freeFast() can only be smaller, so the huge-region
+            // downgrade to slow is deterministic.
+            const PageId base = hugeBase(page);
+            const PageId end = base + PagesPerHugePage;
+            for (PageId p = base; p < end && p < tm_->totalPages(); p++) {
+                if (!claim(p)) {
+                    fail(SpecAbort::ClaimConflict);
+                    return TierId::Fast;
+                }
+                if (!(loadMeta(p).flags & PageFlags::Touched))
+                    materializeSpec(p, proc, true, tier);
+            }
+            return static_cast<TierId>(loadMeta(page).tier);
+        }
+        if (wantFast && freeFastStart_ > 0) {
+            if (fastBudget_ == 0) {
+                fail(SpecAbort::Budget);
+                return TierId::Fast;
+            }
+            fastBudget_--;
+            tier = TierId::Fast;
+        }
+        materializeSpec(page, proc, false, tier);
+        return tier;
+    }
+
+    TierManager *tm_ = nullptr;
+    std::atomic<std::uint64_t> *own_ = nullptr;
+    std::uint64_t epoch_ = 0;
+    std::uint64_t ownTag_ = 0;
+    std::uint64_t freeFastStart_ = 0;
+    std::uint64_t fastBudget_ = 0;
+    std::size_t opCap_ = 0;
+    SpecAbort abort_ = SpecAbort::None;
+};
+
+/**
+ * Orchestrates the speculative windows for one Engine: owns the
+ * worker pool, the per-core private LLC/tier/PMU scratch, the page
+ * ownership words, and the barrier replay/commit/rollback machinery.
+ * Constructed by the Engine when SimConfig::parallelCores (or
+ * PACT_PARALLEL_CORES) is set; all methods run on the engine thread
+ * except runCore(), which the pool workers execute.
+ */
+class ParallelExec
+{
+  public:
+    ParallelExec(Engine &eng, unsigned threads);
+    ~ParallelExec();
+
+    ParallelExec(const ParallelExec &) = delete;
+    ParallelExec &operator=(const ParallelExec &) = delete;
+
+    /**
+     * Attempt up to the next @p slices slices as one speculative
+     * window (the executor may clamp to its probation grant, which
+     * starts at one slice and doubles per committed window). On
+     * commit, engine state (cores, cache, tiers, page table, LRU,
+     * PMU, PEBS, journal, clock) advances exactly as the serial path
+     * would have; returns true. On abort, every side effect is rolled
+     * back and false is returned — the caller re-runs the window
+     * serially. A deterministic abort-streak backoff with unbounded
+     * exponential escalation skips speculation after repeated aborts:
+     * together with probation sizing it caps total wasted work on a
+     * workload that can never commit at O(log windows) single-slice
+     * probes.
+     */
+    bool runWindow(unsigned slices);
+
+    unsigned threads() const { return threads_; }
+    std::uint64_t committedWindows() const { return commits_; }
+    std::uint64_t abortedWindows() const { return aborts_; }
+    std::uint64_t committedOps() const { return committedOps_; }
+    std::uint64_t abortCount(SpecAbort why) const
+    {
+        return abortCounts_[static_cast<unsigned>(why)];
+    }
+
+  private:
+    /** Per-core scratch, persistent across windows. */
+    struct CoreCtx
+    {
+        Cache cache;
+        Tier fast;
+        Tier slow;
+        Pmu pmu;
+        SpecSession spec;
+        Cpu::Checkpoint ckpt;
+        bool wasDone = false;
+
+        CoreCtx(const CacheParams &cp, const TierParams &fp,
+                const TierParams &sp)
+            : cache(cp), fast(TierId::Fast, fp), slow(TierId::Slow, sp)
+        {}
+    };
+
+    void ensureOwnership(std::uint64_t pages);
+    void runCore(std::size_t i, Cycles window_start, unsigned slices);
+    bool checkOverrun(unsigned slices) const;
+    bool checkProbes() const;
+    bool replayValidate();
+    void commit(unsigned slices, Cycles window_start);
+    void rollback(bool shared_dirty);
+
+    Engine &eng_;
+    const unsigned threads_;
+    ThreadPool pool_;
+
+    std::uint64_t epoch_ = 0;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> own_;
+    std::uint64_t ownPages_ = 0;
+    /** Cross-core early-out: any abort parks the other workers. */
+    std::atomic<bool> windowAbort_{false};
+
+    std::vector<std::unique_ptr<CoreCtx>> cores_;
+
+    /** Barrier snapshots for pass-A rollback. */
+    Cache snapCache_;
+    Tier snapFast_;
+    Tier snapSlow_;
+
+    std::uint64_t commits_ = 0;
+    std::uint64_t aborts_ = 0;
+    std::uint64_t committedOps_ = 0;
+    std::array<std::uint64_t, NumSpecAborts> abortCounts_{};
+    /** Windows to skip after an abort (deterministic backoff). */
+    unsigned backoff_ = 0;
+    unsigned abortStreak_ = 0;
+    /** Probation window size in slices: 1 after any abort (and at
+     *  start of run), doubled per commit up to the engine's cap, so
+     *  doomed attempts on interference-heavy workloads cost a slice,
+     *  not a full daemon window. */
+    unsigned grant_ = 1;
+};
+
+} // namespace pact
+
+#endif // PACT_SIM_PARALLEL_HH

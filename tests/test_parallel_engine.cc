@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Parallel intra-run engine tests: the speculative per-core window
+ * executor (SimConfig::parallelCores / PACT_PARALLEL_CORES) must be
+ * byte-identical to the serial oracle — same registry dump, manifest,
+ * time-series stream, and event journal at every worker-thread count,
+ * across config corners, tenant counts, and fault schedules — while
+ * actually committing speculative windows (not silently falling back
+ * to the serial path). Also pins the start()-time migration journal
+ * attribution fix: a tenant's start-phase migrations must be journaled
+ * under that tenant, not whichever tenant was stamped last.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/runner.hh"
+#include "mem/addr_space.hh"
+#include "obs/events.hh"
+#include "obs/timeseries.hh"
+#include "sim/engine.hh"
+#include "workloads/registry.hh"
+
+using namespace pact;
+
+namespace
+{
+
+/** Restore an environment variable on scope exit. */
+class EnvGuard
+{
+  public:
+    explicit EnvGuard(const char *name) : name_(name)
+    {
+        if (const char *v = std::getenv(name))
+            saved_ = v;
+        else
+            unset_ = true;
+    }
+    ~EnvGuard()
+    {
+        if (unset_)
+            unsetenv(name_);
+        else
+            setenv(name_, saved_.c_str(), 1);
+    }
+
+    EnvGuard(const EnvGuard &) = delete;
+    EnvGuard &operator=(const EnvGuard &) = delete;
+
+  private:
+    const char *name_;
+    std::string saved_;
+    bool unset_ = false;
+};
+
+/** Multi-process streaming bundle exercising both tiers directly. */
+struct Env
+{
+    explicit Env(unsigned procs = 4, std::uint64_t ops = 40000)
+    {
+        for (unsigned p = 0; p < procs; p++) {
+            const Addr base =
+                as.alloc(p, "buf" + std::to_string(p), 8 << 20);
+            Trace t;
+            t.name = "proc" + std::to_string(p);
+            t.proc = static_cast<ProcId>(p);
+            // Distinct stride per process so cores interleave over
+            // disjoint pages with different miss mixes.
+            for (std::uint64_t i = 0; i < ops; i++)
+                t.load(base + (i * (8 + p) % (8 << 14)) * LineBytes,
+                       p % 2 == 1);
+            traces.push_back(std::move(t));
+        }
+        // Force fast-tier spill so first-touch, LRU, and PEBS slow
+        // sampling all see traffic.
+        cfg.fastCapacityPages = 96;
+    }
+
+    SimConfig cfg;
+    AddrSpace as;
+    std::vector<Trace> traces;
+};
+
+/** Full name-sorted registry dump of a finished run. */
+std::vector<std::pair<std::string, double>>
+registryDump(const SimConfig &cfg, const Env &env)
+{
+    Engine e(cfg, env.as, &env.traces, nullptr);
+    return e.run().registry;
+}
+
+/** Serialize one run the way pactsim_cli's --out-json path does. */
+std::string
+manifestBytes(const SimConfig &cfg, const RunResult &r)
+{
+    obs::RunManifest m;
+    m.kind = "run";
+    m.producer = "test_parallel_engine";
+    m.config = cfg;
+    m.results.push_back(manifestResult(r));
+    std::ostringstream os;
+    obs::writeRunManifest(os, m);
+    return os.str();
+}
+
+/** One tenant run -> manifest bytes under a given parallel setting. */
+std::string
+tenantManifest(const char *workload, const char *policy,
+               const char *faults, unsigned cores, double scale = 0.05)
+{
+    WorkloadOptions opt;
+    opt.scale = scale;
+    const auto bundle = makeWorkloadShared(workload, opt);
+    SimConfig cfg;
+    cfg.faults = faults;
+    cfg.parallelCores = cores;
+    Runner runner(cfg);
+    return manifestBytes(cfg,
+                         runner.runTenants(*bundle, policy, 0.5));
+}
+
+} // namespace
+
+/**
+ * The core guarantee, against the oracle directly: a multi-core
+ * engine with parallelCores set produces the exact registry dump of
+ * the serial engine — every registered stat, bit for bit — while
+ * committing real speculative windows at every thread count. (The
+ * full 283+-stat policy registry is covered by the manifest tests
+ * below, which run complete PACT/Memtis/TPP daemons.)
+ */
+TEST(ParallelEngine, CommitsWindowsAndMatchesSerialRegistry)
+{
+    const Env env;
+    const auto serial = registryDump(env.cfg, env);
+    ASSERT_GE(serial.size(), 40u);
+
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(threads);
+        SimConfig cfg = env.cfg;
+        cfg.parallelCores = threads;
+        Engine e(cfg, env.as, &env.traces, nullptr);
+        ASSERT_TRUE(e.parallelEnabled());
+        const RunStats rs = e.run();
+        EXPECT_GT(e.parallelCommits(), 0u)
+            << "parallel path never engaged (vacuous identity)";
+        ASSERT_EQ(rs.registry.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); i++) {
+            EXPECT_EQ(rs.registry[i].first, serial[i].first);
+            EXPECT_EQ(rs.registry[i].second, serial[i].second)
+                << rs.registry[i].first << " drifted at " << threads
+                << " threads";
+        }
+    }
+}
+
+/** PACT_PARALLEL_CORES engages the same path as SimConfig. */
+TEST(ParallelEngine, EnvVarSelectsParallelMode)
+{
+    const EnvGuard guard("PACT_PARALLEL_CORES");
+    const Env env(2, 20000);
+
+    unsetenv("PACT_PARALLEL_CORES");
+    {
+        Engine e(env.cfg, env.as, &env.traces, nullptr);
+        EXPECT_FALSE(e.parallelEnabled());
+    }
+    setenv("PACT_PARALLEL_CORES", "2", 1);
+    {
+        Engine e(env.cfg, env.as, &env.traces, nullptr);
+        EXPECT_TRUE(e.parallelEnabled());
+        e.run();
+        EXPECT_GT(e.parallelCommits(), 0u);
+    }
+    // Explicit config beats the environment (CLI flag semantics).
+    setenv("PACT_PARALLEL_CORES", "0", 1);
+    {
+        SimConfig cfg = env.cfg;
+        cfg.parallelCores = 2;
+        Engine e(cfg, env.as, &env.traces, nullptr);
+        EXPECT_TRUE(e.parallelEnabled());
+    }
+}
+
+/** A single-core engine ignores the flag (nothing to parallelize). */
+TEST(ParallelEngine, SingleCoreStaysSerial)
+{
+    const Env env(1, 20000);
+    SimConfig cfg = env.cfg;
+    cfg.parallelCores = 4;
+    Engine e(cfg, env.as, &env.traces, nullptr);
+    EXPECT_FALSE(e.parallelEnabled());
+    EXPECT_EQ(e.parallelCommits(), 0u);
+    e.run();
+}
+
+/**
+ * Manifest bytes through the full tenant path are worker-count
+ * invariant: serial vs 1/2/4/8 threads on the 4-tenant colocation.
+ */
+TEST(ParallelEngine, ThreadSweepManifestBytesMatchSerial)
+{
+    const std::string serial =
+        tenantManifest("masim-coloc4", "PACT", "", 0);
+    EXPECT_NE(serial.find("\"tenants\":["), std::string::npos);
+    for (unsigned threads : {1u, 2u, 4u, 8u}) {
+        SCOPED_TRACE(threads);
+        EXPECT_EQ(tenantManifest("masim-coloc4", "PACT", "", threads),
+                  serial)
+            << "parallel run diverged at " << threads << " threads";
+    }
+}
+
+/**
+ * The golden config corners (same set test_golden.cc pins): policy
+ * variety, MSHR/ROB extremes, and a fault schedule, each byte-equal
+ * between the serial oracle and the 4-thread parallel engine.
+ */
+TEST(ParallelEngine, ConfigCornersMatchSerial)
+{
+    struct Corner
+    {
+        const char *id;
+        const char *policy;
+        unsigned mshrs;
+        unsigned robOps;
+        const char *faults;
+    };
+    constexpr Corner kCorners[] = {
+        {"pact_default", "PACT", 16, 192, ""},
+        {"memtis_default", "Memtis", 16, 192, ""},
+        {"tpp_default", "TPP", 16, 192, ""},
+        {"pact_mshrs1", "PACT", 1, 192, ""},
+        {"pact_mshrs64_rob8", "PACT", 64, 8, ""},
+        {"pact_jitter", "PACT", 16, 192, "jitter:frac=0.3"},
+    };
+
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc", opt);
+
+    for (const Corner &c : kCorners) {
+        SCOPED_TRACE(c.id);
+        SimConfig cfg;
+        cfg.cpu.mshrs = c.mshrs;
+        cfg.cpu.robOps = c.robOps;
+        cfg.faults = c.faults;
+
+        Runner serialRunner(cfg);
+        const std::string serial = manifestBytes(
+            cfg, serialRunner.runTenants(*bundle, c.policy, 0.5));
+
+        cfg.parallelCores = 4;
+        Runner parRunner(cfg);
+        const std::string parallel = manifestBytes(
+            cfg, parRunner.runTenants(*bundle, c.policy, 0.5));
+
+        EXPECT_EQ(parallel, serial) << c.id << " diverged";
+    }
+}
+
+/** Tenant-count sweep: 2, 4, and 16 tenants, serial vs 4 threads. */
+TEST(ParallelEngine, TenantCountsMatchSerial)
+{
+    const struct
+    {
+        const char *workload;
+        double scale;
+    } rows[] = {
+        {"masim-coloc", 0.05},
+        {"masim-coloc4", 0.05},
+        {"masim-coloc16", 0.03},
+    };
+    for (const auto &row : rows) {
+        SCOPED_TRACE(row.workload);
+        EXPECT_EQ(
+            tenantManifest(row.workload, "PACT", "", 4, row.scale),
+            tenantManifest(row.workload, "PACT", "", 0, row.scale));
+    }
+}
+
+namespace
+{
+
+/** Time-series + event-journal bytes of one observed tenant run. */
+std::pair<std::string, std::string>
+observedRun(const char *faults, unsigned cores)
+{
+    WorkloadOptions opt;
+    opt.scale = 0.05;
+    const auto bundle = makeWorkloadShared("masim-coloc4", opt);
+    SimConfig cfg;
+    cfg.faults = faults;
+    cfg.parallelCores = cores;
+    Runner runner(cfg);
+
+    std::ostringstream ts;
+    obs::TimeSeriesRecorder rec(ts, runner.config().daemonPeriod);
+    obs::EventJournal journal;
+    RunObservers observers;
+    observers.timeseries = &rec;
+    observers.events = &journal;
+    runner.runTenants(*bundle, "PACT", 0.5, &observers);
+    EXPECT_GT(rec.rows(), 0u);
+    EXPECT_GT(journal.emitted(), 0u);
+
+    std::ostringstream ev;
+    journal.writeJsonl(ev);
+    return {ts.str(), ev.str()};
+}
+
+} // namespace
+
+/**
+ * The windowed observer path: per-window time-series rows and the
+ * decision-provenance journal are byte-identical serial vs parallel,
+ * with and without an active fault schedule. This is the strictest
+ * external check — journal rows carry per-event seq numbers, cycles,
+ * and tenant attribution, so any replay-ordering slip shows up here.
+ */
+TEST(ParallelEngine, TimeSeriesAndJournalBytesMatchSerial)
+{
+    for (const char *faults : {"", "jitter:frac=0.3"}) {
+        SCOPED_TRACE(faults[0] ? faults : "no-faults");
+        const auto serial = observedRun(faults, 0);
+        const auto parallel = observedRun(faults, 4);
+        EXPECT_EQ(parallel.first, serial.first)
+            << "time-series stream diverged";
+        EXPECT_EQ(parallel.second, serial.second)
+            << "event journal diverged";
+    }
+}
+
+namespace
+{
+
+/**
+ * A daemon that migrates during start(): touches a page (first-touch
+ * lands in the fast tier while capacity remains) and immediately
+ * demotes it, before any simulation slice has run.
+ */
+class StartMigrator : public TieringPolicy
+{
+  public:
+    const char *name() const override { return "start-migrator"; }
+    void start(SimContext &ctx) override
+    {
+        const PageId page = startPage;
+        ctx.tm.touch(page, 0, false);
+        migrated = ctx.mig.demote(page);
+    }
+    void tick(SimContext &) override {}
+
+    PageId startPage = 0;
+    bool migrated = false;
+};
+
+} // namespace
+
+/**
+ * Regression (chargeCopy journal attribution): a migration fired from
+ * tenant i's start() — before any slice stamps the current tenant —
+ * must be journaled under tenant i. Previously the journal context
+ * was whatever the engine last stamped (tenant 0 at construction), so
+ * every start-time migration was misattributed to tenant 0.
+ */
+TEST(ParallelEngine, StartTimeMigrationJournalsCorrectTenant)
+{
+    Env env(2, 20000);
+    StartMigrator pol0, pol1;
+    pol0.startPage = 1;
+    pol1.startPage = 2;
+
+    std::vector<TenantSpec> specs(2);
+    specs[0].traces = {&env.traces[0]};
+    specs[0].policy = &pol0;
+    specs[1].traces = {&env.traces[1]};
+    specs[1].policy = &pol1;
+
+    Engine e(env.cfg, env.as, std::move(specs));
+    obs::EventJournal journal;
+    e.setEventJournal(&journal);
+    e.run();
+
+    ASSERT_TRUE(pol0.migrated);
+    ASSERT_TRUE(pol1.migrated);
+
+    bool saw0 = false, saw1 = false;
+    for (const obs::PageEvent &ev : journal.events()) {
+        if (ev.kind != obs::EventKind::MigrationStart)
+            continue;
+        if (ev.page == pol0.startPage && ev.now == 0) {
+            EXPECT_EQ(ev.tenant, 0u);
+            saw0 = true;
+        }
+        if (ev.page == pol1.startPage && ev.now == 0) {
+            EXPECT_EQ(ev.tenant, 1u)
+                << "start()-time migration misattributed to tenant "
+                << ev.tenant;
+            saw1 = true;
+        }
+    }
+    EXPECT_TRUE(saw0);
+    EXPECT_TRUE(saw1);
+}

@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
@@ -132,6 +134,65 @@ TEST(ThreadPool, WaitIsReusable)
     pool.submit([&done] { done.fetch_add(1); });
     pool.wait();
     EXPECT_EQ(done.load(), 3);
+}
+
+/**
+ * Nested pools (the parallel intra-run engine inside a PACT_JOBS
+ * harness sweep): every outer task constructs and drives its own
+ * inner ThreadPool. Must complete without deadlock — inner workers
+ * are fresh OS threads, never borrowed from the blocked outer worker
+ * — with every inner task running on its own pool's threads and the
+ * expected total worker count alive at the peak.
+ */
+TEST(ThreadPool, NestedPoolsDrainWithoutDeadlock)
+{
+    constexpr unsigned kOuter = 4;
+    constexpr unsigned kInner = 3;
+    constexpr int kTasksPerInner = 50;
+
+    ThreadPool outer(kOuter);
+    ASSERT_EQ(outer.workers(), kOuter);
+
+    std::atomic<int> innerDone{0};
+    std::atomic<unsigned> innerWorkerSum{0};
+    std::mutex idsMutex;
+    std::vector<std::thread::id> workerIds; // one entry per task run
+
+    for (unsigned o = 0; o < kOuter * 2; o++) {
+        outer.submit([&] {
+            // The outer worker blocks in inner wait(); liveness must
+            // not depend on it ever re-entering a scheduler.
+            ThreadPool inner(kInner);
+            innerWorkerSum.fetch_add(inner.workers());
+            const std::thread::id outerId = std::this_thread::get_id();
+            for (int t = 0; t < kTasksPerInner; t++) {
+                inner.submit([&, outerId] {
+                    EXPECT_NE(std::this_thread::get_id(), outerId)
+                        << "inner task ran on the blocked outer worker";
+                    {
+                        const std::lock_guard<std::mutex> lock(idsMutex);
+                        workerIds.push_back(std::this_thread::get_id());
+                    }
+                    innerDone.fetch_add(1);
+                });
+            }
+            inner.wait();
+        });
+    }
+    outer.wait();
+
+    EXPECT_EQ(innerDone.load(), int(kOuter * 2) * kTasksPerInner);
+    // Each of the 8 outer tasks owned a full-size private pool.
+    EXPECT_EQ(innerWorkerSum.load(), kOuter * 2 * kInner);
+    // Total worker-thread count: every inner task ran on one of its
+    // own pool's kInner threads, so at most kOuter*2 pools x kInner
+    // distinct ids appear, and at least one per concurrently-live
+    // pool did real work.
+    std::vector<std::thread::id> uniq = workerIds;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    EXPECT_GE(uniq.size(), 1u);
+    EXPECT_LE(uniq.size(), std::size_t(kOuter) * 2 * kInner);
 }
 
 TEST(ParallelFor, CoversEveryIndexExactlyOnce)
