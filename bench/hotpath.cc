@@ -145,6 +145,48 @@ engineParallel(benchmark::State &state, const char *workload,
     state.counters["parallel.aborts"] = static_cast<double>(aborts);
 }
 
+/**
+ * Daemon-window cost family: the 16-tenant colocation with the daemon
+ * period swept down from the default, so control-plane work (PAC
+ * attribution, candidate selection, migration bookkeeping — the
+ * per-window costs the allocation-free control plane targets) takes a
+ * growing share of wall time. Sixteen tenants multiply every window
+ * by sixteen daemon ticks, making this the policy-overhead-dominated
+ * row of the tracked set.
+ */
+void
+engineDaemon(benchmark::State &state, const char *workload,
+             const char *policy_name, std::uint64_t period)
+{
+    setLogQuiet(true);
+    WorkloadOptions opt;
+    opt.scale = envScale(0.5);
+    const auto bundle = makeWorkloadShared(workload, opt);
+
+    SimConfig cfg;
+    cfg.fastCapacityPages = static_cast<std::uint64_t>(
+        static_cast<double>(bundle->rssPages()) * 0.5 + 0.5);
+    cfg.daemonPeriod = period;
+
+    std::uint64_t ops = 0;
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<TieringPolicy>> policies;
+        std::vector<TenantSpec> specs;
+        for (const Trace &t : bundle->traces) {
+            policies.push_back(makePolicy(policy_name));
+            specs.push_back({"", {&t}, policies.back().get()});
+        }
+        Engine engine(cfg, bundle->as, std::move(specs));
+        const RunStats rs = engine.run();
+        for (const std::uint64_t r : rs.procRetired)
+            ops += r;
+        benchmark::DoNotOptimize(rs.wallCycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(ops));
+    state.counters["scale"] = opt.scale;
+    state.counters["period"] = static_cast<double>(period);
+}
+
 } // namespace
 
 // The tracked set: a pointer-chase/random workload (MSHR- and
@@ -199,6 +241,18 @@ BENCHMARK_CAPTURE(engineParallel, coloc16_PACT_t4, "masim-coloc16",
                   "PACT", 4)->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK_CAPTURE(engineParallel, coloc16_PACT_t8, "masim-coloc16",
                   "PACT", 8)->Unit(benchmark::kMillisecond)->UseRealTime();
+// Daemon-window cost family: 16 tenants, period swept 1M -> 100k
+// cycles (10x more daemon windows at the short end). items_per_second
+// here prices the control plane itself; the pr10-daemon Release entry
+// in BENCH_hotpath.json tracks its geomean.
+BENCHMARK_CAPTURE(engineDaemon, coloc16_PACT_p1000k, "masim-coloc16",
+                  "PACT", 1000000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineDaemon, coloc16_PACT_p500k, "masim-coloc16",
+                  "PACT", 500000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineDaemon, coloc16_PACT_p200k, "masim-coloc16",
+                  "PACT", 200000)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(engineDaemon, coloc16_PACT_p100k, "masim-coloc16",
+                  "PACT", 100000)->Unit(benchmark::kMillisecond);
 
 int
 main(int argc, char **argv)

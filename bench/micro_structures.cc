@@ -19,12 +19,18 @@
 #include "harness/runner.hh"
 #include "mem/addr_space.hh"
 #include "mem/lru.hh"
+#include "mem/migration.hh"
 #include "mem/tier_manager.hh"
 #include "obs/metrics.hh"
 #include "pact/binning.hh"
 #include "pact/pac_table.hh"
+#include "pact/pact_policy.hh"
 #include "pact/reservoir.hh"
 #include "sim/cpu.hh"
+#include "sim/pebs.hh"
+#include "sim/pmu.hh"
+#include "sim/policy_iface.hh"
+#include "sim/tier.hh"
 #include "trace_store/trace_store.hh"
 #include "workloads/registry.hh"
 
@@ -38,9 +44,9 @@ BM_PacTableTouch(benchmark::State &state)
     Rng rng(1);
     for (auto _ : state) {
         const PageId p = rng.below(pages);
-        PacEntry &e = table.touch(p);
-        e.pac += 1.0f;
-        benchmark::DoNotOptimize(e);
+        PacTable::Ref e = table.touch(p);
+        e.pac() += 1.0f;
+        benchmark::DoNotOptimize(e.pac());
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -60,6 +66,124 @@ BM_PacTableFind(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_PacTableFind)->Arg(1 << 16);
+
+/**
+ * Dependent-chain probe: each lookup's key derives from the previous
+ * hit, so the measurement is per-probe latency (where the SoA key
+ * array and the software prefetch in the probe loop pay off), not
+ * pipelined throughput. Arg = table population; keys span 2x the
+ * population for a ~50% miss mix.
+ */
+static void
+BM_PacTableProbe(benchmark::State &state)
+{
+    const std::uint64_t pages = state.range(0);
+    PacTable table;
+    for (PageId p = 0; p < pages; p++)
+        table.touch(p).freq() = static_cast<std::uint32_t>(p * 2654435761u);
+    std::uint64_t key = 12345;
+    for (auto _ : state) {
+        PacTable::Ref e = table.find(key % (2 * pages));
+        key = key * 6364136223846793005ull + 1442695040888963407ull +
+              (e ? e.freq() : 0u);
+        benchmark::DoNotOptimize(key);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PacTableProbe)->Arg(1 << 16)->Arg(1 << 20);
+
+namespace
+{
+
+/** Fixed-cost copy backend for driving MigrationEngine in benches. */
+class FlatBackend final : public MigrationBackend
+{
+  public:
+    Cycles
+    chargeCopy(TierId, TierId, std::uint64_t bytes) override
+    {
+        return 100 + bytes / 64;
+    }
+};
+
+/**
+ * Drive PactPolicy::tick in isolation: one TierManager/LRU/migration
+ * stack over @p pages touched pages (fast tier sized to half), the
+ * policy started against it, and a synthesized per-window load (PMU
+ * deltas + PEBS samples at rate 1) so each tick exercises the real
+ * attribution, selection, and migration paths without a CPU model.
+ * @p profile_only skips migration, isolating the attribution phase.
+ */
+void
+policyTickBench(benchmark::State &state, std::uint64_t pages,
+                std::uint64_t samples_per_window, bool profile_only)
+{
+    SimConfig cfg;
+    cfg.fastCapacityPages = pages / 2;
+    cfg.pebs.rate = 1;
+    AddrSpace as;
+    const Addr base = as.alloc(0, "buf", pages << PageShift);
+    const PageId first = pageOf(base);
+    TierManager tm(as.totalPages(), cfg.fastCapacityPages);
+    LruLists lru(as.totalPages());
+    for (PageId p = first; p < first + pages; p++) {
+        const TierId t = tm.touch(p, 0, false);
+        lru.insert(p, t, tm);
+    }
+    Pmu pmu;
+    PebsSampler pebs(cfg.pebs);
+    FlatBackend backend;
+    MigrationEngine mig(tm, lru, backend, cfg.migration, 1);
+    Tier fast(TierId::Fast, cfg.fast);
+    Tier slow(TierId::Slow, cfg.slow);
+    Rng rng(17);
+    SimContext ctx{cfg,           0, pmu, pebs, tm, lru, mig, as,
+                   {&fast, &slow},   rng};
+    PactConfig pcfg;
+    pcfg.profileOnly = profile_only;
+    PactPolicy policy(pcfg);
+    policy.start(ctx);
+
+    const unsigned si = tierIndex(TierId::Slow);
+    for (auto _ : state) {
+        // Synthesize one daemon window: slow-tier miss/TOR deltas plus
+        // a fresh PEBS batch over the tracked footprint.
+        pmu.llcLoadMisses[si] += 4096;
+        pmu.llcMisses[si] += 4096;
+        pmu.torOccupancy[si] += 16384;
+        pmu.torBusy[si] += 4096;
+        for (std::uint64_t i = 0; i < samples_per_window; i++) {
+            const PageId p = first + rng.below(pages);
+            pebs.onLoadMiss(static_cast<Addr>(p) << PageShift,
+                            TierId::Slow, 300, 0);
+        }
+        ctx.now += cfg.daemonPeriod;
+        policy.tick(ctx);
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["table_pages"] =
+        static_cast<double>(policy.table().size());
+}
+
+} // namespace
+
+/** Attribution phase alone (profile-only tick): arena scratch map +
+ *  SoA table upserts over a fixed sample batch. */
+static void
+BM_Attribute(benchmark::State &state)
+{
+    policyTickBench(state, state.range(0), 2048, true);
+}
+BENCHMARK(BM_Attribute)->Arg(1 << 16)->Arg(1 << 18);
+
+/** The full daemon tick: attribution + incremental candidate sync +
+ *  selection + Algorithm-2 migration over a half-slow footprint. */
+static void
+BM_PolicyTick(benchmark::State &state)
+{
+    policyTickBench(state, state.range(0), 2048, false);
+}
+BENCHMARK(BM_PolicyTick)->Arg(1 << 16)->Arg(1 << 18);
 
 static void
 BM_ReservoirAdd(benchmark::State &state)

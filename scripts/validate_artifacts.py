@@ -189,6 +189,21 @@ def validate_manifest(path):
                 if isinstance(tenants, list) and tenants else ""
             check(f"{prefix}pact.ticks" in stats,
                   "policy stat hierarchy present")
+        # Per-phase daemon accounting: for every daemon (machine-wide
+        # or per-tenant subtree), pact.daemon.tick_cycles is defined as
+        # the exact sum of the four phase counters.
+        phase_suffixes = ("attribute_cycles", "select_cycles",
+                          "migrate_cycles", "lruscan_cycles")
+        for name in sorted(stats):
+            if not name.endswith("pact.daemon.tick_cycles"):
+                continue
+            prefix = name[:-len("tick_cycles")]
+            phases = [stats.get(prefix + s) for s in phase_suffixes]
+            check(all(isinstance(v, (int, float)) for v in phases),
+                  f"{prefix}* carries all four phase counters")
+            if all(isinstance(v, (int, float)) for v in phases):
+                check(sum(phases) == stats[name],
+                      f"{name} equals the sum of its four phases")
         # pact.manifest/4: every ok result carries distribution stats.
         dists = r.get("distributions")
         check(isinstance(dists, dict) and dists,

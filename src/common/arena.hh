@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Monotonic bump arena for per-window scratch containers. The daemon
+ * control plane builds short-lived hash maps every tick; backing them
+ * with an arena that is reset (not freed) between windows makes the
+ * steady state allocation-free while keeping the container's internal
+ * layout — and therefore its iteration order — identical to one built
+ * on the default allocator.
+ */
+
+#ifndef PACT_COMMON_ARENA_HH
+#define PACT_COMMON_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace pact
+{
+
+/**
+ * Bump allocator over a chain of doubling blocks. reset() rewinds to
+ * the start of the first block but keeps every block mapped, so a
+ * caller with a stable per-window footprint stops allocating after
+ * the first few windows (high-water mark reuse).
+ */
+class MonotonicArena
+{
+  public:
+    explicit MonotonicArena(std::size_t first_block_bytes = 1 << 14)
+        : firstBlockBytes_(first_block_bytes)
+    {
+    }
+
+    void *
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        std::size_t off = (used_ + align - 1) & ~(align - 1);
+        if (block_ >= blocks_.size() || off + bytes > blocks_[block_].size) {
+            nextBlock(bytes + align);
+            off = (used_ + align - 1) & ~(align - 1);
+        }
+        used_ = off + bytes;
+        return blocks_[block_].data.get() + off;
+    }
+
+    /** Rewind to empty, keeping every block for reuse. */
+    void
+    reset()
+    {
+        block_ = 0;
+        used_ = 0;
+    }
+
+    /** Total bytes held across blocks (capacity, not live data). */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t n = 0;
+        for (const Block &b : blocks_)
+            n += b.size;
+        return n;
+    }
+
+  private:
+    struct Block
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t size = 0;
+    };
+
+    void
+    nextBlock(std::size_t at_least)
+    {
+        // Advance into an existing block when it fits; otherwise grow
+        // the chain with a doubling block large enough for the request.
+        if (block_ < blocks_.size() &&
+            blocks_[block_].size >= at_least && used_ == 0) {
+            return;
+        }
+        while (block_ + 1 < blocks_.size()) {
+            block_++;
+            used_ = 0;
+            if (blocks_[block_].size >= at_least)
+                return;
+        }
+        std::size_t sz = blocks_.empty() ? firstBlockBytes_
+                                         : blocks_.back().size * 2;
+        while (sz < at_least)
+            sz *= 2;
+        blocks_.push_back({std::make_unique<std::byte[]>(sz), sz});
+        block_ = blocks_.size() - 1;
+        used_ = 0;
+    }
+
+    std::size_t firstBlockBytes_;
+    std::vector<Block> blocks_;
+    std::size_t block_ = 0;
+    std::size_t used_ = 0;
+};
+
+/**
+ * STL allocator over a MonotonicArena. deallocate() is a no-op: the
+ * arena's reset() between windows reclaims everything at once. The
+ * allocator does not change a libstdc++ hash container's bucket
+ * geometry or node linkage, so iteration order matches the default
+ * allocator exactly — which the golden corpus depends on.
+ */
+template <typename T>
+struct ArenaAlloc
+{
+    using value_type = T;
+
+    MonotonicArena *arena = nullptr;
+
+    ArenaAlloc() = default;
+    explicit ArenaAlloc(MonotonicArena *a) : arena(a) {}
+    template <typename U>
+    ArenaAlloc(const ArenaAlloc<U> &o) : arena(o.arena)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        if (!arena)
+            throw std::bad_alloc();
+        return static_cast<T *>(
+            arena->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *, std::size_t) {}
+
+    template <typename U>
+    bool
+    operator==(const ArenaAlloc<U> &o) const
+    {
+        return arena == o.arena;
+    }
+    template <typename U>
+    bool
+    operator!=(const ArenaAlloc<U> &o) const
+    {
+        return arena != o.arena;
+    }
+};
+
+} // namespace pact
+
+#endif // PACT_COMMON_ARENA_HH

@@ -95,17 +95,20 @@ LruLists::moveTier(PageId page, TierId to, TierManager &tm)
     setWhere(tm, page, to, Active);
 }
 
-void
+std::uint64_t
 LruLists::scan(TierId tier, std::uint64_t nscan, TierManager &tm)
 {
     List &active = list(tier, Active);
     List &inactive = list(tier, Inactive);
+    std::uint64_t examined = 0;
 
     for (std::uint64_t i = 0; i < nscan && active.tail >= 0; i++) {
         const PageId page = static_cast<PageId>(active.tail);
         PageMeta &m = tm.meta(page);
+        examined++;
         unlink(active, page);
         if (m.flags & PageFlags::Referenced) {
+            tm.noteReferencedWillClear(page, m.flags);
             m.flags &= ~PageFlags::Referenced;
             pushHead(active, page);
             setWhere(tm, page, tier, Active);
@@ -119,13 +122,16 @@ LruLists::scan(TierId tier, std::uint64_t nscan, TierManager &tm)
     for (std::uint64_t i = 0; i < nscan && inactive.tail >= 0; i++) {
         const PageId page = static_cast<PageId>(inactive.tail);
         PageMeta &m = tm.meta(page);
+        examined++;
         if (!(m.flags & PageFlags::Referenced))
             break;
+        tm.noteReferencedWillClear(page, m.flags);
         m.flags &= ~PageFlags::Referenced;
         unlink(inactive, page);
         pushHead(active, page);
         setWhere(tm, page, tier, Active);
     }
+    return examined;
 }
 
 std::vector<PageId>
@@ -144,6 +150,7 @@ LruLists::victims(TierId tier, std::uint64_t n, TierManager &tm,
         const PageId page = static_cast<PageId>(inactive.tail);
         PageMeta &m = tm.meta(page);
         if (m.flags & PageFlags::Referenced) {
+            tm.noteReferencedWillClear(page, m.flags);
             m.flags &= ~PageFlags::Referenced;
             unlink(inactive, page);
             pushHead(active, page);

@@ -64,8 +64,11 @@ class LruLists
      * unreferenced ones to the inactive head and rotating referenced
      * ones (clearing their Referenced bit). Also rescues referenced
      * inactive-tail pages back to active.
+     *
+     * @return Pages examined across both loops (daemon phase costing).
      */
-    void scan(TierId tier, std::uint64_t nscan, TierManager &tm);
+    std::uint64_t scan(TierId tier, std::uint64_t nscan,
+                       TierManager &tm);
 
     /**
      * Collect up to n demotion candidates from the inactive tail

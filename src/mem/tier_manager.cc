@@ -12,6 +12,8 @@ TierManager::TierManager(std::uint64_t total_pages,
                          std::uint64_t fast_capacity_pages)
     : meta_(total_pages),
       firstTouchOverride_(total_pages, 0xff),
+      regionRef_((total_pages + PagesPerHugePage - 1) / PagesPerHugePage,
+                 0),
       fastCapacity_(fast_capacity_pages)
 {
 }
@@ -22,6 +24,8 @@ TierManager::resize(std::uint64_t total_pages)
     if (total_pages > meta_.size()) {
         meta_.resize(total_pages);
         firstTouchOverride_.resize(total_pages, 0xff);
+        regionRef_.resize(
+            (total_pages + PagesPerHugePage - 1) / PagesPerHugePage, 0);
     }
 }
 
@@ -88,6 +92,13 @@ TierManager::place(PageId page, TierId tier)
     used_[tierIndex(cur)]--;
     used_[tierIndex(tier)]++;
     m.tier = static_cast<std::uint8_t>(tier);
+
+    // Publish the tier change to ring consumers. A same-tier place is
+    // not recorded above: it changes nothing a consumer could index.
+    if (placeRing_.empty())
+        placeRing_.resize(PlaceRingCap);
+    placeRing_[placeSeq_ & (PlaceRingCap - 1)] = page;
+    placeSeq_++;
 }
 
 bool
@@ -150,8 +161,13 @@ TierManager::auditConsistency() const
     std::array<std::uint64_t, NumTiers> counted = {0, 0};
     std::uint64_t touched = 0;
     std::uint64_t huge = 0;
+    std::vector<std::uint16_t> regionRef(regionRef_.size(), 0);
     for (PageId p = 0; p < meta_.size(); p++) {
         const PageMeta &m = meta_[p];
+        constexpr std::uint8_t hr =
+            PageFlags::Huge | PageFlags::Referenced;
+        if ((m.flags & hr) == hr)
+            regionRef[p / PagesPerHugePage]++;
         if (!(m.flags & PageFlags::Touched)) {
             throw_invariant_if(m.flags & PageFlags::Shadowed,
                                "audit: untouched page ", p,
@@ -187,6 +203,13 @@ TierManager::auditConsistency() const
     throw_invariant_if(huge != hugeCount_,
                        "audit: huge-page count mismatch: ", huge,
                        " counted vs ", hugeCount_, " recorded");
+    for (std::size_t r = 0; r < regionRef.size(); r++) {
+        throw_invariant_if(regionRef[r] != regionRef_[r],
+                           "audit: region ", r,
+                           " referenced-count mismatch: ", regionRef[r],
+                           " huge+referenced pages counted vs ",
+                           regionRef_[r], " maintained");
+    }
     // Audits run at transaction-quiescent points, so an open shadow
     // region is residue a committed or aborted transaction failed to
     // release.

@@ -124,6 +124,92 @@ class TierManager
      */
     void place(PageId page, TierId tier);
 
+    // --- place-event ring ------------------------------------------
+    // Every tier change funnels through place(), so policies can keep
+    // per-tier candidate indexes incremental by polling the ring
+    // instead of rescanning their tracked set each daemon window.
+    // Consumers hold their own cursor; on overflow (more places than
+    // the ring holds since the last poll) visitPlaces reports false
+    // and the consumer falls back to a full rebuild.
+
+    /** Sequence number of the next place event. */
+    std::uint64_t placeSeq() const { return placeSeq_; }
+
+    /**
+     * Visit the page id of every place event since @p from (advanced
+     * to the current sequence). Returns false — visiting nothing —
+     * when the ring has wrapped past @p from.
+     */
+    template <typename F>
+    bool
+    visitPlaces(std::uint64_t &from, F &&fn) const
+    {
+        const std::uint64_t to = placeSeq_;
+        if (to - from > PlaceRingCap) {
+            from = to;
+            return false;
+        }
+        for (std::uint64_t s = from; s < to; s++)
+            fn(placeRing_[s & (PlaceRingCap - 1)]);
+        from = to;
+        return true;
+    }
+
+    // --- per-huge-region referenced counters -----------------------
+    // Incremental count of pages per 2MB region carrying both Huge and
+    // Referenced, replacing the daemon's 512-subpage loop per demotion
+    // probe. THP extents are 2MB-aligned in base and size (AddrSpace),
+    // so a region is either wholly huge or wholly not: within a huge
+    // region, Huge set implies Touched, making this count equal to the
+    // old "touched && Referenced" subpage census. The flag owners call
+    // the note*() hooks just before flipping the Referenced bit.
+
+    /** Call before setting Referenced on a page with @p old_flags. */
+    void
+    noteReferencedWillSet(PageId page, std::uint8_t old_flags)
+    {
+        constexpr std::uint8_t hr =
+            PageFlags::Huge | PageFlags::Referenced;
+        if ((old_flags & hr) == PageFlags::Huge)
+            regionRef_[page / PagesPerHugePage]++;
+    }
+
+    /** Call before clearing Referenced on a page with @p old_flags. */
+    void
+    noteReferencedWillClear(PageId page, std::uint8_t old_flags)
+    {
+        constexpr std::uint8_t hr =
+            PageFlags::Huge | PageFlags::Referenced;
+        if ((old_flags & hr) == hr)
+            regionRef_[page / PagesPerHugePage]--;
+    }
+
+    /**
+     * Parallel-commit fold: a committed speculative window wrote page
+     * meta in place, bypassing the hooks above. Reconcile the region
+     * counter from the page's pre-window vs committed flags.
+     */
+    void
+    noteSpecFlags(PageId page, std::uint8_t pre_flags,
+                  std::uint8_t final_flags)
+    {
+        constexpr std::uint8_t hr =
+            PageFlags::Huge | PageFlags::Referenced;
+        const bool was = (pre_flags & hr) == hr;
+        const bool now = (final_flags & hr) == hr;
+        if (now && !was)
+            regionRef_[page / PagesPerHugePage]++;
+        else if (was && !now)
+            regionRef_[page / PagesPerHugePage]--;
+    }
+
+    /** Huge-and-referenced pages in @p page's 2MB region. */
+    std::uint64_t
+    regionReferenced(PageId page) const
+    {
+        return regionRef_[page / PagesPerHugePage];
+    }
+
     /** Force the first-touch preference (Soar static placement). */
     void setFirstTouchOverride(PageId page, TierId tier);
     void clearFirstTouchOverrides();
@@ -245,9 +331,17 @@ class TierManager
     void releaseShadow(PageId base, std::uint64_t pages, TierId dst,
                        const char *what);
 
+    /** Place-event ring capacity (power of two). */
+    static constexpr std::uint64_t PlaceRingCap = 1ull << 16;
+
     std::vector<PageMeta> meta_;
     /** Optional per-page first-touch override tier (0xff = none). */
     std::vector<std::uint8_t> firstTouchOverride_;
+    /** Huge-and-referenced page count per 2MB region. */
+    std::vector<std::uint16_t> regionRef_;
+    /** Circular buffer of place() page ids (lazily allocated). */
+    std::vector<PageId> placeRing_;
+    std::uint64_t placeSeq_ = 0;
     std::uint64_t fastCapacity_;
     std::array<std::uint64_t, NumTiers> used_ = {0, 0};
     /** Frames reserved by open shadow regions, per tier. */

@@ -1,5 +1,7 @@
 #include "pact/pac_table.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace pact
@@ -32,7 +34,12 @@ roundPow2(std::size_t n)
 PacTable::PacTable(std::size_t initial_capacity)
 {
     const std::size_t cap = roundPow2(initial_capacity);
-    slots_.assign(cap, PacEntry{});
+    keys_.assign(cap, PacEntry::EmptyKey);
+    pac_.assign(cap, 0.0f);
+    freq_.assign(cap, 0);
+    lastSample_.assign(cap, 0);
+    lastPromote_.assign(cap, 0);
+    markWords_.assign((cap + 63) / 64, 0);
     mask_ = cap - 1;
 }
 
@@ -45,62 +52,138 @@ PacTable::slot(PageId page) const
 void
 PacTable::grow()
 {
-    std::vector<PacEntry> old;
-    old.swap(slots_);
-    slots_.assign(old.size() * 2, PacEntry{});
-    mask_ = slots_.size() - 1;
-    size_ = 0;
-    for (const PacEntry &e : old) {
-        if (!e.empty())
-            touch(e.page) = e;
+    AlignedVec<PageId> oldKeys;
+    AlignedVec<float> oldPac;
+    AlignedVec<std::uint32_t> oldFreq;
+    AlignedVec<std::uint64_t> oldLastSample;
+    AlignedVec<std::uint32_t> oldLastPromote;
+    AlignedVec<std::uint64_t> oldMarks;
+    oldKeys.swap(keys_);
+    oldPac.swap(pac_);
+    oldFreq.swap(freq_);
+    oldLastSample.swap(lastSample_);
+    oldLastPromote.swap(lastPromote_);
+    oldMarks.swap(markWords_);
+
+    const std::size_t cap = oldKeys.size() * 2;
+    keys_.assign(cap, PacEntry::EmptyKey);
+    pac_.assign(cap, 0.0f);
+    freq_.assign(cap, 0);
+    lastSample_.assign(cap, 0);
+    lastPromote_.assign(cap, 0);
+    markWords_.assign((cap + 63) / 64, 0);
+    mask_ = cap - 1;
+
+    for (std::size_t i = 0; i < oldKeys.size(); i++) {
+        if (oldKeys[i] == PacEntry::EmptyKey)
+            continue;
+        // Re-probe into the doubled array; no grow can trigger here.
+        std::size_t j = slot(oldKeys[i]);
+        while (keys_[j] != PacEntry::EmptyKey)
+            j = (j + 1) & mask_;
+        keys_[j] = oldKeys[i];
+        pac_[j] = oldPac[i];
+        freq_[j] = oldFreq[i];
+        lastSample_[j] = oldLastSample[i];
+        lastPromote_[j] = oldLastPromote[i];
+        if (oldMarks[i >> 6] & (1ull << (i & 63)))
+            markWords_[j >> 6] |= 1ull << (j & 63);
     }
+
+    // Slot numbers changed wholesale: rebuild the occupied index in
+    // ascending slot order with one array scan (the mark bitmap was
+    // re-derived alongside the re-probe above).
+    occupied_.clear();
+    for (std::size_t i = 0; i < cap; i++) {
+        if (keys_[i] != PacEntry::EmptyKey)
+            occupied_.push_back(static_cast<std::uint32_t>(i));
+    }
+    occupiedDirty_ = false;
 }
 
-PacEntry &
-PacTable::touch(PageId page)
+void
+PacTable::ensureOccupiedSorted() const
+{
+    if (!occupiedDirty_)
+        return;
+    std::sort(occupied_.begin(), occupied_.end());
+    occupiedDirty_ = false;
+}
+
+PacTable::Ref
+PacTable::touch(PageId page, bool *inserted)
 {
     panic_if(page == PacEntry::EmptyKey, "PacTable: reserved key");
-    if (size_ * 10 >= slots_.size() * 7)
+    if (size_ * 10 >= keys_.size() * 7)
         grow();
     std::size_t i = slot(page);
+    __builtin_prefetch(&keys_[i]);
     while (true) {
-        PacEntry &e = slots_[i];
-        if (e.empty()) {
-            e.page = page;
+        const PageId k = keys_[i];
+        if (k == PacEntry::EmptyKey) {
+            keys_[i] = page;
             size_++;
-            return e;
+            if (!occupied_.empty() &&
+                occupied_.back() > static_cast<std::uint32_t>(i)) {
+                occupiedDirty_ = true;
+            }
+            occupied_.push_back(static_cast<std::uint32_t>(i));
+            if (inserted)
+                *inserted = true;
+            return Ref(this, i);
         }
-        if (e.page == page)
-            return e;
+        if (k == page) {
+            if (inserted)
+                *inserted = false;
+            return Ref(this, i);
+        }
         i = (i + 1) & mask_;
+        __builtin_prefetch(&keys_[(i + 8) & mask_]);
     }
 }
 
-PacEntry *
+PacTable::Ref
 PacTable::find(PageId page)
 {
     std::size_t i = slot(page);
+    __builtin_prefetch(&keys_[i]);
     while (true) {
-        PacEntry &e = slots_[i];
-        if (e.empty())
-            return nullptr;
-        if (e.page == page)
-            return &e;
+        const PageId k = keys_[i];
+        if (k == PacEntry::EmptyKey)
+            return Ref();
+        if (k == page)
+            return Ref(this, i);
         i = (i + 1) & mask_;
+        __builtin_prefetch(&keys_[(i + 8) & mask_]);
     }
 }
 
-const PacEntry *
+PacTable::ConstRef
 PacTable::find(PageId page) const
 {
-    return const_cast<PacTable *>(this)->find(page);
+    std::size_t i = slot(page);
+    while (true) {
+        const PageId k = keys_[i];
+        if (k == PacEntry::EmptyKey)
+            return ConstRef();
+        if (k == page)
+            return ConstRef(this, i);
+        i = (i + 1) & mask_;
+    }
 }
 
 void
 PacTable::clear()
 {
-    for (PacEntry &e : slots_)
-        e = PacEntry{};
+    std::fill(keys_.begin(), keys_.end(), PacEntry::EmptyKey);
+    std::fill(pac_.begin(), pac_.end(), 0.0f);
+    std::fill(freq_.begin(), freq_.end(), 0u);
+    std::fill(lastSample_.begin(), lastSample_.end(), 0ull);
+    std::fill(lastPromote_.begin(), lastPromote_.end(), 0u);
+    std::fill(markWords_.begin(), markWords_.end(), 0);
+    occupied_.clear();
+    occupiedDirty_ = false;
+    markedCount_ = 0;
     size_ = 0;
 }
 

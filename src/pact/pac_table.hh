@@ -4,12 +4,27 @@
  * accumulated Per-page Access Criticality state. Matches the paper's
  * in-memory hash table with ~25 bytes of metadata per tracked 4KB page
  * and O(1) insert/lookup (§4.3.6).
+ *
+ * Storage is structure-of-arrays: keys / pac / freq / lastSample /
+ * lastPromote live in parallel cache-aligned arrays, so the probe loop
+ * streams through the 8-byte key array alone and a full-table walk of
+ * one field touches a fraction of the cache lines the old
+ * array-of-structs layout did. A maintained dense occupied-slot index
+ * lets forEach visit exactly the live entries — in ascending slot
+ * order, i.e. byte-identical iteration order to walking the raw slot
+ * array — instead of scanning empty capacity. Candidate marks live in
+ * a per-slot bitmap whose word scan yields the marked sweep in
+ * ascending slot order with no sorting or compaction, so mark churn
+ * every daemon window costs O(1) per transition plus O(capacity/64)
+ * per sweep (see PactPolicy's incremental slow-tier index).
  */
 
 #ifndef PACT_PACT_PAC_TABLE_HH
 #define PACT_PACT_PAC_TABLE_HH
 
+#include <algorithm>
 #include <cstdint>
+#include <new>
 #include <vector>
 
 #include "common/types.hh"
@@ -17,7 +32,11 @@
 namespace pact
 {
 
-/** Per-page criticality record. */
+/**
+ * Per-page criticality record: the value type forEach presents and
+ * tests/benches consume. The table itself stores these fields in
+ * parallel arrays; a PacEntry is materialized on demand.
+ */
 struct PacEntry
 {
     PageId page = EmptyKey;
@@ -34,6 +53,46 @@ struct PacEntry
     bool empty() const { return page == EmptyKey; }
 };
 
+/** 64-byte-aligned vector storage for the SoA field arrays. */
+template <typename T>
+struct CacheAlignedAlloc
+{
+    using value_type = T;
+    static constexpr std::align_val_t align{64};
+
+    CacheAlignedAlloc() = default;
+    template <typename U>
+    CacheAlignedAlloc(const CacheAlignedAlloc<U> &)
+    {
+    }
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(n * sizeof(T), align));
+    }
+    void
+    deallocate(T *p, std::size_t)
+    {
+        ::operator delete(p, align);
+    }
+    template <typename U>
+    bool
+    operator==(const CacheAlignedAlloc<U> &) const
+    {
+        return true;
+    }
+    template <typename U>
+    bool
+    operator!=(const CacheAlignedAlloc<U> &) const
+    {
+        return false;
+    }
+};
+
+template <typename T>
+using AlignedVec = std::vector<T, CacheAlignedAlloc<T>>;
+
 /**
  * Linear-probing hash table keyed by page id. Entries are never
  * individually erased (pages stay tracked once seen), matching PACT's
@@ -44,49 +103,226 @@ class PacTable
   public:
     explicit PacTable(std::size_t initial_capacity = 1024);
 
-    /** Find or insert the entry for a page. */
-    PacEntry &touch(PageId page);
+    /**
+     * Handle to one live slot: field accessors over the parallel
+     * arrays. Invalidated by any insert (touch may grow the table)
+     * — re-find after mutation, exactly like the old PacEntry*.
+     */
+    class Ref
+    {
+      public:
+        Ref() = default;
+        explicit operator bool() const { return t_ != nullptr; }
 
-    /** Find an entry; nullptr when the page is untracked. */
-    PacEntry *find(PageId page);
-    const PacEntry *find(PageId page) const;
+        PageId page() const { return t_->keys_[i_]; }
+        float &pac() const { return t_->pac_[i_]; }
+        std::uint32_t &freq() const { return t_->freq_[i_]; }
+        std::uint64_t &lastSample() const { return t_->lastSample_[i_]; }
+        std::uint32_t &lastPromote() const
+        {
+            return t_->lastPromote_[i_];
+        }
 
-    /** Visit every live entry. */
+        /** Materialize the slot as a PacEntry value. */
+        PacEntry
+        entry() const
+        {
+            return {page(), pac(), freq(), lastSample(), lastPromote()};
+        }
+
+      private:
+        friend class PacTable;
+        Ref(PacTable *t, std::size_t i) : t_(t), i_(i) {}
+        PacTable *t_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    /** Read-only slot handle (const table). */
+    class ConstRef
+    {
+      public:
+        ConstRef() = default;
+        explicit operator bool() const { return t_ != nullptr; }
+
+        PageId page() const { return t_->keys_[i_]; }
+        float pac() const { return t_->pac_[i_]; }
+        std::uint32_t freq() const { return t_->freq_[i_]; }
+        std::uint64_t lastSample() const { return t_->lastSample_[i_]; }
+        std::uint32_t lastPromote() const
+        {
+            return t_->lastPromote_[i_];
+        }
+
+        PacEntry
+        entry() const
+        {
+            return {page(), pac(), freq(), lastSample(), lastPromote()};
+        }
+
+      private:
+        friend class PacTable;
+        ConstRef(const PacTable *t, std::size_t i) : t_(t), i_(i) {}
+        const PacTable *t_ = nullptr;
+        std::size_t i_ = 0;
+    };
+
+    /**
+     * Find or insert the entry for a page. When @p inserted is
+     * non-null it reports whether a new slot was created, letting the
+     * caller maintain side indexes without a separate find().
+     */
+    Ref touch(PageId page, bool *inserted = nullptr);
+
+    /** Find an entry; a false Ref when the page is untracked. */
+    Ref find(PageId page);
+    ConstRef find(PageId page) const;
+
+    /** Visit every live entry in ascending slot order. */
     template <typename F>
     void
     forEach(F &&fn) const
     {
-        for (const PacEntry &e : slots_) {
-            if (!e.empty())
-                fn(e);
-        }
+        ensureOccupiedSorted();
+        for (const std::uint32_t s : occupied_)
+            fn(ConstRef(this, s).entry());
     }
 
-    /** Visit every live entry, allowing mutation of value fields. */
+    /**
+     * Visit every live entry, allowing mutation of value fields (the
+     * PacEntry is materialized, passed to @p fn, and written back).
+     */
     template <typename F>
     void
     forEachMut(F &&fn)
     {
-        for (PacEntry &e : slots_) {
-            if (!e.empty())
-                fn(e);
+        ensureOccupiedSorted();
+        for (const std::uint32_t s : occupied_) {
+            PacEntry e = ConstRef(this, s).entry();
+            fn(e);
+            pac_[s] = e.pac;
+            freq_[s] = e.freq;
+            lastSample_[s] = e.lastSample;
+            lastPromote_[s] = e.lastPromote;
+        }
+    }
+
+    /** Visit every live entry by Ref in ascending slot order. */
+    template <typename F>
+    void
+    forEachRef(F &&fn)
+    {
+        ensureOccupiedSorted();
+        for (const std::uint32_t s : occupied_)
+            fn(Ref(this, s));
+    }
+
+    // --- candidate marks -------------------------------------------
+    // One mark bit per slot, stored as a word bitmap. Marks survive
+    // grow (slots are re-derived) and are dropped by clear().
+
+    /** Mark a live entry (no-op when already marked). */
+    void
+    setMarked(const Ref &r)
+    {
+        std::uint64_t &w = markWords_[r.i_ >> 6];
+        const std::uint64_t bit = 1ull << (r.i_ & 63);
+        if (w & bit)
+            return;
+        w |= bit;
+        markedCount_++;
+    }
+
+    /** Unmark a live entry (no-op when not marked). */
+    void
+    clearMarked(const Ref &r)
+    {
+        std::uint64_t &w = markWords_[r.i_ >> 6];
+        const std::uint64_t bit = 1ull << (r.i_ & 63);
+        if (!(w & bit))
+            return;
+        w &= ~bit;
+        markedCount_--;
+    }
+
+    bool
+    marked(const Ref &r) const
+    {
+        return markWords_[r.i_ >> 6] & (1ull << (r.i_ & 63));
+    }
+
+    /** Currently marked entries. */
+    std::size_t markedCount() const { return markedCount_; }
+
+    /** Drop every mark. */
+    void
+    clearMarks()
+    {
+        std::fill(markWords_.begin(), markWords_.end(), 0);
+        markedCount_ = 0;
+    }
+
+    /**
+     * Visit every marked entry in ascending slot order — the same
+     * sequence a filtered full-slot walk would produce, which the
+     * golden corpus depends on (the candidate list feeds an unstable
+     * sort whose tie permutation is input-order-sensitive). Mark
+     * changes made by @p fn to slots inside the word currently being
+     * drained are not observed by this sweep.
+     */
+    template <typename F>
+    void
+    forEachMarked(F &&fn)
+    {
+        for (std::size_t w = 0; w < markWords_.size(); w++) {
+            std::uint64_t bits = markWords_[w];
+            while (bits) {
+                const std::size_t s =
+                    (w << 6) + static_cast<std::size_t>(
+                                   __builtin_ctzll(bits));
+                bits &= bits - 1;
+                fn(Ref(this, s));
+            }
         }
     }
 
     /** Tracked page count. */
     std::size_t size() const { return size_; }
 
-    /** Remove all entries. */
+    /** Remove all entries (marks included). */
     void clear();
 
-    /** Approximate bytes per tracked page (the paper claims ~25B). */
-    static constexpr std::size_t entryBytes = sizeof(PacEntry);
+    /**
+     * Bytes per tracked page across the parallel arrays: 28 bytes of
+     * key+value fields plus the mark bit, an eighth of a byte in the
+     * bitmap, counted here as one (the paper claims ~25B).
+     */
+    static constexpr std::size_t entryBytes =
+        sizeof(PageId) + sizeof(float) + sizeof(std::uint32_t) +
+        sizeof(std::uint64_t) + sizeof(std::uint32_t) + 1;
 
   private:
     std::size_t slot(PageId page) const;
     void grow();
+    void ensureOccupiedSorted() const;
 
-    std::vector<PacEntry> slots_;
+    AlignedVec<PageId> keys_;
+    AlignedVec<float> pac_;
+    AlignedVec<std::uint32_t> freq_;
+    AlignedVec<std::uint64_t> lastSample_;
+    AlignedVec<std::uint32_t> lastPromote_;
+
+    /**
+     * Dense occupied-slot index. Inserts append, so the list is only
+     * sorted on demand (mutable: forEach is const). Entries are never
+     * erased outside clear()/grow(), so no compaction is needed.
+     */
+    mutable std::vector<std::uint32_t> occupied_;
+    mutable bool occupiedDirty_ = false;
+
+    /** Mark bitmap, one bit per slot ((capacity + 63) / 64 words). */
+    AlignedVec<std::uint64_t> markWords_;
+    std::size_t markedCount_ = 0;
+
     std::size_t size_ = 0;
     std::size_t mask_ = 0;
 };

@@ -70,6 +70,24 @@ PactPolicy::registerStats(obs::StatRegistry &reg)
                    "pages whose PAC was cooled");
     reg.addDistribution("pact.dist.pac_score", pacDist_,
                         "post-attribution PAC score per touched page");
+    // Per-phase daemon work accounting (deterministic modeled units,
+    // see the member doc). tick_cycles is the exact four-phase sum —
+    // validate_artifacts.py asserts that identity on every manifest.
+    reg.addCounter("pact.daemon.attribute_cycles", attributeCycles_,
+                   "attribution-phase daemon work units");
+    reg.addCounter("pact.daemon.select_cycles", selectCycles_,
+                   "candidate-selection daemon work units");
+    reg.addCounter("pact.daemon.migrate_cycles", migrateCycles_,
+                   "migration-phase daemon work units");
+    reg.addCounter("pact.daemon.lruscan_cycles", lruscanCycles_,
+                   "LRU-aging daemon work units");
+    reg.addFn("pact.daemon.tick_cycles", StatKind::Counter,
+              [this] {
+                  return static_cast<double>(
+                      attributeCycles_.value() + selectCycles_.value() +
+                      migrateCycles_.value() + lruscanCycles_.value());
+              },
+              "total daemon work units (sum of the four phases)");
 }
 
 void
@@ -82,14 +100,95 @@ PactPolicy::start(SimContext &ctx)
                 : static_cast<double>(
                       ctx.tiers[tierIndex(TierId::Slow)]->latency());
     snap_.take(ctx.pmu);
+    // A reused policy may carry marks describing a previous engine's
+    // TierManager; force a rebuild on the first migrate of this run.
+    indexedTm_ = nullptr;
 }
 
 double
-PactPolicy::rankValue(const PacEntry &e) const
+PactPolicy::rankOf(float pac, std::uint32_t freq) const
 {
     return cfg_.rank == RankMode::Criticality
-               ? static_cast<double>(e.pac)
-               : static_cast<double>(e.freq);
+               ? static_cast<double>(pac)
+               : static_cast<double>(freq);
+}
+
+void
+PactPolicy::classifyNew(const SimContext &ctx, PacTable::Ref e)
+{
+    // Freshly inserted table entry: file it in the candidate index.
+    // Pages the TierManager has never materialized (wrap-fault PEBS
+    // strays) produce no place events when they do materialize, so
+    // they go on a small recheck list instead.
+    const PageId p = e.page();
+    if (!ctx.tm.touched(p)) {
+        pendingUntouched_.push_back(p);
+        return;
+    }
+    if (ctx.tm.tierOf(p) == TierId::Slow)
+        table_.setMarked(e);
+}
+
+void
+PactPolicy::rebuildCandidateIndex(const SimContext &ctx)
+{
+    indexedTm_ = &ctx.tm;
+    placeCursor_ = ctx.tm.placeSeq();
+    table_.clearMarks();
+    pendingUntouched_.clear();
+    table_.forEachRef([&](PacTable::Ref e) { classifyNew(ctx, e); });
+    selectCycles_.inc(table_.size());
+}
+
+void
+PactPolicy::syncCandidateIndex(const SimContext &ctx)
+{
+    if (indexedTm_ != &ctx.tm) {
+        rebuildCandidateIndex(ctx);
+        return;
+    }
+    // Apply tier changes since the last window. Events are applied by
+    // re-reading the page's *current* tier, so replaying an event that
+    // later events (or insert-time classification) already reflect is
+    // a no-op — the ring never needs deduplication.
+    std::uint64_t polled = 0;
+    const bool intact =
+        ctx.tm.visitPlaces(placeCursor_, [&](PageId p) {
+            polled++;
+            // A shared TierManager interleaves every tenant's place
+            // events; pages outside this policy's insert range are
+            // untracked by construction, so findTracked skips the
+            // probe. (polled still counts them — the modeled work
+            // unit is ring events examined, filter or not.)
+            PacTable::Ref e = findTracked(p);
+            if (!e)
+                return;
+            if (ctx.tm.tierOf(p) == TierId::Slow)
+                table_.setMarked(e);
+            else
+                table_.clearMarked(e);
+        });
+    selectCycles_.inc(polled);
+    if (!intact) {
+        // The ring wrapped past our cursor: more migrations happened
+        // than it holds. Fall back to the always-correct full rescan.
+        rebuildCandidateIndex(ctx);
+        return;
+    }
+    if (!pendingUntouched_.empty()) {
+        selectCycles_.inc(pendingUntouched_.size());
+        std::size_t out = 0;
+        for (const PageId p : pendingUntouched_) {
+            if (!ctx.tm.touched(p)) {
+                pendingUntouched_[out++] = p;
+                continue;
+            }
+            PacTable::Ref e = table_.find(p);
+            if (e && ctx.tm.tierOf(p) == TierId::Slow)
+                table_.setMarked(e);
+        }
+        pendingUntouched_.resize(out);
+    }
 }
 
 void
@@ -129,13 +228,22 @@ PactPolicy::attribute(SimContext &ctx)
     stallEstimated_ += S;
 
     // Aggregate sampled accesses per page: A_p, and optionally the
-    // latency-weighted mass A_p * l_p.
+    // latency-weighted mass A_p * l_p. The map's node and bucket
+    // storage comes from the window-reset arena, so steady-state
+    // attribution allocates nothing; the allocator does not affect
+    // libstdc++'s bucket geometry, so iteration order (and with it the
+    // reservoir RNG stream and float accumulation order) is unchanged.
     struct Agg
     {
         std::uint32_t count = 0;
         double latMass = 0.0;
     };
-    std::unordered_map<PageId, Agg> byPage;
+    using AggMap =
+        std::unordered_map<PageId, Agg, std::hash<PageId>,
+                           std::equal_to<PageId>,
+                           ArenaAlloc<std::pair<const PageId, Agg>>>;
+    scratchArena_.reset();
+    AggMap byPage{AggMap::allocator_type{&scratchArena_}};
     double totalMass = 0.0;
     std::uint64_t sampleCount = 0;
 
@@ -153,9 +261,9 @@ PactPolicy::attribute(SimContext &ctx)
             sampleCount += e.count;
         }
     } else {
-        const std::vector<PebsRecord> records = ctx.pebs.drain();
-        byPage.reserve(records.size());
-        for (const PebsRecord &r : records) {
+        ctx.pebs.drainInto(pebsBuf_);
+        byPage.reserve(pebsBuf_.size());
+        for (const PebsRecord &r : pebsBuf_) {
             Agg &a = byPage[pageOf(r.vaddr)];
             a.count++;
             const double mass = cfg_.latencyWeighted
@@ -164,8 +272,9 @@ PactPolicy::attribute(SimContext &ctx)
             a.latMass += mass;
             totalMass += mass;
         }
-        sampleCount = records.size();
+        sampleCount = pebsBuf_.size();
     }
+    attributeCycles_.inc(sampleCount + byPage.size());
     if (byPage.empty())
         return;
     // Degenerate window: the latency-weighted total mass A_t can be
@@ -181,18 +290,25 @@ PactPolicy::attribute(SimContext &ctx)
 
     touched_.clear();
     for (const auto &[page, agg] : byPage) {
-        PacEntry &e = table_.touch(page);
-        const double pacBefore = static_cast<double>(e.pac);
+        bool inserted = false;
+        PacTable::Ref e = table_.touch(page, &inserted);
+        if (inserted) {
+            pageLo_ = std::min(pageLo_, page);
+            pageHi_ = std::max(pageHi_, page);
+            if (indexedTm_ == &ctx.tm)
+                classifyNew(ctx, e);
+        }
+        const double pacBefore = static_cast<double>(e.pac());
 
         // In-place cooling: decay pages that went unsampled for a
         // long sample distance (paper §4.3.4 / Figure 10c). Both rank
         // signals cool together, so RankMode::Frequency forgets stale
         // pages exactly as RankMode::Criticality does.
-        if (cfg_.cooling != CoolingMode::None && e.freq > 0 &&
-            globalSamples_ - e.lastSample > cfg_.coolingDistance) {
+        if (cfg_.cooling != CoolingMode::None && e.freq() > 0 &&
+            globalSamples_ - e.lastSample() > cfg_.coolingDistance) {
             const bool halve = cfg_.cooling == CoolingMode::Halve;
-            e.pac = halve ? e.pac * 0.5f : 0.0f;
-            e.freq = halve ? e.freq / 2 : 0;
+            e.pac() = halve ? e.pac() * 0.5f : 0.0f;
+            e.freq() = halve ? e.freq() / 2 : 0;
             cooledPages_++;
         }
 
@@ -200,14 +316,14 @@ PactPolicy::attribute(SimContext &ctx)
             massless ? static_cast<double>(agg.count) /
                            static_cast<double>(sampleCount)
                      : agg.latMass / totalMass;
-        e.pac += static_cast<float>(S * share);
-        e.freq += agg.count;
-        e.lastSample = globalSamples_;
+        e.pac() += static_cast<float>(S * share);
+        e.freq() += agg.count;
+        e.lastSample() = globalSamples_;
         touched_.push_back(page);
-        pacMass_ += static_cast<double>(e.pac) - pacBefore;
-        pacDist_.record(static_cast<double>(e.pac));
+        pacMass_ += static_cast<double>(e.pac()) - pacBefore;
+        pacDist_.record(static_cast<double>(e.pac()));
 
-        reservoir_.add(rankValue(e), ctx.rng);
+        reservoir_.add(rankOf(e.pac(), e.freq()), ctx.rng);
     }
 
     // --- Algorithm 3: adapt bin boundaries to the new distribution ---
@@ -223,23 +339,25 @@ void
 PactPolicy::migrate(SimContext &ctx)
 {
     // Bin every tracked slow-tier page; the priority bin is the
-    // highest non-empty one. The bin index and rank value per page
-    // are gathered in one table pass.
-    std::vector<std::pair<double, PageId>> ranked;
-    std::vector<std::uint32_t> bins;
+    // highest non-empty one. The candidate index replaces the old
+    // full-table rescan: marked entries are exactly the tracked,
+    // slow-tier-resident pages, visited in ascending slot order — the
+    // same sequence (and therefore the same unstable-sort tie
+    // permutation downstream) as filtering a raw slot walk.
+    syncCandidateIndex(ctx);
+
+    ranked_.clear();
+    bins_.clear();
     std::uint32_t topBin = 0;
-    table_.forEach([&](const PacEntry &e) {
-        if (!ctx.tm.touched(e.page) ||
-            ctx.tm.tierOf(e.page) != TierId::Slow) {
-            return;
-        }
-        const double rv = rankValue(e);
+    table_.forEachMarked([&](PacTable::Ref e) {
+        const double rv = rankOf(e.pac(), e.freq());
         const std::uint32_t b = binning_.binOf(rv);
-        ranked.emplace_back(rv, e.page);
-        bins.push_back(b);
+        ranked_.emplace_back(rv, e.page());
+        bins_.push_back(b);
         topBin = std::max(topBin, b);
     });
-    if (ranked.empty()) {
+    selectCycles_.inc(ranked_.size());
+    if (ranked_.empty()) {
         promoSeries_.push_back({ctx.now, 0.0});
         return;
     }
@@ -250,38 +368,35 @@ PactPolicy::migrate(SimContext &ctx)
     // controller (Algorithm 3) hunts for a better width.
     const std::uint64_t floor = 32;
     std::uint64_t inTop = 0;
-    for (std::size_t i = 0; i < bins.size(); i++)
-        inTop += bins[i] == topBin;
+    for (std::size_t i = 0; i < bins_.size(); i++)
+        inTop += bins_[i] == topBin;
 
     // cutBin = the bin of the floor'th most critical page, so the
     // candidate pool is at least `floor` deep.
-    std::vector<std::uint32_t> order = bins;
+    binOrder_ = bins_;
     const std::size_t nth = std::min<std::size_t>(
-        floor, order.size()) - 1;
-    std::nth_element(order.begin(), order.begin() + nth, order.end(),
-                     std::greater<>());
-    const std::uint32_t cutBin = order[nth];
+        floor, binOrder_.size()) - 1;
+    std::nth_element(binOrder_.begin(), binOrder_.begin() + nth,
+                     binOrder_.end(), std::greater<>());
+    const std::uint32_t cutBin = binOrder_[nth];
 
-    struct Cand
-    {
-        double rank;
-        PageId page;
-        std::uint32_t bin;
-    };
-    std::vector<Cand> cands;
-    for (std::size_t i = 0; i < bins.size(); i++) {
-        if (bins[i] >= cutBin)
-            cands.push_back({ranked[i].first, ranked[i].second, bins[i]});
+    cands_.clear();
+    for (std::size_t i = 0; i < bins_.size(); i++) {
+        if (bins_[i] >= cutBin) {
+            cands_.push_back(
+                {ranked_[i].first, ranked_[i].second, bins_[i]});
+        }
     }
-    std::sort(cands.begin(), cands.end(),
+    std::sort(cands_.begin(), cands_.end(),
               [](const Cand &a, const Cand &b) { return a.rank > b.rank; });
-    if (cands.size() > 4096)
-        cands.resize(4096);
+    if (cands_.size() > 4096)
+        cands_.resize(4096);
+    selectCycles_.inc(cands_.size());
 
     // Provenance: one BinAssign per surviving candidate, carrying the
     // rank value, bin, and the window's MLP input.
     if (ctx.journal) {
-        for (const Cand &c : cands) {
+        for (const Cand &c : cands_) {
             obs::PageEvent ev;
             ev.now = ctx.now;
             ev.kind = obs::EventKind::BinAssign;
@@ -299,11 +414,12 @@ PactPolicy::migrate(SimContext &ctx)
     // hunting: a starved top bin drives the width up; a degenerate
     // single-bin distribution (topBin == 0 after overshoot) reports
     // full collapse, driving the width back down.
-    lastCandidates_ = topBin == 0 ? ranked.size()
+    lastCandidates_ = topBin == 0 ? ranked_.size()
                                   : std::max<std::uint64_t>(1, inTop);
 
     // --- Algorithm 2: eager demotion + promotion ---
     std::uint64_t promoted = 0;
+    std::uint64_t algoWork = 0;
     // Eager demotion reclaims only genuinely inactive pages (the
     // kernel's LRU semantics); an empty inactive list is the natural
     // brake that keeps PACT from thrashing when the hot set exceeds
@@ -311,25 +427,22 @@ PactPolicy::migrate(SimContext &ctx)
     // granularity under THP) are quarantined, and a region most of
     // whose subpages are still referenced is not a demotion victim.
     auto quarantined = [&](PageId page) {
+        // LRU victims on a shared TierManager are any tenant's pages;
+        // findTracked filters foreign ones without a table probe.
         const bool huge = ctx.tm.meta(page).flags & PageFlags::Huge;
-        const PacEntry *e = table_.find(huge ? hugeBase(page) : page);
-        return e && e->lastPromote != 0 &&
-               tickNo_ - e->lastPromote < cfg_.quarantineTicks;
+        PacTable::Ref e = findTracked(huge ? hugeBase(page) : page);
+        return e && e.lastPromote() != 0 &&
+               tickNo_ - e.lastPromote() < cfg_.quarantineTicks;
     };
     auto regionHot = [&](PageId page) {
         if (!(ctx.tm.meta(page).flags & PageFlags::Huge))
             return false;
-        const PageId base = hugeBase(page);
-        std::uint64_t referenced = 0;
-        for (PageId p = base; p < base + PagesPerHugePage; p++) {
-            if (ctx.tm.touched(p) &&
-                (ctx.tm.meta(p).flags & PageFlags::Referenced)) {
-                referenced++;
-            }
-        }
-        return referenced > PagesPerHugePage / 8;
+        // The TierManager maintains the per-region census the old
+        // code recomputed here with a 512-subpage loop per probe.
+        return ctx.tm.regionReferenced(page) > PagesPerHugePage / 8;
     };
     auto demoteOne = [&](obs::Counter &reason) -> bool {
+        algoWork++;
         const auto v = ctx.lru.victims(TierId::Fast, 4, ctx.tm, false);
         for (const PageId victim : v) {
             if (quarantined(victim) || regionHot(victim))
@@ -341,11 +454,11 @@ PactPolicy::migrate(SimContext &ctx)
                 ev.tenant = ctx.tenant;
                 ev.page = victim;
                 ev.window = tickNo_;
-                const PacEntry *e = table_.find(victim);
+                PacTable::Ref e = findTracked(victim);
                 if (e) {
-                    ev.pac = static_cast<double>(e->pac);
+                    ev.pac = static_cast<double>(e.pac());
                     ev.bin = static_cast<std::int32_t>(
-                        binning_.binOf(rankValue(*e)));
+                        binning_.binOf(rankOf(e.pac(), e.freq())));
                 }
                 ctx.journal->emit(ev);
             }
@@ -360,8 +473,9 @@ PactPolicy::migrate(SimContext &ctx)
     const std::uint64_t batchCap = std::min<std::uint64_t>(
         cfg_.promoteBatchCap,
         std::max<std::uint64_t>(64, ctx.tm.fastCapacity() / 8));
-    for (const Cand &c : cands) {
+    for (const Cand &c : cands_) {
         const PageId page = c.page;
+        algoWork++;
         if (promoted >= batchCap)
             break;
         if (quarantined(page)) {
@@ -403,11 +517,19 @@ PactPolicy::migrate(SimContext &ctx)
             promoted += needed; // cap is denominated in 4KB pages
             const bool wasHuge =
                 ctx.tm.meta(page).flags & PageFlags::Huge;
-            PacEntry &e =
-                table_.touch(wasHuge ? hugeBase(page) : page);
-            e.lastPromote = tickNo_;
+            const PageId key = wasHuge ? hugeBase(page) : page;
+            bool inserted = false;
+            PacTable::Ref e = table_.touch(key, &inserted);
+            if (inserted) {
+                pageLo_ = std::min(pageLo_, key);
+                pageHi_ = std::max(pageHi_, key);
+                if (indexedTm_ == &ctx.tm)
+                    classifyNew(ctx, e);
+            }
+            e.lastPromote() = tickNo_;
         }
     }
+    migrateCycles_.inc(algoWork);
     promoSeries_.push_back({ctx.now, static_cast<double>(promoted)});
 }
 
@@ -457,9 +579,11 @@ PactPolicy::tick(SimContext &ctx)
     attribute(ctx);
 
     // Keep the kernel LRU aged so eager demotion has fresh victims.
-    ctx.lru.scan(TierId::Fast,
-                 std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
-                 ctx.tm);
+    const std::uint64_t examined = ctx.lru.scan(
+        TierId::Fast,
+        std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),
+        ctx.tm);
+    lruscanCycles_.inc(examined);
 
     if (!cfg_.profileOnly)
         migrate(ctx);

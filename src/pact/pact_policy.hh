@@ -15,9 +15,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/arena.hh"
 #include "pact/binning.hh"
 #include "pact/pac_table.hh"
 #include "pact/reservoir.hh"
+#include "sim/pebs.hh"
 #include "sim/policy_iface.hh"
 
 namespace pact
@@ -164,9 +166,31 @@ class PactPolicy : public TieringPolicy
     const PactConfig &config() const { return cfg_; }
 
   private:
+    /** One promotion candidate (selection scratch). */
+    struct Cand
+    {
+        double rank;
+        PageId page;
+        std::uint32_t bin;
+    };
+
     void attribute(SimContext &ctx);
     void migrate(SimContext &ctx);
-    double rankValue(const PacEntry &e) const;
+    double rankOf(float pac, std::uint32_t freq) const;
+
+    /** table_.find, short-circuited through the [pageLo_, pageHi_]
+     *  insert range: pages outside it (on a shared TierManager,
+     *  usually other tenants') cannot be tracked, so skip the probe. */
+    PacTable::Ref
+    findTracked(PageId page)
+    {
+        if (page < pageLo_ || page > pageHi_)
+            return PacTable::Ref();
+        return table_.find(page);
+    }
+    void classifyNew(const SimContext &ctx, PacTable::Ref e);
+    void syncCandidateIndex(const SimContext &ctx);
+    void rebuildCandidateIndex(const SimContext &ctx);
 
     PactConfig cfg_;
     PacTable table_;
@@ -183,6 +207,39 @@ class PactPolicy : public TieringPolicy
     std::uint64_t lastCandidates_ = 1;
     /** Pages whose rank value changed this window. */
     std::vector<PageId> touched_;
+
+    /** Arena backing the per-window attribution scratch map: reset
+     *  (not freed) between windows, so after the first few windows
+     *  attribution performs zero heap allocations. */
+    MonotonicArena scratchArena_;
+    /** Reused PEBS drain buffer (capacity stabilizes, no realloc). */
+    std::vector<PebsRecord> pebsBuf_;
+
+    // Incremental slow-tier candidate index. The PacTable's mark bits
+    // track which tracked pages are slow-tier-resident; the index is
+    // kept current by polling the TierManager's place-event ring plus
+    // classifying entries at insert, instead of rescanning the whole
+    // table each daemon window. indexedTm_ identifies the TierManager
+    // the marks describe (reset at start(); rebuilt on mismatch or
+    // ring overflow).
+    const TierManager *indexedTm_ = nullptr;
+    /** Place-ring cursor (next unseen place event). */
+    std::uint64_t placeCursor_ = 0;
+    /** Tracked pages not yet materialized in the TierManager (wrap-
+     *  fault strays); re-checked each window until they appear. */
+    std::vector<PageId> pendingUntouched_;
+    /** Inclusive page-id range ever inserted into the table. Place
+     *  events outside it cannot name a tracked page, so the ring poll
+     *  skips the table probe — on a shared TierManager most events
+     *  are other tenants' pages (disjoint AddrSpace allocations). */
+    PageId pageLo_ = ~0ull;
+    PageId pageHi_ = 0;
+
+    // Selection scratch, members so capacities persist across windows.
+    std::vector<std::pair<double, PageId>> ranked_;
+    std::vector<std::uint32_t> bins_;
+    std::vector<std::uint32_t> binOrder_;
+    std::vector<Cand> cands_;
     std::vector<TimeSeriesPoint> promoSeries_;
     std::vector<TimeSeriesPoint> widthSeries_;
     std::vector<TimeSeriesPoint> stallSeries_;
@@ -206,6 +263,21 @@ class PactPolicy : public TieringPolicy
     obs::Counter cooledPages_;
     /** Post-attribution PAC score of every touched page, per window. */
     obs::Distribution pacDist_;
+
+    // Per-phase daemon work counters, in deterministic modeled work
+    // units (samples drained, pages classified, events polled,
+    // Algorithm-2 steps, LRU pages examined) — not wall-clock rdtsc,
+    // so artifacts stay byte-identical across jobs and the parallel
+    // engine. pact.daemon.tick_cycles is defined as their exact sum;
+    // validate_artifacts.py asserts that identity.
+    /** Attribution-phase work (samples + distinct pages). */
+    obs::Counter attributeCycles_;
+    /** Selection-phase work (candidates + ring events + rechecks). */
+    obs::Counter selectCycles_;
+    /** Migration-phase work (Algorithm-2 steps + demotion probes). */
+    obs::Counter migrateCycles_;
+    /** LRU aging work (pages examined by the daemon's scan). */
+    obs::Counter lruscanCycles_;
 };
 
 } // namespace pact

@@ -52,6 +52,8 @@ ColloidPolicy::tick(SimContext &ctx)
 {
     ctx_ = &ctx;
     tickNo_++;
+    // Keep the two-touch filter bounded to the in-window fault set.
+    filter_.prune(tickNo_);
 
     ctx.lru.scan(TierId::Fast,
                  std::max<std::uint64_t>(512, ctx.tm.fastCapacity() / 4),

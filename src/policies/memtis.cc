@@ -26,14 +26,13 @@ MemtisPolicy::recomputeThreshold(SimContext &ctx)
     // Histogram of log2(count) buckets; pick the smallest count such
     // that the pages at or above it fit in the fast tier.
     std::array<std::uint64_t, 20> pagesAt{};
-    for (const auto &[unit, count] : counts_) {
+    for (const auto &[unit, u] : units_) {
         unsigned b = 0;
-        std::uint32_t c = count;
+        std::uint32_t c = u.count;
         while (c >>= 1)
             b++;
         b = std::min<unsigned>(b, pagesAt.size() - 1);
-        const auto it = unitPages_.find(unit);
-        pagesAt[b] += it == unitPages_.end() ? 1 : it->second;
+        pagesAt[b] += u.pages;
     }
 
     const std::uint64_t cap = ctx.tm.fastCapacity();
@@ -51,8 +50,19 @@ MemtisPolicy::recomputeThreshold(SimContext &ctx)
 void
 MemtisPolicy::cool()
 {
-    for (auto &[unit, count] : counts_)
-        count /= 2;
+    // Halve, pruning units that cool to zero: an absent unit and a
+    // zero-count unit are indistinguishable to both the threshold
+    // histogram (the b=0 bucket never changes the chosen threshold)
+    // and re-insertion (next sample yields count 1 and the same
+    // huge-sticky page span either way), so this bounds the map over
+    // long runs with no behavioural difference.
+    for (auto it = units_.begin(); it != units_.end();) {
+        it->second.count /= 2;
+        if (it->second.count == 0)
+            it = units_.erase(it);
+        else
+            ++it;
+    }
 }
 
 void
@@ -75,24 +85,25 @@ MemtisPolicy::tick(SimContext &ctx)
         static_cast<std::uint64_t>(
             cfg_.migrateBudgetFraction *
             static_cast<double>(ctx.tm.fastCapacity())));
-    const std::vector<PebsRecord> records = ctx.pebs.drain();
-    for (const PebsRecord &r : records) {
+    ctx.pebs.drainInto(pebsBuf_);
+    for (const PebsRecord &r : pebsBuf_) {
         if (budget == 0)
             break;
         const PageId unit = unitOf(ctx, pageOf(r.vaddr));
-        auto [it, inserted] = counts_.try_emplace(unit, 0u);
-        it->second++;
+        auto [it, inserted] = units_.try_emplace(unit);
+        UnitStat &u = it->second;
+        u.count++;
         if (inserted) {
             const bool huge =
                 ctx.tm.touched(unit) &&
                 (ctx.tm.meta(unit).flags & PageFlags::Huge);
-            unitPages_[unit] =
+            u.pages =
                 huge ? static_cast<std::uint32_t>(PagesPerHugePage) : 1;
         }
-        if (it->second >= hotThreshold_ &&
+        if (u.count >= hotThreshold_ &&
             ctx.tm.touched(unit) &&
             ctx.tm.tierOf(unit) == TierId::Slow) {
-            const std::uint32_t need = unitPages_[unit];
+            const std::uint32_t need = u.pages;
             if (need > budget)
                 continue;
             if (ctx.tm.freeFast() < need)

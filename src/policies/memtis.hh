@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "policies/policy.hh"
+#include "sim/pebs.hh"
 
 namespace pact
 {
@@ -46,17 +48,37 @@ class MemtisPolicy : public TieringPolicy
     /** Current hot threshold (access count); for tests. */
     std::uint32_t hotThreshold() const { return hotThreshold_; }
 
+    /** Tracking units currently held (long-run bound tests). */
+    std::size_t tracked() const { return units_.size(); }
+
   private:
+    /** Histogram record for one tracking unit. */
+    struct UnitStat
+    {
+        /** Sampled access count (cooled periodically). */
+        std::uint32_t count = 0;
+        /** Pages the unit spans (1 or 512). */
+        std::uint32_t pages = 1;
+    };
+
     /** Tracking unit for a page: 2MB base when huge, else the page. */
     PageId unitOf(SimContext &ctx, PageId page) const;
     void recomputeThreshold(SimContext &ctx);
     void cool();
 
     MemtisConfig cfg_;
-    /** Sampled access counts per tracking unit. */
-    std::unordered_map<PageId, std::uint32_t> counts_;
-    /** Pages each unit spans (1 or 512). */
-    std::unordered_map<PageId, std::uint32_t> unitPages_;
+    /**
+     * Per-unit stats, one map instead of the old parallel
+     * counts_/unitPages_ pair (one probe per sample instead of up to
+     * three). Units cooled to a zero count are pruned — behaviour-
+     * identical (a zero-count entry and an absent entry produce the
+     * same histogram threshold and the same re-insertion state), and
+     * it bounds the map over long runs instead of growing with every
+     * unit ever sampled.
+     */
+    std::unordered_map<PageId, UnitStat> units_;
+    /** Reused PEBS drain buffer (allocation-free steady state). */
+    std::vector<PebsRecord> pebsBuf_;
     std::uint32_t hotThreshold_ = 1;
     std::uint64_t tickNo_ = 0;
 };

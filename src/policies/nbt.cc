@@ -15,6 +15,8 @@ NbtPolicy::tick(SimContext &ctx)
 {
     ctx_ = &ctx;
     tickNo_++;
+    // Keep the two-touch filter bounded to the in-window fault set.
+    filter_.prune(tickNo_);
 
     const auto watermark = static_cast<std::uint64_t>(
         cfg_.watermarkFraction *

@@ -117,6 +117,25 @@ class TwoTouchFilter
     void clear() { last_.clear(); }
     std::size_t tracked() const { return last_.size(); }
 
+    /**
+     * Drop entries whose last fault is stale beyond the hot window.
+     * A stale entry and an absent entry behave identically on the
+     * next touch (both answer "not hot" and restamp), so pruning is
+     * invisible to the policy while bounding the map to the pages
+     * that faulted within the window — without it the filter grows
+     * with every page ever faulted over a long run.
+     */
+    void
+    prune(std::uint64_t tick)
+    {
+        for (auto it = last_.begin(); it != last_.end();) {
+            if (tick - it->second > window_)
+                it = last_.erase(it);
+            else
+                ++it;
+        }
+    }
+
   private:
     std::uint64_t window_;
     std::unordered_map<PageId, std::uint64_t> last_;

@@ -205,6 +205,7 @@ Cpu::doAccess(const TraceOp &op)
     if (!(m.flags & PageFlags::LruListed))
         lru_.insert(page, tier, tm_);
 
+    tm_.noteReferencedWillSet(page, m.flags);
     m.flags |= PageFlags::Referenced;
     m.lastAccess = static_cast<std::uint32_t>(cycle_ >> 10);
     if (m.shortFreq < 0xff)

@@ -229,6 +229,15 @@ ParallelExec::commit(unsigned slices, Cycles window_start)
         slow += c->spec.slowTouches;
         huge += c->spec.hugeTouches;
         committedOps_ += c->spec.ops.size();
+        // Speculating cores wrote page meta in place, bypassing the
+        // TierManager's referenced-transition hooks. The undo log
+        // holds each claimed page's pre-window meta; diff it against
+        // the committed flags to fold the per-region referenced
+        // counters exactly as the serial hooks would have.
+        for (const auto &[page, pre] : c->spec.undo) {
+            eng_.tm_.noteSpecFlags(page, pre.flags,
+                                   eng_.tm_.meta(page).flags);
+        }
     }
     eng_.tm_.adoptSpeculative(fast, slow, huge);
 

@@ -96,6 +96,18 @@ class PebsSampler
         return out;
     }
 
+    /**
+     * drain() into a caller-owned buffer: after the first few windows
+     * the two vectors' capacities stabilize and the swap is
+     * allocation-free. Record content and order match drain().
+     */
+    void
+    drainInto(std::vector<PebsRecord> &out)
+    {
+        out.clear();
+        out.swap(buffer_);
+    }
+
     /** Change the sampling rate at runtime (sensitivity studies). */
     void setRate(std::uint64_t rate) { params_.rate = rate; }
     std::uint64_t rate() const { return params_.rate; }

@@ -1,12 +1,14 @@
 /**
  * @file
- * PAC table tests: hash-map semantics, growth, iteration, and the
+ * PAC table tests: hash-map semantics, growth, iteration (including
+ * the slot-order guarantee and the marked-candidate index), and the
  * paper's per-page footprint claim.
  */
 
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "pact/pac_table.hh"
 
@@ -15,34 +17,41 @@ using namespace pact;
 TEST(PacTable, TouchInsertsOnce)
 {
     PacTable t;
-    PacEntry &e = t.touch(42);
-    e.pac = 5.0f;
-    e.freq = 3;
+    bool inserted = false;
+    PacTable::Ref e = t.touch(42, &inserted);
+    EXPECT_TRUE(inserted);
+    e.pac() = 5.0f;
+    e.freq() = 3;
     EXPECT_EQ(t.size(), 1u);
-    PacEntry &again = t.touch(42);
-    EXPECT_FLOAT_EQ(again.pac, 5.0f);
-    EXPECT_EQ(again.freq, 3u);
+    PacTable::Ref again = t.touch(42, &inserted);
+    EXPECT_FALSE(inserted);
+    EXPECT_FLOAT_EQ(again.pac(), 5.0f);
+    EXPECT_EQ(again.freq(), 3u);
     EXPECT_EQ(t.size(), 1u);
 }
 
-TEST(PacTable, FindMissingReturnsNull)
+TEST(PacTable, FindMissingReturnsFalseRef)
 {
     PacTable t;
     t.touch(1);
-    EXPECT_EQ(t.find(2), nullptr);
-    EXPECT_NE(t.find(1), nullptr);
+    EXPECT_FALSE(t.find(2));
+    EXPECT_TRUE(t.find(1));
+
+    const PacTable &ct = t;
+    EXPECT_FALSE(ct.find(2));
+    EXPECT_TRUE(ct.find(1));
 }
 
 TEST(PacTable, GrowPreservesEntries)
 {
     PacTable t(16);
     for (PageId p = 0; p < 1000; p++)
-        t.touch(p).pac = static_cast<float>(p);
+        t.touch(p).pac() = static_cast<float>(p);
     EXPECT_EQ(t.size(), 1000u);
     for (PageId p = 0; p < 1000; p++) {
-        const PacEntry *e = t.find(p);
-        ASSERT_NE(e, nullptr);
-        EXPECT_FLOAT_EQ(e->pac, static_cast<float>(p));
+        PacTable::Ref e = t.find(p);
+        ASSERT_TRUE(e);
+        EXPECT_FLOAT_EQ(e.pac(), static_cast<float>(p));
     }
 }
 
@@ -51,9 +60,9 @@ TEST(PacTable, CollidingKeysCoexist)
     PacTable t(16);
     // Sequential pages stress-probe a small table before growth.
     for (PageId p = 0; p < 11; p++)
-        t.touch(p * 16).freq = static_cast<std::uint32_t>(p);
+        t.touch(p * 16).freq() = static_cast<std::uint32_t>(p);
     for (PageId p = 0; p < 11; p++)
-        EXPECT_EQ(t.find(p * 16)->freq, p);
+        EXPECT_EQ(t.find(p * 16).freq(), p);
 }
 
 TEST(PacTable, ForEachVisitsAllLiveEntries)
@@ -72,26 +81,166 @@ TEST(PacTable, ForEachVisitsAllLiveEntries)
 TEST(PacTable, ForEachMutAllowsUpdates)
 {
     PacTable t;
-    t.touch(1).pac = 1.0f;
-    t.touch(2).pac = 2.0f;
+    t.touch(1).pac() = 1.0f;
+    t.touch(2).pac() = 2.0f;
     t.forEachMut([](PacEntry &e) { e.pac *= 10.0f; });
-    EXPECT_FLOAT_EQ(t.find(1)->pac, 10.0f);
-    EXPECT_FLOAT_EQ(t.find(2)->pac, 20.0f);
+    EXPECT_FLOAT_EQ(t.find(1).pac(), 10.0f);
+    EXPECT_FLOAT_EQ(t.find(2).pac(), 20.0f);
+}
+
+TEST(PacTable, IterationOrderIsDeterministicAndStable)
+{
+    // The daemon's candidate list feeds an unstable sort whose tie
+    // permutation depends on input order, so iteration order is
+    // load-bearing. The guarantee: the order is a pure function of the
+    // construction sequence (ascending slot order, pinned end-to-end
+    // by the golden corpus), every iteration flavor yields the same
+    // sequence, and read-only traffic (find) and mark churn never
+    // perturb it.
+    auto build = [] {
+        PacTable t(64);
+        for (PageId p = 0; p < 40; p++)
+            t.touch(p * 977 + 3);
+        return t;
+    };
+    PacTable t = build();
+
+    std::vector<PageId> order;
+    t.forEach([&](const PacEntry &e) { order.push_back(e.page); });
+    ASSERT_EQ(order.size(), 40u);
+
+    // forEachRef and forEachMut must produce the same sequence.
+    std::vector<PageId> refOrder;
+    t.forEachRef([&](PacTable::Ref e) { refOrder.push_back(e.page()); });
+    EXPECT_EQ(order, refOrder);
+    std::vector<PageId> mutOrder;
+    t.forEachMut([&](PacEntry &e) { mutOrder.push_back(e.page); });
+    EXPECT_EQ(order, mutOrder);
+
+    // An identically-constructed table iterates identically.
+    PacTable u = build();
+    std::vector<PageId> order2;
+    u.forEach([&](const PacEntry &e) { order2.push_back(e.page); });
+    EXPECT_EQ(order, order2);
+
+    // Lookups and mark churn leave the sequence untouched.
+    for (PageId p = 0; p < 80; p++)
+        (void)t.find(p * 977 + 3);
+    t.forEachRef([&](PacTable::Ref e) { t.setMarked(e); });
+    t.forEachRef([&](PacTable::Ref e) { t.clearMarked(e); });
+    std::vector<PageId> order3;
+    t.forEach([&](const PacEntry &e) { order3.push_back(e.page); });
+    EXPECT_EQ(order, order3);
+}
+
+TEST(PacTable, MarkedIndexTracksAndIteratesInSlotOrder)
+{
+    PacTable t(64);
+    for (PageId p = 0; p < 30; p++)
+        t.touch(p);
+
+    // Mark every third page.
+    std::set<PageId> marked;
+    t.forEachRef([&](PacTable::Ref e) {
+        if (e.page() % 3 == 0) {
+            t.setMarked(e);
+            marked.insert(e.page());
+        }
+    });
+    EXPECT_EQ(t.markedCount(), marked.size());
+
+    std::vector<PageId> visited;
+    t.forEachMarked(
+        [&](PacTable::Ref e) { visited.push_back(e.page()); });
+    EXPECT_EQ(visited.size(), marked.size());
+
+    // The marked sweep must be the full sweep filtered (same order).
+    std::vector<PageId> expect;
+    t.forEach([&](const PacEntry &e) {
+        if (marked.count(e.page))
+            expect.push_back(e.page);
+    });
+    EXPECT_EQ(visited, expect);
+
+    // Unmark half; re-marking an unmarked-but-listed slot must not
+    // duplicate it.
+    t.forEachRef([&](PacTable::Ref e) {
+        if (e.page() % 6 == 0)
+            t.clearMarked(e);
+    });
+    t.forEachRef([&](PacTable::Ref e) {
+        if (e.page() % 6 == 0)
+            t.setMarked(e);
+    });
+    visited.clear();
+    t.forEachMarked(
+        [&](PacTable::Ref e) { visited.push_back(e.page()); });
+    EXPECT_EQ(visited, expect);
+}
+
+TEST(PacTable, MarksSurviveGrowth)
+{
+    PacTable t(16);
+    for (PageId p = 0; p < 10; p++) {
+        PacTable::Ref e = t.touch(p);
+        if (p % 2 == 0)
+            t.setMarked(e);
+    }
+    // Push the table through several growths.
+    for (PageId p = 1000; p < 2000; p++)
+        t.touch(p);
+    EXPECT_EQ(t.markedCount(), 5u);
+
+    std::set<PageId> seen;
+    t.forEachMarked([&](PacTable::Ref e) { seen.insert(e.page()); });
+    EXPECT_EQ(seen, (std::set<PageId>{0, 2, 4, 6, 8}));
+
+    // Marked iteration still matches the filtered full sweep.
+    std::vector<PageId> visited;
+    t.forEachMarked(
+        [&](PacTable::Ref e) { visited.push_back(e.page()); });
+    std::vector<PageId> expect;
+    t.forEach([&](const PacEntry &e) {
+        if (seen.count(e.page))
+            expect.push_back(e.page);
+    });
+    EXPECT_EQ(visited, expect);
+}
+
+TEST(PacTable, MarkedChurnLeavesNoResidue)
+{
+    PacTable t(1024);
+    for (PageId p = 0; p < 500; p++)
+        t.touch(p);
+    // Churn: mark and unmark everything repeatedly; the marked sweep
+    // must not retain state per historical mark.
+    for (int round = 0; round < 10; round++) {
+        t.forEachRef([&](PacTable::Ref e) { t.setMarked(e); });
+        t.forEachRef([&](PacTable::Ref e) { t.clearMarked(e); });
+    }
+    EXPECT_EQ(t.markedCount(), 0u);
+    std::vector<PageId> visited;
+    t.forEachMarked(
+        [&](PacTable::Ref e) { visited.push_back(e.page()); });
+    EXPECT_TRUE(visited.empty());
 }
 
 TEST(PacTable, ClearEmpties)
 {
     PacTable t;
-    t.touch(5);
+    PacTable::Ref e = t.touch(5);
+    t.setMarked(e);
     t.clear();
     EXPECT_EQ(t.size(), 0u);
-    EXPECT_EQ(t.find(5), nullptr);
+    EXPECT_EQ(t.markedCount(), 0u);
+    EXPECT_FALSE(t.find(5));
 }
 
 TEST(PacTable, EntryFootprintMatchesPaperClaim)
 {
     // The paper claims ~25 bytes of metadata per tracked 4KB page
-    // (0.6% overhead); our entry must stay in that regime.
+    // (0.6% overhead); our SoA field bytes plus the mark byte must
+    // stay in that regime.
     EXPECT_LE(PacTable::entryBytes, 32u);
     EXPECT_LE(static_cast<double>(PacTable::entryBytes) / PageBytes,
               0.01);

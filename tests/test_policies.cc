@@ -314,3 +314,110 @@ TEST_F(PolicyBehaviour, RegistryMakesLittlesLawVariant)
 {
     EXPECT_NE(makePolicy("PACT-littleslaw"), nullptr);
 }
+
+// ---------------------------------------------------------------------
+// Long-run tracking bounds: policy-side page maps must not grow with
+// every page ever faulted/sampled over the run, only with the live
+// working set (the unbounded-growth bugfix regression tests).
+// ---------------------------------------------------------------------
+
+TEST(LongRunBounds, TwoTouchFilterPruneBoundsTracking)
+{
+    TwoTouchFilter filter(4);
+    // A phase-shifting workload: every tick faults 16 pages nobody
+    // faults again. Without pruning the map retains all of them.
+    PageId next = 0;
+    for (std::uint64_t tick = 1; tick <= 5000; tick++) {
+        for (int i = 0; i < 16; i++)
+            filter.touch(next++, tick);
+        filter.prune(tick);
+        // At most the pages faulted within the hot window survive.
+        ASSERT_LE(filter.tracked(), 16u * 5u) << "tick " << tick;
+    }
+    EXPECT_EQ(next, 5000u * 16u); // 80k distinct pages seen, ~80 kept
+
+    // Prune invisibility: a stale entry and an absent one answer the
+    // next touch identically.
+    TwoTouchFilter pruned(4);
+    TwoTouchFilter kept(4);
+    pruned.touch(7, 10);
+    kept.touch(7, 10);
+    pruned.prune(100); // stale (100 - 10 > 4) -> erased
+    EXPECT_FALSE(pruned.touch(7, 100));
+    EXPECT_FALSE(kept.touch(7, 100));
+    EXPECT_TRUE(pruned.touch(7, 101));
+    EXPECT_TRUE(kept.touch(7, 101));
+}
+
+namespace
+{
+
+/** Fixed-cost copy backend for driving MigrationEngine directly. */
+class FlatTestBackend final : public MigrationBackend
+{
+  public:
+    Cycles
+    chargeCopy(TierId, TierId, std::uint64_t bytes) override
+    {
+        return 100 + bytes / 64;
+    }
+};
+
+} // namespace
+
+TEST(LongRunBounds, MemtisCoolingPrunesAbandonedUnits)
+{
+    // Drive the Memtis daemon directly with a working set that shifts
+    // every phase: units from abandoned phases must cool away instead
+    // of accumulating forever.
+    SimConfig cfg;
+    const std::uint64_t pages = 1 << 16;
+    cfg.fastCapacityPages = pages / 2;
+    AddrSpace as;
+    const Addr base = as.alloc(0, "buf", pages << PageShift);
+    const PageId first = pageOf(base);
+    TierManager tm(as.totalPages(), cfg.fastCapacityPages);
+    LruLists lru(as.totalPages());
+    for (PageId p = first; p < first + pages; p++)
+        lru.insert(p, tm.touch(p, 0, false), tm);
+    Pmu pmu;
+    PebsSampler pebs(cfg.pebs);
+    pebs.setRate(1);
+    FlatTestBackend backend;
+    MigrationEngine mig(tm, lru, backend, cfg.migration, 1);
+    Tier fast(TierId::Fast, cfg.fast);
+    Tier slow(TierId::Slow, cfg.slow);
+    Rng rng(41);
+    SimContext ctx{cfg,           0, pmu, pebs, tm, lru, mig, as,
+                   {&fast, &slow},   rng};
+
+    MemtisConfig mcfg;
+    mcfg.coolingPeriod = 8;
+    MemtisPolicy pol(mcfg);
+
+    const std::uint64_t phaseLen = 64;   // ticks per working set
+    const std::uint64_t setPages = 512;  // live working set
+    std::size_t maxTracked = 0;
+    std::uint64_t distinct = 0;
+    for (std::uint64_t tick = 0; tick < 40 * phaseLen; tick++) {
+        const std::uint64_t phase = tick / phaseLen;
+        const PageId lo =
+            first + (phase * setPages) % (pages - setPages);
+        if (tick % phaseLen == 0)
+            distinct += setPages;
+        for (int i = 0; i < 256; i++) {
+            const PageId p = lo + rng.below(setPages);
+            pebs.onLoadMiss(static_cast<Addr>(p) << PageShift,
+                            TierId::Slow, 300, 0);
+        }
+        ctx.now += cfg.daemonPeriod;
+        pol.tick(ctx);
+        maxTracked = std::max(maxTracked, pol.tracked());
+    }
+    // Cumulative distinct units: ~20k. The map must stay bounded by
+    // the live set plus cooling lag, far below the cumulative count.
+    EXPECT_GT(distinct, 16000u);
+    EXPECT_LE(maxTracked, 4u * setPages)
+        << "units_ grew with history, not the working set";
+    EXPECT_LE(pol.tracked(), 4u * setPages);
+}
